@@ -1,0 +1,58 @@
+//! Thermal side-channel attacks on 3D ICs (Section 5 of the paper).
+//!
+//! The paper formulates two attacks an adversary with non-invasive, sensor-level access can
+//! mount against a 3D IC, both enabled by the strong (but realistic) capabilities assumed in
+//! Section 5 — crafted repetitive inputs, steady-state readouts, and unlimited access to all
+//! on-chip thermal sensors:
+//!
+//! 1. **Thermal characterization** ([`CharacterizationAttack`]): by sweeping input patterns
+//!    the attacker learns per-module thermal signatures of the stack.
+//! 2. **Localization and monitoring of modules** ([`LocalizationAttack`],
+//!    [`MonitoringAttack`]): crafted inputs trigger particular modules; the thermal response
+//!    localizes them, after which their runtime activity can be monitored.
+//!
+//! The attacks are written against a [`ThermalOracle`] — anything that can answer "what do
+//! the thermal sensors show for this activity vector". The `tsc3d` core crate implements
+//! the oracle on top of a floorplan plus the detailed thermal solver, so the same attack
+//! code evaluates power-aware and TSC-aware floorplans on equal footing.
+//!
+//! # Example
+//!
+//! ```
+//! use tsc3d_attack::{ThermalOracle, CharacterizationAttack};
+//! use tsc3d_geometry::{Grid, GridMap, Rect};
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//!
+//! /// A toy oracle where each of two modules heats one half of a single die.
+//! struct Toy {
+//!     grid: Grid,
+//! }
+//! impl ThermalOracle for Toy {
+//!     fn dies(&self) -> usize { 1 }
+//!     fn observe(&self, powers: &[f64]) -> Vec<GridMap> {
+//!         let mut map = GridMap::zeros(self.grid);
+//!         map.splat_power(&Rect::new(0.0, 0.0, 50.0, 100.0), powers[0]);
+//!         map.splat_power(&Rect::new(50.0, 0.0, 50.0, 100.0), powers[1]);
+//!         vec![map.map(|p| 293.0 + 5.0 * p)]
+//!     }
+//! }
+//!
+//! let oracle = Toy { grid: Grid::square(Rect::from_size(100.0, 100.0), 8) };
+//! let attack = CharacterizationAttack::new(1.0, 0.3);
+//! let mut rng = ChaCha8Rng::seed_from_u64(1);
+//! let result = attack.run(&oracle, &[0.5, 0.5], &mut rng);
+//! assert_eq!(result.signatures.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+mod characterization;
+mod localization;
+mod monitoring;
+mod oracle;
+
+pub use characterization::{CharacterizationAttack, CharacterizationResult, ModuleSignature};
+pub use localization::{LocalizationAttack, LocalizationOutcome, LocalizationResult};
+pub use monitoring::{MonitoringAttack, MonitoringResult};
+pub use oracle::{NoisyOracle, ThermalOracle};

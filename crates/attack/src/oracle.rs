@@ -1,0 +1,115 @@
+//! The attacker's view of the device: steady-state thermal readings for chosen activities.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::cell::RefCell;
+use tsc3d_geometry::GridMap;
+
+/// Anything that can report the steady-state thermal maps of the stack for a given
+/// per-module power (activity) vector.
+///
+/// The paper's attacker assumptions map onto this interface directly: the attacker "may
+/// await the thermal steady-state response after applying any input" and "has unlimited
+/// access to all thermal sensors, spread across the 3D IC" — i.e. the oracle returns a full
+/// thermal map per die, not a handful of noisy point sensors.
+pub trait ThermalOracle {
+    /// Number of dies whose sensors the attacker can read.
+    fn dies(&self) -> usize;
+
+    /// Steady-state thermal maps (bottom die first) for the given per-module powers in
+    /// watts.
+    fn observe(&self, module_powers: &[f64]) -> Vec<GridMap>;
+}
+
+/// Wraps an oracle and adds zero-mean Gaussian sensor noise to every reading.
+///
+/// Useful for studying how much the attacks of this crate degrade under realistic sensing
+/// noise (the paper assumes noise-free steady-state readings as the worst case for the
+/// defender).
+pub struct NoisyOracle<O> {
+    inner: O,
+    sigma: f64,
+    rng: RefCell<ChaCha8Rng>,
+}
+
+impl<O: ThermalOracle> NoisyOracle<O> {
+    /// Wraps `inner`, adding Gaussian noise with standard deviation `sigma` kelvin.
+    pub fn new(inner: O, sigma: f64, rng: ChaCha8Rng) -> Self {
+        Self {
+            inner,
+            sigma,
+            rng: RefCell::new(rng),
+        }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: ThermalOracle> ThermalOracle for NoisyOracle<O> {
+    fn dies(&self) -> usize {
+        self.inner.dies()
+    }
+
+    fn observe(&self, module_powers: &[f64]) -> Vec<GridMap> {
+        let mut rng = self.rng.borrow_mut();
+        self.inner
+            .observe(module_powers)
+            .into_iter()
+            .map(|m| {
+                let noisy: Vec<f64> = m
+                    .values()
+                    .iter()
+                    .map(|&t| t + self.sigma * standard_normal(&mut rng))
+                    .collect();
+                GridMap::from_values(m.grid(), noisy)
+            })
+            .collect()
+    }
+}
+
+fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tsc3d_geometry::{Grid, Rect};
+
+    struct Flat;
+    impl ThermalOracle for Flat {
+        fn dies(&self) -> usize {
+            1
+        }
+        fn observe(&self, _p: &[f64]) -> Vec<GridMap> {
+            vec![GridMap::constant(
+                Grid::square(Rect::from_size(10.0, 10.0), 4),
+                300.0,
+            )]
+        }
+    }
+
+    #[test]
+    fn noisy_oracle_perturbs_readings() {
+        let noisy = NoisyOracle::new(Flat, 0.5, ChaCha8Rng::seed_from_u64(1));
+        let maps = noisy.observe(&[1.0]);
+        assert_eq!(noisy.dies(), 1);
+        assert!(maps[0].std_dev() > 0.0);
+        assert!((maps[0].mean() - 300.0).abs() < 0.5);
+        assert_eq!(noisy.inner().dies(), 1);
+    }
+
+    #[test]
+    fn zero_sigma_is_transparent() {
+        let noisy = NoisyOracle::new(Flat, 0.0, ChaCha8Rng::seed_from_u64(2));
+        let maps = noisy.observe(&[1.0]);
+        assert_eq!(maps[0].std_dev(), 0.0);
+        assert_eq!(maps[0].mean(), 300.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//!
+//! 1. fast power-blurring estimate vs detailed finite-volume solve inside the loop,
+//! 2. spatial entropy as the leakage proxy vs the full correlation computation,
+//! 3. dummy-TSV post-processing driven by the fast vs the detailed engine,
+//! 4. TSC-aware vs power-aware voltage-volume objective (cost of the extra volumes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tsc3d::postprocess::{DummyTsvInserter, PostProcessConfig, ThermalEngine};
+use tsc3d_floorplan::{plan_signal_tsvs, SequencePair3d};
+use tsc3d_geometry::Stack;
+use tsc3d_leakage::{map_correlation, SpatialEntropy};
+use tsc3d_netlist::suite::{generate, Benchmark};
+use tsc3d_thermal::{fast::PowerBlurring, SteadyStateSolver, ThermalConfig};
+
+fn bench_fast_vs_detailed_in_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/in_loop_thermal");
+    group.sample_size(10);
+    let design = generate(Benchmark::N100, 1);
+    let stack = Stack::two_die(design.outline());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let floorplan = SequencePair3d::initial(&design, stack, &mut rng).pack(&design);
+    let grid = floorplan.analysis_grid(24);
+    let powers: Vec<f64> = design.blocks().iter().map(|b| b.power()).collect();
+    let power_maps = floorplan.power_maps(grid, &powers);
+    let tsvs = plan_signal_tsvs(&design, &floorplan, grid).combined();
+    let config = ThermalConfig::default_for(stack);
+
+    group.bench_function("fast_blurring", |b| {
+        let blurring = PowerBlurring::new(&config);
+        b.iter(|| blurring.estimate(&power_maps, &tsvs));
+    });
+    group.bench_function("detailed_solver", |b| {
+        let solver = SteadyStateSolver::new(config.clone()).with_tolerance(1e-4);
+        b.iter(|| solver.solve(&power_maps, &tsvs).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_entropy_vs_correlation_proxy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/leakage_proxy");
+    let design = generate(Benchmark::N200, 1);
+    let stack = Stack::two_die(design.outline());
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let floorplan = SequencePair3d::initial(&design, stack, &mut rng).pack(&design);
+    let grid = floorplan.analysis_grid(32);
+    let powers: Vec<f64> = design.blocks().iter().map(|b| b.power()).collect();
+    let power_maps = floorplan.power_maps(grid, &powers);
+    let tsvs = plan_signal_tsvs(&design, &floorplan, grid).combined();
+    let config = ThermalConfig::default_for(stack);
+
+    group.bench_function("spatial_entropy_only", |b| {
+        let entropy = SpatialEntropy::default();
+        b.iter(|| {
+            power_maps
+                .iter()
+                .map(|m| entropy.of_map(m))
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("correlation_via_fast_thermal", |b| {
+        let blurring = PowerBlurring::new(&config);
+        b.iter(|| {
+            let thermal = blurring.estimate(&power_maps, &tsvs);
+            power_maps
+                .iter()
+                .zip(&thermal)
+                .map(|(p, t)| map_correlation(p, t).unwrap_or(0.0))
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_postprocess_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/postprocess_engine");
+    group.sample_size(10);
+    let design = generate(Benchmark::N100, 1);
+    let stack = Stack::two_die(design.outline());
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let floorplan = SequencePair3d::initial(&design, stack, &mut rng).pack(&design);
+    let grid = floorplan.analysis_grid(16);
+    let powers: Vec<f64> = design.blocks().iter().map(|b| b.power()).collect();
+    let plan = plan_signal_tsvs(&design, &floorplan, grid);
+
+    for (label, engine) in [("fast", ThermalEngine::Fast), ("detailed", ThermalEngine::Detailed)] {
+        let config = PostProcessConfig {
+            activity_samples: 8,
+            activity_sigma: 0.10,
+            tsvs_per_island: 16,
+            max_insertions: 4,
+            engine,
+        };
+        let inserter = DummyTsvInserter::new(config, ThermalConfig::default_for(stack));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| inserter.run(&design, &floorplan, &powers, plan.clone(), grid, 5));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fast_vs_detailed_in_loop,
+    bench_entropy_vs_correlation_proxy,
+    bench_postprocess_engines
+);
+criterion_main!(benches);

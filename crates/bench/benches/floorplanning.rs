@@ -1,0 +1,73 @@
+//! Criterion benches of the floorplanning engine: sequence-pair packing, full cost
+//! evaluation, and short annealing runs for both setups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tsc3d_floorplan::{
+    Evaluator, ObjectiveWeights, SaSchedule, SequencePair3d, SimulatedAnnealing,
+};
+use tsc3d_geometry::Stack;
+use tsc3d_netlist::suite::{generate, Benchmark};
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("floorplan/pack");
+    for benchmark in [Benchmark::N100, Benchmark::N300] {
+        let design = generate(benchmark, 1);
+        let stack = Stack::two_die(design.outline());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sp = SequencePair3d::initial(&design, stack, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark.name()),
+            &benchmark,
+            |b, _| {
+                b.iter(|| sp.pack(&design));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("floorplan/evaluate");
+    group.sample_size(20);
+    for benchmark in [Benchmark::N100, Benchmark::N200] {
+        let design = generate(benchmark, 1);
+        let stack = Stack::two_die(design.outline());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let floorplan = SequencePair3d::initial(&design, stack, &mut rng).pack(&design);
+        let evaluator =
+            Evaluator::new(&design, stack, ObjectiveWeights::tsc_aware()).with_grid_bins(32);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark.name()),
+            &benchmark,
+            |b, _| {
+                b.iter(|| evaluator.evaluate(&floorplan));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_short_annealing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("floorplan/annealing_quick_n100");
+    group.sample_size(10);
+    let design = generate(Benchmark::N100, 1);
+    let schedule = SaSchedule {
+        stages: 5,
+        moves_per_stage: 20,
+        ..SaSchedule::quick()
+    };
+    for (label, weights) in [
+        ("power_aware", ObjectiveWeights::power_aware()),
+        ("tsc_aware", ObjectiveWeights::tsc_aware()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| SimulatedAnnealing::new(schedule).optimize(&design, &weights, 3));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_packing, bench_evaluation, bench_short_annealing);
+criterion_main!(benches);

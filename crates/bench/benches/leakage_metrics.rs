@@ -1,0 +1,71 @@
+//! Criterion benches of the leakage metrics: Pearson correlation, correlation stability and
+//! spatial entropy at the grid sizes used inside the floorplanning loop and for sign-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsc3d_geometry::{Grid, GridMap, Rect};
+use tsc3d_leakage::{map_correlation, CorrelationStability, SpatialEntropy};
+
+fn synthetic_map(grid: Grid, phase: f64) -> GridMap {
+    let values = grid
+        .positions()
+        .map(|p| {
+            let fx = p.col as f64 / grid.cols() as f64;
+            let fy = p.row as f64 / grid.rows() as f64;
+            1.0 + ((fx * 6.3 + phase).sin() + (fy * 6.3 + phase).cos()).abs()
+        })
+        .collect();
+    GridMap::from_values(grid, values)
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leakage/map_correlation");
+    for bins in [32usize, 64, 128] {
+        let grid = Grid::square(Rect::from_size(4_000.0, 4_000.0), bins);
+        let power = synthetic_map(grid, 0.0);
+        let thermal = synthetic_map(grid, 0.3).map(|v| 293.0 + 5.0 * v);
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
+            b.iter(|| map_correlation(&power, &thermal).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_spatial_entropy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leakage/spatial_entropy");
+    group.sample_size(20);
+    for bins in [16usize, 32] {
+        let grid = Grid::square(Rect::from_size(4_000.0, 4_000.0), bins);
+        let power = synthetic_map(grid, 0.7);
+        let entropy = SpatialEntropy::default();
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
+            b.iter(|| entropy.of_map(&power));
+        });
+    }
+    group.finish();
+}
+
+fn bench_correlation_stability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leakage/correlation_stability");
+    group.sample_size(20);
+    for samples in [20usize, 100] {
+        let grid = Grid::square(Rect::from_size(4_000.0, 4_000.0), 32);
+        let mut acc = CorrelationStability::new(grid);
+        for i in 0..samples {
+            let power = synthetic_map(grid, i as f64 * 0.1);
+            let thermal = power.map(|v| 293.0 + 4.0 * v);
+            acc.add_sample(&power, &thermal);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, _| {
+            b.iter(|| acc.finish());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_correlation,
+    bench_spatial_entropy,
+    bench_correlation_stability
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benches of the thermal engines: detailed finite-volume solve vs fast power
+//! blurring, across grid resolutions and TSV densities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tsc3d_geometry::{Grid, GridMap, Outline, Rect, Stack};
+use tsc3d_thermal::{fast::PowerBlurring, SteadyStateSolver, ThermalConfig, TsvField};
+
+fn stack() -> Stack {
+    Stack::two_die(Outline::square(16.0e6))
+}
+
+fn power_maps(grid: Grid) -> Vec<GridMap> {
+    let mut bottom = GridMap::zeros(grid);
+    bottom.splat_power(&Rect::new(0.0, 0.0, 1_500.0, 1_500.0), 3.0);
+    bottom.splat_power(&Rect::new(2_000.0, 2_000.0, 1_500.0, 1_500.0), 1.5);
+    let top = GridMap::constant(grid, 2.0 / grid.bins() as f64);
+    vec![bottom, top]
+}
+
+fn bench_detailed_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal/detailed_solve");
+    group.sample_size(10);
+    for bins in [16usize, 32] {
+        let stack = stack();
+        let grid = Grid::square(stack.outline().rect(), bins);
+        let solver = SteadyStateSolver::new(ThermalConfig::default_for(stack)).with_tolerance(1e-4);
+        let maps = power_maps(grid);
+        let tsvs = vec![TsvField::uniform(grid, 0.05)];
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
+            b.iter(|| solver.solve(&maps, &tsvs).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal/fast_estimate");
+    for bins in [32usize, 64] {
+        let stack = stack();
+        let grid = Grid::square(stack.outline().rect(), bins);
+        let blurring = PowerBlurring::new(&ThermalConfig::default_for(stack));
+        let maps = power_maps(grid);
+        let tsvs = vec![TsvField::uniform(grid, 0.05)];
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, _| {
+            b.iter(|| blurring.estimate(&maps, &tsvs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detailed_solver, bench_fast_estimate);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion benches of the floorplanning-centric voltage assignment: feasible-set
+//! construction, BFS volume growth and level selection for both objectives.
+//!
+//! The paper reports a ~30 % runtime overhead for voltage assignment inside the
+//! floorplanning loop (vs prohibitive MILP formulations); these benches quantify our
+//! implementation's per-call cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tsc3d_floorplan::SequencePair3d;
+use tsc3d_geometry::Stack;
+use tsc3d_netlist::suite::{generate, Benchmark};
+use tsc3d_netlist::Design;
+use tsc3d_power::{AssignmentObjective, VoltageAssigner};
+use tsc3d_timing::{ElmoreModel, ModuleDelayModel, TimingGraph};
+
+struct Prepared {
+    design: Design,
+    adjacency: Vec<Vec<tsc3d_netlist::BlockId>>,
+    delays: Vec<f64>,
+    slacks: Vec<f64>,
+}
+
+fn prepare(benchmark: Benchmark) -> Prepared {
+    let design = generate(benchmark, 1);
+    let stack = Stack::two_die(design.outline());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let floorplan = SequencePair3d::initial(&design, stack, &mut rng).pack(&design);
+    let adjacency = floorplan.adjacency(design.outline().width() * 0.02);
+    let module_model = ModuleDelayModel::default_90nm();
+    let delays = TimingGraph::nominal_module_delays(&design, &module_model);
+    let graph = TimingGraph::new(&design);
+    let topologies = floorplan.net_topologies(&design, 50.0);
+    let net_delays = TimingGraph::net_delays(&ElmoreModel::default_90nm(), &topologies);
+    let slacks = graph.analyze(&delays, &net_delays).slacks();
+    Prepared {
+        design,
+        adjacency,
+        delays,
+        slacks,
+    }
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("power/voltage_assignment");
+    group.sample_size(20);
+    for benchmark in [Benchmark::N100, Benchmark::N300] {
+        let prepared = prepare(benchmark);
+        for (label, objective) in [
+            ("power_aware", AssignmentObjective::PowerAware),
+            ("tsc_aware", AssignmentObjective::tsc_default()),
+        ] {
+            let assigner = VoltageAssigner::new(objective);
+            group.bench_with_input(
+                BenchmarkId::new(label, benchmark.name()),
+                &benchmark,
+                |b, _| {
+                    b.iter(|| {
+                        assigner.assign(
+                            &prepared.design,
+                            &prepared.adjacency,
+                            &prepared.delays,
+                            &prepared.slacks,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_timing_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("timing/critical_path");
+    for benchmark in [Benchmark::N100, Benchmark::Ibm01] {
+        let design = generate(benchmark, 1);
+        let stack = Stack::two_die(design.outline());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let floorplan = SequencePair3d::initial(&design, stack, &mut rng).pack(&design);
+        let graph = TimingGraph::new(&design);
+        let module_model = ModuleDelayModel::default_90nm();
+        let delays = TimingGraph::nominal_module_delays(&design, &module_model);
+        let topologies = floorplan.net_topologies(&design, 50.0);
+        let net_delays = TimingGraph::net_delays(&ElmoreModel::default_90nm(), &topologies);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(benchmark.name()),
+            &benchmark,
+            |b, _| {
+                b.iter(|| graph.analyze(&delays, &net_delays));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assignment, bench_timing_analysis);
+criterion_main!(benches);

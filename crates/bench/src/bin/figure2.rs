@@ -1,0 +1,91 @@
+//! Regenerates **Figure 2** of the paper: the exploratory study of 5 power distributions ×
+//! 6 TSV distributions on a two-die stack.
+//!
+//! For each combination the binary reports the per-die power–temperature correlation (the
+//! quantity Figure 2 illustrates through its power/thermal map pairs) and renders the
+//! bottom-die power and thermal maps of three representative scenarios as ASCII heat maps,
+//! mirroring the three rows of the figure. CSV output lands in
+//! `target/experiments/figure2.csv`.
+//!
+//! Options: `--bins N` (analysis grid, default 24), `--seed S`.
+
+use tsc3d_bench::{arg_usize, ascii_map, write_csv};
+use tsc3d::exploration::{run_exploration, synthesize_power_map, ExplorationConfig, PowerPattern};
+use tsc3d_geometry::{Grid, Outline, Stack};
+use tsc3d_thermal::{SteadyStateSolver, ThermalConfig, TsvField, TsvPattern};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    let bins = arg_usize("--bins", 24);
+    let seed = arg_usize("--seed", 7) as u64;
+    let config = ExplorationConfig {
+        outline_mm2: 16.0,
+        grid_bins: bins,
+        power_per_die: 4.0,
+        seed,
+    };
+
+    println!("Figure 2: correlation trends over power x TSV distributions\n");
+    let cases = run_exploration(&config);
+
+    println!(
+        "{:<18} {:<28} {:>8} {:>8} {:>10}",
+        "power pattern", "TSV pattern", "r1", "r2", "peak [K]"
+    );
+    let mut rows = Vec::new();
+    for case in &cases {
+        println!(
+            "{:<18} {:<28} {:>8.3} {:>8.3} {:>10.2}",
+            case.power.name(),
+            case.tsv.name(),
+            case.correlations[0],
+            case.correlations[1],
+            case.peak_temperature
+        );
+        rows.push(format!(
+            "{},{},{:.4},{:.4},{:.2}",
+            case.power.name(),
+            case.tsv.name(),
+            case.correlations[0],
+            case.correlations[1],
+            case.peak_temperature
+        ));
+    }
+    let path = write_csv("figure2", "power_pattern,tsv_pattern,r1,r2,peak_k", &rows);
+
+    // Render the three representative rows of Figure 2 (bottom-die power & thermal maps):
+    // top row: uniform power + irregular TSVs; middle: large gradients + regular TSVs;
+    // bottom: locally uniform power + TSV islands.
+    let representative = [
+        (PowerPattern::GloballyUniform, TsvPattern::Irregular, "top row (lowest correlation)"),
+        (PowerPattern::LargeGradients, TsvPattern::MaxDensity, "middle row (highest correlation)"),
+        (PowerPattern::LocallyUniform, TsvPattern::Islands, "bottom row (low correlation)"),
+    ];
+    let outline = Outline::square(config.outline_mm2 * 1e6);
+    let stack = Stack::two_die(outline);
+    let grid = Grid::square(outline.rect(), config.grid_bins);
+    let solver = SteadyStateSolver::new(ThermalConfig::default_for(stack))
+        .with_tolerance(1e-4)
+        .with_max_iterations(5_000);
+    for (power_pattern, tsv_pattern, label) in representative {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let power_maps = vec![
+            synthesize_power_map(grid, power_pattern, config.power_per_die, &mut rng),
+            synthesize_power_map(grid, power_pattern, config.power_per_die, &mut rng),
+        ];
+        let tsvs = vec![TsvField::from_pattern(grid, tsv_pattern, seed)];
+        if let Ok(result) = solver.solve(&power_maps, &tsvs) {
+            println!(
+                "\n--- {label}: {} + {} ---",
+                power_pattern.name(),
+                tsv_pattern.name()
+            );
+            println!("bottom-die power map:");
+            println!("{}", ascii_map(&power_maps[0], 32));
+            println!("bottom-die thermal map:");
+            println!("{}", ascii_map(result.die_temperature(0), 32));
+        }
+    }
+    println!("CSV written to {}", path.display());
+}

@@ -1,0 +1,64 @@
+//! Regenerates **Table 1** of the paper: properties of the GSRC and IBM-HB+ benchmarks.
+//!
+//! For every benchmark the binary prints the paper's reference row next to the statistics of
+//! the synthetic design our suite generator produces, so the match can be checked at a
+//! glance. CSV output lands in `target/experiments/table1.csv`.
+
+use tsc3d_bench::write_csv;
+use tsc3d_netlist::suite::{generate, Benchmark};
+
+fn main() {
+    println!("Table 1: Properties of GSRC and IBM-HB+ Benchmarks (paper vs generated)\n");
+    println!(
+        "{:<8} {:>14} {:>8} {:>8} {:>10} {:>14} {:>12}",
+        "Name", "Modules (H/S)", "Scale", "Nets", "Terminals", "Outline [mm2]", "Power [W]"
+    );
+    let mut rows = Vec::new();
+    for benchmark in Benchmark::ALL {
+        let row = benchmark.properties();
+        let design = generate(benchmark, 1);
+        let stats = design.stats();
+        println!(
+            "{:<8} {:>14} {:>8} {:>8} {:>10} {:>14} {:>12.2}   (paper)",
+            row.name,
+            format!("({}/{})", row.hard_blocks, row.soft_blocks),
+            row.scale_factor,
+            row.nets,
+            row.terminals,
+            row.outline_mm2,
+            row.power_w
+        );
+        println!(
+            "{:<8} {:>14} {:>8} {:>8} {:>10} {:>14} {:>12.2}   (generated)",
+            "",
+            format!("({}/{})", stats.hard_blocks, stats.soft_blocks),
+            row.scale_factor,
+            stats.nets,
+            stats.terminals,
+            stats.outline_mm2,
+            stats.power_w
+        );
+        rows.push(format!(
+            "{},{},{},{},{},{},{:.2},{},{},{},{},{:.2}",
+            row.name,
+            row.hard_blocks,
+            row.soft_blocks,
+            row.nets,
+            row.terminals,
+            row.outline_mm2,
+            row.power_w,
+            stats.hard_blocks,
+            stats.soft_blocks,
+            stats.nets,
+            stats.terminals,
+            stats.power_w
+        ));
+    }
+    let path = write_csv(
+        "table1",
+        "name,paper_hard,paper_soft,paper_nets,paper_terminals,paper_outline_mm2,paper_power_w,\
+         gen_hard,gen_soft,gen_nets,gen_terminals,gen_power_w",
+        &rows,
+    );
+    println!("\nCSV written to {}", path.display());
+}

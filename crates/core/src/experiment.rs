@@ -1,0 +1,293 @@
+//! The paper's main evaluation: power-aware vs TSC-aware floorplanning over the benchmark
+//! suite (Figure 5 and Table 2).
+
+use serde::{Deserialize, Serialize};
+use tsc3d_netlist::suite::{generate, Benchmark};
+
+use crate::{FlowConfig, FlowResult, Setup, TscFlow};
+
+/// Configuration of one benchmark comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Number of independent floorplanning runs per setup (the paper uses 50).
+    pub runs: usize,
+    /// Flow configuration template for the power-aware setup.
+    pub power_aware: FlowConfig,
+    /// Flow configuration template for the TSC-aware setup.
+    pub tsc_aware: FlowConfig,
+    /// Run the independent runs on worker threads.
+    pub parallel: bool,
+}
+
+impl ExperimentConfig {
+    /// A quick configuration (few runs, quick schedules) for tests and smoke experiments.
+    pub fn quick(runs: usize) -> Self {
+        Self {
+            runs,
+            power_aware: FlowConfig::quick(Setup::PowerAware),
+            tsc_aware: FlowConfig::quick(Setup::TscAware),
+            parallel: true,
+        }
+    }
+
+    /// The paper-style configuration (50 runs, standard schedules).
+    pub fn paper() -> Self {
+        Self {
+            runs: 50,
+            power_aware: FlowConfig::paper(Setup::PowerAware),
+            tsc_aware: FlowConfig::paper(Setup::TscAware),
+            parallel: true,
+        }
+    }
+}
+
+/// Averages of one setup over all runs — one half of a Table 2 column pair.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SetupAverages {
+    /// Average spatial entropy of the bottom die (S1).
+    pub s1: f64,
+    /// Average spatial entropy of the top die (S2).
+    pub s2: f64,
+    /// Average power–temperature correlation of the bottom die (r1), detailed verification.
+    pub r1: f64,
+    /// Average correlation of the top die (r2).
+    pub r2: f64,
+    /// Average overall (voltage-scaled) power in watts.
+    pub power_w: f64,
+    /// Average critical delay in ns.
+    pub critical_delay_ns: f64,
+    /// Average total wirelength in metres.
+    pub wirelength_m: f64,
+    /// Average peak temperature (detailed verification) in kelvin.
+    pub peak_temperature_k: f64,
+    /// Average number of signal TSVs.
+    pub signal_tsvs: f64,
+    /// Average number of dummy thermal TSVs.
+    pub dummy_tsvs: f64,
+    /// Average number of voltage volumes.
+    pub voltage_volumes: f64,
+    /// Average flow runtime in seconds.
+    pub runtime_s: f64,
+}
+
+impl SetupAverages {
+    /// Accumulates one flow result (call [`SetupAverages::finalize`] after the last one).
+    pub fn accumulate(&mut self, result: &FlowResult) {
+        self.s1 += result.spatial_entropies.first().copied().unwrap_or(0.0);
+        self.s2 += result.spatial_entropies.get(1).copied().unwrap_or(0.0);
+        self.r1 += result.final_correlations.first().copied().unwrap_or(0.0);
+        self.r2 += result.final_correlations.get(1).copied().unwrap_or(0.0);
+        self.power_w += result.scaled_powers.iter().sum::<f64>();
+        self.critical_delay_ns += result.sa.breakdown.critical_delay;
+        self.wirelength_m += result.sa.breakdown.wirelength * 1e-6;
+        self.peak_temperature_k += result.verification.peak_temperature;
+        self.signal_tsvs += result.signal_tsvs() as f64;
+        self.dummy_tsvs += result.dummy_tsvs() as f64;
+        self.voltage_volumes += result.assignment.volume_count() as f64;
+        self.runtime_s += result.runtime_seconds;
+    }
+
+    /// Divides every accumulated sum by the run count.
+    pub fn finalize(&mut self, runs: usize) {
+        let n = runs.max(1) as f64;
+        self.s1 /= n;
+        self.s2 /= n;
+        self.r1 /= n;
+        self.r2 /= n;
+        self.power_w /= n;
+        self.critical_delay_ns /= n;
+        self.wirelength_m /= n;
+        self.peak_temperature_k /= n;
+        self.signal_tsvs /= n;
+        self.dummy_tsvs /= n;
+        self.voltage_volumes /= n;
+        self.runtime_s /= n;
+    }
+}
+
+/// A full PA-vs-TSC comparison for one benchmark: one row group of Table 2 / Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkComparison {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Number of runs averaged per setup.
+    pub runs: usize,
+    /// Averages of the power-aware setup.
+    pub power_aware: SetupAverages,
+    /// Averages of the TSC-aware setup.
+    pub tsc_aware: SetupAverages,
+}
+
+impl BenchmarkComparison {
+    /// Relative reduction of the bottom-die correlation achieved by the TSC-aware setup, in
+    /// percent (the paper reports 16.79 % for n300, 15.25 % for ibm03, 7.71 % on average).
+    pub fn r1_reduction_percent(&self) -> f64 {
+        if self.power_aware.r1.abs() < 1e-12 {
+            0.0
+        } else {
+            (self.power_aware.r1 - self.tsc_aware.r1) / self.power_aware.r1.abs() * 100.0
+        }
+    }
+
+    /// Relative increase of overall power of the TSC-aware setup, in percent (paper: 5.38 %
+    /// on average).
+    pub fn power_increase_percent(&self) -> f64 {
+        if self.power_aware.power_w.abs() < 1e-12 {
+            0.0
+        } else {
+            (self.tsc_aware.power_w - self.power_aware.power_w) / self.power_aware.power_w * 100.0
+        }
+    }
+
+    /// Relative reduction of the peak temperature rise above the 293 K ambient, in percent
+    /// (paper: 13.22 % on average).
+    pub fn peak_temperature_reduction_percent(&self) -> f64 {
+        let ambient = 293.0;
+        let pa = self.power_aware.peak_temperature_k - ambient;
+        let tsc = self.tsc_aware.peak_temperature_k - ambient;
+        if pa.abs() < 1e-12 {
+            0.0
+        } else {
+            (pa - tsc) / pa * 100.0
+        }
+    }
+
+    /// Relative increase of the voltage-volume count, in percent (paper: 87.17 % on
+    /// average).
+    pub fn voltage_volume_increase_percent(&self) -> f64 {
+        if self.power_aware.voltage_volumes.abs() < 1e-12 {
+            0.0
+        } else {
+            (self.tsc_aware.voltage_volumes - self.power_aware.voltage_volumes)
+                / self.power_aware.voltage_volumes
+                * 100.0
+        }
+    }
+}
+
+/// Runs the PA-vs-TSC comparison for one benchmark.
+///
+/// Run `i` of either setup floorplans the same generated design instance (`seed + i`), so
+/// the two setups are compared on identical inputs.
+pub fn run_benchmark(
+    benchmark: Benchmark,
+    config: &ExperimentConfig,
+    seed: u64,
+) -> BenchmarkComparison {
+    let mut pa = SetupAverages::default();
+    let mut tsc = SetupAverages::default();
+
+    let run_one = |run: usize| -> (FlowResult, FlowResult) {
+        let design = generate(benchmark, seed.wrapping_add(run as u64));
+        let run_seed = seed.wrapping_add(1_000 + run as u64);
+        let pa_result = TscFlow::new(config.power_aware).run(&design, run_seed);
+        let tsc_result = TscFlow::new(config.tsc_aware).run(&design, run_seed);
+        (pa_result, tsc_result)
+    };
+
+    if config.parallel && config.runs > 1 {
+        let results: Vec<(FlowResult, FlowResult)> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.runs)
+                .map(|run| scope.spawn(move |_| run_one(run)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("experiment worker thread panicked"))
+                .collect()
+        })
+        .expect("experiment thread scope");
+        for (pa_result, tsc_result) in &results {
+            pa.accumulate(pa_result);
+            tsc.accumulate(tsc_result);
+        }
+    } else {
+        for run in 0..config.runs {
+            let (pa_result, tsc_result) = run_one(run);
+            pa.accumulate(&pa_result);
+            tsc.accumulate(&tsc_result);
+        }
+    }
+
+    pa.finalize(config.runs);
+    tsc.finalize(config.runs);
+    BenchmarkComparison {
+        benchmark,
+        runs: config.runs,
+        power_aware: pa,
+        tsc_aware: tsc,
+    }
+}
+
+/// Runs the comparison over a set of benchmarks, returning one comparison per benchmark.
+pub fn run_suite(
+    benchmarks: &[Benchmark],
+    config: &ExperimentConfig,
+    seed: u64,
+) -> Vec<BenchmarkComparison> {
+    benchmarks
+        .iter()
+        .map(|&b| run_benchmark(b, config, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc3d_floorplan::SaSchedule;
+
+    fn tiny_config() -> ExperimentConfig {
+        let mut config = ExperimentConfig::quick(2);
+        let schedule = SaSchedule {
+            stages: 4,
+            moves_per_stage: 8,
+            cooling: 0.8,
+            initial_acceptance: 0.8,
+            grid_bins: 10,
+        };
+        config.power_aware.schedule = schedule;
+        config.tsc_aware.schedule = schedule;
+        config.power_aware.verification_bins = 10;
+        config.tsc_aware.verification_bins = 10;
+        config
+    }
+
+    #[test]
+    fn benchmark_comparison_produces_both_setups() {
+        let comparison = run_benchmark(Benchmark::N100, &tiny_config(), 9);
+        assert_eq!(comparison.runs, 2);
+        assert!(comparison.power_aware.power_w > 0.0);
+        assert!(comparison.tsc_aware.power_w > 0.0);
+        assert!(comparison.power_aware.r1.abs() <= 1.0);
+        assert!(comparison.tsc_aware.r1.abs() <= 1.0);
+        assert!(comparison.power_aware.signal_tsvs > 0.0);
+        // Only the TSC-aware setup may insert dummy TSVs.
+        assert_eq!(comparison.power_aware.dummy_tsvs, 0.0);
+        // Derived percentages are finite.
+        assert!(comparison.r1_reduction_percent().is_finite());
+        assert!(comparison.power_increase_percent().is_finite());
+        assert!(comparison.peak_temperature_reduction_percent().is_finite());
+        assert!(comparison.voltage_volume_increase_percent().is_finite());
+    }
+
+    #[test]
+    fn sequential_and_parallel_execution_agree() {
+        let mut config = tiny_config();
+        config.runs = 1;
+        config.parallel = false;
+        let sequential = run_benchmark(Benchmark::N100, &config, 4);
+        config.parallel = true;
+        let parallel = run_benchmark(Benchmark::N100, &config, 4);
+        assert!((sequential.power_aware.r1 - parallel.power_aware.r1).abs() < 1e-12);
+        assert!((sequential.tsc_aware.power_w - parallel.tsc_aware.power_w).abs() < 1e-12);
+    }
+
+    #[test]
+    fn averages_accumulate_and_finalize() {
+        let mut avg = SetupAverages::default();
+        avg.s1 = 4.0;
+        avg.power_w = 10.0;
+        avg.finalize(2);
+        assert_eq!(avg.s1, 2.0);
+        assert_eq!(avg.power_w, 5.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! The end-to-end TSC-aware floorplanning flow (Figure 3 of the paper).
+
+use serde::{Deserialize, Serialize};
+use tsc3d_floorplan::{
+    plan_signal_tsvs, Evaluator, Floorplan, ObjectiveWeights, SaResult, SaSchedule,
+    SimulatedAnnealing, TsvPlan,
+};
+use tsc3d_geometry::Stack;
+use tsc3d_leakage::SpatialEntropy;
+use tsc3d_netlist::Design;
+use tsc3d_power::VoltageAssignment;
+use tsc3d_thermal::ThermalConfig;
+
+use crate::postprocess::{DummyTsvInserter, PostProcessConfig, PostProcessResult};
+use crate::verification::{default_solver, verify, VerificationReport};
+
+/// The two floorplanning setups compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Setup {
+    /// Power-aware floorplanning (the competitive baseline, setup (i)).
+    PowerAware,
+    /// Thermal side-channel-aware floorplanning (the proposed technique, setup (ii)).
+    TscAware,
+}
+
+impl Setup {
+    /// The objective weights of the setup.
+    pub fn weights(self) -> ObjectiveWeights {
+        match self {
+            Setup::PowerAware => ObjectiveWeights::power_aware(),
+            Setup::TscAware => ObjectiveWeights::tsc_aware(),
+        }
+    }
+
+    /// Short label used in tables ("PA" / "TSC").
+    pub fn label(self) -> &'static str {
+        match self {
+            Setup::PowerAware => "PA",
+            Setup::TscAware => "TSC",
+        }
+    }
+}
+
+/// Configuration of a full flow run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowConfig {
+    /// Which setup to run.
+    pub setup: Setup,
+    /// Annealing schedule of the floorplanning stage.
+    pub schedule: SaSchedule,
+    /// Analysis-grid resolution (bins per axis) of the detailed verification.
+    pub verification_bins: usize,
+    /// Post-processing configuration; `None` disables dummy-TSV insertion (the power-aware
+    /// baseline never inserts dummy TSVs).
+    pub post_process: Option<PostProcessConfig>,
+}
+
+impl FlowConfig {
+    /// A quick configuration for tests and examples.
+    pub fn quick(setup: Setup) -> Self {
+        Self {
+            setup,
+            schedule: SaSchedule::quick(),
+            verification_bins: 16,
+            post_process: match setup {
+                Setup::PowerAware => None,
+                Setup::TscAware => Some(PostProcessConfig::quick()),
+            },
+        }
+    }
+
+    /// The paper-style configuration (standard annealing schedule, 64-bin verification
+    /// grid, detailed-engine post-processing for the TSC setup).
+    pub fn paper(setup: Setup) -> Self {
+        Self {
+            setup,
+            schedule: SaSchedule::standard(),
+            verification_bins: 64,
+            post_process: match setup {
+                Setup::PowerAware => None,
+                Setup::TscAware => Some(PostProcessConfig::paper()),
+            },
+        }
+    }
+}
+
+/// Result of a full flow run.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The setup that was run.
+    pub setup: Setup,
+    /// The annealing result (best floorplan, in-loop cost breakdown, runtime).
+    pub sa: SaResult,
+    /// The voltage assignment of the final floorplan.
+    pub assignment: VoltageAssignment,
+    /// Voltage-scaled per-block powers in watts.
+    pub scaled_powers: Vec<f64>,
+    /// Spatial entropies of the final power maps, per die (bottom first) — `S1`, `S2`.
+    pub spatial_entropies: Vec<f64>,
+    /// Detailed verification before post-processing.
+    pub verification: VerificationReport,
+    /// Per-die correlations from the detailed verification (before dummy TSVs) — the values
+    /// the paper reports as `r1`, `r2` for the power-aware setup.
+    pub verified_correlations: Vec<f64>,
+    /// Post-processing result (TSC-aware setup only).
+    pub post_process: Option<PostProcessResult>,
+    /// Final per-die correlations after post-processing (equal to
+    /// `verified_correlations` when post-processing is disabled).
+    pub final_correlations: Vec<f64>,
+    /// Final TSV plan including any dummy TSVs.
+    pub final_tsv_plan: TsvPlan,
+    /// Total flow runtime in seconds.
+    pub runtime_seconds: f64,
+}
+
+impl FlowResult {
+    /// The floorplan produced by the flow.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.sa.floorplan
+    }
+
+    /// Number of signal TSVs of the final plan.
+    pub fn signal_tsvs(&self) -> usize {
+        self.final_tsv_plan.signal_count()
+    }
+
+    /// Number of dummy thermal TSVs of the final plan.
+    pub fn dummy_tsvs(&self) -> usize {
+        self.final_tsv_plan.dummy_count()
+    }
+
+    /// Average of the final per-die correlations.
+    pub fn avg_final_correlation(&self) -> f64 {
+        if self.final_correlations.is_empty() {
+            0.0
+        } else {
+            self.final_correlations.iter().sum::<f64>() / self.final_correlations.len() as f64
+        }
+    }
+}
+
+/// The flow driver: floorplanning, verification, and (for the TSC setup) post-processing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TscFlow {
+    config: FlowConfig,
+}
+
+impl TscFlow {
+    /// Creates a flow with the given configuration.
+    pub fn new(config: FlowConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> FlowConfig {
+        self.config
+    }
+
+    /// Runs the full flow on a design (two-die stack, as in the paper).
+    pub fn run(&self, design: &Design, seed: u64) -> FlowResult {
+        let start = std::time::Instant::now();
+        let stack = Stack::two_die(design.outline());
+        let weights = self.config.setup.weights();
+
+        // --- Stage 1: multi-objective floorplanning. ---
+        let sa = SimulatedAnnealing::new(self.config.schedule).optimize_on(design, stack, &weights, seed);
+
+        // --- Stage 2: extract the final voltage assignment and TSV plan. ---
+        let evaluator = Evaluator::new(design, stack, weights)
+            .with_grid_bins(self.config.schedule.grid_bins);
+        let (_, assignment, _loop_tsv_plan) = evaluator.evaluate_full(&sa.floorplan);
+        let scaling = tsc3d_timing::VoltageScaling::paper_90nm();
+        let scaled_powers = assignment.scaled_powers(design, &scaling);
+
+        // --- Stage 3: detailed verification (HotSpot's role in the paper). ---
+        // The verification (and everything downstream) uses its own, typically finer grid,
+        // so the signal TSVs are re-planned on that grid.
+        let grid = sa.floorplan.analysis_grid(self.config.verification_bins);
+        let tsv_plan = plan_signal_tsvs(design, &sa.floorplan, grid);
+        let solver = default_solver(&sa.floorplan);
+        let verification = verify(&sa.floorplan, &scaled_powers, &tsv_plan, grid, &solver)
+            .unwrap_or_else(|_| {
+                // An unconverged verification is still reported, from a relaxed solve.
+                let relaxed = default_solver(&sa.floorplan)
+                    .with_tolerance(1e-3)
+                    .with_max_iterations(20_000);
+                verify(&sa.floorplan, &scaled_powers, &tsv_plan, grid, &relaxed)
+                    .expect("relaxed verification solve must converge")
+            });
+        let verified_correlations = verification.correlations.clone();
+
+        // Spatial entropies of the verified power maps (S1, S2 in the paper's tables).
+        let entropy_model = SpatialEntropy::default();
+        let spatial_entropies: Vec<f64> = verification
+            .power_maps
+            .iter()
+            .map(|m| entropy_model.of_map(m))
+            .collect();
+
+        // --- Stage 4: activity sampling + dummy-TSV post-processing (TSC setup only). ---
+        let (post_process, final_tsv_plan, final_correlations) = match self.config.post_process {
+            Some(pp_config) => {
+                let inserter =
+                    DummyTsvInserter::new(pp_config, ThermalConfig::default_for(stack));
+                let result = inserter.run(
+                    design,
+                    &sa.floorplan,
+                    &scaled_powers,
+                    tsv_plan.clone(),
+                    grid,
+                    seed ^ 0xD1CE,
+                );
+                // Final sign-off with the detailed solver and the augmented TSV plan.
+                let final_verification = verify(
+                    &sa.floorplan,
+                    &scaled_powers,
+                    &result.tsv_plan,
+                    grid,
+                    &solver,
+                )
+                .unwrap_or_else(|_| verification.clone());
+                let final_correlations = final_verification.correlations;
+                (Some(result.clone()), result.tsv_plan, final_correlations)
+            }
+            None => (None, tsv_plan, verified_correlations.clone()),
+        };
+
+        FlowResult {
+            setup: self.config.setup,
+            sa,
+            assignment,
+            scaled_powers,
+            spatial_entropies,
+            verification,
+            verified_correlations,
+            post_process,
+            final_correlations,
+            final_tsv_plan,
+            runtime_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc3d_netlist::suite::{generate, Benchmark};
+
+    fn small_quick_flow(setup: Setup) -> FlowResult {
+        let design = generate(Benchmark::N100, 1);
+        let mut config = FlowConfig::quick(setup);
+        // Keep tests fast: tiny annealing schedule and coarse grids.
+        config.schedule.stages = 6;
+        config.schedule.moves_per_stage = 10;
+        config.schedule.grid_bins = 12;
+        config.verification_bins = 12;
+        TscFlow::new(config).run(&design, 3)
+    }
+
+    #[test]
+    fn power_aware_flow_produces_no_dummy_tsvs() {
+        let result = small_quick_flow(Setup::PowerAware);
+        assert_eq!(result.setup, Setup::PowerAware);
+        assert_eq!(result.dummy_tsvs(), 0);
+        assert!(result.post_process.is_none());
+        assert_eq!(result.final_correlations, result.verified_correlations);
+        assert!(result.signal_tsvs() > 0);
+        assert_eq!(result.spatial_entropies.len(), 2);
+        assert!(result.runtime_seconds > 0.0);
+    }
+
+    #[test]
+    fn tsc_aware_flow_runs_post_processing() {
+        let result = small_quick_flow(Setup::TscAware);
+        assert_eq!(result.setup, Setup::TscAware);
+        assert!(result.post_process.is_some());
+        // Dummy TSVs may be zero (if no insertion helped) but never negative; correlations
+        // stay within [-1, 1].
+        assert!(result.avg_final_correlation().abs() <= 1.0);
+        let pp = result.post_process.as_ref().unwrap();
+        assert!(pp.correlation_after <= pp.correlation_before + 1e-12);
+    }
+
+    #[test]
+    fn setup_labels_and_weights() {
+        assert_eq!(Setup::PowerAware.label(), "PA");
+        assert_eq!(Setup::TscAware.label(), "TSC");
+        assert!(Setup::TscAware.weights().is_leakage_aware());
+        assert!(!Setup::PowerAware.weights().is_leakage_aware());
+        let quick = FlowConfig::quick(Setup::PowerAware);
+        assert!(quick.post_process.is_none());
+        let paper = FlowConfig::paper(Setup::TscAware);
+        assert!(paper.post_process.is_some());
+        assert_eq!(paper.verification_bins, 64);
+    }
+}

@@ -1,0 +1,51 @@
+//! # TSC-3D: thermal-side-channel-aware 3D floorplanning
+//!
+//! This crate is the top of the TSC-3D workspace and implements the contribution of
+//! *"On Mitigation of Side-Channel Attacks in 3D ICs: Decorrelating Thermal Patterns from
+//! Power and Activity"* (Knechtel & Sinanoglu, DAC 2017): a floorplanning methodology that
+//! treats thermal-side-channel leakage as a first-class design criterion and decorrelates
+//! the thermal behaviour of a two-die 3D IC from its power and activity patterns.
+//!
+//! The crate wires the substrates (netlist/benchmarks, thermal solvers, leakage metrics,
+//! timing, voltage assignment, the annealing floorplanner, and the attacker models) into the
+//! complete flow of the paper's Figure 3:
+//!
+//! 1. **Floorplanning** with either the power-aware or the TSC-aware objective
+//!    ([`FlowConfig`] / [`TscFlow`]), using the fast thermal analysis, the leakage metrics
+//!    and the leakage-aware voltage assignment inside the loop.
+//! 2. **Verification** of the final correlation with the detailed thermal solver
+//!    ([`verification`]).
+//! 3. **Activity sampling and post-processing** ([`postprocess`]): Gaussian activity
+//!    sampling, per-bin correlation stability, and the correlation-stability-guided
+//!    insertion of dummy thermal TSVs up to the "sweet spot" where the average correlation
+//!    stops improving.
+//! 4. **Attacks** ([`oracle`]): the characterization / localization / monitoring attacks of
+//!    Section 5, mounted against the produced floorplans on equal footing.
+//! 5. **Experiments** ([`exploration`], [`experiment`]): the exploratory power/TSV study of
+//!    Figure 2 and the PA-vs-TSC comparison of Figure 5 / Table 2.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use tsc3d::{FlowConfig, TscFlow, Setup};
+//! use tsc3d_netlist::suite::{Benchmark, generate};
+//!
+//! let design = generate(Benchmark::N100, 1);
+//! let flow = TscFlow::new(FlowConfig::quick(Setup::TscAware));
+//! let result = flow.run(&design, 42);
+//! println!(
+//!     "verified bottom-die correlation: {:.3} (was {:.3} before dummy TSVs)",
+//!     result.final_correlations[0], result.verified_correlations[0]
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod exploration;
+mod flow;
+pub mod oracle;
+pub mod postprocess;
+pub mod verification;
+
+pub use flow::{FlowConfig, FlowResult, Setup, TscFlow};

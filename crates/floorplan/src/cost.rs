@@ -1,0 +1,432 @@
+//! Multi-objective cost evaluation of 3D floorplans.
+//!
+//! The evaluator mirrors one iteration of the paper's flow (Figure 3): layout generation has
+//! already happened (the packed [`Floorplan`]), then signal TSVs are planned, timing paths
+//! are evaluated, the leakage-aware voltage assignment is performed, the fast thermal
+//! analysis is run, and finally the leakage metrics (Pearson correlation and spatial
+//! entropy) are computed alongside the classical design criteria.
+
+use serde::{Deserialize, Serialize};
+use tsc3d_geometry::Stack;
+use tsc3d_leakage::{map_correlation, SpatialEntropy};
+use tsc3d_netlist::Design;
+use tsc3d_power::{AssignmentObjective, VoltageAssigner, VoltageAssignment};
+use tsc3d_thermal::{fast::PowerBlurring, ThermalConfig};
+use tsc3d_timing::{ElmoreModel, ModuleDelayModel, TimingGraph};
+
+use crate::{plan_signal_tsvs, Floorplan, TsvPlan};
+
+/// Weights of the multi-objective cost.
+///
+/// "For (i) [power-aware floorplanning], we optimize the packing density, wirelength,
+/// critical delay, peak temperature, and voltage assignment, all at the same time; all
+/// criteria are weighted equally. [...] For (ii) [TSC-aware], we consider the same criteria
+/// [and] additionally seek to minimize both the average correlation coefficients and the
+/// average spatial entropies."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveWeights {
+    /// Weight of the packing / fixed-outline term.
+    pub packing: f64,
+    /// Weight of the total wirelength term.
+    pub wirelength: f64,
+    /// Weight of the critical-delay term.
+    pub delay: f64,
+    /// Weight of the peak-temperature term.
+    pub temperature: f64,
+    /// Weight of the total-power term.
+    pub power: f64,
+    /// Weight of the voltage-volume-count term.
+    pub volumes: f64,
+    /// Weight of the average power–temperature correlation term (TSC-aware only).
+    pub correlation: f64,
+    /// Weight of the average spatial-entropy term (TSC-aware only).
+    pub entropy: f64,
+}
+
+impl ObjectiveWeights {
+    /// The power-aware setup (i): equal weights on the classical criteria, no leakage terms.
+    pub fn power_aware() -> Self {
+        Self {
+            packing: 1.0,
+            wirelength: 1.0,
+            delay: 1.0,
+            temperature: 1.0,
+            power: 1.0,
+            volumes: 1.0,
+            correlation: 0.0,
+            entropy: 0.0,
+        }
+    }
+
+    /// The TSC-aware setup (ii): the same classical criteria plus the leakage terms.
+    pub fn tsc_aware() -> Self {
+        Self {
+            correlation: 1.0,
+            entropy: 1.0,
+            ..Self::power_aware()
+        }
+    }
+
+    /// Returns `true` when any leakage term carries weight.
+    pub fn is_leakage_aware(&self) -> bool {
+        self.correlation > 0.0 || self.entropy > 0.0
+    }
+
+    /// Scalarizes a cost breakdown, normalizing each term by the corresponding baseline
+    /// term (typically the initial solution's breakdown). Fixed-outline violations are
+    /// additionally penalized so the annealer is driven back inside the outline.
+    pub fn scalar(&self, current: &CostBreakdown, baseline: &CostBreakdown) -> f64 {
+        let norm = |value: f64, base: f64| {
+            if base.abs() < 1e-12 {
+                value
+            } else {
+                value / base
+            }
+        };
+        let mut cost = self.packing * current.packing
+            + self.wirelength * norm(current.wirelength, baseline.wirelength)
+            + self.delay * norm(current.critical_delay, baseline.critical_delay)
+            + self.temperature
+                * norm(
+                    current.peak_temperature_rise(),
+                    baseline.peak_temperature_rise(),
+                )
+            + self.power * norm(current.total_power, baseline.total_power)
+            + self.volumes
+                * norm(
+                    current.voltage_volumes as f64,
+                    baseline.voltage_volumes as f64,
+                );
+        if self.correlation > 0.0 {
+            cost += self.correlation * current.avg_correlation().abs();
+        }
+        if self.entropy > 0.0 {
+            cost += self.entropy * norm(current.avg_entropy(), baseline.avg_entropy());
+        }
+        // Fixed-outline floorplanning: any packing envelope exceeding the outline is
+        // penalized quadratically on top of the regular packing term.
+        if current.packing > 1.0 {
+            cost += 10.0 * (current.packing - 1.0).powi(2) + 2.0 * (current.packing - 1.0);
+        }
+        cost
+    }
+}
+
+/// All evaluated criteria of one floorplan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Largest per-die packing-envelope stretch: `max(bbox_w/outline_w, bbox_h/outline_h)`
+    /// over all dies. Values above 1 violate the fixed outline.
+    pub packing: f64,
+    /// Block area outside the fixed outline in µm² (0 for legal floorplans).
+    pub outline_violation: f64,
+    /// Total half-perimeter wirelength in µm (including TSV detours).
+    pub wirelength: f64,
+    /// Critical delay in ns, with voltage-scaled module delays.
+    pub critical_delay: f64,
+    /// Peak temperature (fast estimate) in K.
+    pub peak_temperature: f64,
+    /// Ambient temperature used by the fast estimate in K.
+    pub ambient: f64,
+    /// Total voltage-scaled power in W.
+    pub total_power: f64,
+    /// Number of voltage volumes.
+    pub voltage_volumes: usize,
+    /// Number of signal TSVs.
+    pub signal_tsvs: usize,
+    /// Power–temperature correlation per die (bottom first).
+    pub correlations: Vec<f64>,
+    /// Spatial entropy of the power map per die (bottom first).
+    pub entropies: Vec<f64>,
+}
+
+impl CostBreakdown {
+    /// Average correlation over all dies.
+    pub fn avg_correlation(&self) -> f64 {
+        if self.correlations.is_empty() {
+            0.0
+        } else {
+            self.correlations.iter().sum::<f64>() / self.correlations.len() as f64
+        }
+    }
+
+    /// Average spatial entropy over all dies.
+    pub fn avg_entropy(&self) -> f64 {
+        if self.entropies.is_empty() {
+            0.0
+        } else {
+            self.entropies.iter().sum::<f64>() / self.entropies.len() as f64
+        }
+    }
+
+    /// Peak temperature rise above ambient in K.
+    pub fn peak_temperature_rise(&self) -> f64 {
+        (self.peak_temperature - self.ambient).max(0.0)
+    }
+}
+
+/// Evaluates floorplans under the multi-objective cost.
+///
+/// The evaluator owns everything that stays constant across annealing iterations (the
+/// design, the timing graph, the delay/thermal/entropy models, the voltage assigner), so
+/// each [`Evaluator::evaluate`] call only performs the per-layout work.
+#[derive(Debug, Clone)]
+pub struct Evaluator {
+    design: Design,
+    stack: Stack,
+    weights: ObjectiveWeights,
+    grid_bins: usize,
+    tsv_length: f64,
+    adjacency_margin: f64,
+    elmore: ElmoreModel,
+    module_model: ModuleDelayModel,
+    timing_graph: TimingGraph,
+    nominal_delays: Vec<f64>,
+    assigner: VoltageAssigner,
+    blurring: PowerBlurring,
+    entropy_model: SpatialEntropy,
+    ambient: f64,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for a design on the given stack.
+    ///
+    /// The voltage-assignment objective follows the weights: leakage-aware weights use the
+    /// TSC-aware assignment (power-uniformity-driven), otherwise the power-aware assignment.
+    pub fn new(design: &Design, stack: Stack, weights: ObjectiveWeights) -> Self {
+        let module_model = ModuleDelayModel::default_90nm();
+        let timing_graph = TimingGraph::new(design);
+        let nominal_delays = TimingGraph::nominal_module_delays(design, &module_model);
+        let assignment_objective = if weights.is_leakage_aware() {
+            AssignmentObjective::tsc_default()
+        } else {
+            AssignmentObjective::PowerAware
+        };
+        let thermal_config = ThermalConfig::default_for(stack);
+        Self {
+            design: design.clone(),
+            stack,
+            weights,
+            grid_bins: 32,
+            tsv_length: 50.0,
+            adjacency_margin: stack.outline().width() * 0.02,
+            elmore: ElmoreModel::default_90nm(),
+            module_model,
+            timing_graph,
+            nominal_delays,
+            assigner: VoltageAssigner::new(assignment_objective),
+            blurring: PowerBlurring::new(&thermal_config),
+            entropy_model: SpatialEntropy::default(),
+            ambient: thermal_config.ambient,
+        }
+    }
+
+    /// Sets the analysis-grid resolution (bins per axis) used for power/thermal maps.
+    pub fn with_grid_bins(mut self, bins: usize) -> Self {
+        self.grid_bins = bins.max(4);
+        self
+    }
+
+    /// Sets the adjacency margin (µm) used when growing voltage volumes.
+    pub fn with_adjacency_margin(mut self, margin: f64) -> Self {
+        self.adjacency_margin = margin.max(0.0);
+        self
+    }
+
+    /// The design being evaluated.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The stack being targeted.
+    pub fn stack(&self) -> Stack {
+        self.stack
+    }
+
+    /// The objective weights.
+    pub fn weights(&self) -> ObjectiveWeights {
+        self.weights
+    }
+
+    /// The nominal (1.0 V) module delays in ns.
+    pub fn nominal_delays(&self) -> &[f64] {
+        &self.nominal_delays
+    }
+
+    /// The module-delay model in use.
+    pub fn module_model(&self) -> &ModuleDelayModel {
+        &self.module_model
+    }
+
+    /// Evaluates a floorplan, returning the full breakdown plus the artefacts downstream
+    /// stages need (the voltage assignment and the TSV plan).
+    pub fn evaluate_full(&self, floorplan: &Floorplan) -> (CostBreakdown, VoltageAssignment, TsvPlan) {
+        let grid = floorplan.analysis_grid(self.grid_bins);
+        let outline = floorplan.outline();
+
+        // Packing / fixed outline.
+        let mut packing: f64 = 0.0;
+        for die in self.stack.die_ids() {
+            if let Some(bbox) = floorplan.packing_bbox(die) {
+                let stretch = (bbox.upper_right().x / outline.width())
+                    .max(bbox.upper_right().y / outline.height());
+                packing = packing.max(stretch);
+            }
+        }
+        let outline_violation = floorplan.outline_violation_area();
+
+        // Wirelength and net topologies (timing).
+        let topologies = floorplan.net_topologies(&self.design, self.tsv_length);
+        let wirelength = floorplan.total_wirelength(&self.design, self.tsv_length);
+        let net_delays = TimingGraph::net_delays(&self.elmore, &topologies);
+
+        // Nominal-timing slacks drive the voltage assignment.
+        let nominal_report = self.timing_graph.analyze(&self.nominal_delays, &net_delays);
+        let slacks = nominal_report.slacks();
+        let adjacency = floorplan.adjacency(self.adjacency_margin);
+        let assignment = self
+            .assigner
+            .assign(&self.design, &adjacency, &self.nominal_delays, &slacks);
+
+        // Voltage-scaled timing and power.
+        let scaled_delays = assignment.scaled_delays(&self.nominal_delays, self.assigner.scaling());
+        let critical_delay = self
+            .timing_graph
+            .analyze(&scaled_delays, &net_delays)
+            .critical_delay();
+        let scaled_powers = assignment.scaled_powers(&self.design, self.assigner.scaling());
+        let total_power: f64 = scaled_powers.iter().sum();
+
+        // Power maps, TSV plan, fast thermal maps.
+        let power_maps = floorplan.power_maps(grid, &scaled_powers);
+        let tsv_plan = plan_signal_tsvs(&self.design, floorplan, grid);
+        let thermal_maps = self.blurring.estimate(&power_maps, &tsv_plan.combined());
+        let peak_temperature = PowerBlurring::peak(&thermal_maps);
+
+        // Leakage metrics per die.
+        let correlations: Vec<f64> = power_maps
+            .iter()
+            .zip(&thermal_maps)
+            .map(|(p, t)| map_correlation(p, t).unwrap_or(0.0))
+            .collect();
+        let entropies: Vec<f64> = power_maps
+            .iter()
+            .map(|p| self.entropy_model.of_map(p))
+            .collect();
+
+        let breakdown = CostBreakdown {
+            packing,
+            outline_violation,
+            wirelength,
+            critical_delay,
+            peak_temperature,
+            ambient: self.ambient,
+            total_power,
+            voltage_volumes: assignment.volume_count(),
+            signal_tsvs: tsv_plan.signal_count(),
+            correlations,
+            entropies,
+        };
+        (breakdown, assignment, tsv_plan)
+    }
+
+    /// Evaluates a floorplan, returning only the cost breakdown.
+    pub fn evaluate(&self, floorplan: &Floorplan) -> CostBreakdown {
+        self.evaluate_full(floorplan).0
+    }
+
+    /// Scalar cost of a breakdown relative to a baseline (see [`ObjectiveWeights::scalar`]).
+    pub fn scalar_cost(&self, current: &CostBreakdown, baseline: &CostBreakdown) -> f64 {
+        self.weights.scalar(current, baseline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequencePair3d;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tsc3d_netlist::suite::{generate, Benchmark};
+
+    fn setup() -> (Design, Stack, Floorplan) {
+        let design = generate(Benchmark::N100, 1);
+        let stack = Stack::two_die(design.outline());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sp = SequencePair3d::initial(&design, stack, &mut rng);
+        let fp = sp.pack(&design);
+        (design, stack, fp)
+    }
+
+    #[test]
+    fn breakdown_has_plausible_values() {
+        let (design, stack, fp) = setup();
+        let eval = Evaluator::new(&design, stack, ObjectiveWeights::power_aware()).with_grid_bins(16);
+        let b = eval.evaluate(&fp);
+        assert!(b.packing > 0.0);
+        assert!(b.wirelength > 0.0);
+        assert!(b.critical_delay > 0.0);
+        assert!(b.peak_temperature > b.ambient);
+        assert!(b.total_power > 0.0);
+        assert!(b.voltage_volumes >= 1);
+        assert_eq!(b.correlations.len(), 2);
+        assert_eq!(b.entropies.len(), 2);
+        assert!(b.avg_correlation().abs() <= 1.0);
+        assert!(b.avg_entropy() >= 0.0);
+        assert!(b.signal_tsvs > 0, "cross-die nets must demand signal TSVs");
+    }
+
+    #[test]
+    fn leakage_aware_weights_select_tsc_assignment() {
+        let (design, stack, _) = setup();
+        let pa = Evaluator::new(&design, stack, ObjectiveWeights::power_aware());
+        let tsc = Evaluator::new(&design, stack, ObjectiveWeights::tsc_aware());
+        assert!(!pa.weights().is_leakage_aware());
+        assert!(tsc.weights().is_leakage_aware());
+    }
+
+    #[test]
+    fn scalar_cost_prefers_smaller_terms() {
+        let (design, stack, fp) = setup();
+        let eval = Evaluator::new(&design, stack, ObjectiveWeights::power_aware()).with_grid_bins(16);
+        let baseline = eval.evaluate(&fp);
+        let mut better = baseline.clone();
+        better.wirelength *= 0.5;
+        better.total_power *= 0.9;
+        assert!(eval.scalar_cost(&better, &baseline) < eval.scalar_cost(&baseline, &baseline));
+        let mut worse = baseline.clone();
+        worse.packing = 1.5; // outline violation
+        assert!(eval.scalar_cost(&worse, &baseline) > eval.scalar_cost(&baseline, &baseline));
+    }
+
+    #[test]
+    fn leakage_terms_enter_the_tsc_cost_only() {
+        let (design, stack, fp) = setup();
+        let pa = Evaluator::new(&design, stack, ObjectiveWeights::power_aware()).with_grid_bins(16);
+        let tsc = Evaluator::new(&design, stack, ObjectiveWeights::tsc_aware()).with_grid_bins(16);
+        let b_pa = pa.evaluate(&fp);
+        let b_tsc = tsc.evaluate(&fp);
+        // Same floorplan: classical metrics are computed identically up to the voltage
+        // assignment objective; the scalarization differs through the leakage terms.
+        let mut decorrelated = b_tsc.clone();
+        decorrelated.correlations = vec![0.0; decorrelated.correlations.len()];
+        assert!(
+            tsc.scalar_cost(&decorrelated, &b_tsc) < tsc.scalar_cost(&b_tsc, &b_tsc),
+            "reducing correlation must reduce the TSC-aware cost"
+        );
+        let mut decorrelated_pa = b_pa.clone();
+        decorrelated_pa.correlations = vec![0.0; decorrelated_pa.correlations.len()];
+        let delta = pa.scalar_cost(&decorrelated_pa, &b_pa) - pa.scalar_cost(&b_pa, &b_pa);
+        assert!(delta.abs() < 1e-12, "PA cost must ignore correlation");
+    }
+
+    #[test]
+    fn evaluate_full_returns_consistent_artifacts() {
+        let (design, stack, fp) = setup();
+        let eval = Evaluator::new(&design, stack, ObjectiveWeights::tsc_aware()).with_grid_bins(16);
+        let (breakdown, assignment, tsv_plan) = eval.evaluate_full(&fp);
+        assert_eq!(breakdown.voltage_volumes, assignment.volume_count());
+        assert_eq!(breakdown.signal_tsvs, tsv_plan.signal_count());
+        assert_eq!(tsv_plan.dummy_count(), 0);
+    }
+}

@@ -1,0 +1,404 @@
+//! Concrete placements of blocks onto the dies of a 3D stack.
+
+use serde::{Deserialize, Serialize};
+use tsc3d_geometry::{DieId, Grid, GridMap, Outline, Point, Rect, Stack};
+use tsc3d_netlist::{BlockId, Design, NetId};
+use tsc3d_power::power_map_from_rects;
+use tsc3d_timing::NetTopology;
+
+/// A block placed on a specific die with a concrete footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacedBlock {
+    /// The placed block.
+    pub block: BlockId,
+    /// The die the block sits on.
+    pub die: DieId,
+    /// The block's footprint on that die.
+    pub rect: Rect,
+}
+
+/// A complete floorplan: every block of the design placed onto one die of the stack.
+///
+/// The floorplan owns no reference to the [`Design`]; methods that need netlist information
+/// (wirelength, net topologies, power maps) take it as an argument, so floorplans remain
+/// cheap to clone inside the annealer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    stack: Stack,
+    placements: Vec<PlacedBlock>,
+}
+
+impl Floorplan {
+    /// Creates a floorplan from per-block placements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `placements` is not indexed consistently (placement `i` must place block
+    /// `i`) or places a block on a die outside the stack.
+    pub fn new(stack: Stack, placements: Vec<PlacedBlock>) -> Self {
+        for (i, p) in placements.iter().enumerate() {
+            assert_eq!(p.block.index(), i, "placement {i} must describe block {i}");
+            assert!(stack.contains(p.die), "die {} outside the stack", p.die);
+        }
+        Self { stack, placements }
+    }
+
+    /// The stack the floorplan targets.
+    pub fn stack(&self) -> Stack {
+        self.stack
+    }
+
+    /// The fixed die outline.
+    pub fn outline(&self) -> Outline {
+        self.stack.outline()
+    }
+
+    /// All placements, indexed by block id.
+    pub fn placements(&self) -> &[PlacedBlock] {
+        &self.placements
+    }
+
+    /// The placement of one block.
+    pub fn placement(&self, block: BlockId) -> &PlacedBlock {
+        &self.placements[block.index()]
+    }
+
+    /// Blocks placed on the given die.
+    pub fn blocks_on(&self, die: DieId) -> Vec<BlockId> {
+        self.placements
+            .iter()
+            .filter(|p| p.die == die)
+            .map(|p| p.block)
+            .collect()
+    }
+
+    /// Pin position used for wirelength/timing estimates: the centre of the block.
+    pub fn pin_of(&self, block: BlockId) -> Point {
+        self.placements[block.index()].rect.center()
+    }
+
+    /// Total overlap area between blocks sharing a die, in µm² (zero for legal floorplans).
+    pub fn overlap_area(&self) -> f64 {
+        let mut total = 0.0;
+        for die in self.stack.die_ids() {
+            let on_die: Vec<&PlacedBlock> =
+                self.placements.iter().filter(|p| p.die == die).collect();
+            for (i, a) in on_die.iter().enumerate() {
+                for b in &on_die[i + 1..] {
+                    total += a.rect.overlap_area(&b.rect);
+                }
+            }
+        }
+        total
+    }
+
+    /// Total block area falling outside the fixed outline, in µm².
+    pub fn outline_violation_area(&self) -> f64 {
+        let outline = self.outline().rect();
+        self.placements
+            .iter()
+            .map(|p| p.rect.area() - p.rect.overlap_area(&outline))
+            .sum()
+    }
+
+    /// Returns `true` when no blocks overlap and every block lies inside the outline.
+    pub fn is_legal(&self) -> bool {
+        self.overlap_area() < 1e-6 && self.outline_violation_area() < 1e-6
+    }
+
+    /// Per-die area utilization (block area on the die / outline area).
+    pub fn utilization(&self, design: &Design, die: DieId) -> f64 {
+        let area: f64 = self
+            .placements
+            .iter()
+            .filter(|p| p.die == die)
+            .map(|p| design.block(p.block).area())
+            .sum();
+        area / self.outline().area()
+    }
+
+    /// Bounding box of all blocks on a die (the packing envelope), or `None` for empty dies.
+    pub fn packing_bbox(&self, die: DieId) -> Option<Rect> {
+        self.placements
+            .iter()
+            .filter(|p| p.die == die)
+            .map(|p| p.rect)
+            .reduce(|a, b| a.union(&b))
+    }
+
+    /// Half-perimeter wirelength of one net in µm, including an extra vertical detour of
+    /// `tsv_length` per die crossing.
+    pub fn net_hpwl(&self, design: &Design, net: NetId, tsv_length: f64) -> f64 {
+        let topo = self.net_topology(design, net, tsv_length);
+        topo.hpwl + topo.tsv_crossings as f64 * tsv_length
+    }
+
+    /// Total half-perimeter wirelength over all nets, in µm.
+    pub fn total_wirelength(&self, design: &Design, tsv_length: f64) -> f64 {
+        design
+            .iter_nets()
+            .map(|(id, _)| self.net_hpwl(design, id, tsv_length))
+            .sum()
+    }
+
+    /// The timing-relevant topology of one net: planar HPWL, number of die crossings and
+    /// fanout. `tsv_length` is only used to derive crossings consistently (it does not enter
+    /// the HPWL returned here; the Elmore model accounts for TSVs separately).
+    pub fn net_topology(&self, design: &Design, net: NetId, _tsv_length: f64) -> NetTopology {
+        let net_ref = design.net(net);
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        let mut min_die = usize::MAX;
+        let mut max_die = 0usize;
+        let mut pins = 0usize;
+        for pin in net_ref.pins() {
+            let (point, die) = match *pin {
+                tsc3d_netlist::PinRef::Block(b) => {
+                    let p = &self.placements[b.index()];
+                    (p.rect.center(), p.die.index())
+                }
+                tsc3d_netlist::PinRef::Terminal(t) => {
+                    // Terminals sit on the package; they do not add die crossings beyond the
+                    // bottom die.
+                    (design.terminal(t).position(), 0)
+                }
+            };
+            min_x = min_x.min(point.x);
+            max_x = max_x.max(point.x);
+            min_y = min_y.min(point.y);
+            max_y = max_y.max(point.y);
+            min_die = min_die.min(die);
+            max_die = max_die.max(die);
+            pins += 1;
+        }
+        let hpwl = (max_x - min_x) + (max_y - min_y);
+        let crossings = max_die.saturating_sub(min_die);
+        NetTopology::new(hpwl, crossings, pins.saturating_sub(1))
+    }
+
+    /// Net topologies for every net of the design.
+    pub fn net_topologies(&self, design: &Design, tsv_length: f64) -> Vec<NetTopology> {
+        design
+            .iter_nets()
+            .map(|(id, _)| self.net_topology(design, id, tsv_length))
+            .collect()
+    }
+
+    /// Spatial adjacency between blocks: two blocks are adjacent when their footprints,
+    /// expanded by `margin` µm, overlap — either on the same die or on vertically
+    /// neighbouring dies (which is what lets voltage volumes span dies).
+    pub fn adjacency(&self, margin: f64) -> Vec<Vec<BlockId>> {
+        let n = self.placements.len();
+        let mut adj = vec![Vec::new(); n];
+        for i in 0..n {
+            let a = &self.placements[i];
+            let ra = a.rect.expanded(margin);
+            for j in (i + 1)..n {
+                let b = &self.placements[j];
+                let die_distance = a.die.index().abs_diff(b.die.index());
+                if die_distance > 1 {
+                    continue;
+                }
+                if ra.overlaps(&b.rect.expanded(margin)) {
+                    adj[i].push(BlockId(j));
+                    adj[j].push(BlockId(i));
+                }
+            }
+        }
+        adj
+    }
+
+    /// Builds the per-die power maps (watts per bin) for the given per-block powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_powers` does not provide one value per block.
+    pub fn power_maps(&self, grid: Grid, block_powers: &[f64]) -> Vec<GridMap> {
+        assert_eq!(
+            block_powers.len(),
+            self.placements.len(),
+            "one power value per block required"
+        );
+        self.stack
+            .die_ids()
+            .map(|die| {
+                let placed: Vec<(Rect, f64)> = self
+                    .placements
+                    .iter()
+                    .filter(|p| p.die == die)
+                    .map(|p| (p.rect, block_powers[p.block.index()]))
+                    .collect();
+                power_map_from_rects(grid, &placed)
+            })
+            .collect()
+    }
+
+    /// The standard analysis grid used throughout the experiments: 64×64 bins over the die
+    /// outline (matching the resolution of the paper's thermal maps).
+    pub fn analysis_grid(&self, bins_per_axis: usize) -> Grid {
+        Grid::square(self.outline().rect(), bins_per_axis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc3d_geometry::Outline;
+    use tsc3d_netlist::{Block, BlockShape, Net, PinRef, Terminal, TerminalId};
+
+    fn design() -> Design {
+        let blocks = vec![
+            Block::new("a", BlockShape::hard(20.0, 20.0), 1.0),
+            Block::new("b", BlockShape::hard(20.0, 20.0), 2.0),
+            Block::new("c", BlockShape::hard(20.0, 20.0), 0.5),
+        ];
+        let terminals = vec![Terminal::new("t0", Point::new(0.0, 0.0))];
+        let nets = vec![
+            Net::new("ab", vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(1))]),
+            Net::new(
+                "bc_t",
+                vec![
+                    PinRef::Block(BlockId(1)),
+                    PinRef::Block(BlockId(2)),
+                    PinRef::Terminal(TerminalId(0)),
+                ],
+            ),
+        ];
+        Design::new("tiny", blocks, nets, terminals, Outline::new(100.0, 100.0)).unwrap()
+    }
+
+    fn floorplan() -> Floorplan {
+        let stack = Stack::two_die(Outline::new(100.0, 100.0));
+        Floorplan::new(
+            stack,
+            vec![
+                PlacedBlock {
+                    block: BlockId(0),
+                    die: DieId(0),
+                    rect: Rect::new(0.0, 0.0, 20.0, 20.0),
+                },
+                PlacedBlock {
+                    block: BlockId(1),
+                    die: DieId(0),
+                    rect: Rect::new(30.0, 0.0, 20.0, 20.0),
+                },
+                PlacedBlock {
+                    block: BlockId(2),
+                    die: DieId(1),
+                    rect: Rect::new(0.0, 0.0, 20.0, 20.0),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn legality_checks() {
+        let fp = floorplan();
+        assert!(fp.is_legal());
+        assert_eq!(fp.overlap_area(), 0.0);
+        assert_eq!(fp.outline_violation_area(), 0.0);
+        assert_eq!(fp.blocks_on(DieId(0)), vec![BlockId(0), BlockId(1)]);
+        assert_eq!(fp.blocks_on(DieId(1)), vec![BlockId(2)]);
+    }
+
+    #[test]
+    fn overlap_and_violation_are_detected() {
+        let stack = Stack::two_die(Outline::new(100.0, 100.0));
+        let fp = Floorplan::new(
+            stack,
+            vec![
+                PlacedBlock {
+                    block: BlockId(0),
+                    die: DieId(0),
+                    rect: Rect::new(0.0, 0.0, 20.0, 20.0),
+                },
+                PlacedBlock {
+                    block: BlockId(1),
+                    die: DieId(0),
+                    rect: Rect::new(10.0, 10.0, 20.0, 20.0),
+                },
+                PlacedBlock {
+                    block: BlockId(2),
+                    die: DieId(1),
+                    rect: Rect::new(90.0, 90.0, 20.0, 20.0),
+                },
+            ],
+        );
+        assert!(!fp.is_legal());
+        assert!((fp.overlap_area() - 100.0).abs() < 1e-9);
+        assert!((fp.outline_violation_area() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wirelength_and_topologies() {
+        let d = design();
+        let fp = floorplan();
+        // Net ab: centres (10,10) and (40,10) → HPWL 30, same die.
+        let t0 = fp.net_topology(&d, NetId(0), 50.0);
+        assert!((t0.hpwl - 30.0).abs() < 1e-9);
+        assert_eq!(t0.tsv_crossings, 0);
+        // Net bc_t: b on die0 at (40,10), c on die1 at (10,10), terminal at (0,0):
+        // HPWL = 40 + 10 = 50, one die crossing.
+        let t1 = fp.net_topology(&d, NetId(1), 50.0);
+        assert!((t1.hpwl - 50.0).abs() < 1e-9);
+        assert_eq!(t1.tsv_crossings, 1);
+        assert_eq!(t1.fanout, 2);
+        // Total wirelength adds the TSV detour for the crossing net.
+        let wl = fp.total_wirelength(&d, 50.0);
+        assert!((wl - (30.0 + 50.0 + 50.0)).abs() < 1e-9);
+        assert_eq!(fp.net_topologies(&d, 50.0).len(), 2);
+    }
+
+    #[test]
+    fn power_maps_conserve_power_per_die() {
+        let _d = design();
+        let fp = floorplan();
+        let grid = fp.analysis_grid(10);
+        let maps = fp.power_maps(grid, &[1.0, 2.0, 0.5]);
+        assert_eq!(maps.len(), 2);
+        assert!((maps[0].sum() - 3.0).abs() < 1e-9);
+        assert!((maps[1].sum() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adjacency_same_die_and_cross_die() {
+        let fp = floorplan();
+        // With a 15 µm margin, a (0..20) and b (30..50) on die 0 are adjacent; c overlaps a
+        // vertically (same footprint, neighbouring die).
+        let adj = fp.adjacency(15.0);
+        assert!(adj[0].contains(&BlockId(1)));
+        assert!(adj[0].contains(&BlockId(2)));
+        assert!(adj[1].contains(&BlockId(0)));
+        // With zero margin, a and b are 10 µm apart and no longer adjacent.
+        let tight = fp.adjacency(0.0);
+        assert!(!tight[0].contains(&BlockId(1)));
+        assert!(tight[0].contains(&BlockId(2)));
+    }
+
+    #[test]
+    fn utilization_and_bbox() {
+        let d = design();
+        let fp = floorplan();
+        assert!((fp.utilization(&d, DieId(0)) - 0.08).abs() < 1e-9);
+        assert!((fp.utilization(&d, DieId(1)) - 0.04).abs() < 1e-9);
+        let bbox = fp.packing_bbox(DieId(0)).unwrap();
+        assert_eq!(bbox, Rect::new(0.0, 0.0, 50.0, 20.0));
+        assert!(fp.packing_bbox(DieId(5)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must describe block")]
+    fn inconsistent_indexing_rejected() {
+        let stack = Stack::two_die(Outline::new(10.0, 10.0));
+        let _ = Floorplan::new(
+            stack,
+            vec![PlacedBlock {
+                block: BlockId(3),
+                die: DieId(0),
+                rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+            }],
+        );
+    }
+}

@@ -1,0 +1,451 @@
+//! Sequence-pair floorplan representation for stacked dies.
+//!
+//! Corblivar uses a corner-block-list representation; any complete floorplan representation
+//! works for the paper's purposes, and the sequence pair is the most transparent one: per
+//! die, two permutations of the die's blocks encode the relative left-of / below
+//! relationships, and a longest-path packing turns them into coordinates. The 3D extension
+//! adds a per-block die assignment plus per-block rotation (hard blocks) and aspect ratio
+//! (soft blocks), which is exactly the move set the annealer perturbs.
+
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use tsc3d_geometry::{DieId, Rect, Stack};
+use tsc3d_netlist::{BlockId, Design};
+
+use crate::{Floorplan, PlacedBlock};
+
+/// The annealer's state: a sequence pair per die plus per-block shape choices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequencePair3d {
+    stack: Stack,
+    /// Die index per block.
+    die_of: Vec<usize>,
+    /// Per die, the first sequence (block ids).
+    seq_a: Vec<Vec<BlockId>>,
+    /// Per die, the second sequence (block ids).
+    seq_b: Vec<Vec<BlockId>>,
+    /// Per block, whether it is rotated by 90°.
+    rotated: Vec<bool>,
+    /// Per block, the requested aspect ratio (soft blocks only; ignored for hard blocks).
+    aspect: Vec<f64>,
+}
+
+impl SequencePair3d {
+    /// Creates an initial solution: blocks are distributed over the dies by balancing the
+    /// total block area per die (largest blocks first), sequences start in id order and are
+    /// then shuffled.
+    pub fn initial(design: &Design, stack: Stack, rng: &mut ChaCha8Rng) -> Self {
+        Self::initial_with_assignment(design, stack, rng, false)
+    }
+
+    /// Creates an initial solution that additionally applies Corblivar's thermal design
+    /// rule: high-power modules are preferentially assigned to the top die (closest to the
+    /// heatsink), while the per-die block area stays balanced.
+    ///
+    /// The paper discusses this rule in Section 7.2 — it keeps peak temperatures down but
+    /// creates large power gradients across dies, which is why the top die's correlation
+    /// stays high for both setups.
+    pub fn initial_thermally_aware(design: &Design, stack: Stack, rng: &mut ChaCha8Rng) -> Self {
+        Self::initial_with_assignment(design, stack, rng, true)
+    }
+
+    fn initial_with_assignment(
+        design: &Design,
+        stack: Stack,
+        rng: &mut ChaCha8Rng,
+        thermal_rule: bool,
+    ) -> Self {
+        let n = design.blocks().len();
+        let dies = stack.dies();
+
+        // Die assignment: largest blocks first for area balance; with the thermal rule the
+        // hottest (highest power-density) blocks are pinned to the top die as long as that
+        // die is not over-filled relative to the others.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            design.blocks()[b]
+                .area()
+                .partial_cmp(&design.blocks()[a].area())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut die_area = vec![0.0; dies];
+        let mut die_of = vec![0usize; n];
+        let capacity = stack.outline().area();
+        // Threshold separating "hot" from "cool" blocks: the design-wide power density.
+        let hot_threshold = design.total_power() / design.total_block_area();
+        for &b in &order {
+            let balanced = (0..dies)
+                .min_by(|&x, &y| die_area[x].partial_cmp(&die_area[y]).unwrap())
+                .unwrap_or(0);
+            let target = if thermal_rule
+                && dies > 1
+                && design.blocks()[b].power_density() > hot_threshold
+                && die_area[dies - 1] + design.blocks()[b].area() <= capacity
+            {
+                dies - 1
+            } else {
+                balanced
+            };
+            die_of[b] = target;
+            die_area[target] += design.blocks()[b].area();
+        }
+
+        let mut seq_a = vec![Vec::new(); dies];
+        let mut seq_b = vec![Vec::new(); dies];
+        for b in 0..n {
+            seq_a[die_of[b]].push(BlockId(b));
+            seq_b[die_of[b]].push(BlockId(b));
+        }
+        for d in 0..dies {
+            seq_a[d].shuffle(rng);
+            seq_b[d].shuffle(rng);
+        }
+
+        Self {
+            stack,
+            die_of,
+            seq_a,
+            seq_b,
+            rotated: vec![false; n],
+            aspect: vec![1.0; n],
+        }
+    }
+
+    /// The stack this representation targets.
+    pub fn stack(&self) -> Stack {
+        self.stack
+    }
+
+    /// Die assignment of a block.
+    pub fn die_of(&self, block: BlockId) -> DieId {
+        DieId(self.die_of[block.index()])
+    }
+
+    /// Current width/height of a block given its shape choice.
+    fn dimensions(&self, design: &Design, block: usize) -> (f64, f64) {
+        let shape = design.blocks()[block].shape();
+        let (w, h) = shape.dimensions(self.aspect[block]);
+        if self.rotated[block] {
+            (h, w)
+        } else {
+            (w, h)
+        }
+    }
+
+    /// Packs the representation into a concrete floorplan via longest-path evaluation of the
+    /// sequence pairs (lower-left anchored at the die origin).
+    pub fn pack(&self, design: &Design) -> Floorplan {
+        let n = design.blocks().len();
+        let mut rects = vec![Rect::default(); n];
+
+        for die in 0..self.stack.dies() {
+            let members = &self.seq_a[die];
+            if members.is_empty() {
+                continue;
+            }
+            // Positions of each block within the two sequences.
+            let mut pos_a = vec![0usize; n];
+            let mut pos_b = vec![0usize; n];
+            for (i, b) in self.seq_a[die].iter().enumerate() {
+                pos_a[b.index()] = i;
+            }
+            for (i, b) in self.seq_b[die].iter().enumerate() {
+                pos_b[b.index()] = i;
+            }
+
+            // Longest-path packing, processed in seq_b order so that every predecessor (in
+            // either relation) is already placed.
+            let mut x = vec![0.0f64; n];
+            let mut y = vec![0.0f64; n];
+            for (i, b) in self.seq_b[die].iter().enumerate() {
+                let bi = b.index();
+                let (wb, hb) = self.dimensions(design, bi);
+                let mut bx = 0.0f64;
+                let mut by = 0.0f64;
+                for c in &self.seq_b[die][..i] {
+                    let ci = c.index();
+                    let (wc, hc) = self.dimensions(design, ci);
+                    if pos_a[ci] < pos_a[bi] {
+                        // c is left of b.
+                        bx = bx.max(x[ci] + wc);
+                    } else {
+                        // c is below b.
+                        by = by.max(y[ci] + hc);
+                    }
+                }
+                x[bi] = bx;
+                y[bi] = by;
+                rects[bi] = Rect::new(bx, by, wb, hb);
+            }
+        }
+
+        let placements = (0..n)
+            .map(|b| PlacedBlock {
+                block: BlockId(b),
+                die: DieId(self.die_of[b]),
+                rect: rects[b],
+            })
+            .collect();
+        Floorplan::new(self.stack, placements)
+    }
+
+    /// Applies one random move, returning a short description of the move kind (useful for
+    /// move statistics).
+    pub fn perturb(&mut self, design: &Design, rng: &mut ChaCha8Rng) -> &'static str {
+        let n = self.die_of.len();
+        if n < 2 {
+            return "noop";
+        }
+        match rng.gen_range(0..5u8) {
+            0 => {
+                // Swap two blocks within seq_a of one die.
+                if let Some(die) = self.random_populated_die(rng, 2) {
+                    let len = self.seq_a[die].len();
+                    let i = rng.gen_range(0..len);
+                    let j = rng.gen_range(0..len);
+                    self.seq_a[die].swap(i, j);
+                }
+                "swap_a"
+            }
+            1 => {
+                // Swap two blocks in both sequences of one die.
+                if let Some(die) = self.random_populated_die(rng, 2) {
+                    let len = self.seq_a[die].len();
+                    let i = rng.gen_range(0..len);
+                    let j = rng.gen_range(0..len);
+                    self.seq_a[die].swap(i, j);
+                    let len_b = self.seq_b[die].len();
+                    let k = rng.gen_range(0..len_b);
+                    let l = rng.gen_range(0..len_b);
+                    self.seq_b[die].swap(k, l);
+                }
+                "swap_both"
+            }
+            2 => {
+                // Rotate a hard block or re-shape a soft block.
+                let b = rng.gen_range(0..n);
+                if design.blocks()[b].shape().is_hard() {
+                    self.rotated[b] = !self.rotated[b];
+                } else {
+                    self.aspect[b] = rng.gen_range(0.4..2.5);
+                }
+                "reshape"
+            }
+            3 => {
+                // Move a block to another die.
+                if self.stack.dies() > 1 {
+                    let b = rng.gen_range(0..n);
+                    let from = self.die_of[b];
+                    let to = (from + rng.gen_range(1..self.stack.dies())) % self.stack.dies();
+                    self.remove_from_sequences(b, from);
+                    self.insert_into_sequences(BlockId(b), to, rng);
+                    self.die_of[b] = to;
+                }
+                "move_die"
+            }
+            _ => {
+                // Swap the die assignment of two blocks on different dies.
+                if self.stack.dies() > 1 {
+                    let a = rng.gen_range(0..n);
+                    let b = rng.gen_range(0..n);
+                    if self.die_of[a] != self.die_of[b] {
+                        let da = self.die_of[a];
+                        let db = self.die_of[b];
+                        self.remove_from_sequences(a, da);
+                        self.remove_from_sequences(b, db);
+                        self.insert_into_sequences(BlockId(a), db, rng);
+                        self.insert_into_sequences(BlockId(b), da, rng);
+                        self.die_of[a] = db;
+                        self.die_of[b] = da;
+                    }
+                }
+                "swap_die"
+            }
+        }
+    }
+
+    fn random_populated_die(&self, rng: &mut ChaCha8Rng, min_blocks: usize) -> Option<usize> {
+        let candidates: Vec<usize> = (0..self.stack.dies())
+            .filter(|&d| self.seq_a[d].len() >= min_blocks)
+            .collect();
+        if candidates.is_empty() {
+            None
+        } else {
+            Some(candidates[rng.gen_range(0..candidates.len())])
+        }
+    }
+
+    fn remove_from_sequences(&mut self, block: usize, die: usize) {
+        self.seq_a[die].retain(|b| b.index() != block);
+        self.seq_b[die].retain(|b| b.index() != block);
+    }
+
+    fn insert_into_sequences(&mut self, block: BlockId, die: usize, rng: &mut ChaCha8Rng) {
+        let pos_a = rng.gen_range(0..=self.seq_a[die].len());
+        self.seq_a[die].insert(pos_a, block);
+        let pos_b = rng.gen_range(0..=self.seq_b[die].len());
+        self.seq_b[die].insert(pos_b, block);
+    }
+
+    /// Internal consistency check: every block appears exactly once in the sequences of its
+    /// assigned die. Intended for tests and debug assertions.
+    pub fn is_consistent(&self) -> bool {
+        for (b, &die) in self.die_of.iter().enumerate() {
+            let in_a = self.seq_a[die].iter().filter(|x| x.index() == b).count();
+            let in_b = self.seq_b[die].iter().filter(|x| x.index() == b).count();
+            if in_a != 1 || in_b != 1 {
+                return false;
+            }
+            for other in 0..self.stack.dies() {
+                if other == die {
+                    continue;
+                }
+                if self.seq_a[other].iter().any(|x| x.index() == b)
+                    || self.seq_b[other].iter().any(|x| x.index() == b)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use tsc3d_geometry::Outline;
+    use tsc3d_netlist::suite::{generate, Benchmark};
+    use tsc3d_netlist::{Block, BlockShape};
+
+    fn small_design() -> Design {
+        let blocks = vec![
+            Block::new("a", BlockShape::hard(10.0, 20.0), 0.1),
+            Block::new("b", BlockShape::hard(20.0, 10.0), 0.1),
+            Block::new("c", BlockShape::soft(400.0), 0.1),
+            Block::new("d", BlockShape::soft(100.0), 0.1),
+            Block::new("e", BlockShape::hard(15.0, 15.0), 0.1),
+        ];
+        Design::new("s", blocks, vec![], vec![], Outline::new(200.0, 200.0)).unwrap()
+    }
+
+    fn stack() -> Stack {
+        Stack::two_die(Outline::new(200.0, 200.0))
+    }
+
+    #[test]
+    fn initial_solution_is_consistent_and_balanced() {
+        let d = small_design();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sp = SequencePair3d::initial(&d, stack(), &mut rng);
+        assert!(sp.is_consistent());
+        // Both dies must be populated for a 5-block design with area balancing.
+        let fp = sp.pack(&d);
+        assert!(!fp.blocks_on(DieId(0)).is_empty());
+        assert!(!fp.blocks_on(DieId(1)).is_empty());
+    }
+
+    #[test]
+    fn packing_produces_no_overlaps() {
+        let d = small_design();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for seed in 0..20u64 {
+            let mut sp = SequencePair3d::initial(&d, stack(), &mut rng);
+            for _ in 0..seed {
+                sp.perturb(&d, &mut rng);
+            }
+            let fp = sp.pack(&d);
+            assert!(fp.overlap_area() < 1e-9, "overlap after {seed} moves");
+        }
+    }
+
+    #[test]
+    fn packing_preserves_block_areas() {
+        let d = small_design();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let sp = SequencePair3d::initial(&d, stack(), &mut rng);
+        let fp = sp.pack(&d);
+        for (id, block) in d.iter_blocks() {
+            let placed = fp.placement(id).rect.area();
+            assert!(
+                (placed - block.area()).abs() / block.area() < 1e-9,
+                "area changed for {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn perturbations_keep_consistency() {
+        let d = small_design();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut sp = SequencePair3d::initial(&d, stack(), &mut rng);
+        for _ in 0..500 {
+            sp.perturb(&d, &mut rng);
+            assert!(sp.is_consistent());
+        }
+        // After many moves packing still succeeds with zero overlap.
+        let fp = sp.pack(&d);
+        assert!(fp.overlap_area() < 1e-9);
+    }
+
+    #[test]
+    fn die_of_matches_packed_floorplan() {
+        let d = small_design();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut sp = SequencePair3d::initial(&d, stack(), &mut rng);
+        for _ in 0..50 {
+            sp.perturb(&d, &mut rng);
+        }
+        let fp = sp.pack(&d);
+        for b in 0..5 {
+            assert_eq!(fp.placement(BlockId(b)).die, sp.die_of(BlockId(b)));
+        }
+    }
+
+    #[test]
+    fn thermal_rule_pushes_hot_blocks_to_the_top_die() {
+        let d = generate(Benchmark::N100, 1);
+        let stack = Stack::two_die(d.outline());
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let plain = SequencePair3d::initial(&d, stack, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let thermal = SequencePair3d::initial_thermally_aware(&d, stack, &mut rng);
+        assert!(thermal.is_consistent());
+
+        let top_power = |sp: &SequencePair3d| -> f64 {
+            d.iter_blocks()
+                .filter(|(id, _)| sp.die_of(*id) == DieId(1))
+                .map(|(_, b)| b.power())
+                .sum()
+        };
+        assert!(
+            top_power(&thermal) > top_power(&plain),
+            "thermal rule must concentrate power on the top die: {} !> {}",
+            top_power(&thermal),
+            top_power(&plain)
+        );
+        // The rule must not blow the top die past its outline capacity.
+        let top_area: f64 = d
+            .iter_blocks()
+            .filter(|(id, _)| thermal.die_of(*id) == DieId(1))
+            .map(|(_, b)| b.area())
+            .sum();
+        assert!(top_area <= stack.outline().area() * 1.01);
+    }
+
+    #[test]
+    fn packing_scales_to_benchmark_sizes() {
+        let d = generate(Benchmark::N100, 1);
+        let stack = Stack::two_die(d.outline());
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let sp = SequencePair3d::initial(&d, stack, &mut rng);
+        let fp = sp.pack(&d);
+        assert!(fp.overlap_area() < 1e-6);
+        // Initial packing of a shuffled sequence pair is loose but must stay within a few
+        // multiples of the outline.
+        let bbox = fp.packing_bbox(DieId(0)).unwrap();
+        assert!(bbox.width < 6.0 * d.outline().width());
+    }
+}

@@ -1,0 +1,63 @@
+//! Geometry primitives for 3D-IC physical design.
+//!
+//! This crate provides the small set of geometric building blocks shared by all other
+//! crates of the TSC-3D reproduction:
+//!
+//! * [`Point`] — a 2D point in micrometres,
+//! * [`Rect`] — an axis-aligned rectangle (block outlines, die outlines, keep-out zones),
+//! * [`Outline`] — a fixed die outline with aspect-ratio helpers,
+//! * [`Grid`] — a uniform 2D grid over an outline used for power maps, thermal maps and
+//!   TSV-density maps,
+//! * [`GridMap`] — a scalar field sampled on a [`Grid`] with rasterization helpers,
+//! * [`DieId`] / [`Stack`] — addressing of dies within a (two-die) 3D stack.
+//!
+//! # Examples
+//!
+//! ```
+//! use tsc3d_geometry::{Rect, Grid, GridMap};
+//!
+//! let outline = Rect::from_size(4000.0, 4000.0);
+//! let grid = Grid::new(outline, 64, 64);
+//! let mut map = GridMap::zeros(grid);
+//! map.splat_rect(&Rect::new(0.0, 0.0, 2000.0, 2000.0), 1.0);
+//! assert!(map.sum() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod grid;
+mod point;
+mod rect;
+mod stack;
+
+pub use grid::{Grid, GridMap, GridPos};
+pub use point::Point;
+pub use rect::{Outline, Rect};
+pub use stack::{DieId, Stack};
+
+/// Relative tolerance used throughout the workspace when comparing physical quantities.
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when two floating-point values are equal within [`EPS`] scaled by their
+/// magnitude.
+///
+/// ```
+/// assert!(tsc3d_geometry::approx_eq(1.0, 1.0 + 1e-12));
+/// assert!(!tsc3d_geometry::approx_eq(1.0, 1.1));
+/// ```
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= EPS * scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_basic() {
+        assert!(approx_eq(0.0, 0.0));
+        assert!(approx_eq(1e6, 1e6 + 1e-4));
+        assert!(!approx_eq(1.0, 2.0));
+    }
+}

@@ -1,0 +1,157 @@
+//! Pearson correlation of power and thermal maps (Eq. 1 of the paper).
+
+use std::error::Error;
+use std::fmt;
+use tsc3d_geometry::GridMap;
+
+/// Errors raised by the correlation functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CorrelationError {
+    /// The two series have different lengths (or the maps different grids).
+    LengthMismatch,
+    /// Fewer than two samples were provided.
+    TooFewSamples,
+    /// One of the series has zero variance, so the correlation is undefined.
+    ZeroVariance,
+}
+
+impl fmt::Display for CorrelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorrelationError::LengthMismatch => write!(f, "series lengths differ"),
+            CorrelationError::TooFewSamples => write!(f, "need at least two samples"),
+            CorrelationError::ZeroVariance => write!(f, "series has zero variance"),
+        }
+    }
+}
+
+impl Error for CorrelationError {}
+
+/// Pearson correlation coefficient of two equally long series.
+///
+/// This is Eq. 1 of the paper with `xs` the per-bin power values and `ys` the per-bin
+/// temperatures of one die.
+///
+/// # Errors
+///
+/// Returns an error when the series lengths differ, fewer than two samples are given, or
+/// either series is constant (zero variance).
+///
+/// ```
+/// let r = tsc3d_leakage::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64, CorrelationError> {
+    if xs.len() != ys.len() {
+        return Err(CorrelationError::LengthMismatch);
+    }
+    if xs.len() < 2 {
+        return Err(CorrelationError::TooFewSamples);
+    }
+    let n = xs.len() as f64;
+    let mean_x = xs.iter().sum::<f64>() / n;
+    let mean_y = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return Err(CorrelationError::ZeroVariance);
+    }
+    Ok((cov / (var_x.sqrt() * var_y.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Pearson correlation `r_d` between the power map and the thermal map of one die.
+///
+/// The two maps must be defined on the same grid. This is the quantity reported as `r1`
+/// (bottom die) and `r2` (top die) throughout the paper's evaluation.
+///
+/// # Errors
+///
+/// Returns [`CorrelationError::LengthMismatch`] if the grids differ and propagates the
+/// degenerate-input errors of [`pearson`].
+pub fn map_correlation(power: &GridMap, thermal: &GridMap) -> Result<f64, CorrelationError> {
+    if power.grid() != thermal.grid() {
+        return Err(CorrelationError::LengthMismatch);
+    }
+    pearson(power.values(), thermal.values())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc3d_geometry::{Grid, Rect};
+
+    #[test]
+    fn perfect_positive_and_negative_correlation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = xs.iter().map(|x| 10.0 + 2.0 * x).collect();
+        let down: Vec<f64> = xs.iter().map(|x| 10.0 - 2.0 * x).collect();
+        assert!((pearson(&xs, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_series_give_near_zero() {
+        let xs = [1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0];
+        let ys = [1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0];
+        assert!(pearson(&xs, &ys).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_is_symmetric_and_scale_invariant() {
+        let xs = [0.3, 1.7, 0.9, 2.4, 1.1];
+        let ys = [5.0, 9.1, 6.2, 11.0, 7.3];
+        let r1 = pearson(&xs, &ys).unwrap();
+        let r2 = pearson(&ys, &xs).unwrap();
+        assert!((r1 - r2).abs() < 1e-12);
+        let scaled: Vec<f64> = ys.iter().map(|y| 1000.0 + 3.0 * y).collect();
+        let r3 = pearson(&xs, &scaled).unwrap();
+        assert!((r1 - r3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            pearson(&[1.0, 2.0], &[1.0]).unwrap_err(),
+            CorrelationError::LengthMismatch
+        );
+        assert_eq!(
+            pearson(&[1.0], &[1.0]).unwrap_err(),
+            CorrelationError::TooFewSamples
+        );
+        assert_eq!(
+            pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).unwrap_err(),
+            CorrelationError::ZeroVariance
+        );
+        assert!(format!("{}", CorrelationError::ZeroVariance).contains("variance"));
+    }
+
+    #[test]
+    fn map_correlation_checks_grids() {
+        let g1 = Grid::square(Rect::from_size(10.0, 10.0), 4);
+        let g2 = Grid::square(Rect::from_size(10.0, 10.0), 5);
+        let a = tsc3d_geometry::GridMap::constant(g1, 1.0);
+        let b = tsc3d_geometry::GridMap::constant(g2, 1.0);
+        assert_eq!(
+            map_correlation(&a, &b).unwrap_err(),
+            CorrelationError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn result_is_clamped_to_unit_interval() {
+        // Numerically, accumulated rounding can push |r| slightly above 1; the clamp keeps
+        // the value a valid correlation.
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 * 1e-8 + 1e9).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * 3.0).collect();
+        let r = pearson(&xs, &ys).unwrap();
+        assert!(r <= 1.0 && r >= -1.0);
+    }
+}

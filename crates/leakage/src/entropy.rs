@@ -1,0 +1,319 @@
+//! Spatial entropy of power maps (Eq. 3 of the paper, following Claramunt).
+
+use serde::{Deserialize, Serialize};
+use tsc3d_geometry::{GridMap, GridPos};
+
+/// Result of the nested-means classification of a power map.
+///
+/// Bins are grouped into classes of similar power values; classes are the `c_i ∈ C` of
+/// Eq. 3. The classification is produced by recursively bi-partitioning the sorted power
+/// values at their mean until the values within a class are (nearly) constant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NestedMeansClasses {
+    /// For every bin (row-major), the index of the class it belongs to.
+    pub assignment: Vec<usize>,
+    /// For every class, the member bins.
+    pub members: Vec<Vec<GridPos>>,
+    /// For every class, the (inclusive) value range it covers.
+    pub ranges: Vec<(f64, f64)>,
+}
+
+impl NestedMeansClasses {
+    /// Number of classes.
+    pub fn class_count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Spatial-entropy calculator (Eq. 3).
+///
+/// The entropy rewards configurations where *similar* power values cluster spatially (low
+/// thermal gradients → low leakage) and penalizes configurations where *different* power
+/// values are close together (steep gradients → high leakage). It is evaluated directly on
+/// the power map, without any thermal analysis, which makes it cheap enough for the inner
+/// floorplanning loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpatialEntropy {
+    /// Recursion depth limit of the nested-means partitioning (at most `2^depth` classes).
+    pub max_depth: usize,
+    /// Classes whose relative standard deviation falls below this threshold are not split
+    /// further.
+    pub std_dev_threshold: f64,
+}
+
+impl Default for SpatialEntropy {
+    fn default() -> Self {
+        Self {
+            max_depth: 6,
+            std_dev_threshold: 1e-3,
+        }
+    }
+}
+
+impl SpatialEntropy {
+    /// Creates a calculator with an explicit depth limit and split threshold.
+    pub fn new(max_depth: usize, std_dev_threshold: f64) -> Self {
+        Self {
+            max_depth,
+            std_dev_threshold,
+        }
+    }
+
+    /// Classifies the bins of a power map into similar-value classes using nested-means
+    /// partitioning.
+    pub fn classify(&self, power: &GridMap) -> NestedMeansClasses {
+        let grid = power.grid();
+        let mut indexed: Vec<(usize, f64)> = power
+            .values()
+            .iter()
+            .copied()
+            .enumerate()
+            .collect();
+        indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut groups: Vec<Vec<(usize, f64)>> = Vec::new();
+        self.split(&indexed, 0, &mut groups);
+
+        let mut assignment = vec![0usize; grid.bins()];
+        let mut members = Vec::with_capacity(groups.len());
+        let mut ranges = Vec::with_capacity(groups.len());
+        for (class, group) in groups.iter().enumerate() {
+            let mut bins = Vec::with_capacity(group.len());
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &(idx, value) in group {
+                assignment[idx] = class;
+                bins.push(grid.pos_of(idx));
+                lo = lo.min(value);
+                hi = hi.max(value);
+            }
+            members.push(bins);
+            ranges.push((lo, hi));
+        }
+        NestedMeansClasses {
+            assignment,
+            members,
+            ranges,
+        }
+    }
+
+    fn split(&self, sorted: &[(usize, f64)], depth: usize, out: &mut Vec<Vec<(usize, f64)>>) {
+        if sorted.is_empty() {
+            return;
+        }
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().map(|(_, v)| v).sum::<f64>() / n;
+        let std = (sorted.iter().map(|(_, v)| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+        let scale = mean.abs().max(1e-12);
+        if depth >= self.max_depth || sorted.len() == 1 || std / scale < self.std_dev_threshold {
+            out.push(sorted.to_vec());
+            return;
+        }
+        // The values are sorted, so the mean defines a single cut point.
+        let cut = sorted.partition_point(|(_, v)| *v < mean);
+        if cut == 0 || cut == sorted.len() {
+            out.push(sorted.to_vec());
+            return;
+        }
+        self.split(&sorted[..cut], depth + 1, out);
+        self.split(&sorted[cut..], depth + 1, out);
+    }
+
+    /// Computes the spatial entropy `S_d` of a power map (Eq. 3).
+    ///
+    /// The contribution of every class `c_i` is weighted by the ratio of its average
+    /// intra-class to inter-class Manhattan distance (measured in grid bins), following
+    /// Claramunt's original formulation: co-located *different* values (small inter-class
+    /// distances) push the entropy up, co-located *similar* values (small intra-class
+    /// distances) push it down — exactly the "closer the differently powered heat sources,
+    /// the higher the thermal gradients" intuition of the paper. (The paper's Eq. 3 prints
+    /// the ratio as `d_inter/d_intra`; we follow the reference metric and the paper's
+    /// qualitative usage, which require the inverse orientation.) Degenerate distances
+    /// (single-member classes, single-class maps) fall back to a distance of one bin so the
+    /// formula stays well defined.
+    pub fn of_map(&self, power: &GridMap) -> f64 {
+        let classes = self.classify(power);
+        self.of_classes(&classes, power)
+    }
+
+    /// Computes the entropy from a pre-computed classification (useful when both the classes
+    /// and the entropy are needed).
+    pub fn of_classes(&self, classes: &NestedMeansClasses, power: &GridMap) -> f64 {
+        let total = power.grid().bins() as f64;
+        let k = classes.class_count();
+        if k <= 1 {
+            // A perfectly uniform map has zero spatial entropy: no gradients, no leakage.
+            return 0.0;
+        }
+        let mut entropy = 0.0;
+        for i in 0..k {
+            let members = &classes.members[i];
+            if members.is_empty() {
+                continue;
+            }
+            let p = members.len() as f64 / total;
+            let d_intra = mean_intra_distance(members);
+            let d_inter = mean_inter_distance(members, classes, i);
+            let ratio = d_intra / d_inter;
+            entropy -= ratio * p * p.log2();
+        }
+        entropy
+    }
+}
+
+/// Average pairwise Manhattan distance (in bins) within a class; 1.0 for singletons.
+fn mean_intra_distance(members: &[GridPos]) -> f64 {
+    if members.len() < 2 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut count = 0.0;
+    for (i, a) in members.iter().enumerate() {
+        for b in &members[i + 1..] {
+            sum += a.manhattan(*b) as f64;
+            count += 1.0;
+        }
+    }
+    if count == 0.0 || sum == 0.0 {
+        1.0
+    } else {
+        sum / count
+    }
+}
+
+/// Average Manhattan distance (in bins) from members of class `class` to members of all
+/// other classes; 1.0 when there are no other members.
+fn mean_inter_distance(members: &[GridPos], classes: &NestedMeansClasses, class: usize) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0.0;
+    for (other, other_members) in classes.members.iter().enumerate() {
+        if other == class {
+            continue;
+        }
+        for a in members {
+            for b in other_members {
+                sum += a.manhattan(*b) as f64;
+                count += 1.0;
+            }
+        }
+    }
+    if count == 0.0 || sum == 0.0 {
+        1.0
+    } else {
+        sum / count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc3d_geometry::{Grid, Rect};
+
+    fn grid(n: usize) -> Grid {
+        Grid::square(Rect::from_size(100.0, 100.0), n)
+    }
+
+    /// A map with `k` horizontal stripes of distinct power values.
+    fn striped(n: usize, k: usize) -> GridMap {
+        let g = grid(n);
+        let values = (0..g.bins())
+            .map(|i| {
+                let row = i / n;
+                (row * k / n) as f64
+            })
+            .collect();
+        GridMap::from_values(g, values)
+    }
+
+    /// A checkerboard of two power values — maximally interleaved.
+    fn checkerboard(n: usize) -> GridMap {
+        let g = grid(n);
+        let values = (0..g.bins())
+            .map(|i| {
+                let (r, c) = (i / n, i % n);
+                ((r + c) % 2) as f64
+            })
+            .collect();
+        GridMap::from_values(g, values)
+    }
+
+    #[test]
+    fn uniform_map_has_zero_entropy() {
+        let m = GridMap::constant(grid(8), 3.0);
+        assert_eq!(SpatialEntropy::default().of_map(&m), 0.0);
+    }
+
+    #[test]
+    fn classification_groups_equal_values() {
+        let m = striped(8, 2);
+        let classes = SpatialEntropy::default().classify(&m);
+        assert_eq!(classes.class_count(), 2);
+        assert_eq!(classes.members[0].len() + classes.members[1].len(), 64);
+        // Ranges must not overlap.
+        assert!(classes.ranges[0].1 <= classes.ranges[1].0);
+    }
+
+    #[test]
+    fn interleaved_values_have_higher_entropy_than_separated() {
+        // Same value histogram (half 0.0, half 1.0), different spatial arrangement:
+        // the checkerboard (different values adjacent) must score higher than the two-stripe
+        // arrangement (similar values clustered) — principle (i)/(ii) of Claramunt.
+        let clustered = striped(8, 2);
+        let interleaved = checkerboard(8);
+        let e = SpatialEntropy::default();
+        assert!(e.of_map(&interleaved) > e.of_map(&clustered));
+    }
+
+    #[test]
+    fn more_distinct_power_levels_increase_entropy() {
+        let few = striped(8, 2);
+        let many = striped(8, 8);
+        let e = SpatialEntropy::default();
+        assert!(e.of_map(&many) > e.of_map(&few));
+    }
+
+    #[test]
+    fn entropy_is_invariant_to_value_scaling() {
+        // Classes depend on relative structure; scaling all powers by a constant must not
+        // change the classification-based entropy.
+        let m = striped(8, 4);
+        let scaled = m.scaled(7.5);
+        let e = SpatialEntropy::default();
+        assert!((e.of_map(&m) - e.of_map(&scaled)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_limit_bounds_class_count() {
+        let g = grid(8);
+        // All distinct values: without a depth limit every bin would be its own class.
+        let values: Vec<f64> = (0..g.bins()).map(|i| i as f64).collect();
+        let m = GridMap::from_values(g, values);
+        let classes = SpatialEntropy::new(3, 1e-9).classify(&m);
+        assert!(classes.class_count() <= 8);
+        let deeper = SpatialEntropy::new(5, 1e-9).classify(&m);
+        assert!(deeper.class_count() > classes.class_count());
+    }
+
+    #[test]
+    fn assignment_is_consistent_with_members() {
+        let m = striped(8, 4);
+        let classes = SpatialEntropy::default().classify(&m);
+        for (class, members) in classes.members.iter().enumerate() {
+            for pos in members {
+                let idx = m.grid().flat_index(*pos);
+                assert_eq!(classes.assignment[idx], class);
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_classes_do_not_break_entropy() {
+        let g = grid(4);
+        let mut values = vec![0.0; g.bins()];
+        values[5] = 100.0; // one extreme outlier → singleton class
+        let m = GridMap::from_values(g, values);
+        let e = SpatialEntropy::default().of_map(&m);
+        assert!(e.is_finite());
+        assert!(e > 0.0);
+    }
+}

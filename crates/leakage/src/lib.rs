@@ -1,0 +1,44 @@
+//! Thermal side-channel leakage metrics for 3D ICs.
+//!
+//! This crate implements the three leakage models of Section 4 of the paper:
+//!
+//! * [`pearson`] / [`map_correlation`] — the Pearson correlation `r_d` between the power map
+//!   and the thermal map of a die (Eq. 1). The lower the correlation, the lower the leakage
+//!   of power/activity patterns through the thermal side channel.
+//! * [`CorrelationStability`] — the per-bin correlation `r_{d,x,y}` over `m` different
+//!   activity sets (Eq. 2), capturing how *stable* the leakage is at a location when the
+//!   workload varies. Stable bins are where an attacker can reliably calibrate; they are the
+//!   insertion sites for dummy thermal TSVs in the paper's post-processing.
+//! * [`SpatialEntropy`] — the spatial entropy `S_d` of a power map (Eq. 3, following
+//!   Claramunt), a thermal-analysis-free proxy for the expected thermal gradients that can
+//!   be evaluated cheaply inside every floorplanning iteration.
+//!
+//! A small implementation of the side-channel vulnerability factor ([`svf`]) is included as
+//! the established reference metric the paper compares its correlation measure to.
+//!
+//! # Example
+//!
+//! ```
+//! use tsc3d_geometry::{Grid, GridMap, Rect};
+//! use tsc3d_leakage::{map_correlation, SpatialEntropy};
+//!
+//! let grid = Grid::square(Rect::from_size(100.0, 100.0), 8);
+//! let mut power = GridMap::zeros(grid);
+//! power.splat_power(&Rect::new(0.0, 0.0, 50.0, 50.0), 1.0);
+//! // A thermal map proportional to the power map is perfectly correlated.
+//! let thermal = power.map(|p| 300.0 + 10.0 * p);
+//! assert!((map_correlation(&power, &thermal).unwrap() - 1.0).abs() < 1e-9);
+//! let entropy = SpatialEntropy::default().of_map(&power);
+//! assert!(entropy >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod correlation;
+mod entropy;
+mod stability;
+pub mod svf;
+
+pub use correlation::{map_correlation, pearson, CorrelationError};
+pub use entropy::{NestedMeansClasses, SpatialEntropy};
+pub use stability::{CorrelationStability, StabilityMap};

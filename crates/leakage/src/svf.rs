@@ -1,0 +1,118 @@
+//! Side-channel vulnerability factor (SVF).
+//!
+//! The paper grounds its use of the Pearson correlation by noting that the correlation "is
+//! also the underlying measure for the side-channel vulnerability factor (SVF)" of Demme et
+//! al. This module provides a small SVF implementation so the two metrics can be compared
+//! directly in experiments and ablation benches.
+//!
+//! SVF correlates *similarity structure* rather than raw values: for a sequence of execution
+//! phases, one builds the pairwise-distance matrix of the ground-truth traces (here: power
+//! maps) and of the side-channel observations (here: thermal maps), and reports the Pearson
+//! correlation between the two matrices' upper triangles.
+
+use crate::correlation::{pearson, CorrelationError};
+use tsc3d_geometry::GridMap;
+
+/// Computes the side-channel vulnerability factor for a sequence of execution phases.
+///
+/// `ground_truth[i]` and `observation[i]` are the power map and thermal map of phase `i`.
+/// Returns the Pearson correlation of the two pairwise-Euclidean-distance matrices.
+///
+/// # Errors
+///
+/// Returns [`CorrelationError::LengthMismatch`] if the sequences differ in length or the
+/// maps use different grids, [`CorrelationError::TooFewSamples`] for fewer than three
+/// phases (no meaningful similarity structure), and [`CorrelationError::ZeroVariance`] when
+/// either side has constant pairwise distances.
+///
+/// ```
+/// use tsc3d_geometry::{Grid, GridMap, Rect};
+/// use tsc3d_leakage::svf::svf;
+///
+/// let grid = Grid::square(Rect::from_size(10.0, 10.0), 4);
+/// let phases: Vec<GridMap> = (0..5)
+///     .map(|i| GridMap::constant(grid, i as f64))
+///     .collect();
+/// // Observations that mirror the ground truth exactly give SVF = 1.
+/// let value = svf(&phases, &phases).unwrap();
+/// assert!((value - 1.0).abs() < 1e-9);
+/// ```
+pub fn svf(ground_truth: &[GridMap], observation: &[GridMap]) -> Result<f64, CorrelationError> {
+    if ground_truth.len() != observation.len() {
+        return Err(CorrelationError::LengthMismatch);
+    }
+    if ground_truth.len() < 3 {
+        return Err(CorrelationError::TooFewSamples);
+    }
+    let grid = ground_truth[0].grid();
+    if ground_truth.iter().any(|m| m.grid() != grid) || observation.iter().any(|m| m.grid() != grid)
+    {
+        return Err(CorrelationError::LengthMismatch);
+    }
+    let gt = distance_matrix_upper(ground_truth);
+    let ob = distance_matrix_upper(observation);
+    pearson(&gt, &ob)
+}
+
+/// Upper triangle (i < j) of the pairwise Euclidean distance matrix between maps.
+fn distance_matrix_upper(maps: &[GridMap]) -> Vec<f64> {
+    let n = maps.len();
+    let mut out = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d: f64 = maps[i]
+                .values()
+                .iter()
+                .zip(maps[j].values())
+                .map(|(a, b)| (a - b).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            out.push(d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc3d_geometry::{Grid, Rect};
+
+    fn grid() -> Grid {
+        Grid::square(Rect::from_size(10.0, 10.0), 4)
+    }
+
+    fn phase(value: f64) -> GridMap {
+        GridMap::constant(grid(), value)
+    }
+
+    #[test]
+    fn faithful_observation_gives_unit_svf() {
+        let phases: Vec<GridMap> = [0.0, 1.0, 3.0, 7.0].iter().map(|&v| phase(v)).collect();
+        let observed: Vec<GridMap> = phases.iter().map(|p| p.map(|v| 300.0 + 2.0 * v)).collect();
+        let value = svf(&phases, &observed).unwrap();
+        assert!((value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shuffled_observation_lowers_svf() {
+        let phases: Vec<GridMap> = [0.0, 1.0, 2.0, 4.0, 8.0].iter().map(|&v| phase(v)).collect();
+        // Observations whose similarity structure does not follow the ground truth.
+        let observed: Vec<GridMap> = [5.0, 0.0, 7.0, 1.0, 3.0].iter().map(|&v| phase(v)).collect();
+        let faithful = svf(&phases, &phases).unwrap();
+        let shuffled = svf(&phases, &observed).unwrap();
+        assert!(shuffled < faithful);
+    }
+
+    #[test]
+    fn error_cases() {
+        let phases: Vec<GridMap> = [0.0, 1.0].iter().map(|&v| phase(v)).collect();
+        assert_eq!(svf(&phases, &phases).unwrap_err(), CorrelationError::TooFewSamples);
+        let a: Vec<GridMap> = [0.0, 1.0, 2.0].iter().map(|&v| phase(v)).collect();
+        let b: Vec<GridMap> = [0.0, 1.0].iter().map(|&v| phase(v)).collect();
+        assert_eq!(svf(&a, &b).unwrap_err(), CorrelationError::LengthMismatch);
+        // Constant observations → zero variance in the distance matrix.
+        let c: Vec<GridMap> = [1.0, 1.0, 1.0].iter().map(|&v| phase(v)).collect();
+        assert_eq!(svf(&a, &c).unwrap_err(), CorrelationError::ZeroVariance);
+    }
+}

@@ -1,0 +1,36 @@
+//! Block-level netlist model and benchmark suites for 3D-IC floorplanning.
+//!
+//! The DAC'17 paper evaluates its TSC-aware floorplanning on GSRC (`n100`, `n200`, `n300`)
+//! and IBM-HB+ (`ibm01`, `ibm03`, `ibm07`) block-level benchmarks. Those benchmark files are
+//! not redistributable here, so this crate provides:
+//!
+//! * a clean data model for block-level designs — [`Block`], [`Net`], [`Terminal`],
+//!   [`Design`] — carrying exactly the information the paper relies on (footprints,
+//!   connectivity, nominal power),
+//! * a parser and writer for the GSRC-style `.blocks` / `.nets` / `.pl` text format
+//!   ([`gsrc`]) so externally obtained benchmarks can be used directly, and
+//! * deterministic synthetic generators ([`suite`]) that reproduce the aggregate properties
+//!   of Table 1 of the paper (module counts, hard/soft split, net counts, terminal counts,
+//!   die outlines, and total power at 1.0 V).
+//!
+//! # Example
+//!
+//! ```
+//! use tsc3d_netlist::suite::{Benchmark, generate};
+//!
+//! let design = generate(Benchmark::N100, 42);
+//! assert_eq!(design.blocks().len(), 100);
+//! assert!(design.total_power() > 7.0 && design.total_power() < 9.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod block;
+mod design;
+mod net;
+pub mod gsrc;
+pub mod suite;
+
+pub use block::{Block, BlockId, BlockShape};
+pub use design::{Design, DesignError, DesignStats};
+pub use net::{Net, NetId, PinRef, Terminal, TerminalId};

@@ -1,0 +1,363 @@
+//! Floorplanning-centric voltage assignment (Section 6.1 of the paper).
+
+use crate::{VoltageAssignment, VoltageVolume};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use tsc3d_netlist::{BlockId, Design};
+use tsc3d_timing::{VoltageLevel, VoltageScaling};
+
+/// Optimization objective of the voltage-volume selection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AssignmentObjective {
+    /// Power-aware floorplanning (setup (i) of the paper): minimize overall power and the
+    /// number of voltage volumes — every volume runs at the lowest commonly feasible voltage
+    /// and volumes are grown as large as timing feasibility allows.
+    PowerAware,
+    /// TSC-aware floorplanning (setup (ii)): additionally minimize the standard deviation of
+    /// power densities within volumes and across volumes, so the resulting power
+    /// distribution is locally uniform with small global gradients.
+    TscAware {
+        /// Maximum allowed relative spread of power densities within one volume
+        /// (`max density / min density`); candidate blocks exceeding it start a new volume.
+        density_spread_limit: f64,
+    },
+}
+
+impl AssignmentObjective {
+    /// The default TSC-aware objective used in the experiments (spread limit 2.5×).
+    pub fn tsc_default() -> Self {
+        AssignmentObjective::TscAware {
+            density_spread_limit: 2.5,
+        }
+    }
+}
+
+/// The breadth-first voltage-volume construction of the paper.
+///
+/// "Voltage volumes are constructed by considering each module individually as the root for
+/// a multi-branch tree representation of voltage volumes. Each tree/volume is recursively
+/// built up via a breadth-first search across the respectively adjacent modules. During this
+/// merging procedure, we update the resulting set of feasible voltages."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoltageAssigner {
+    scaling: VoltageScaling,
+    objective: AssignmentObjective,
+}
+
+impl VoltageAssigner {
+    /// Creates an assigner with the paper's 90 nm scaling table.
+    pub fn new(objective: AssignmentObjective) -> Self {
+        Self {
+            scaling: VoltageScaling::paper_90nm(),
+            objective,
+        }
+    }
+
+    /// Creates an assigner with a custom scaling table.
+    pub fn with_scaling(objective: AssignmentObjective, scaling: VoltageScaling) -> Self {
+        Self { scaling, objective }
+    }
+
+    /// The scaling table in use.
+    pub fn scaling(&self) -> &VoltageScaling {
+        &self.scaling
+    }
+
+    /// The objective in use.
+    pub fn objective(&self) -> AssignmentObjective {
+        self.objective
+    }
+
+    /// Per-block feasible voltage sets given nominal delays and timing slacks (both in ns).
+    ///
+    /// A voltage is feasible for a block if scaling the block's intrinsic delay by the
+    /// voltage's delay factor consumes no more than the block's slack:
+    /// `delay * factor <= delay + slack`. The nominal voltage (1.0 V) is always feasible by
+    /// construction since its factor is 1.
+    pub fn feasible_sets(&self, nominal_delays: &[f64], slacks: &[f64]) -> Vec<Vec<VoltageLevel>> {
+        nominal_delays
+            .iter()
+            .zip(slacks)
+            .map(|(&delay, &slack)| {
+                let budget = delay + slack;
+                let mut set = self.scaling.feasible_set(delay, budget + 1e-12);
+                if set.is_empty() {
+                    // Timing is already violated at nominal voltage; boost to the fastest
+                    // level so the assignment stays legal (the floorplanner's delay cost
+                    // term penalizes this separately).
+                    set = vec![*self.scaling.levels().last().expect("non-empty table")];
+                }
+                set
+            })
+            .collect()
+    }
+
+    /// Builds a complete voltage assignment.
+    ///
+    /// * `design` — the netlist (provides block powers and areas),
+    /// * `adjacency[b]` — blocks spatially adjacent to block `b` in the current floorplan
+    ///   (the floorplanner derives this from abutting/overlapping footprints, including
+    ///   across dies),
+    /// * `nominal_delays[b]` / `slacks[b]` — intrinsic delay and timing slack per block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the design's block count.
+    pub fn assign(
+        &self,
+        design: &Design,
+        adjacency: &[Vec<BlockId>],
+        nominal_delays: &[f64],
+        slacks: &[f64],
+    ) -> VoltageAssignment {
+        let n = design.blocks().len();
+        assert_eq!(adjacency.len(), n, "adjacency list per block required");
+        assert_eq!(nominal_delays.len(), n, "nominal delay per block required");
+        assert_eq!(slacks.len(), n, "slack per block required");
+
+        let feasible = self.feasible_sets(nominal_delays, slacks);
+        let mut assigned = vec![false; n];
+        let mut volumes = Vec::new();
+
+        // Visit blocks in decreasing-power order so high-power modules become volume roots;
+        // this mirrors the paper's per-module tree construction while keeping the procedure
+        // deterministic.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            design.blocks()[b]
+                .power()
+                .partial_cmp(&design.blocks()[a].power())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        for &root in &order {
+            if assigned[root] {
+                continue;
+            }
+            let mut members = vec![BlockId(root)];
+            let mut common = feasible[root].clone();
+            assigned[root] = true;
+
+            let root_density = density(design, root);
+            let mut min_density = root_density;
+            let mut max_density = root_density;
+
+            let mut queue: VecDeque<usize> = VecDeque::new();
+            queue.push_back(root);
+            while let Some(current) = queue.pop_front() {
+                for &neighbor in &adjacency[current] {
+                    let b = neighbor.index();
+                    if assigned[b] {
+                        continue;
+                    }
+                    // Merging keeps the volume only if a commonly feasible voltage remains.
+                    let merged: Vec<VoltageLevel> = common
+                        .iter()
+                        .copied()
+                        .filter(|l| feasible[b].contains(l))
+                        .collect();
+                    if merged.is_empty() {
+                        continue;
+                    }
+                    // Power-aware volumes must never force a module to a higher voltage than
+                    // it needs on its own — merging has to be power-neutral.
+                    if self.objective == AssignmentObjective::PowerAware
+                        && merged.first() != feasible[b].first()
+                    {
+                        continue;
+                    }
+                    // The TSC-aware objective additionally demands locally uniform power
+                    // densities within the volume.
+                    if let AssignmentObjective::TscAware {
+                        density_spread_limit,
+                    } = self.objective
+                    {
+                        let d = density(design, b);
+                        let new_min = min_density.min(d);
+                        let new_max = max_density.max(d);
+                        if new_min > 0.0 && new_max / new_min > density_spread_limit {
+                            continue;
+                        }
+                        min_density = new_min;
+                        max_density = new_max;
+                    }
+                    common = merged;
+                    assigned[b] = true;
+                    members.push(neighbor);
+                    queue.push_back(b);
+                }
+            }
+
+            let level = self.select_level(design, &members, &common);
+            volumes.push(VoltageVolume::new(members, common, level));
+        }
+
+        VoltageAssignment::new(n, volumes)
+    }
+
+    /// Selects the operating voltage of one volume according to the objective.
+    fn select_level(
+        &self,
+        design: &Design,
+        members: &[BlockId],
+        feasible: &[VoltageLevel],
+    ) -> VoltageLevel {
+        match self.objective {
+            // Power-aware: the lowest feasible voltage minimizes power outright.
+            AssignmentObjective::PowerAware => *feasible.first().expect("non-empty"),
+            // TSC-aware: pick the feasible voltage whose scaled power density is closest to
+            // the design-wide average density, which flattens gradients across volumes.
+            AssignmentObjective::TscAware { .. } => {
+                let design_density = design.total_power() / design.total_block_area();
+                let volume_area: f64 = members.iter().map(|b| design.block(*b).area()).sum();
+                let volume_power: f64 = members.iter().map(|b| design.block(*b).power()).sum();
+                *feasible
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let da = (volume_power * self.scaling.power_factor(a) / volume_area
+                            - design_density)
+                            .abs();
+                        let db = (volume_power * self.scaling.power_factor(b) / volume_area
+                            - design_density)
+                            .abs();
+                        da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("non-empty")
+            }
+        }
+    }
+}
+
+fn density(design: &Design, block: usize) -> f64 {
+    let b = &design.blocks()[block];
+    b.power() / b.area()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc3d_geometry::Outline;
+    use tsc3d_netlist::{Block, BlockShape, Net, PinRef};
+
+    /// Four blocks in a chain; block powers chosen so that densities differ strongly.
+    fn design() -> Design {
+        let blocks = vec![
+            Block::new("a", BlockShape::soft(1_000_000.0), 1.0),
+            Block::new("b", BlockShape::soft(1_000_000.0), 1.1),
+            Block::new("c", BlockShape::soft(1_000_000.0), 8.0),
+            Block::new("d", BlockShape::soft(1_000_000.0), 1.05),
+        ];
+        let nets = vec![Net::new(
+            "all",
+            vec![
+                PinRef::Block(BlockId(0)),
+                PinRef::Block(BlockId(1)),
+                PinRef::Block(BlockId(2)),
+                PinRef::Block(BlockId(3)),
+            ],
+        )];
+        Design::new("chain", blocks, nets, vec![], Outline::new(2_000.0, 2_000.0)).unwrap()
+    }
+
+    fn full_adjacency(n: usize) -> Vec<Vec<BlockId>> {
+        (0..n)
+            .map(|i| (0..n).filter(|&j| j != i).map(BlockId).collect())
+            .collect()
+    }
+
+    #[test]
+    fn feasible_sets_follow_slack() {
+        let assigner = VoltageAssigner::new(AssignmentObjective::PowerAware);
+        let sets = assigner.feasible_sets(&[1.0, 1.0, 1.0], &[1.0, 0.1, 0.0]);
+        // Plenty of slack: all three levels.
+        assert_eq!(sets[0].len(), 3);
+        // 10% slack: only 1.0 V and 1.2 V.
+        assert_eq!(sets[1], vec![VoltageLevel::V1_0, VoltageLevel::V1_2]);
+        // No slack: 1.0 V and 1.2 V (1.0 V is always feasible with zero slack).
+        assert!(sets[2].contains(&VoltageLevel::V1_0));
+    }
+
+    #[test]
+    fn negative_slack_forces_highest_voltage() {
+        let assigner = VoltageAssigner::new(AssignmentObjective::PowerAware);
+        let sets = assigner.feasible_sets(&[1.0], &[-0.5]);
+        assert_eq!(sets[0], vec![VoltageLevel::V1_2]);
+    }
+
+    #[test]
+    fn power_aware_merges_into_few_volumes_at_low_voltage() {
+        let d = design();
+        let assigner = VoltageAssigner::new(AssignmentObjective::PowerAware);
+        let n = d.blocks().len();
+        // Everyone has generous slack.
+        let assignment = assigner.assign(&d, &full_adjacency(n), &[1.0; 4], &[2.0; 4]);
+        assert_eq!(assignment.volume_count(), 1);
+        assert_eq!(assignment.level_of(BlockId(0)), VoltageLevel::V0_8);
+        let scaling = VoltageScaling::paper_90nm();
+        assert!(assignment.total_power(&d, &scaling) < d.total_power());
+    }
+
+    #[test]
+    fn tsc_aware_separates_outlier_density_blocks() {
+        let d = design();
+        let assigner = VoltageAssigner::new(AssignmentObjective::tsc_default());
+        let n = d.blocks().len();
+        let assignment = assigner.assign(&d, &full_adjacency(n), &[1.0; 4], &[2.0; 4]);
+        // Block c has ~8x the density of its neighbours and must not share their volume.
+        let volume_of_c = assignment
+            .volumes()
+            .iter()
+            .find(|v| v.blocks().contains(&BlockId(2)))
+            .unwrap();
+        assert_eq!(volume_of_c.len(), 1);
+        assert!(assignment.volume_count() >= 2);
+    }
+
+    #[test]
+    fn tsc_aware_produces_more_volumes_than_power_aware() {
+        // This mirrors the paper's Table 2 trend of ~87% more voltage volumes for TSC-aware
+        // floorplanning.
+        let d = design();
+        let n = d.blocks().len();
+        let adjacency = full_adjacency(n);
+        let pa = VoltageAssigner::new(AssignmentObjective::PowerAware)
+            .assign(&d, &adjacency, &[1.0; 4], &[2.0; 4]);
+        let tsc = VoltageAssigner::new(AssignmentObjective::tsc_default())
+            .assign(&d, &adjacency, &[1.0; 4], &[2.0; 4]);
+        assert!(tsc.volume_count() >= pa.volume_count());
+    }
+
+    #[test]
+    fn disconnected_blocks_get_their_own_volumes() {
+        let d = design();
+        let assigner = VoltageAssigner::new(AssignmentObjective::PowerAware);
+        let adjacency = vec![Vec::new(); 4];
+        let assignment = assigner.assign(&d, &adjacency, &[1.0; 4], &[2.0; 4]);
+        assert_eq!(assignment.volume_count(), 4);
+    }
+
+    #[test]
+    fn timing_infeasible_neighbours_are_not_merged() {
+        let d = design();
+        let assigner = VoltageAssigner::new(AssignmentObjective::PowerAware);
+        let n = d.blocks().len();
+        // Block 2 has no slack at all and can only run at 1.2 V; block 0,1,3 have huge slack
+        // but once merged with block 2 the common set would be {1.2V}∩{0.8..} — still
+        // non-empty ({1.0,1.2}∩...), so craft slacks so feasible sets are disjoint:
+        // blocks 0,1,3 feasible = {0.8,1.0,1.2}; block 2 nominal delay so large that only
+        // 1.2 V meets it (negative slack).
+        let slacks = [2.0, 2.0, -0.5, 2.0];
+        let assignment = assigner.assign(&d, &full_adjacency(n), &[1.0; 4], &slacks);
+        // Block 2 runs at 1.2 V; the others at 0.8 V in a merged volume.
+        assert_eq!(assignment.level_of(BlockId(2)), VoltageLevel::V1_2);
+        assert_eq!(assignment.level_of(BlockId(0)), VoltageLevel::V0_8);
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacency")]
+    fn wrong_adjacency_length_panics() {
+        let d = design();
+        let assigner = VoltageAssigner::new(AssignmentObjective::PowerAware);
+        let _ = assigner.assign(&d, &[], &[1.0; 4], &[1.0; 4]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Fast mask-based thermal estimation ("power blurring").
+//!
+//! Corblivar's key enabler — and the reason the paper can evaluate thermal leakage inside
+//! every floorplanning iteration — is a fast thermal analysis that approximates the thermal
+//! map as the convolution of the power map with a pre-characterized impulse response
+//! ("thermal mask"). This module implements that estimator for the two-die stack:
+//!
+//! * each die's power map is blurred with a Gaussian mask whose width models lateral heat
+//!   spreading,
+//! * dies couple vertically (power in one die raises the temperature of the other, scaled by
+//!   a coupling factor that grows with the local TSV density),
+//! * the local temperature *rise* is additionally reduced where TSVs provide a good vertical
+//!   path towards the heatsink.
+//!
+//! The estimator is intentionally cheap and only has to be *rank-correlated* with the
+//! detailed solver (the paper itself notes the fast analysis "to be inferior to the detailed
+//! analysis of HotSpot" and verifies final results with the detailed engine — we do the
+//! same, see `tsc3d::flow`).
+
+use crate::{ThermalConfig, TsvField};
+use serde::{Deserialize, Serialize};
+use tsc3d_geometry::GridMap;
+
+/// Parameters of the power-blurring estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBlurring {
+    /// Ambient temperature in kelvin.
+    pub ambient: f64,
+    /// Lateral spreading of the thermal mask, in grid bins (Gaussian sigma).
+    pub sigma_bins: f64,
+    /// Temperature rise per watt-per-bin for the die adjacent to the heatsink (top die).
+    pub top_die_gain: f64,
+    /// Temperature rise per watt-per-bin for dies farther from the heatsink. The bottom die
+    /// of a two-die stack sees roughly twice the thermal resistance towards the sink.
+    pub bottom_die_gain: f64,
+    /// Fraction of the *other* die's blurred power that couples into a die.
+    pub coupling: f64,
+    /// Strength with which local TSV density suppresses the temperature rise
+    /// (`rise *= 1 - tsv_relief * density`, clamped at 0).
+    pub tsv_relief: f64,
+}
+
+impl PowerBlurring {
+    /// Creates an estimator with default mask parameters for the given stack configuration.
+    pub fn new(config: &ThermalConfig) -> Self {
+        Self {
+            ambient: config.ambient,
+            sigma_bins: 2.0,
+            top_die_gain: 6.0,
+            bottom_die_gain: 11.0,
+            coupling: 0.45,
+            tsv_relief: 0.65,
+        }
+    }
+
+    /// Sets the Gaussian mask width in bins.
+    pub fn with_sigma(mut self, sigma_bins: f64) -> Self {
+        self.sigma_bins = sigma_bins.max(0.1);
+        self
+    }
+
+    /// Sets the inter-die coupling factor.
+    pub fn with_coupling(mut self, coupling: f64) -> Self {
+        self.coupling = coupling.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the TSV relief factor.
+    pub fn with_tsv_relief(mut self, relief: f64) -> Self {
+        self.tsv_relief = relief.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Estimates the per-die thermal maps for a stack of `power_per_die.len()` dies.
+    ///
+    /// `tsv_per_interface[i]` is the TSV field between die `i` and `i+1`; pass an empty
+    /// slice for single-die stacks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the maps are defined on different grids, or if
+    /// `tsv_per_interface.len() + 1 != power_per_die.len()` for multi-die stacks.
+    pub fn estimate(&self, power_per_die: &[GridMap], tsv_per_interface: &[TsvField]) -> Vec<GridMap> {
+        assert!(!power_per_die.is_empty(), "at least one die required");
+        let grid = power_per_die[0].grid();
+        assert!(
+            power_per_die.iter().all(|m| m.grid() == grid),
+            "power maps must share one grid"
+        );
+        let dies = power_per_die.len();
+        if dies > 1 {
+            assert_eq!(
+                tsv_per_interface.len(),
+                dies - 1,
+                "one TSV field per inter-die interface required"
+            );
+            assert!(
+                tsv_per_interface.iter().all(|f| f.density().grid() == grid),
+                "TSV fields must share the power-map grid"
+            );
+        }
+
+        let blurred: Vec<GridMap> = power_per_die
+            .iter()
+            .map(|p| gaussian_blur(p, self.sigma_bins))
+            .collect();
+
+        let top = dies - 1;
+        (0..dies)
+            .map(|d| {
+                let gain = if d == top {
+                    self.top_die_gain
+                } else {
+                    self.bottom_die_gain
+                };
+                let mut values = Vec::with_capacity(grid.bins());
+                for b in 0..grid.bins() {
+                    let own = gain * blurred[d].values()[b];
+                    // Coupling from the neighbouring dies (two-die stacks have one
+                    // neighbour; larger stacks accumulate both).
+                    let mut coupled = 0.0;
+                    if d > 0 {
+                        let density = tsv_per_interface[d - 1].density().values()[b];
+                        coupled += self.coupling * (0.5 + density) * gain * blurred[d - 1].values()[b];
+                    }
+                    if d + 1 < dies {
+                        let density = tsv_per_interface[d].density().values()[b];
+                        coupled += self.coupling * (0.5 + density) * gain * blurred[d + 1].values()[b];
+                    }
+                    // Local TSVs open a vertical escape path that reduces the rise.
+                    let relief = if dies > 1 {
+                        let density = if d == top {
+                            tsv_per_interface[d - 1].density().values()[b]
+                        } else {
+                            tsv_per_interface[d].density().values()[b]
+                        };
+                        (1.0 - self.tsv_relief * density).max(0.0)
+                    } else {
+                        1.0
+                    };
+                    values.push(self.ambient + (own + coupled) * relief);
+                }
+                GridMap::from_values(grid, values)
+            })
+            .collect()
+    }
+
+    /// Peak temperature of an estimate produced by [`PowerBlurring::estimate`].
+    pub fn peak(maps: &[GridMap]) -> f64 {
+        maps.iter().map(|m| m.max()).fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Separable Gaussian blur with reflecting boundaries.
+fn gaussian_blur(map: &GridMap, sigma: f64) -> GridMap {
+    let grid = map.grid();
+    let radius = (3.0 * sigma).ceil() as isize;
+    let kernel: Vec<f64> = (-radius..=radius)
+        .map(|i| (-(i as f64).powi(2) / (2.0 * sigma * sigma)).exp())
+        .collect();
+    let norm: f64 = kernel.iter().sum();
+    let kernel: Vec<f64> = kernel.into_iter().map(|k| k / norm).collect();
+
+    let cols = grid.cols() as isize;
+    let rows = grid.rows() as isize;
+    let reflect = |i: isize, n: isize| -> usize {
+        let mut i = i;
+        if i < 0 {
+            i = -i - 1;
+        }
+        if i >= n {
+            i = 2 * n - i - 1;
+        }
+        i.clamp(0, n - 1) as usize
+    };
+
+    // Horizontal pass.
+    let mut tmp = vec![0.0; grid.bins()];
+    for row in 0..rows {
+        for col in 0..cols {
+            let mut acc = 0.0;
+            for (k, w) in kernel.iter().enumerate() {
+                let c = reflect(col + k as isize - radius, cols);
+                acc += w * map.values()[row as usize * cols as usize + c];
+            }
+            tmp[row as usize * cols as usize + col as usize] = acc;
+        }
+    }
+    // Vertical pass.
+    let mut out = vec![0.0; grid.bins()];
+    for row in 0..rows {
+        for col in 0..cols {
+            let mut acc = 0.0;
+            for (k, w) in kernel.iter().enumerate() {
+                let r = reflect(row + k as isize - radius, rows);
+                acc += w * tmp[r * cols as usize + col as usize];
+            }
+            out[row as usize * cols as usize + col as usize] = acc;
+        }
+    }
+    GridMap::from_values(grid, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc3d_geometry::{Grid, Outline, Rect, Stack};
+
+    fn setup() -> (PowerBlurring, Grid) {
+        let stack = Stack::two_die(Outline::new(2000.0, 2000.0));
+        let grid = Grid::square(stack.outline().rect(), 16);
+        (PowerBlurring::new(&ThermalConfig::default_for(stack)), grid)
+    }
+
+    #[test]
+    fn zero_power_gives_ambient() {
+        let (pb, grid) = setup();
+        let maps = pb.estimate(
+            &[GridMap::zeros(grid), GridMap::zeros(grid)],
+            &[TsvField::empty(grid)],
+        );
+        assert!((PowerBlurring::peak(&maps) - pb.ambient).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blur_conserves_total_power() {
+        let (_, grid) = setup();
+        let mut p = GridMap::zeros(grid);
+        p.splat_power(&Rect::new(500.0, 500.0, 600.0, 600.0), 3.0);
+        let blurred = gaussian_blur(&p, 2.0);
+        assert!((blurred.sum() - p.sum()).abs() < 0.15, "blur lost power");
+    }
+
+    #[test]
+    fn hotspot_location_is_preserved() {
+        let (pb, grid) = setup();
+        let mut p0 = GridMap::zeros(grid);
+        p0.splat_power(&Rect::new(0.0, 0.0, 400.0, 400.0), 2.0);
+        let maps = pb.estimate(&[p0, GridMap::zeros(grid)], &[TsvField::empty(grid)]);
+        let hottest = maps[0].argmax();
+        assert!(hottest.col < 6 && hottest.row < 6);
+    }
+
+    #[test]
+    fn bottom_die_hotter_for_equal_power() {
+        let (pb, grid) = setup();
+        let p = GridMap::constant(grid, 0.01);
+        let maps = pb.estimate(&[p.clone(), p], &[TsvField::empty(grid)]);
+        assert!(maps[0].mean() > maps[1].mean());
+    }
+
+    #[test]
+    fn tsvs_lower_local_temperature() {
+        let (pb, grid) = setup();
+        let p = GridMap::constant(grid, 0.01);
+        let cool = pb.estimate(
+            &[p.clone(), p.clone()],
+            &[TsvField::uniform(grid, 0.4)],
+        );
+        let warm = pb.estimate(&[p.clone(), p], &[TsvField::empty(grid)]);
+        assert!(cool[0].mean() < warm[0].mean());
+    }
+
+    #[test]
+    fn coupling_spreads_heat_across_dies() {
+        let (pb, grid) = setup();
+        let mut p0 = GridMap::zeros(grid);
+        p0.splat_power(&Rect::new(0.0, 0.0, 500.0, 500.0), 2.0);
+        let maps = pb.estimate(&[p0, GridMap::zeros(grid)], &[TsvField::empty(grid)]);
+        // The un-powered top die still warms above ambient through coupling.
+        assert!(maps[1].max() > pb.ambient + 0.01);
+    }
+
+    #[test]
+    fn builders_clamp_ranges() {
+        let (pb, _) = setup();
+        assert_eq!(pb.with_coupling(5.0).coupling, 1.0);
+        assert_eq!(pb.with_tsv_relief(-1.0).tsv_relief, 0.0);
+        assert!(pb.with_sigma(0.0).sigma_bins > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interface")]
+    fn missing_tsv_field_panics() {
+        let (pb, grid) = setup();
+        let _ = pb.estimate(&[GridMap::zeros(grid), GridMap::zeros(grid)], &[]);
+    }
+
+    #[test]
+    fn single_die_stack_needs_no_tsv_field() {
+        let (pb, grid) = setup();
+        let maps = pb.estimate(&[GridMap::constant(grid, 0.01)], &[]);
+        assert_eq!(maps.len(), 1);
+        assert!(maps[0].mean() > pb.ambient);
+    }
+}

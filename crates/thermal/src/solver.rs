@@ -1,0 +1,595 @@
+//! Finite-volume steady-state solver for the layered 3D-IC thermal network.
+//!
+//! The solver discretizes the stack into `layers x cols x rows` finite volumes, builds the
+//! thermal conductance network (lateral conduction within layers, vertical conduction between
+//! layers — with TSV-dependent effective conductivity in bond layers — and the two boundary
+//! paths to ambient), and solves the resulting linear system with successive over-relaxation.
+//! It plays the role HotSpot 6.0 plays in the paper: the reference ("detailed") analysis used
+//! to verify correlations after floorplanning.
+
+use crate::config::{StackLayerKind, ThermalConfig};
+use crate::tsv::TsvField;
+use crate::MaterialProperties;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use tsc3d_geometry::{Grid, GridMap};
+
+/// Errors raised by [`SteadyStateSolver::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The number of power maps does not match the number of dies in the stack.
+    PowerMapCount {
+        /// Number of maps provided.
+        got: usize,
+        /// Number of dies expected.
+        expected: usize,
+    },
+    /// The number of TSV fields does not match the number of inter-die interfaces.
+    TsvFieldCount {
+        /// Number of fields provided.
+        got: usize,
+        /// Number of interfaces expected.
+        expected: usize,
+    },
+    /// Power maps / TSV fields are not all defined on the same grid.
+    GridMismatch,
+    /// The iteration did not converge within the configured iteration budget.
+    NotConverged {
+        /// Residual (largest per-node temperature update) after the final iteration, in K.
+        residual: f64,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::PowerMapCount { got, expected } => {
+                write!(f, "expected {expected} power maps (one per die), got {got}")
+            }
+            SolveError::TsvFieldCount { got, expected } => {
+                write!(f, "expected {expected} TSV fields (one per interface), got {got}")
+            }
+            SolveError::GridMismatch => write!(f, "power maps and TSV fields use different grids"),
+            SolveError::NotConverged { residual, iterations } => write!(
+                f,
+                "solver did not converge after {iterations} iterations (residual {residual:.2e} K)"
+            ),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// Result of a steady-state thermal analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalResult {
+    config: ThermalConfig,
+    die_temperatures: Vec<GridMap>,
+    layer_temperatures: Vec<GridMap>,
+    iterations: usize,
+    residual: f64,
+}
+
+impl ThermalResult {
+    /// The configuration the analysis was run with.
+    pub fn config(&self) -> &ThermalConfig {
+        &self.config
+    }
+
+    /// Thermal map of the active layer of die `die` (0 = bottom die), in kelvin.
+    pub fn die_temperature(&self, die: usize) -> &GridMap {
+        &self.die_temperatures[die]
+    }
+
+    /// Thermal maps of all dies, bottom to top.
+    pub fn die_temperatures(&self) -> &[GridMap] {
+        &self.die_temperatures
+    }
+
+    /// Thermal maps of every layer of the stack (bottom to top), in kelvin.
+    pub fn layer_temperatures(&self) -> &[GridMap] {
+        &self.layer_temperatures
+    }
+
+    /// Peak temperature over all dies, in kelvin.
+    pub fn peak_temperature(&self) -> f64 {
+        self.die_temperatures
+            .iter()
+            .map(|m| m.max())
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Peak temperature rise above ambient, in kelvin.
+    pub fn peak_rise(&self) -> f64 {
+        self.peak_temperature() - self.config.ambient
+    }
+
+    /// Number of SOR iterations performed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Final residual (largest per-node update of the last iteration) in kelvin.
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+}
+
+/// Successive-over-relaxation steady-state solver.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SteadyStateSolver {
+    config: ThermalConfig,
+    max_iterations: usize,
+    tolerance: f64,
+    relaxation: f64,
+}
+
+impl SteadyStateSolver {
+    /// Creates a solver with default numerical parameters (10 000 iterations, 1e-5 K
+    /// tolerance, ω = 1.85).
+    pub fn new(config: ThermalConfig) -> Self {
+        Self {
+            config,
+            max_iterations: 10_000,
+            tolerance: 1e-5,
+            relaxation: 1.85,
+        }
+    }
+
+    /// The thermal configuration.
+    pub fn config(&self) -> &ThermalConfig {
+        &self.config
+    }
+
+    /// Sets the maximum number of SOR iterations.
+    pub fn with_max_iterations(mut self, iterations: usize) -> Self {
+        self.max_iterations = iterations;
+        self
+    }
+
+    /// Sets the convergence tolerance (largest per-node update, in K).
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Sets the SOR relaxation factor (1.0 = Gauss-Seidel; must be in `(0, 2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `omega` is outside `(0, 2)`.
+    pub fn with_relaxation(mut self, omega: f64) -> Self {
+        assert!(omega > 0.0 && omega < 2.0, "SOR relaxation must be in (0, 2)");
+        self.relaxation = omega;
+        self
+    }
+
+    /// Solves for the steady-state temperature field.
+    ///
+    /// `power_per_die[d]` is the power map (in watts per bin) of die `d`'s active layer;
+    /// `tsv_per_interface[i]` is the TSV field of the bond layer between die `i` and die
+    /// `i+1`. All maps must share one grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] when the inputs are inconsistent or the iteration fails to
+    /// converge.
+    pub fn solve(
+        &self,
+        power_per_die: &[GridMap],
+        tsv_per_interface: &[TsvField],
+    ) -> Result<ThermalResult, SolveError> {
+        let dies = self.config.stack.dies();
+        if power_per_die.len() != dies {
+            return Err(SolveError::PowerMapCount {
+                got: power_per_die.len(),
+                expected: dies,
+            });
+        }
+        let interfaces = self.config.interfaces();
+        if tsv_per_interface.len() != interfaces {
+            return Err(SolveError::TsvFieldCount {
+                got: tsv_per_interface.len(),
+                expected: interfaces,
+            });
+        }
+        let grid = power_per_die[0].grid();
+        if power_per_die.iter().any(|m| m.grid() != grid)
+            || tsv_per_interface.iter().any(|f| f.density().grid() != grid)
+        {
+            return Err(SolveError::GridMismatch);
+        }
+
+        let network = Network::build(&self.config, grid, power_per_die, tsv_per_interface);
+        let (temps, iterations, residual) =
+            network.solve_sor(self.relaxation, self.max_iterations, self.tolerance);
+        if residual > self.tolerance {
+            return Err(SolveError::NotConverged {
+                residual,
+                iterations,
+            });
+        }
+
+        let layers = self.config.layer_count();
+        let bins = grid.bins();
+        let mut layer_temperatures = Vec::with_capacity(layers);
+        for l in 0..layers {
+            let values = temps[l * bins..(l + 1) * bins].to_vec();
+            layer_temperatures.push(GridMap::from_values(grid, values));
+        }
+        let die_temperatures = (0..dies)
+            .map(|d| {
+                let l = self
+                    .config
+                    .active_layer_of(d)
+                    .expect("config must contain an active layer per die");
+                layer_temperatures[l].clone()
+            })
+            .collect();
+
+        Ok(ThermalResult {
+            config: self.config.clone(),
+            die_temperatures,
+            layer_temperatures,
+            iterations,
+            residual,
+        })
+    }
+}
+
+/// Assembled conductance network in structure-of-arrays form for the SOR sweep.
+struct Network {
+    layers: usize,
+    cols: usize,
+    rows: usize,
+    /// Lateral conductance to the +x neighbour, per node.
+    gx: Vec<f64>,
+    /// Lateral conductance to the +y neighbour, per node.
+    gy: Vec<f64>,
+    /// Vertical conductance to the node one layer up, per node.
+    gz: Vec<f64>,
+    /// Conductance to ambient (boundary paths), per node.
+    gb: Vec<f64>,
+    /// Injected power per node, in watts.
+    power: Vec<f64>,
+    ambient: f64,
+}
+
+impl Network {
+    fn build(
+        config: &ThermalConfig,
+        grid: Grid,
+        power_per_die: &[GridMap],
+        tsv_per_interface: &[TsvField],
+    ) -> Network {
+        let layers = config.layer_count();
+        let cols = grid.cols();
+        let rows = grid.rows();
+        let bins = grid.bins();
+        let n = layers * bins;
+
+        let dx = grid.bin_width() * 1e-6;
+        let dy = grid.bin_height() * 1e-6;
+        let area = dx * dy;
+
+        // Effective conductivity per node: bond layers mix the bond material with copper
+        // according to the local TSV density.
+        let mut k_eff = vec![0.0; n];
+        for (l, layer) in config.layers.iter().enumerate() {
+            for b in 0..bins {
+                let idx = l * bins + b;
+                k_eff[idx] = match layer.kind {
+                    StackLayerKind::Bond { interface } => {
+                        let d = tsv_per_interface[interface].density().values()[b];
+                        layer.material.conductivity * (1.0 - d)
+                            + MaterialProperties::COPPER.conductivity * d
+                    }
+                    _ => layer.material.conductivity,
+                };
+            }
+        }
+
+        let mut gx = vec![0.0; n];
+        let mut gy = vec![0.0; n];
+        let mut gz = vec![0.0; n];
+        let mut gb = vec![0.0; n];
+        let mut power = vec![0.0; n];
+
+        for (l, layer) in config.layers.iter().enumerate() {
+            let dz = layer.thickness;
+            for row in 0..rows {
+                for col in 0..cols {
+                    let b = row * cols + col;
+                    let idx = l * bins + b;
+                    let k = k_eff[idx];
+                    // Lateral conductances (series of the two half-bins).
+                    if col + 1 < cols {
+                        let k_next = k_eff[l * bins + b + 1];
+                        gx[idx] = series_conductance(k, k_next, dx, dz * dy);
+                    }
+                    if row + 1 < rows {
+                        let k_next = k_eff[l * bins + b + cols];
+                        gy[idx] = series_conductance(k, k_next, dy, dz * dx);
+                    }
+                    // Vertical conductance to the next layer up.
+                    if l + 1 < layers {
+                        let up = config.layers[l + 1];
+                        let k_up = k_eff[(l + 1) * bins + b];
+                        let r = dz / (2.0 * k * area) + up.thickness / (2.0 * k_up * area);
+                        gz[idx] = 1.0 / r;
+                    }
+                    // Boundary paths.
+                    if l == 0 && config.secondary_conductance > 0.0 {
+                        let r = dz / (2.0 * k * area) + 1.0 / (config.secondary_conductance * area);
+                        gb[idx] += 1.0 / r;
+                    }
+                    if l + 1 == layers && config.heatsink_conductance > 0.0 {
+                        let r = dz / (2.0 * k * area) + 1.0 / (config.heatsink_conductance * area);
+                        gb[idx] += 1.0 / r;
+                    }
+                }
+            }
+            if let StackLayerKind::ActiveSilicon { die } = layer.kind {
+                let map = &power_per_die[die];
+                for b in 0..bins {
+                    power[l * bins + b] += map.values()[b];
+                }
+            }
+        }
+
+        Network {
+            layers,
+            cols,
+            rows,
+            gx,
+            gy,
+            gz,
+            gb,
+            power,
+            ambient: config.ambient,
+        }
+    }
+
+    /// One SOR solve; returns (temperatures, iterations, final residual).
+    fn solve_sor(&self, omega: f64, max_iterations: usize, tolerance: f64) -> (Vec<f64>, usize, f64) {
+        let bins = self.cols * self.rows;
+        let n = self.layers * bins;
+        let mut t = vec![self.ambient; n];
+        let mut residual = f64::INFINITY;
+        let mut iterations = 0;
+
+        for iter in 0..max_iterations {
+            residual = 0.0;
+            for l in 0..self.layers {
+                for row in 0..self.rows {
+                    for col in 0..self.cols {
+                        let b = row * self.cols + col;
+                        let idx = l * bins + b;
+                        let mut g_sum = self.gb[idx];
+                        let mut flow = self.gb[idx] * self.ambient + self.power[idx];
+
+                        if col + 1 < self.cols {
+                            let g = self.gx[idx];
+                            g_sum += g;
+                            flow += g * t[idx + 1];
+                        }
+                        if col > 0 {
+                            let g = self.gx[idx - 1];
+                            g_sum += g;
+                            flow += g * t[idx - 1];
+                        }
+                        if row + 1 < self.rows {
+                            let g = self.gy[idx];
+                            g_sum += g;
+                            flow += g * t[idx + self.cols];
+                        }
+                        if row > 0 {
+                            let g = self.gy[idx - self.cols];
+                            g_sum += g;
+                            flow += g * t[idx - self.cols];
+                        }
+                        if l + 1 < self.layers {
+                            let g = self.gz[idx];
+                            g_sum += g;
+                            flow += g * t[idx + bins];
+                        }
+                        if l > 0 {
+                            let g = self.gz[idx - bins];
+                            g_sum += g;
+                            flow += g * t[idx - bins];
+                        }
+
+                        if g_sum > 0.0 {
+                            let new = flow / g_sum;
+                            let update = new - t[idx];
+                            t[idx] += omega * update;
+                            residual = residual.max(update.abs());
+                        }
+                    }
+                }
+            }
+            iterations = iter + 1;
+            if residual < tolerance {
+                break;
+            }
+        }
+        (t, iterations, residual)
+    }
+}
+
+/// Conductance of two half-bins in series along one lateral axis.
+fn series_conductance(k_a: f64, k_b: f64, length: f64, cross_section: f64) -> f64 {
+    let r = length / (2.0 * k_a * cross_section) + length / (2.0 * k_b * cross_section);
+    1.0 / r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TsvPattern;
+    use tsc3d_geometry::{Outline, Rect, Stack};
+
+    fn setup(grid_n: usize) -> (ThermalConfig, Grid) {
+        let stack = Stack::two_die(Outline::new(2000.0, 2000.0));
+        let grid = Grid::square(stack.outline().rect(), grid_n);
+        (ThermalConfig::default_for(stack), grid)
+    }
+
+    fn uniform_power(grid: Grid, total: f64) -> GridMap {
+        GridMap::constant(grid, total / grid.bins() as f64)
+    }
+
+    #[test]
+    fn zero_power_stays_at_ambient() {
+        let (cfg, grid) = setup(8);
+        let solver = SteadyStateSolver::new(cfg);
+        let power = vec![GridMap::zeros(grid), GridMap::zeros(grid)];
+        let tsvs = vec![TsvField::empty(grid)];
+        let r = solver.solve(&power, &tsvs).unwrap();
+        assert!((r.peak_temperature() - 293.0).abs() < 1e-6);
+        assert!(r.peak_rise().abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_power_heats_above_ambient() {
+        let (cfg, grid) = setup(8);
+        let solver = SteadyStateSolver::new(cfg);
+        let power = vec![uniform_power(grid, 2.0), uniform_power(grid, 2.0)];
+        let tsvs = vec![TsvField::uniform(grid, 0.05)];
+        let r = solver.solve(&power, &tsvs).unwrap();
+        assert!(r.peak_rise() > 0.5, "peak rise {}", r.peak_rise());
+        // Both dies stay within a physically plausible range for 4 W on 4 mm².
+        assert!(r.peak_temperature() < 450.0);
+    }
+
+    #[test]
+    fn bottom_die_runs_hotter_than_top() {
+        // The heatsink sits above the top die, so for equal power the bottom die (longer
+        // path to the sink) must be hotter on average.
+        let (cfg, grid) = setup(8);
+        let solver = SteadyStateSolver::new(cfg);
+        let power = vec![uniform_power(grid, 2.0), uniform_power(grid, 2.0)];
+        let tsvs = vec![TsvField::empty(grid)];
+        let r = solver.solve(&power, &tsvs).unwrap();
+        assert!(r.die_temperature(0).mean() > r.die_temperature(1).mean());
+    }
+
+    #[test]
+    fn hotspot_appears_over_the_powered_block() {
+        let (cfg, grid) = setup(16);
+        let solver = SteadyStateSolver::new(cfg);
+        let mut p0 = GridMap::zeros(grid);
+        p0.splat_power(&Rect::new(0.0, 0.0, 500.0, 500.0), 3.0);
+        let power = vec![p0, GridMap::zeros(grid)];
+        let tsvs = vec![TsvField::empty(grid)];
+        let r = solver.solve(&power, &tsvs).unwrap();
+        let hottest = r.die_temperature(0).argmax();
+        // Hotspot must lie in the lower-left quadrant where the power is injected.
+        assert!(hottest.col < 8 && hottest.row < 8, "hotspot at {hottest}");
+    }
+
+    #[test]
+    fn more_tsvs_reduce_bottom_die_temperature() {
+        let (cfg, grid) = setup(8);
+        let solver = SteadyStateSolver::new(cfg);
+        let power = vec![uniform_power(grid, 3.0), GridMap::zeros(grid)];
+        let few = solver
+            .solve(&power, &[TsvField::empty(grid)])
+            .unwrap()
+            .die_temperature(0)
+            .mean();
+        let many = solver
+            .solve(&power, &[TsvField::uniform(grid, 0.2)])
+            .unwrap()
+            .die_temperature(0)
+            .mean();
+        assert!(
+            many < few,
+            "TSVs should cool the bottom die: {many} !< {few}"
+        );
+    }
+
+    #[test]
+    fn energy_is_conserved_at_steady_state() {
+        // At steady state all injected power must leave through the two boundary paths;
+        // equivalently the temperature rise must scale linearly with total power.
+        let (cfg, grid) = setup(8);
+        let solver = SteadyStateSolver::new(cfg);
+        let tsvs = vec![TsvField::uniform(grid, 0.05)];
+        let r1 = solver
+            .solve(&[uniform_power(grid, 1.0), GridMap::zeros(grid)], &tsvs)
+            .unwrap();
+        let r2 = solver
+            .solve(&[uniform_power(grid, 2.0), GridMap::zeros(grid)], &tsvs)
+            .unwrap();
+        let rise1 = r1.peak_rise();
+        let rise2 = r2.peak_rise();
+        assert!(
+            (rise2 / rise1 - 2.0).abs() < 1e-3,
+            "linearity violated: {rise1} vs {rise2}"
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        let (cfg, grid) = setup(4);
+        let solver = SteadyStateSolver::new(cfg);
+        let err = solver.solve(&[GridMap::zeros(grid)], &[TsvField::empty(grid)]);
+        assert!(matches!(err, Err(SolveError::PowerMapCount { expected: 2, got: 1 })));
+        let err = solver.solve(&[GridMap::zeros(grid), GridMap::zeros(grid)], &[]);
+        assert!(matches!(err, Err(SolveError::TsvFieldCount { expected: 1, got: 0 })));
+        let other_grid = Grid::square(Rect::from_size(2000.0, 2000.0), 5);
+        let err = solver.solve(
+            &[GridMap::zeros(grid), GridMap::zeros(other_grid)],
+            &[TsvField::empty(grid)],
+        );
+        assert!(matches!(err, Err(SolveError::GridMismatch)));
+    }
+
+    #[test]
+    fn non_convergence_is_reported() {
+        let (cfg, grid) = setup(8);
+        let solver = SteadyStateSolver::new(cfg).with_max_iterations(2);
+        let power = vec![uniform_power(grid, 2.0), uniform_power(grid, 2.0)];
+        let err = solver.solve(&power, &[TsvField::empty(grid)]).unwrap_err();
+        assert!(matches!(err, SolveError::NotConverged { .. }));
+        assert!(format!("{err}").contains("did not converge"));
+    }
+
+    #[test]
+    fn exploratory_patterns_affect_thermal_map_structure() {
+        let (cfg, grid) = setup(16);
+        let solver = SteadyStateSolver::new(cfg);
+        let mut p0 = GridMap::zeros(grid);
+        p0.splat_power(&Rect::new(0.0, 0.0, 1000.0, 1000.0), 2.0);
+        p0.splat_power(&Rect::new(1000.0, 1000.0, 1000.0, 1000.0), 0.5);
+        let power = vec![p0, uniform_power(grid, 1.0)];
+        let none = solver
+            .solve(&power, &[TsvField::from_pattern(grid, TsvPattern::None, 1)])
+            .unwrap();
+        let max = solver
+            .solve(&power, &[TsvField::from_pattern(grid, TsvPattern::MaxDensity, 1)])
+            .unwrap();
+        // Dense TSVs flatten the bottom-die thermal profile.
+        assert!(max.die_temperature(0).std_dev() < none.die_temperature(0).std_dev());
+    }
+
+    #[test]
+    fn relaxation_validation() {
+        let (cfg, _) = setup(4);
+        let s = SteadyStateSolver::new(cfg).with_relaxation(1.0).with_tolerance(1e-4);
+        assert_eq!(s.config().ambient, 293.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "relaxation")]
+    fn invalid_relaxation_panics() {
+        let (cfg, _) = setup(4);
+        let _ = SteadyStateSolver::new(cfg).with_relaxation(2.5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Lumped transient thermal model.
+//!
+//! Figure 1 of the paper illustrates the central practical limitation of the thermal side
+//! channel: switching activity and power change on nanosecond scales, while on-die
+//! temperatures respond on millisecond-to-second scales. This module provides a small lumped
+//! RC model per die that reproduces this time-scale gap and is used by the `figure1`
+//! experiment binary.
+
+use crate::{MaterialProperties, ThermalConfig};
+use serde::{Deserialize, Serialize};
+
+/// A lumped (single-node-per-die) transient thermal model.
+///
+/// Each die is represented by one thermal capacitance (its silicon volume) and one
+/// resistance towards ambient derived from the configured boundary conductances. The model
+/// intentionally ignores lateral detail — it only has to reproduce the *time constants*.
+///
+/// ```
+/// use tsc3d_geometry::{Outline, Stack};
+/// use tsc3d_thermal::{ThermalConfig, transient::LumpedTransient};
+///
+/// let config = ThermalConfig::default_for(Stack::two_die(Outline::new(4000.0, 4000.0)));
+/// let model = LumpedTransient::new(&config);
+/// assert!(model.time_constant(0) > 1e-4); // much slower than logic (ns)
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LumpedTransient {
+    /// Thermal capacitance per die in J/K.
+    capacitance: Vec<f64>,
+    /// Thermal resistance towards ambient per die in K/W.
+    resistance: Vec<f64>,
+    /// Ambient temperature in K.
+    ambient: f64,
+}
+
+/// One sample of a transient simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientSample {
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// Instantaneous power in watts.
+    pub power: f64,
+    /// Die temperature in kelvin.
+    pub temperature: f64,
+}
+
+impl LumpedTransient {
+    /// Builds the lumped model from a thermal configuration.
+    pub fn new(config: &ThermalConfig) -> Self {
+        let area_m2 = config.stack.outline().area() * 1e-12;
+        let dies = config.stack.dies();
+        let mut capacitance = Vec::with_capacity(dies);
+        let mut resistance = Vec::with_capacity(dies);
+        for die in 0..dies {
+            // Capacitance: silicon volume of the die's active layer.
+            let thickness = config
+                .active_layer_of(die)
+                .map(|l| config.layers[l].thickness)
+                .unwrap_or(100e-6);
+            let c = MaterialProperties::SILICON.volumetric_heat_capacity * area_m2 * thickness;
+            // Resistance: top die goes through the heatsink path, lower dies additionally
+            // through one bond layer per crossed interface.
+            let sink_r = 1.0 / (config.heatsink_conductance * area_m2);
+            let crossings = (dies - 1 - die) as f64;
+            let bond_r = crossings
+                * (20e-6 / (MaterialProperties::BOND.conductivity * area_m2)
+                    + 100e-6 / (MaterialProperties::SILICON.conductivity * area_m2));
+            capacitance.push(c);
+            resistance.push(sink_r + bond_r);
+        }
+        Self {
+            capacitance,
+            resistance,
+            ambient: config.ambient,
+        }
+    }
+
+    /// Thermal RC time constant of die `die` in seconds.
+    pub fn time_constant(&self, die: usize) -> f64 {
+        self.resistance[die] * self.capacitance[die]
+    }
+
+    /// Steady-state temperature of die `die` for a constant power `p` in watts.
+    pub fn steady_state(&self, die: usize, p: f64) -> f64 {
+        self.ambient + p * self.resistance[die]
+    }
+
+    /// Simulates die `die` under a time-varying power waveform using explicit Euler
+    /// integration.
+    ///
+    /// `power(t)` returns the instantaneous power in watts at time `t` (seconds). The
+    /// simulation runs from 0 to `duration` with the given `dt`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` or `duration` is non-positive.
+    pub fn simulate<F>(&self, die: usize, power: F, duration: f64, dt: f64) -> Vec<TransientSample>
+    where
+        F: Fn(f64) -> f64,
+    {
+        assert!(dt > 0.0 && duration > 0.0, "dt and duration must be positive");
+        let c = self.capacitance[die];
+        let r = self.resistance[die];
+        let steps = (duration / dt).ceil() as usize;
+        let mut t_die = self.ambient;
+        let mut out = Vec::with_capacity(steps + 1);
+        for step in 0..=steps {
+            let time = step as f64 * dt;
+            let p = power(time);
+            out.push(TransientSample {
+                time,
+                power: p,
+                temperature: t_die,
+            });
+            // dT/dt = (P - (T - T_amb)/R) / C
+            let dtemp = (p - (t_die - self.ambient) / r) / c;
+            t_die += dtemp * dt;
+        }
+        out
+    }
+
+    /// Produces the data behind Figure 1: a power waveform toggling every `period` seconds
+    /// between `p_low` and `p_high`, together with the (much slower) thermal response.
+    pub fn time_scale_demo(
+        &self,
+        die: usize,
+        p_low: f64,
+        p_high: f64,
+        period: f64,
+        duration: f64,
+        samples: usize,
+    ) -> Vec<TransientSample> {
+        let dt = duration / samples as f64;
+        self.simulate(
+            die,
+            |t| {
+                if ((t / period) as u64) % 2 == 0 {
+                    p_high
+                } else {
+                    p_low
+                }
+            },
+            duration,
+            dt,
+        )
+    }
+
+    /// Ambient temperature of the model in kelvin.
+    pub fn ambient(&self) -> f64 {
+        self.ambient
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc3d_geometry::{Outline, Stack};
+
+    fn model() -> LumpedTransient {
+        let config = ThermalConfig::default_for(Stack::two_die(Outline::new(4000.0, 4000.0)));
+        LumpedTransient::new(&config)
+    }
+
+    #[test]
+    fn time_constants_are_slow_compared_to_logic() {
+        let m = model();
+        // Thermal time constants must be orders of magnitude above nanoseconds.
+        assert!(m.time_constant(0) > 1e-4);
+        assert!(m.time_constant(1) > 1e-5);
+        // The bottom die (further from the sink) is slower than the top die.
+        assert!(m.time_constant(0) > m.time_constant(1));
+    }
+
+    #[test]
+    fn step_response_approaches_steady_state() {
+        let m = model();
+        let tau = m.time_constant(1);
+        let samples = m.simulate(1, |_| 2.0, 8.0 * tau, tau / 50.0);
+        let last = samples.last().unwrap();
+        let target = m.steady_state(1, 2.0);
+        assert!((last.temperature - target).abs() / (target - m.ambient()) < 0.02);
+        // Early in the transient the temperature must still be far from steady state.
+        let early = &samples[samples.len() / 100];
+        assert!((early.temperature - m.ambient()) < 0.7 * (target - m.ambient()));
+    }
+
+    #[test]
+    fn fast_power_toggling_is_filtered_out() {
+        let m = model();
+        let tau = m.time_constant(1);
+        // Toggle power 1000x faster than the time constant: the temperature ripple must be
+        // tiny compared to the mean rise — this is the low-bandwidth property of the TSC.
+        let samples = m.time_scale_demo(1, 0.0, 2.0, tau / 1000.0, 4.0 * tau, 40_000);
+        // Look at the tail of the simulation only, where the slow exponential settling no
+        // longer masks the (tiny) toggling-induced ripple.
+        let tail = &samples[samples.len() - samples.len() / 40..];
+        let temps: Vec<f64> = tail.iter().map(|s| s.temperature).collect();
+        let mean = temps.iter().sum::<f64>() / temps.len() as f64;
+        let ripple = temps.iter().cloned().fold(f64::MIN, f64::max)
+            - temps.iter().cloned().fold(f64::MAX, f64::min);
+        let rise = mean - m.ambient();
+        assert!(rise > 0.0);
+        assert!(ripple / rise < 0.05, "ripple {ripple} vs rise {rise}");
+        // The mean settles near the average-power steady state.
+        let target = m.steady_state(1, 1.0);
+        assert!((mean - target).abs() / (target - m.ambient()) < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_dt_panics() {
+        let m = model();
+        let _ = m.simulate(0, |_| 1.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Block-level timing graph: critical path and per-module slack.
+
+use crate::{ElmoreModel, ModuleDelayModel, NetTopology};
+use serde::{Deserialize, Serialize};
+use tsc3d_netlist::{BlockId, Design, NetId};
+
+/// Summary of the critical (longest) path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathSummary {
+    /// Total path delay in ns.
+    pub delay: f64,
+    /// Blocks along the path, in topological order.
+    pub blocks: Vec<BlockId>,
+}
+
+/// Result of a timing analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    arrival: Vec<f64>,
+    required: Vec<f64>,
+    critical: PathSummary,
+}
+
+impl TimingReport {
+    /// Critical (longest-path) delay in ns.
+    pub fn critical_delay(&self) -> f64 {
+        self.critical.delay
+    }
+
+    /// The critical path itself.
+    pub fn critical_path(&self) -> &PathSummary {
+        &self.critical
+    }
+
+    /// Arrival time (longest path delay up to and including the block) in ns.
+    pub fn arrival(&self, block: BlockId) -> f64 {
+        self.arrival[block.index()]
+    }
+
+    /// Required time of the block for the design to meet the critical delay, in ns.
+    pub fn required(&self, block: BlockId) -> f64 {
+        self.required[block.index()]
+    }
+
+    /// Timing slack of the block in ns (non-negative; zero on the critical path).
+    pub fn slack(&self, block: BlockId) -> f64 {
+        (self.required[block.index()] - self.arrival[block.index()]).max(0.0)
+    }
+
+    /// Slack of every block, indexable by block id.
+    pub fn slacks(&self) -> Vec<f64> {
+        (0..self.arrival.len())
+            .map(|i| self.slack(BlockId(i)))
+            .collect()
+    }
+}
+
+/// A directed acyclic timing graph derived from the block-level netlist.
+///
+/// Block-level benchmarks carry undirected nets with no signal directions, so — as is usual
+/// for floorplanning-stage timing estimation — a deterministic direction is imposed: within
+/// each net, the block with the smallest id drives the remaining pins. The resulting DAG is
+/// fixed per design; only the *weights* (net delays from the current placement, module
+/// delays scaled by the assigned voltage) change between floorplanning iterations, which
+/// keeps re-analysis cheap inside the optimization loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingGraph {
+    blocks: usize,
+    /// Directed edges `(driver, sink, net)`.
+    edges: Vec<(BlockId, BlockId, NetId)>,
+    /// Outgoing adjacency per block (edge indices).
+    out_edges: Vec<Vec<usize>>,
+    /// Topological order of block ids (increasing id is already topological for our edge
+    /// direction rule, stored explicitly for clarity).
+    topo: Vec<BlockId>,
+}
+
+impl TimingGraph {
+    /// Builds the timing DAG for a design.
+    pub fn new(design: &Design) -> Self {
+        let blocks = design.blocks().len();
+        let mut edges = Vec::new();
+        let mut out_edges = vec![Vec::new(); blocks];
+        for (net_id, net) in design.iter_nets() {
+            let pins: Vec<BlockId> = net.blocks().collect();
+            if pins.len() < 2 {
+                continue;
+            }
+            let driver = *pins.iter().min().expect("non-empty");
+            for &sink in &pins {
+                if sink != driver {
+                    out_edges[driver.index()].push(edges.len());
+                    edges.push((driver, sink, net_id));
+                }
+            }
+        }
+        let topo = (0..blocks).map(BlockId).collect();
+        Self {
+            blocks,
+            edges,
+            out_edges,
+            topo,
+        }
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Nominal intrinsic delay of every module in the design (ns), before voltage scaling.
+    pub fn nominal_module_delays(design: &Design, model: &ModuleDelayModel) -> Vec<f64> {
+        design.blocks().iter().map(|b| model.module_delay(b.area())).collect()
+    }
+
+    /// Net delays for the given per-net topologies (ns).
+    pub fn net_delays(model: &ElmoreModel, topologies: &[NetTopology]) -> Vec<f64> {
+        topologies.iter().map(|t| model.net_delay(t)).collect()
+    }
+
+    /// Runs a full longest-path analysis.
+    ///
+    /// `module_delays[b]` is the (voltage-scaled) intrinsic delay of block `b` in ns;
+    /// `net_delays[n]` the delay of net `n` in ns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay vectors do not match the design's block/net counts.
+    pub fn analyze(&self, module_delays: &[f64], net_delays: &[f64]) -> TimingReport {
+        assert_eq!(module_delays.len(), self.blocks, "one delay per block required");
+        let mut arrival = vec![0.0_f64; self.blocks];
+        let mut pred: Vec<Option<usize>> = vec![None; self.blocks];
+
+        // Forward pass in topological (= id) order: arrival includes the block's own delay.
+        for &block in &self.topo {
+            let b = block.index();
+            arrival[b] += module_delays[b];
+            for &edge_idx in &self.out_edges[b] {
+                let (_, sink, net) = self.edges[edge_idx];
+                assert!(
+                    net.index() < net_delays.len(),
+                    "one delay per net required (missing net {net})"
+                );
+                let candidate = arrival[b] + net_delays[net.index()];
+                if candidate > arrival[sink.index()] {
+                    arrival[sink.index()] = candidate;
+                    pred[sink.index()] = Some(edge_idx);
+                }
+            }
+        }
+
+        let (critical_end, &critical_delay) = arrival
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("design has at least one block");
+
+        // Backward pass for required times.
+        let mut required = vec![critical_delay; self.blocks];
+        for &block in self.topo.iter().rev() {
+            let b = block.index();
+            for &edge_idx in &self.out_edges[b] {
+                let (_, sink, net) = self.edges[edge_idx];
+                let candidate =
+                    required[sink.index()] - module_delays[sink.index()] - net_delays[net.index()];
+                if candidate < required[b] {
+                    required[b] = candidate;
+                }
+            }
+        }
+        // Required time of a block is measured at its output (after its own delay), same
+        // reference as arrival, so clamp to at least its own arrival contribution origin.
+        // (arrival uses "output of block" convention throughout.)
+
+        // Reconstruct the critical path.
+        let mut path = vec![BlockId(critical_end)];
+        let mut cursor = critical_end;
+        while let Some(edge_idx) = pred[cursor] {
+            let (driver, _, _) = self.edges[edge_idx];
+            path.push(driver);
+            cursor = driver.index();
+        }
+        path.reverse();
+
+        TimingReport {
+            arrival,
+            required,
+            critical: PathSummary {
+                delay: critical_delay,
+                blocks: path,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsc3d_geometry::Outline;
+    use tsc3d_netlist::{Block, BlockShape, Net, PinRef};
+
+    /// A chain a -> b -> c plus a side branch a -> d.
+    fn chain_design() -> Design {
+        let blocks = vec![
+            Block::new("a", BlockShape::soft(10_000.0), 0.1),
+            Block::new("b", BlockShape::soft(40_000.0), 0.2),
+            Block::new("c", BlockShape::soft(10_000.0), 0.1),
+            Block::new("d", BlockShape::soft(2_500.0), 0.05),
+        ];
+        let nets = vec![
+            Net::new("ab", vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(1))]),
+            Net::new("bc", vec![PinRef::Block(BlockId(1)), PinRef::Block(BlockId(2))]),
+            Net::new("ad", vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(3))]),
+        ];
+        Design::new("chain", blocks, nets, vec![], Outline::new(1_000.0, 1_000.0)).unwrap()
+    }
+
+    fn uniform_delays(design: &Design, module: f64, net: f64) -> (Vec<f64>, Vec<f64>) {
+        (
+            vec![module; design.blocks().len()],
+            vec![net; design.nets().len()],
+        )
+    }
+
+    #[test]
+    fn graph_structure() {
+        let d = chain_design();
+        let g = TimingGraph::new(&d);
+        // Each 2-pin net contributes one edge.
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn critical_path_follows_longest_chain() {
+        let d = chain_design();
+        let g = TimingGraph::new(&d);
+        let (m, n) = uniform_delays(&d, 1.0, 0.5);
+        let report = g.analyze(&m, &n);
+        // a(1) -0.5-> b(1) -0.5-> c(1) = 4.0
+        assert!((report.critical_delay() - 4.0).abs() < 1e-9);
+        assert_eq!(
+            report.critical_path().blocks,
+            vec![BlockId(0), BlockId(1), BlockId(2)]
+        );
+    }
+
+    #[test]
+    fn slack_is_zero_on_critical_path_and_positive_off_it() {
+        let d = chain_design();
+        let g = TimingGraph::new(&d);
+        let (m, n) = uniform_delays(&d, 1.0, 0.5);
+        let report = g.analyze(&m, &n);
+        assert!(report.slack(BlockId(0)) < 1e-9);
+        assert!(report.slack(BlockId(1)) < 1e-9);
+        assert!(report.slack(BlockId(2)) < 1e-9);
+        // The short branch a -> d has slack: critical 4.0 vs a(1)+0.5+d(1) = 2.5.
+        assert!((report.slack(BlockId(3)) - 1.5).abs() < 1e-9);
+        assert_eq!(report.slacks().len(), 4);
+    }
+
+    #[test]
+    fn larger_module_delays_increase_critical_delay() {
+        let d = chain_design();
+        let g = TimingGraph::new(&d);
+        let model = ModuleDelayModel::default_90nm();
+        let nominal = TimingGraph::nominal_module_delays(&d, &model);
+        assert_eq!(nominal.len(), 4);
+        // Block b has 4x the area of a → 2x the linear size → larger intrinsic delay.
+        assert!(nominal[1] > nominal[0]);
+
+        let net_delays = vec![0.1; d.nets().len()];
+        let base = g.analyze(&nominal, &net_delays).critical_delay();
+        let slowed: Vec<f64> = nominal.iter().map(|x| x * 1.56).collect();
+        let slow = g.analyze(&slowed, &net_delays).critical_delay();
+        assert!(slow > base);
+    }
+
+    #[test]
+    fn net_delay_helper_matches_model() {
+        let model = ElmoreModel::default_90nm();
+        let topos = vec![NetTopology::new(100.0, 0, 1), NetTopology::new(5_000.0, 1, 2)];
+        let delays = TimingGraph::net_delays(&model, &topos);
+        assert_eq!(delays.len(), 2);
+        assert!(delays[1] > delays[0]);
+    }
+
+    #[test]
+    fn arrival_times_are_monotone_along_edges() {
+        let d = chain_design();
+        let g = TimingGraph::new(&d);
+        let (m, n) = uniform_delays(&d, 0.7, 0.3);
+        let r = g.analyze(&m, &n);
+        assert!(r.arrival(BlockId(1)) > r.arrival(BlockId(0)));
+        assert!(r.arrival(BlockId(2)) > r.arrival(BlockId(1)));
+        assert!(r.required(BlockId(0)) <= r.required(BlockId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "one delay per block")]
+    fn wrong_module_delay_count_panics() {
+        let d = chain_design();
+        let g = TimingGraph::new(&d);
+        let _ = g.analyze(&[1.0], &[0.1, 0.1, 0.1]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Timing analysis for block-level 3D-IC floorplanning.
+//!
+//! The paper's voltage-assignment technique is *timing-driven*: "the prospects for voltage
+//! assignment depend primarily on timing slacks — the more slack a module has, the lower the
+//! voltage we may apply". This crate provides the timing substrate:
+//!
+//! * [`ElmoreModel`] — Elmore RC delays for block-to-block nets, accounting for wire length
+//!   (half-perimeter estimate) and for TSVs when the net spans dies,
+//! * [`ModuleDelayModel`] — a simple area/complexity-based intrinsic delay per module, after
+//!   the model the paper adopts from its reference [27],
+//! * [`VoltageLevel`] and [`VoltageScaling`] — the three 90 nm operating points used in the
+//!   paper (0.8 V, 1.0 V, 1.2 V) with their power and delay scaling factors,
+//! * [`TimingGraph`] — a DAG over modules built from the netlist, supporting critical-path
+//!   (longest path) analysis and per-module slack extraction.
+//!
+//! # Example
+//!
+//! ```
+//! use tsc3d_timing::{VoltageLevel, VoltageScaling};
+//!
+//! let scaling = VoltageScaling::paper_90nm();
+//! assert_eq!(scaling.levels().len(), 3);
+//! assert!(scaling.power_factor(VoltageLevel::V0_8) < 1.0);
+//! assert!(scaling.delay_factor(VoltageLevel::V0_8) > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod delay;
+mod graph;
+mod voltage;
+
+pub use delay::{ElmoreModel, ModuleDelayModel, NetTopology};
+pub use graph::{PathSummary, TimingGraph, TimingReport};
+pub use voltage::{VoltageLevel, VoltageScaling};

@@ -1,0 +1,70 @@
+//! The exploratory power/TSV study of Section 3 / Figure 2 of the paper.
+//!
+//! Evaluates all 30 combinations of 5 power distributions and 6 TSV distributions on a
+//! two-die stack with the detailed thermal solver, and prints the per-die power–temperature
+//! correlations.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example exploratory_study
+//! ```
+
+use tsc3d::exploration::{run_exploration, ExplorationConfig, PowerPattern};
+use tsc3d_thermal::TsvPattern;
+
+fn main() {
+    let config = ExplorationConfig {
+        outline_mm2: 16.0,
+        grid_bins: 24,
+        power_per_die: 4.0,
+        seed: 7,
+    };
+    println!(
+        "exploratory study: {} mm² dies, {}x{} analysis grid, {} W per die",
+        config.outline_mm2, config.grid_bins, config.grid_bins, config.power_per_die
+    );
+
+    let cases = run_exploration(&config);
+
+    println!(
+        "\n{:<18} {:<28} {:>8} {:>8} {:>10}",
+        "power pattern", "TSV pattern", "r1", "r2", "peak [K]"
+    );
+    println!("{}", "-".repeat(78));
+    for power in PowerPattern::ALL {
+        for tsv in TsvPattern::ALL {
+            let case = cases
+                .iter()
+                .find(|c| c.power == power && c.tsv == tsv)
+                .expect("all combinations evaluated");
+            println!(
+                "{:<18} {:<28} {:>8.3} {:>8.3} {:>10.2}",
+                power.name(),
+                tsv.name(),
+                case.correlations[0],
+                case.correlations[1],
+                case.peak_temperature
+            );
+        }
+        println!("{}", "-".repeat(78));
+    }
+
+    // Summarize the key findings of Section 3.
+    let mean_r1 = |p: PowerPattern| {
+        cases
+            .iter()
+            .filter(|c| c.power == p)
+            .map(|c| c.correlations[0])
+            .sum::<f64>()
+            / TsvPattern::ALL.len() as f64
+    };
+    println!("\nmean bottom-die correlation per power pattern:");
+    for p in PowerPattern::ALL {
+        println!("  {:<18} {:>7.3}", p.name(), mean_r1(p));
+    }
+    println!(
+        "\nKey finding: uniform / locally-uniform power and irregular TSV arrangements \
+         decorrelate the thermal map; strong gradients and regular TSV arrays leak."
+    );
+}

@@ -1,0 +1,58 @@
+//! Quickstart: floorplan a GSRC benchmark with the TSC-aware flow and inspect the leakage.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tsc3d::{FlowConfig, Setup, TscFlow};
+use tsc3d_netlist::suite::{generate, Benchmark};
+
+fn main() {
+    // 1. Obtain a benchmark design. The suite reproduces the aggregate properties of
+    //    Table 1 of the paper (module counts, nets, outline, power).
+    let design = generate(Benchmark::N100, 1);
+    println!("design: {design}");
+
+    // 2. Configure the flow. `quick` keeps the annealing schedule small so this example
+    //    finishes in seconds; use `FlowConfig::paper` for full-strength runs.
+    let config = FlowConfig::quick(Setup::TscAware);
+    let flow = TscFlow::new(config);
+
+    // 3. Run floorplanning, verification and dummy-TSV post-processing.
+    let result = flow.run(&design, 42);
+
+    // 4. Inspect the outcome.
+    let breakdown = &result.sa.breakdown;
+    println!("--- design cost ({} setup) ---", result.setup.label());
+    println!("  wirelength       : {:.3} m", breakdown.wirelength * 1e-6);
+    println!("  critical delay   : {:.3} ns", breakdown.critical_delay);
+    println!("  total power      : {:.3} W", result.scaled_powers.iter().sum::<f64>());
+    println!("  voltage volumes  : {}", result.assignment.volume_count());
+    println!("  peak temperature : {:.2} K (detailed)", result.verification.peak_temperature);
+    println!("  signal TSVs      : {}", result.signal_tsvs());
+    println!("  dummy TSVs       : {}", result.dummy_tsvs());
+
+    println!("--- thermal leakage ---");
+    println!(
+        "  spatial entropy  : S1 = {:.3}, S2 = {:.3}",
+        result.spatial_entropies[0], result.spatial_entropies[1]
+    );
+    println!(
+        "  correlation (verified, before dummy TSVs): r1 = {:.3}, r2 = {:.3}",
+        result.verified_correlations[0], result.verified_correlations[1]
+    );
+    println!(
+        "  correlation (final, after dummy TSVs)    : r1 = {:.3}, r2 = {:.3}",
+        result.final_correlations[0], result.final_correlations[1]
+    );
+    if let Some(pp) = &result.post_process {
+        println!(
+            "  post-processing reduced the average correlation by {:.1}% ({} dummy TSVs)",
+            pp.reduction() * 100.0,
+            pp.dummy_tsvs
+        );
+    }
+    println!("flow runtime: {:.1} s", result.runtime_seconds);
+}

@@ -1,0 +1,10 @@
+//! Umbrella re-export crate.
+pub use tsc3d;
+pub use tsc3d_attack as attack;
+pub use tsc3d_floorplan as floorplan;
+pub use tsc3d_geometry as geometry;
+pub use tsc3d_leakage as leakage;
+pub use tsc3d_netlist as netlist;
+pub use tsc3d_power as power;
+pub use tsc3d_thermal as thermal;
+pub use tsc3d_timing as timing;

@@ -1,0 +1,126 @@
+//! Cross-crate integration tests: benchmark generation → floorplanning → voltage assignment
+//! → thermal analysis → leakage metrics → post-processing → attacks.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tsc3d::oracle::FloorplanOracle;
+use tsc3d::postprocess::ThermalEngine;
+use tsc3d::{FlowConfig, Setup, TscFlow};
+use tsc3d_attack::LocalizationAttack;
+use tsc3d_floorplan::{plan_signal_tsvs, Evaluator, ObjectiveWeights, SaSchedule, SequencePair3d};
+use tsc3d_geometry::Stack;
+use tsc3d_leakage::map_correlation;
+use tsc3d_netlist::suite::{generate, Benchmark};
+use tsc3d_thermal::{SteadyStateSolver, ThermalConfig};
+
+fn quick_config(setup: Setup) -> FlowConfig {
+    let mut config = FlowConfig::quick(setup);
+    config.schedule = SaSchedule {
+        stages: 8,
+        moves_per_stage: 12,
+        cooling: 0.85,
+        initial_acceptance: 0.8,
+        grid_bins: 12,
+    };
+    config.verification_bins = 12;
+    config
+}
+
+#[test]
+fn full_tsc_flow_reduces_or_preserves_verified_leakage() {
+    let design = generate(Benchmark::N100, 5);
+    let result = TscFlow::new(quick_config(Setup::TscAware)).run(&design, 5);
+
+    // The flow produces a legal floorplan within the fixed outline.
+    assert!(result.floorplan().overlap_area() < 1e-6);
+    // Voltage assignment covers every block.
+    assert_eq!(
+        result.scaled_powers.len(),
+        design.blocks().len(),
+        "one scaled power per block"
+    );
+    // The verified correlations are valid Pearson coefficients.
+    for r in &result.verified_correlations {
+        assert!(r.abs() <= 1.0);
+    }
+    // Post-processing never increases the average correlation it optimizes.
+    let pp = result.post_process.as_ref().expect("TSC flow post-processes");
+    assert!(pp.correlation_after <= pp.correlation_before + 1e-12);
+}
+
+#[test]
+fn power_aware_and_tsc_aware_flows_share_the_same_input() {
+    let design = generate(Benchmark::N100, 8);
+    let pa = TscFlow::new(quick_config(Setup::PowerAware)).run(&design, 8);
+    let tsc = TscFlow::new(quick_config(Setup::TscAware)).run(&design, 8);
+    // Same design → same number of blocks/nets everywhere.
+    assert_eq!(pa.scaled_powers.len(), tsc.scaled_powers.len());
+    // PA never inserts dummy TSVs; TSC may.
+    assert_eq!(pa.dummy_tsvs(), 0);
+    // Both produce positive total power in the right ballpark (Table 1: 7.83 W at 1.0 V,
+    // voltage scaling moves it by at most ~50 %).
+    let pa_power: f64 = pa.scaled_powers.iter().sum();
+    let tsc_power: f64 = tsc.scaled_powers.iter().sum();
+    assert!(pa_power > 3.0 && pa_power < 13.0, "PA power {pa_power}");
+    assert!(tsc_power > 3.0 && tsc_power < 13.0, "TSC power {tsc_power}");
+}
+
+#[test]
+fn evaluator_and_detailed_solver_agree_on_leakage_direction() {
+    // The fast in-loop estimate and the detailed verification must at least agree on the
+    // *sign* and rough magnitude ordering of the correlation for a strongly correlated
+    // floorplan (all power in a few hotspots).
+    let design = generate(Benchmark::N100, 2);
+    let stack = Stack::two_die(design.outline());
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let floorplan = SequencePair3d::initial(&design, stack, &mut rng).pack(&design);
+    let grid = floorplan.analysis_grid(12);
+
+    let evaluator = Evaluator::new(&design, stack, ObjectiveWeights::tsc_aware()).with_grid_bins(12);
+    let breakdown = evaluator.evaluate(&floorplan);
+
+    let powers: Vec<f64> = design.blocks().iter().map(|b| b.power()).collect();
+    let power_maps = floorplan.power_maps(grid, &powers);
+    let tsvs = plan_signal_tsvs(&design, &floorplan, grid);
+    let solver = SteadyStateSolver::new(ThermalConfig::default_for(stack));
+    let detailed = solver.solve(&power_maps, &tsvs.combined()).unwrap();
+    let detailed_r1 = map_correlation(&power_maps[0], detailed.die_temperature(0)).unwrap();
+
+    assert!(breakdown.correlations[0] > 0.0);
+    assert!(detailed_r1 > 0.0);
+}
+
+#[test]
+fn attacks_run_end_to_end_against_a_flow_result() {
+    let design = generate(Benchmark::N100, 3);
+    let result = TscFlow::new(quick_config(Setup::PowerAware)).run(&design, 3);
+    let floorplan = result.floorplan().clone();
+    let grid = floorplan.analysis_grid(12);
+    let oracle = FloorplanOracle::new(
+        floorplan,
+        grid,
+        result.final_tsv_plan.clone(),
+        ThermalEngine::Fast,
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let localization =
+        LocalizationAttack::ideal().run(&oracle, &result.scaled_powers, &oracle.footprints(), &mut rng);
+    assert_eq!(localization.outcomes.len(), design.blocks().len());
+    assert!(localization.hit_rate() >= 0.0 && localization.hit_rate() <= 1.0);
+    assert!(localization.mean_error_um() >= 0.0);
+}
+
+#[test]
+fn suite_designs_floorplan_within_reasonable_outline_stretch() {
+    // Every benchmark generator must produce designs the floorplanner can pack into (or
+    // close to) the fixed outline even with a very short schedule.
+    for benchmark in [Benchmark::N100, Benchmark::Ibm01] {
+        let design = generate(benchmark, 1);
+        let result = TscFlow::new(quick_config(Setup::PowerAware)).run(&design, 1);
+        assert!(
+            result.sa.breakdown.packing < 1.6,
+            "{benchmark:?}: packing stretch {}",
+            result.sa.breakdown.packing
+        );
+    }
+}

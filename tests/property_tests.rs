@@ -1,0 +1,146 @@
+//! Property-based tests of core invariants across the workspace.
+
+use proptest::prelude::*;
+use tsc3d_geometry::{Grid, GridMap, Outline, Rect, Stack};
+use tsc3d_leakage::{pearson, SpatialEntropy};
+use tsc3d_netlist::{Block, BlockId, BlockShape, Design, Net, PinRef};
+use tsc3d_thermal::{SteadyStateSolver, ThermalConfig, TsvField};
+use tsc3d_timing::{ElmoreModel, NetTopology, VoltageScaling};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rectangle intersection is symmetric and never larger than either operand.
+    #[test]
+    fn rect_overlap_is_symmetric_and_bounded(
+        ax in 0.0f64..100.0, ay in 0.0f64..100.0, aw in 0.1f64..100.0, ah in 0.1f64..100.0,
+        bx in 0.0f64..100.0, by in 0.0f64..100.0, bw in 0.1f64..100.0, bh in 0.1f64..100.0,
+    ) {
+        let a = Rect::new(ax, ay, aw, ah);
+        let b = Rect::new(bx, by, bw, bh);
+        let ab = a.overlap_area(&b);
+        let ba = b.overlap_area(&a);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(ab <= a.area() + 1e-9);
+        prop_assert!(ab <= b.area() + 1e-9);
+        prop_assert!(ab >= 0.0);
+        // The union contains both rectangles (up to floating-point rounding of the
+        // re-derived corner coordinates).
+        let u = a.union(&b).expanded(1e-9);
+        prop_assert!(u.contains_rect(&a) && u.contains_rect(&b));
+    }
+
+    /// Rasterizing a block fully inside the grid conserves its power exactly.
+    #[test]
+    fn splat_power_conserves_power(
+        x in 0.0f64..60.0, y in 0.0f64..60.0,
+        w in 1.0f64..40.0, h in 1.0f64..40.0,
+        power in 0.01f64..10.0,
+        bins in 2usize..24,
+    ) {
+        let grid = Grid::square(Rect::from_size(100.0, 100.0), bins);
+        let mut map = GridMap::zeros(grid);
+        map.splat_power(&Rect::new(x, y, w, h), power);
+        prop_assert!((map.sum() - power).abs() < 1e-6 * power.max(1.0));
+        prop_assert!(map.min() >= 0.0);
+    }
+
+    /// The Pearson correlation is bounded, symmetric, and invariant under positive affine
+    /// transforms of either argument.
+    #[test]
+    fn pearson_properties(values in proptest::collection::vec(-100.0f64..100.0, 4..64),
+                          scale in 0.1f64..10.0, offset in -50.0f64..50.0) {
+        // Build a second series that is an affine image of a shuffled mix, guaranteeing
+        // variance in both series.
+        let xs = values.clone();
+        let ys: Vec<f64> = values.iter().rev().map(|v| v * 0.5 + 1.0).collect();
+        if let (Ok(r_xy), Ok(r_yx)) = (pearson(&xs, &ys), pearson(&ys, &xs)) {
+            prop_assert!(r_xy >= -1.0 && r_xy <= 1.0);
+            prop_assert!((r_xy - r_yx).abs() < 1e-9);
+            let ys_affine: Vec<f64> = ys.iter().map(|v| v * scale + offset).collect();
+            if let Ok(r_affine) = pearson(&xs, &ys_affine) {
+                prop_assert!((r_xy - r_affine).abs() < 1e-6);
+            }
+        }
+    }
+
+    /// Spatial entropy is non-negative, finite, and zero for uniform maps.
+    #[test]
+    fn spatial_entropy_properties(values in proptest::collection::vec(0.0f64..5.0, 16..64)) {
+        // Use the largest square grid that fits the generated values.
+        let side = (values.len() as f64).sqrt().floor() as usize;
+        let grid = Grid::square(Rect::from_size(100.0, 100.0), side);
+        let map = GridMap::from_values(grid, values[..side * side].to_vec());
+        let entropy = SpatialEntropy::default().of_map(&map);
+        prop_assert!(entropy.is_finite());
+        prop_assert!(entropy >= 0.0);
+        let uniform = GridMap::constant(grid, 1.0);
+        prop_assert_eq!(SpatialEntropy::default().of_map(&uniform), 0.0);
+    }
+
+    /// Elmore delays are positive and monotone in wirelength and TSV count.
+    #[test]
+    fn elmore_delay_monotonicity(hpwl in 1.0f64..20_000.0, crossings in 0usize..4, fanout in 1usize..16) {
+        let model = ElmoreModel::default_90nm();
+        let base = model.net_delay(&NetTopology::new(hpwl, crossings, fanout));
+        let longer = model.net_delay(&NetTopology::new(hpwl * 1.5 + 10.0, crossings, fanout));
+        let more_tsvs = model.net_delay(&NetTopology::new(hpwl, crossings + 1, fanout));
+        prop_assert!(base > 0.0);
+        prop_assert!(longer > base);
+        prop_assert!(more_tsvs > base);
+    }
+
+    /// Voltage scaling: lower feasible voltages always save power relative to 1.0 V.
+    #[test]
+    fn voltage_scaling_power_ordering(delay in 0.1f64..10.0, slack_factor in 0.0f64..2.0) {
+        let scaling = VoltageScaling::paper_90nm();
+        let budget = delay * (1.0 + slack_factor);
+        if let Some(level) = scaling.lowest_feasible(delay, budget) {
+            prop_assert!(scaling.power_factor(level) <= scaling.power_factor(tsc3d_timing::VoltageLevel::V1_2));
+            // The chosen level meets the budget.
+            prop_assert!(delay * scaling.delay_factor(level) <= budget + 1e-9);
+        }
+    }
+
+    /// The thermal solver never produces temperatures below ambient for non-negative power,
+    /// and its peak rise scales linearly with power (superposition of a linear system).
+    #[test]
+    fn thermal_solver_linearity(power in 0.1f64..4.0, density in 0.0f64..0.3) {
+        let stack = Stack::two_die(Outline::new(1_000.0, 1_000.0));
+        let grid = Grid::square(stack.outline().rect(), 6);
+        let solver = SteadyStateSolver::new(ThermalConfig::default_for(stack));
+        let tsvs = vec![TsvField::uniform(grid, density)];
+        let mut map = GridMap::zeros(grid);
+        map.splat_power(&Rect::new(100.0, 100.0, 400.0, 300.0), power);
+        let maps = vec![map, GridMap::zeros(grid)];
+        let result = solver.solve(&maps, &tsvs).unwrap();
+        prop_assert!(result.peak_temperature() >= 293.0 - 1e-9);
+        let doubled: Vec<GridMap> = maps.iter().map(|m| m.scaled(2.0)).collect();
+        let result2 = solver.solve(&doubled, &tsvs).unwrap();
+        let ratio = result2.peak_rise() / result.peak_rise();
+        prop_assert!((ratio - 2.0).abs() < 0.02, "nonlinear: ratio {}", ratio);
+    }
+
+    /// Designs with random block areas and powers always validate, and their statistics are
+    /// internally consistent.
+    #[test]
+    fn design_statistics_consistency(
+        areas in proptest::collection::vec(10.0f64..1_000.0, 2..20),
+        power_density in 1e-6f64..1e-3,
+    ) {
+        let blocks: Vec<Block> = areas
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| Block::new(format!("b{i}"), BlockShape::soft(a), a * power_density))
+            .collect();
+        let nets = vec![Net::new(
+            "n0",
+            vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(1))],
+        )];
+        let design = Design::new("prop", blocks, nets, vec![], Outline::new(1_000.0, 1_000.0)).unwrap();
+        let stats = design.stats();
+        prop_assert_eq!(stats.soft_blocks, areas.len());
+        prop_assert!((stats.block_area_um2 - areas.iter().sum::<f64>()).abs() < 1e-6);
+        prop_assert!((design.total_power() - stats.power_w).abs() < 1e-12);
+    }
+}
