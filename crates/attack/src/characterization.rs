@@ -96,7 +96,8 @@ impl CharacterizationAttack {
                     if i == module {
                         *p *= 1.0 + self.boost;
                     } else if self.background_jitter > 0.0 {
-                        let jitter: f64 = rng.gen_range(-self.background_jitter..self.background_jitter);
+                        let jitter: f64 =
+                            rng.gen_range(-self.background_jitter..self.background_jitter);
                         *p *= (1.0 + jitter).max(0.0);
                     }
                 }

@@ -156,7 +156,9 @@ mod tests {
                     maps[*die].splat_power(&whole, powers[m] * self.blur);
                 }
             }
-            maps.into_iter().map(|m| m.map(|p| 293.0 + 3.0 * p)).collect()
+            maps.into_iter()
+                .map(|m| m.map(|p| 293.0 + 3.0 * p))
+                .collect()
         }
     }
 
@@ -178,10 +180,7 @@ mod tests {
     }
 
     fn footprints() -> Vec<(DieId, Rect)> {
-        regions()
-            .into_iter()
-            .map(|(d, r)| (DieId(d), r))
-            .collect()
+        regions().into_iter().map(|(d, r)| (DieId(d), r)).collect()
     }
 
     #[test]

@@ -155,7 +155,11 @@ mod tests {
             &mut rng,
         );
         assert_eq!(result.samples, 60);
-        assert!(result.mean_correlation() > 0.9, "corr {}", result.mean_correlation());
+        assert!(
+            result.mean_correlation() > 0.9,
+            "corr {}",
+            result.mean_correlation()
+        );
     }
 
     #[test]
@@ -170,7 +174,11 @@ mod tests {
             &[(0, 0, Point::new(75.0, 50.0))],
             &mut rng,
         );
-        assert!(wrong.mean_correlation() < 0.5, "corr {}", wrong.mean_correlation());
+        assert!(
+            wrong.mean_correlation() < 0.5,
+            "corr {}",
+            wrong.mean_correlation()
+        );
     }
 
     #[test]

@@ -53,12 +53,7 @@ fn bench_entropy_vs_correlation_proxy(c: &mut Criterion) {
 
     group.bench_function("spatial_entropy_only", |b| {
         let entropy = SpatialEntropy::default();
-        b.iter(|| {
-            power_maps
-                .iter()
-                .map(|m| entropy.of_map(m))
-                .sum::<f64>()
-        });
+        b.iter(|| power_maps.iter().map(|m| entropy.of_map(m)).sum::<f64>());
     });
     group.bench_function("correlation_via_fast_thermal", |b| {
         let blurring = PowerBlurring::new(&config);
@@ -85,7 +80,10 @@ fn bench_postprocess_engines(c: &mut Criterion) {
     let powers: Vec<f64> = design.blocks().iter().map(|b| b.power()).collect();
     let plan = plan_signal_tsvs(&design, &floorplan, grid);
 
-    for (label, engine) in [("fast", ThermalEngine::Fast), ("detailed", ThermalEngine::Detailed)] {
+    for (label, engine) in [
+        ("fast", ThermalEngine::Fast),
+        ("detailed", ThermalEngine::Detailed),
+    ] {
         let config = PostProcessConfig {
             activity_samples: 8,
             activity_sigma: 0.10,

@@ -69,5 +69,10 @@ fn bench_short_annealing(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_packing, bench_evaluation, bench_short_annealing);
+criterion_group!(
+    benches,
+    bench_packing,
+    bench_evaluation,
+    bench_short_annealing
+);
 criterion_main!(benches);

@@ -19,12 +19,18 @@ fn main() {
     let tau = model.time_constant(die);
     println!("Figure 1: activity/power vs temperature time scales");
     println!("thermal time constant of the top die: {:.3} s", tau);
-    println!("power toggling period              : {:.3e} s (activity-rate proxy)", tau / 5_000.0);
+    println!(
+        "power toggling period              : {:.3e} s (activity-rate proxy)",
+        tau / 5_000.0
+    );
 
     let samples = model.time_scale_demo(die, 0.5, 3.5, tau / 5_000.0, 3.0 * tau, 60_000);
 
     // Print a coarse view: 20 rows spanning the simulation.
-    println!("\n{:>12} {:>10} {:>14}", "time [s]", "power [W]", "temperature [K]");
+    println!(
+        "\n{:>12} {:>10} {:>14}",
+        "time [s]", "power [W]", "temperature [K]"
+    );
     let step = samples.len() / 20;
     for sample in samples.iter().step_by(step.max(1)) {
         println!(
@@ -43,10 +49,7 @@ fn main() {
     // Quantify the figure's message.
     let tail = &samples[samples.len() - samples.len() / 20..];
     let mean_t = tail.iter().map(|s| s.temperature).sum::<f64>() / tail.len() as f64;
-    let ripple = tail
-        .iter()
-        .map(|s| s.temperature)
-        .fold(f64::MIN, f64::max)
+    let ripple = tail.iter().map(|s| s.temperature).fold(f64::MIN, f64::max)
         - tail.iter().map(|s| s.temperature).fold(f64::MAX, f64::min);
     println!(
         "\nsteady-state: mean temperature {:.3} K, ripple {:.4} K — the fast power toggling is \

@@ -9,12 +9,12 @@
 //!
 //! Options: `--bins N` (analysis grid, default 24), `--seed S`.
 
-use tsc3d_bench::{arg_usize, ascii_map, write_csv};
-use tsc3d::exploration::{run_exploration, synthesize_power_map, ExplorationConfig, PowerPattern};
-use tsc3d_geometry::{Grid, Outline, Stack};
-use tsc3d_thermal::{SteadyStateSolver, ThermalConfig, TsvField, TsvPattern};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use tsc3d::exploration::{run_exploration, synthesize_power_map, ExplorationConfig, PowerPattern};
+use tsc3d_bench::{arg_usize, ascii_map, write_csv};
+use tsc3d_geometry::{Grid, Outline, Stack};
+use tsc3d_thermal::{SteadyStateSolver, ThermalConfig, TsvField, TsvPattern};
 
 fn main() {
     let bins = arg_usize("--bins", 24);
@@ -58,9 +58,21 @@ fn main() {
     // top row: uniform power + irregular TSVs; middle: large gradients + regular TSVs;
     // bottom: locally uniform power + TSV islands.
     let representative = [
-        (PowerPattern::GloballyUniform, TsvPattern::Irregular, "top row (lowest correlation)"),
-        (PowerPattern::LargeGradients, TsvPattern::MaxDensity, "middle row (highest correlation)"),
-        (PowerPattern::LocallyUniform, TsvPattern::Islands, "bottom row (low correlation)"),
+        (
+            PowerPattern::GloballyUniform,
+            TsvPattern::Irregular,
+            "top row (lowest correlation)",
+        ),
+        (
+            PowerPattern::LargeGradients,
+            TsvPattern::MaxDensity,
+            "middle row (highest correlation)",
+        ),
+        (
+            PowerPattern::LocallyUniform,
+            TsvPattern::Islands,
+            "bottom row (low correlation)",
+        ),
     ];
     let outline = Outline::square(config.outline_mm2 * 1e6);
     let stack = Stack::two_die(outline);

@@ -88,7 +88,7 @@ fn csv_row(benchmark: Benchmark, label: &str, avg: &SetupAverages) -> String {
     )
 }
 
-fn main() {
+fn main() -> Result<(), tsc3d::FlowError> {
     let benchmarks = selected_benchmarks();
     let config = config();
     println!(
@@ -100,7 +100,7 @@ fn main() {
     let mut comparisons: Vec<BenchmarkComparison> = Vec::new();
     for benchmark in benchmarks {
         println!("=== {} ===", benchmark.name());
-        let comparison = run_benchmark(benchmark, &config, 1000 + benchmark.name().len() as u64);
+        let comparison = run_benchmark(benchmark, &config, 1000 + benchmark.name().len() as u64)?;
         print_setup("PA", &comparison.power_aware);
         print_setup("TSC", &comparison.tsc_aware);
         println!(
@@ -118,10 +118,16 @@ fn main() {
     // Averages over the selected benchmarks (the paper's "Avg" column).
     if !comparisons.is_empty() {
         let n = comparisons.len() as f64;
-        let avg_r1_reduction =
-            comparisons.iter().map(|c| c.r1_reduction_percent()).sum::<f64>() / n;
-        let avg_power_increase =
-            comparisons.iter().map(|c| c.power_increase_percent()).sum::<f64>() / n;
+        let avg_r1_reduction = comparisons
+            .iter()
+            .map(|c| c.r1_reduction_percent())
+            .sum::<f64>()
+            / n;
+        let avg_power_increase = comparisons
+            .iter()
+            .map(|c| c.power_increase_percent())
+            .sum::<f64>()
+            / n;
         let avg_peak_reduction = comparisons
             .iter()
             .map(|c| c.peak_temperature_reduction_percent())
@@ -145,5 +151,9 @@ fn main() {
          signal_tsvs,dummy_tsvs,voltage_volumes,runtime_s",
         &rows,
     );
-    println!("\nCSV (also the Figure 5 series) written to {}", path.display());
+    println!(
+        "\nCSV (also the Figure 5 series) written to {}",
+        path.display()
+    );
+    Ok(())
 }

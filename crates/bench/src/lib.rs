@@ -7,10 +7,10 @@
 //!   each printing the same row/series structure the paper reports and writing CSV under
 //!   `target/experiments/`, and
 //! * **Criterion micro-benches** for the computational kernels (thermal solvers, leakage
-//!   metrics, floorplanning moves, voltage assignment) plus the ablation benches called out
-//!   in DESIGN.md.
+//!   metrics, floorplanning moves, voltage assignment) plus ablation benches comparing the
+//!   fast and detailed engines.
 //!
-//! See EXPERIMENTS.md at the workspace root for the paper-vs-measured record.
+//! See the root `README.md` for how to run the experiment binaries and benches.
 
 #![warn(missing_docs)]
 
@@ -73,10 +73,7 @@ pub fn ascii_map(map: &tsc3d_geometry::GridMap, width: usize) -> String {
     let mut out = String::new();
     for r in (0..rows).rev() {
         for c in 0..cols {
-            let pos = tsc3d_geometry::GridPos::new(
-                c * grid.cols() / cols,
-                r * grid.rows() / rows,
-            );
+            let pos = tsc3d_geometry::GridPos::new(c * grid.cols() / cols, r * grid.rows() / rows);
             let level = ((map.get(pos) - min) / span * (shades.len() - 1) as f64).round() as usize;
             out.push(shades[level.min(shades.len() - 1)]);
         }

@@ -4,7 +4,7 @@
 use serde::{Deserialize, Serialize};
 use tsc3d_netlist::suite::{generate, Benchmark};
 
-use crate::{FlowConfig, FlowResult, Setup, TscFlow};
+use crate::{FlowConfig, FlowError, FlowResult, Setup, TscFlow};
 
 /// Configuration of one benchmark comparison.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -169,40 +169,46 @@ impl BenchmarkComparison {
 ///
 /// Run `i` of either setup floorplans the same generated design instance (`seed + i`), so
 /// the two setups are compared on identical inputs.
+///
+/// # Errors
+///
+/// Propagates the first [`FlowError`] of any run (either setup): a comparison built from
+/// partially failed runs would silently skew the reported averages.
 pub fn run_benchmark(
     benchmark: Benchmark,
     config: &ExperimentConfig,
     seed: u64,
-) -> BenchmarkComparison {
+) -> Result<BenchmarkComparison, FlowError> {
     let mut pa = SetupAverages::default();
     let mut tsc = SetupAverages::default();
 
-    let run_one = |run: usize| -> (FlowResult, FlowResult) {
+    let run_one = |run: usize| -> Result<(FlowResult, FlowResult), FlowError> {
         let design = generate(benchmark, seed.wrapping_add(run as u64));
         let run_seed = seed.wrapping_add(1_000 + run as u64);
-        let pa_result = TscFlow::new(config.power_aware).run(&design, run_seed);
-        let tsc_result = TscFlow::new(config.tsc_aware).run(&design, run_seed);
-        (pa_result, tsc_result)
+        let pa_result = TscFlow::new(config.power_aware).run(&design, run_seed)?;
+        let tsc_result = TscFlow::new(config.tsc_aware).run(&design, run_seed)?;
+        Ok((pa_result, tsc_result))
     };
 
     if config.parallel && config.runs > 1 {
-        let results: Vec<(FlowResult, FlowResult)> = crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..config.runs)
-                .map(|run| scope.spawn(move |_| run_one(run)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("experiment worker thread panicked"))
-                .collect()
-        })
-        .expect("experiment thread scope");
-        for (pa_result, tsc_result) in &results {
-            pa.accumulate(pa_result);
-            tsc.accumulate(tsc_result);
+        let results: Vec<Result<(FlowResult, FlowResult), FlowError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..config.runs)
+                    .map(|run| scope.spawn(move || run_one(run)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("experiment worker thread panicked"))
+                    .collect()
+            });
+        for result in results {
+            let (pa_result, tsc_result) = result?;
+            pa.accumulate(&pa_result);
+            tsc.accumulate(&tsc_result);
         }
     } else {
         for run in 0..config.runs {
-            let (pa_result, tsc_result) = run_one(run);
+            let (pa_result, tsc_result) = run_one(run)?;
             pa.accumulate(&pa_result);
             tsc.accumulate(&tsc_result);
         }
@@ -210,20 +216,24 @@ pub fn run_benchmark(
 
     pa.finalize(config.runs);
     tsc.finalize(config.runs);
-    BenchmarkComparison {
+    Ok(BenchmarkComparison {
         benchmark,
         runs: config.runs,
         power_aware: pa,
         tsc_aware: tsc,
-    }
+    })
 }
 
 /// Runs the comparison over a set of benchmarks, returning one comparison per benchmark.
+///
+/// # Errors
+///
+/// Propagates the first [`FlowError`] of any benchmark's runs.
 pub fn run_suite(
     benchmarks: &[Benchmark],
     config: &ExperimentConfig,
     seed: u64,
-) -> Vec<BenchmarkComparison> {
+) -> Result<Vec<BenchmarkComparison>, FlowError> {
     benchmarks
         .iter()
         .map(|&b| run_benchmark(b, config, seed))
@@ -253,7 +263,8 @@ mod tests {
 
     #[test]
     fn benchmark_comparison_produces_both_setups() {
-        let comparison = run_benchmark(Benchmark::N100, &tiny_config(), 9);
+        let comparison =
+            run_benchmark(Benchmark::N100, &tiny_config(), 9).expect("tiny comparison runs");
         assert_eq!(comparison.runs, 2);
         assert!(comparison.power_aware.power_w > 0.0);
         assert!(comparison.tsc_aware.power_w > 0.0);
@@ -274,18 +285,20 @@ mod tests {
         let mut config = tiny_config();
         config.runs = 1;
         config.parallel = false;
-        let sequential = run_benchmark(Benchmark::N100, &config, 4);
+        let sequential = run_benchmark(Benchmark::N100, &config, 4).expect("sequential run");
         config.parallel = true;
-        let parallel = run_benchmark(Benchmark::N100, &config, 4);
+        let parallel = run_benchmark(Benchmark::N100, &config, 4).expect("parallel run");
         assert!((sequential.power_aware.r1 - parallel.power_aware.r1).abs() < 1e-12);
         assert!((sequential.tsc_aware.power_w - parallel.tsc_aware.power_w).abs() < 1e-12);
     }
 
     #[test]
     fn averages_accumulate_and_finalize() {
-        let mut avg = SetupAverages::default();
-        avg.s1 = 4.0;
-        avg.power_w = 10.0;
+        let mut avg = SetupAverages {
+            s1: 4.0,
+            power_w: 10.0,
+            ..SetupAverages::default()
+        };
         avg.finalize(2);
         assert_eq!(avg.s1, 2.0);
         assert_eq!(avg.power_w, 5.0);

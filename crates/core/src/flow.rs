@@ -1,16 +1,24 @@
-//! The end-to-end TSC-aware floorplanning flow (Figure 3 of the paper).
+//! The end-to-end TSC-aware floorplanning flow (Figure 3 of the paper), as an explicit
+//! staged pipeline: floorplan → assign → verify → post-process.
+//!
+//! Every stage is fallible and threads a [`FlowError`] through `Result`; per-stage
+//! wall-clock timings are recorded in [`FlowResult::stage_timings`]. When a detailed solve
+//! does not converge, the configured [`RetryPolicy`] decides between failing and one
+//! explicit relaxed retry — whose use is recorded in the result ([`SolveQuality`]) rather
+//! than hidden in a fallback.
 
 use serde::{Deserialize, Serialize};
 use tsc3d_floorplan::{
     plan_signal_tsvs, Evaluator, Floorplan, ObjectiveWeights, SaResult, SaSchedule,
     SimulatedAnnealing, TsvPlan,
 };
-use tsc3d_geometry::Stack;
+use tsc3d_geometry::{Grid, Stack};
 use tsc3d_leakage::SpatialEntropy;
 use tsc3d_netlist::Design;
 use tsc3d_power::VoltageAssignment;
-use tsc3d_thermal::ThermalConfig;
+use tsc3d_thermal::{SolveError, SteadyStateSolver, ThermalConfig};
 
+use crate::error::{FlowError, FlowStage, RetryPolicy, SolveQuality, SolverSettings, StageTimings};
 use crate::postprocess::{DummyTsvInserter, PostProcessConfig, PostProcessResult};
 use crate::verification::{default_solver, verify, VerificationReport};
 
@@ -50,6 +58,11 @@ pub struct FlowConfig {
     pub schedule: SaSchedule,
     /// Analysis-grid resolution (bins per axis) of the detailed verification.
     pub verification_bins: usize,
+    /// Numerical settings of the nominal detailed solver used by the verify and sign-off
+    /// stages.
+    pub solver: SolverSettings,
+    /// What to do when a detailed solve does not converge.
+    pub retry: RetryPolicy,
     /// Post-processing configuration; `None` disables dummy-TSV insertion (the power-aware
     /// baseline never inserts dummy TSVs).
     pub post_process: Option<PostProcessConfig>,
@@ -62,6 +75,8 @@ impl FlowConfig {
             setup,
             schedule: SaSchedule::quick(),
             verification_bins: 16,
+            solver: SolverSettings::nominal(),
+            retry: RetryPolicy::relaxed_default(),
             post_process: match setup {
                 Setup::PowerAware => None,
                 Setup::TscAware => Some(PostProcessConfig::quick()),
@@ -76,12 +91,51 @@ impl FlowConfig {
             setup,
             schedule: SaSchedule::standard(),
             verification_bins: 64,
+            solver: SolverSettings::nominal(),
+            retry: RetryPolicy::relaxed_default(),
             post_process: match setup {
                 Setup::PowerAware => None,
                 Setup::TscAware => Some(PostProcessConfig::paper()),
             },
         }
     }
+
+    /// Validates the configuration before any stage runs.
+    fn validate(&self) -> Result<(), FlowError> {
+        if self.verification_bins < 2 {
+            return Err(FlowError::InvalidConfig {
+                reason: format!(
+                    "verification_bins must be >= 2, got {}",
+                    self.verification_bins
+                ),
+            });
+        }
+        validate_solver_settings("solver", &self.solver)?;
+        if let RetryPolicy::Relaxed(settings) = &self.retry {
+            validate_solver_settings("retry solver", settings)?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks one set of solver settings; a NaN tolerance would make the solver's
+/// convergence check (`residual > tolerance`) pass vacuously and report unconverged
+/// temperatures as a success.
+fn validate_solver_settings(label: &str, settings: &SolverSettings) -> Result<(), FlowError> {
+    if !settings.tolerance.is_finite() || settings.tolerance <= 0.0 {
+        return Err(FlowError::InvalidConfig {
+            reason: format!(
+                "{label} tolerance must be positive and finite, got {}",
+                settings.tolerance
+            ),
+        });
+    }
+    if settings.max_iterations == 0 {
+        return Err(FlowError::InvalidConfig {
+            reason: format!("{label} max_iterations must be >= 1"),
+        });
+    }
+    Ok(())
 }
 
 /// Result of a full flow run.
@@ -99,16 +153,26 @@ pub struct FlowResult {
     pub spatial_entropies: Vec<f64>,
     /// Detailed verification before post-processing.
     pub verification: VerificationReport,
+    /// Which solver configuration produced [`FlowResult::verification`].
+    pub verification_solve: SolveQuality,
     /// Per-die correlations from the detailed verification (before dummy TSVs) — the values
     /// the paper reports as `r1`, `r2` for the power-aware setup.
     pub verified_correlations: Vec<f64>,
     /// Post-processing result (TSC-aware setup only).
     pub post_process: Option<PostProcessResult>,
+    /// The final sign-off verification with the augmented TSV plan (power/thermal maps
+    /// included); `None` when post-processing is disabled.
+    pub signoff_verification: Option<VerificationReport>,
+    /// Which solver configuration produced the final sign-off verification; `None` when
+    /// post-processing (and thus the second verification) is disabled.
+    pub signoff_solve: Option<SolveQuality>,
     /// Final per-die correlations after post-processing (equal to
     /// `verified_correlations` when post-processing is disabled).
     pub final_correlations: Vec<f64>,
     /// Final TSV plan including any dummy TSVs.
     pub final_tsv_plan: TsvPlan,
+    /// Wall-clock seconds spent per pipeline stage.
+    pub stage_timings: StageTimings,
     /// Total flow runtime in seconds.
     pub runtime_seconds: f64,
 }
@@ -137,6 +201,45 @@ impl FlowResult {
             self.final_correlations.iter().sum::<f64>() / self.final_correlations.len() as f64
         }
     }
+
+    /// `true` when any verification in the run needed the relaxed retry.
+    pub fn used_relaxed_solve(&self) -> bool {
+        self.verification_solve.is_relaxed()
+            || self
+                .signoff_solve
+                .map(SolveQuality::is_relaxed)
+                .unwrap_or(false)
+    }
+}
+
+/// Intermediate state handed from the floorplan stage to the assign stage.
+struct FloorplanStage {
+    sa: SaResult,
+    stack: Stack,
+}
+
+/// Intermediate state handed from the assign stage to the verify stage.
+struct AssignStage {
+    assignment: VoltageAssignment,
+    scaled_powers: Vec<f64>,
+}
+
+/// Intermediate state handed from the verify stage to the post-process stage.
+struct VerifyStage {
+    grid: Grid,
+    tsv_plan: TsvPlan,
+    verification: VerificationReport,
+    verification_solve: SolveQuality,
+    spatial_entropies: Vec<f64>,
+}
+
+/// Outcome of the post-process stage.
+struct PostProcessStage {
+    post_process: Option<PostProcessResult>,
+    signoff_verification: Option<VerificationReport>,
+    signoff_solve: Option<SolveQuality>,
+    final_tsv_plan: TsvPlan,
+    final_correlations: Vec<f64>,
 }
 
 /// The flow driver: floorplanning, verification, and (for the TSC setup) post-processing.
@@ -156,38 +259,97 @@ impl TscFlow {
         self.config
     }
 
-    /// Runs the full flow on a design (two-die stack, as in the paper).
-    pub fn run(&self, design: &Design, seed: u64) -> FlowResult {
+    /// Runs the full pipeline on a design (two-die stack, as in the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FlowError`] when the configuration is invalid or a detailed thermal
+    /// solve fails after exhausting the configured [`RetryPolicy`]. A failed final
+    /// sign-off is never papered over with the pre-insertion verification.
+    pub fn run(&self, design: &Design, seed: u64) -> Result<FlowResult, FlowError> {
+        self.config.validate()?;
         let start = std::time::Instant::now();
+        let mut timings = StageTimings::default();
+
+        let stage_start = std::time::Instant::now();
+        let floorplanned = self.stage_floorplan(design, seed);
+        timings.floorplan_s = stage_start.elapsed().as_secs_f64();
+
+        let stage_start = std::time::Instant::now();
+        let assigned = self.stage_assign(design, &floorplanned);
+        timings.assign_s = stage_start.elapsed().as_secs_f64();
+
+        let stage_start = std::time::Instant::now();
+        let verified = self.stage_verify(design, &floorplanned, &assigned)?;
+        timings.verify_s = stage_start.elapsed().as_secs_f64();
+
+        let stage_start = std::time::Instant::now();
+        let processed =
+            self.stage_post_process(design, &floorplanned, &assigned, &verified, seed)?;
+        timings.post_process_s = stage_start.elapsed().as_secs_f64();
+
+        Ok(FlowResult {
+            setup: self.config.setup,
+            sa: floorplanned.sa,
+            assignment: assigned.assignment,
+            scaled_powers: assigned.scaled_powers,
+            spatial_entropies: verified.spatial_entropies,
+            verified_correlations: verified.verification.correlations.clone(),
+            verification: verified.verification,
+            verification_solve: verified.verification_solve,
+            post_process: processed.post_process,
+            signoff_verification: processed.signoff_verification,
+            signoff_solve: processed.signoff_solve,
+            final_correlations: processed.final_correlations,
+            final_tsv_plan: processed.final_tsv_plan,
+            stage_timings: timings,
+            runtime_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Stage 1: multi-objective simulated-annealing floorplanning.
+    fn stage_floorplan(&self, design: &Design, seed: u64) -> FloorplanStage {
         let stack = Stack::two_die(design.outline());
         let weights = self.config.setup.weights();
+        let sa = SimulatedAnnealing::new(self.config.schedule)
+            .optimize_on(design, stack, &weights, seed);
+        FloorplanStage { sa, stack }
+    }
 
-        // --- Stage 1: multi-objective floorplanning. ---
-        let sa = SimulatedAnnealing::new(self.config.schedule).optimize_on(design, stack, &weights, seed);
-
-        // --- Stage 2: extract the final voltage assignment and TSV plan. ---
-        let evaluator = Evaluator::new(design, stack, weights)
+    /// Stage 2: extract the final voltage assignment and scale block powers.
+    fn stage_assign(&self, design: &Design, floorplanned: &FloorplanStage) -> AssignStage {
+        let weights = self.config.setup.weights();
+        let evaluator = Evaluator::new(design, floorplanned.stack, weights)
             .with_grid_bins(self.config.schedule.grid_bins);
-        let (_, assignment, _loop_tsv_plan) = evaluator.evaluate_full(&sa.floorplan);
+        let (_, assignment, _loop_tsv_plan) = evaluator.evaluate_full(&floorplanned.sa.floorplan);
         let scaling = tsc3d_timing::VoltageScaling::paper_90nm();
         let scaled_powers = assignment.scaled_powers(design, &scaling);
+        AssignStage {
+            assignment,
+            scaled_powers,
+        }
+    }
 
-        // --- Stage 3: detailed verification (HotSpot's role in the paper). ---
-        // The verification (and everything downstream) uses its own, typically finer grid,
-        // so the signal TSVs are re-planned on that grid.
-        let grid = sa.floorplan.analysis_grid(self.config.verification_bins);
-        let tsv_plan = plan_signal_tsvs(design, &sa.floorplan, grid);
-        let solver = default_solver(&sa.floorplan);
-        let verification = verify(&sa.floorplan, &scaled_powers, &tsv_plan, grid, &solver)
-            .unwrap_or_else(|_| {
-                // An unconverged verification is still reported, from a relaxed solve.
-                let relaxed = default_solver(&sa.floorplan)
-                    .with_tolerance(1e-3)
-                    .with_max_iterations(20_000);
-                verify(&sa.floorplan, &scaled_powers, &tsv_plan, grid, &relaxed)
-                    .expect("relaxed verification solve must converge")
-            });
-        let verified_correlations = verification.correlations.clone();
+    /// Stage 3: detailed verification (HotSpot's role in the paper).
+    ///
+    /// The verification (and everything downstream) uses its own, typically finer grid, so
+    /// the signal TSVs are re-planned on that grid.
+    fn stage_verify(
+        &self,
+        design: &Design,
+        floorplanned: &FloorplanStage,
+        assigned: &AssignStage,
+    ) -> Result<VerifyStage, FlowError> {
+        let floorplan = &floorplanned.sa.floorplan;
+        let grid = floorplan.analysis_grid(self.config.verification_bins);
+        let tsv_plan = plan_signal_tsvs(design, floorplan, grid);
+        let (verification, verification_solve) = self.verify_with_retry(
+            FlowStage::Verify,
+            floorplan,
+            &assigned.scaled_powers,
+            &tsv_plan,
+            grid,
+        )?;
 
         // Spatial entropies of the verified power maps (S1, S2 in the paper's tables).
         let entropy_model = SpatialEntropy::default();
@@ -197,48 +359,111 @@ impl TscFlow {
             .map(|m| entropy_model.of_map(m))
             .collect();
 
-        // --- Stage 4: activity sampling + dummy-TSV post-processing (TSC setup only). ---
-        let (post_process, final_tsv_plan, final_correlations) = match self.config.post_process {
-            Some(pp_config) => {
-                let inserter =
-                    DummyTsvInserter::new(pp_config, ThermalConfig::default_for(stack));
-                let result = inserter.run(
-                    design,
-                    &sa.floorplan,
-                    &scaled_powers,
-                    tsv_plan.clone(),
-                    grid,
-                    seed ^ 0xD1CE,
-                );
-                // Final sign-off with the detailed solver and the augmented TSV plan.
-                let final_verification = verify(
-                    &sa.floorplan,
-                    &scaled_powers,
-                    &result.tsv_plan,
-                    grid,
-                    &solver,
-                )
-                .unwrap_or_else(|_| verification.clone());
-                let final_correlations = final_verification.correlations;
-                (Some(result.clone()), result.tsv_plan, final_correlations)
-            }
-            None => (None, tsv_plan, verified_correlations.clone()),
+        Ok(VerifyStage {
+            grid,
+            tsv_plan,
+            verification,
+            verification_solve,
+            spatial_entropies,
+        })
+    }
+
+    /// Stage 4: activity sampling + dummy-TSV post-processing (TSC setup only), followed by
+    /// the final sign-off verification with the augmented TSV plan.
+    fn stage_post_process(
+        &self,
+        design: &Design,
+        floorplanned: &FloorplanStage,
+        assigned: &AssignStage,
+        verified: &VerifyStage,
+        seed: u64,
+    ) -> Result<PostProcessStage, FlowError> {
+        let Some(pp_config) = self.config.post_process else {
+            return Ok(PostProcessStage {
+                post_process: None,
+                signoff_verification: None,
+                signoff_solve: None,
+                final_tsv_plan: verified.tsv_plan.clone(),
+                final_correlations: verified.verification.correlations.clone(),
+            });
         };
 
-        FlowResult {
-            setup: self.config.setup,
-            sa,
-            assignment,
-            scaled_powers,
-            spatial_entropies,
-            verification,
-            verified_correlations,
-            post_process,
-            final_correlations,
-            final_tsv_plan,
-            runtime_seconds: start.elapsed().as_secs_f64(),
+        let floorplan = &floorplanned.sa.floorplan;
+        let inserter =
+            DummyTsvInserter::new(pp_config, ThermalConfig::default_for(floorplanned.stack));
+        let result = inserter.run(
+            design,
+            floorplan,
+            &assigned.scaled_powers,
+            verified.tsv_plan.clone(),
+            verified.grid,
+            seed ^ 0xD1CE,
+        );
+
+        // Final sign-off with the detailed solver and the augmented TSV plan. A failure
+        // here surfaces as a FlowError (possibly after the explicit relaxed retry); the
+        // pre-insertion verification is never silently reused.
+        let (final_verification, signoff_solve) = self.verify_with_retry(
+            FlowStage::PostProcess,
+            floorplan,
+            &assigned.scaled_powers,
+            &result.tsv_plan,
+            verified.grid,
+        )?;
+
+        Ok(PostProcessStage {
+            final_correlations: final_verification.correlations.clone(),
+            signoff_verification: Some(final_verification),
+            signoff_solve: Some(signoff_solve),
+            final_tsv_plan: result.tsv_plan.clone(),
+            post_process: Some(result),
+        })
+    }
+
+    /// Runs the detailed verification with the nominal solver, applying the configured
+    /// [`RetryPolicy`] on a non-converged solve. The returned [`SolveQuality`] records
+    /// whether the relaxed retry was needed.
+    ///
+    /// Only [`SolveError::NotConverged`] is retried: structural errors (wrong map counts,
+    /// grid mismatches) cannot be fixed by relaxing the solver and surface immediately
+    /// with the nominal attempt's error.
+    fn verify_with_retry(
+        &self,
+        stage: FlowStage,
+        floorplan: &Floorplan,
+        block_powers: &[f64],
+        tsv_plan: &TsvPlan,
+        grid: Grid,
+    ) -> Result<(VerificationReport, SolveQuality), FlowError> {
+        let nominal = solver_for(floorplan, self.config.solver);
+        match verify(floorplan, block_powers, tsv_plan, grid, &nominal) {
+            Ok(report) => Ok((report, SolveQuality::Nominal)),
+            Err(nominal_error) => match (self.config.retry, &nominal_error) {
+                (RetryPolicy::Relaxed(settings), SolveError::NotConverged { .. }) => {
+                    let relaxed = solver_for(floorplan, settings);
+                    verify(floorplan, block_powers, tsv_plan, grid, &relaxed)
+                        .map(|report| (report, SolveQuality::Relaxed))
+                        .map_err(|source| FlowError::Solve {
+                            stage,
+                            attempts: 2,
+                            source,
+                        })
+                }
+                _ => Err(FlowError::Solve {
+                    stage,
+                    attempts: 1,
+                    source: nominal_error,
+                }),
+            },
         }
     }
+}
+
+/// Builds a detailed solver for the floorplan's stack with the given settings.
+fn solver_for(floorplan: &Floorplan, settings: SolverSettings) -> SteadyStateSolver {
+    default_solver(floorplan)
+        .with_tolerance(settings.tolerance)
+        .with_max_iterations(settings.max_iterations)
 }
 
 #[cfg(test)]
@@ -246,15 +471,21 @@ mod tests {
     use super::*;
     use tsc3d_netlist::suite::{generate, Benchmark};
 
-    fn small_quick_flow(setup: Setup) -> FlowResult {
-        let design = generate(Benchmark::N100, 1);
+    fn small_quick_config(setup: Setup) -> FlowConfig {
         let mut config = FlowConfig::quick(setup);
         // Keep tests fast: tiny annealing schedule and coarse grids.
         config.schedule.stages = 6;
         config.schedule.moves_per_stage = 10;
         config.schedule.grid_bins = 12;
         config.verification_bins = 12;
-        TscFlow::new(config).run(&design, 3)
+        config
+    }
+
+    fn small_quick_flow(setup: Setup) -> FlowResult {
+        let design = generate(Benchmark::N100, 1);
+        TscFlow::new(small_quick_config(setup))
+            .run(&design, 3)
+            .expect("quick flow converges")
     }
 
     #[test]
@@ -263,6 +494,8 @@ mod tests {
         assert_eq!(result.setup, Setup::PowerAware);
         assert_eq!(result.dummy_tsvs(), 0);
         assert!(result.post_process.is_none());
+        assert!(result.signoff_verification.is_none());
+        assert!(result.signoff_solve.is_none());
         assert_eq!(result.final_correlations, result.verified_correlations);
         assert!(result.signal_tsvs() > 0);
         assert_eq!(result.spatial_entropies.len(), 2);
@@ -274,11 +507,113 @@ mod tests {
         let result = small_quick_flow(Setup::TscAware);
         assert_eq!(result.setup, Setup::TscAware);
         assert!(result.post_process.is_some());
+        assert!(result.signoff_solve.is_some());
+        // The sign-off report is kept on the result and is the source of the final
+        // correlations.
+        let signoff = result
+            .signoff_verification
+            .as_ref()
+            .expect("TSC flow keeps the sign-off verification");
+        assert_eq!(signoff.correlations, result.final_correlations);
         // Dummy TSVs may be zero (if no insertion helped) but never negative; correlations
         // stay within [-1, 1].
         assert!(result.avg_final_correlation().abs() <= 1.0);
         let pp = result.post_process.as_ref().unwrap();
         assert!(pp.correlation_after <= pp.correlation_before + 1e-12);
+    }
+
+    #[test]
+    fn stage_timings_cover_the_runtime() {
+        let result = small_quick_flow(Setup::TscAware);
+        let timings = result.stage_timings;
+        assert!(timings.floorplan_s > 0.0);
+        assert!(timings.assign_s >= 0.0);
+        assert!(timings.verify_s > 0.0);
+        assert!(timings.post_process_s > 0.0);
+        // The stages account for (almost all of) the total runtime.
+        assert!(timings.total_s() <= result.runtime_seconds + 1e-9);
+        assert!(timings.total_s() > 0.5 * result.runtime_seconds);
+    }
+
+    #[test]
+    fn retry_policy_fail_surfaces_a_typed_error() {
+        let design = generate(Benchmark::N100, 1);
+        let mut config = small_quick_config(Setup::PowerAware);
+        // A one-iteration budget cannot converge; with retries disabled the flow must
+        // surface a typed error rather than panicking or reporting stale data.
+        config.solver = SolverSettings {
+            tolerance: 1e-9,
+            max_iterations: 1,
+        };
+        config.retry = RetryPolicy::Fail;
+        let err = TscFlow::new(config)
+            .run(&design, 3)
+            .expect_err("non-converging solve must fail");
+        match err {
+            FlowError::Solve {
+                stage, attempts, ..
+            } => {
+                assert_eq!(stage, FlowStage::Verify);
+                assert_eq!(attempts, 1);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn relaxed_retry_is_recorded_in_the_result() {
+        let design = generate(Benchmark::N100, 1);
+        let mut config = small_quick_config(Setup::PowerAware);
+        // Nominal settings that cannot converge, with a workable relaxed fallback: the
+        // flow must succeed and record that the relaxed solve was used.
+        config.solver = SolverSettings {
+            tolerance: 1e-9,
+            max_iterations: 1,
+        };
+        config.retry = RetryPolicy::Relaxed(SolverSettings::relaxed());
+        let result = TscFlow::new(config)
+            .run(&design, 3)
+            .expect("relaxed retry converges");
+        assert_eq!(result.verification_solve, SolveQuality::Relaxed);
+        assert!(result.used_relaxed_solve());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_running() {
+        let design = generate(Benchmark::N100, 1);
+        let mut config = small_quick_config(Setup::PowerAware);
+        config.verification_bins = 1;
+        let err = TscFlow::new(config)
+            .run(&design, 3)
+            .expect_err("invalid config");
+        assert!(matches!(err, FlowError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("verification_bins"));
+    }
+
+    #[test]
+    fn invalid_retry_settings_are_rejected_too() {
+        let design = generate(Benchmark::N100, 1);
+        // A NaN relaxed tolerance would make the solver's convergence check pass
+        // vacuously and report unconverged temperatures as a success.
+        let mut config = small_quick_config(Setup::PowerAware);
+        config.retry = RetryPolicy::Relaxed(SolverSettings {
+            tolerance: f64::NAN,
+            max_iterations: 10,
+        });
+        let err = TscFlow::new(config)
+            .run(&design, 3)
+            .expect_err("NaN retry tolerance must be rejected");
+        assert!(matches!(err, FlowError::InvalidConfig { .. }));
+        assert!(err.to_string().contains("retry solver"));
+
+        config.retry = RetryPolicy::Relaxed(SolverSettings {
+            tolerance: 1e-3,
+            max_iterations: 0,
+        });
+        let err = TscFlow::new(config)
+            .run(&design, 3)
+            .expect_err("zero retry iterations must be rejected");
+        assert!(matches!(err, FlowError::InvalidConfig { .. }));
     }
 
     #[test]
@@ -289,8 +624,10 @@ mod tests {
         assert!(!Setup::PowerAware.weights().is_leakage_aware());
         let quick = FlowConfig::quick(Setup::PowerAware);
         assert!(quick.post_process.is_none());
+        assert_eq!(quick.retry, RetryPolicy::relaxed_default());
         let paper = FlowConfig::paper(Setup::TscAware);
         assert!(paper.post_process.is_some());
         assert_eq!(paper.verification_bins, 64);
+        assert_eq!(paper.solver, SolverSettings::nominal());
     }
 }

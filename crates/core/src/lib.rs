@@ -32,7 +32,7 @@
 //!
 //! let design = generate(Benchmark::N100, 1);
 //! let flow = TscFlow::new(FlowConfig::quick(Setup::TscAware));
-//! let result = flow.run(&design, 42);
+//! let result = flow.run(&design, 42).expect("flow converges");
 //! println!(
 //!     "verified bottom-die correlation: {:.3} (was {:.3} before dummy TSVs)",
 //!     result.final_correlations[0], result.verified_correlations[0]
@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod experiment;
 pub mod exploration;
 mod flow;
@@ -48,4 +49,5 @@ pub mod oracle;
 pub mod postprocess;
 pub mod verification;
 
+pub use error::{FlowError, FlowStage, RetryPolicy, SolveQuality, SolverSettings, StageTimings};
 pub use flow::{FlowConfig, FlowResult, Setup, TscFlow};

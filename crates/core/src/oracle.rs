@@ -134,12 +134,8 @@ mod tests {
     fn localization_and_monitoring_compose_with_the_oracle() {
         let (oracle, powers) = oracle();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        let localization = LocalizationAttack::ideal().run(
-            &oracle,
-            &powers,
-            &oracle.footprints(),
-            &mut rng,
-        );
+        let localization =
+            LocalizationAttack::ideal().run(&oracle, &powers, &oracle.footprints(), &mut rng);
         assert_eq!(localization.outcomes.len(), powers.len());
         assert!(localization.hit_rate() >= 0.0 && localization.hit_rate() <= 1.0);
 

@@ -5,8 +5,8 @@
 //! reduced. This stop criterion represents the final 'sweet spot' where further TSV
 //! insertion would increase the overall correlation again."
 
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use tsc3d_floorplan::{Floorplan, TsvPlan};
 use tsc3d_geometry::{DieId, Grid, GridMap};
@@ -168,7 +168,8 @@ impl DummyTsvInserter {
             // enough to shift the thermal map.
             let headroom =
                 (technology.max_density() - tsv_plan.dummy()[0].density_at(pos)).max(0.0);
-            let fill_count = (headroom * grid.bin_area() / technology.metal_area()).floor() as usize;
+            let fill_count =
+                (headroom * grid.bin_area() / technology.metal_area()).floor() as usize;
             let count = fill_count.max(self.config.tsvs_per_island);
             let site = TsvSite::island(grid.bin_center(pos), count);
             let mut candidate_plan = tsv_plan.clone();

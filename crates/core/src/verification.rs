@@ -76,11 +76,11 @@ pub fn default_solver(floorplan: &Floorplan) -> SteadyStateSolver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
     use tsc3d_floorplan::{plan_signal_tsvs, SequencePair3d};
     use tsc3d_geometry::Stack;
     use tsc3d_netlist::suite::{generate, Benchmark};
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
     #[test]
     fn verification_produces_defined_correlations() {

@@ -260,7 +260,10 @@ impl Evaluator {
 
     /// Evaluates a floorplan, returning the full breakdown plus the artefacts downstream
     /// stages need (the voltage assignment and the TSV plan).
-    pub fn evaluate_full(&self, floorplan: &Floorplan) -> (CostBreakdown, VoltageAssignment, TsvPlan) {
+    pub fn evaluate_full(
+        &self,
+        floorplan: &Floorplan,
+    ) -> (CostBreakdown, VoltageAssignment, TsvPlan) {
         let grid = floorplan.analysis_grid(self.grid_bins);
         let outline = floorplan.outline();
 
@@ -284,9 +287,9 @@ impl Evaluator {
         let nominal_report = self.timing_graph.analyze(&self.nominal_delays, &net_delays);
         let slacks = nominal_report.slacks();
         let adjacency = floorplan.adjacency(self.adjacency_margin);
-        let assignment = self
-            .assigner
-            .assign(&self.design, &adjacency, &self.nominal_delays, &slacks);
+        let assignment =
+            self.assigner
+                .assign(&self.design, &adjacency, &self.nominal_delays, &slacks);
 
         // Voltage-scaled timing and power.
         let scaled_delays = assignment.scaled_delays(&self.nominal_delays, self.assigner.scaling());
@@ -361,7 +364,8 @@ mod tests {
     #[test]
     fn breakdown_has_plausible_values() {
         let (design, stack, fp) = setup();
-        let eval = Evaluator::new(&design, stack, ObjectiveWeights::power_aware()).with_grid_bins(16);
+        let eval =
+            Evaluator::new(&design, stack, ObjectiveWeights::power_aware()).with_grid_bins(16);
         let b = eval.evaluate(&fp);
         assert!(b.packing > 0.0);
         assert!(b.wirelength > 0.0);
@@ -388,7 +392,8 @@ mod tests {
     #[test]
     fn scalar_cost_prefers_smaller_terms() {
         let (design, stack, fp) = setup();
-        let eval = Evaluator::new(&design, stack, ObjectiveWeights::power_aware()).with_grid_bins(16);
+        let eval =
+            Evaluator::new(&design, stack, ObjectiveWeights::power_aware()).with_grid_bins(16);
         let baseline = eval.evaluate(&fp);
         let mut better = baseline.clone();
         better.wirelength *= 0.5;

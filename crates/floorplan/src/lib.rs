@@ -40,7 +40,7 @@ mod placement;
 mod seqpair;
 mod tsv_planning;
 
-pub use annealing::{SaSchedule, SimulatedAnnealing, SaResult};
+pub use annealing::{SaResult, SaSchedule, SimulatedAnnealing};
 pub use cost::{CostBreakdown, Evaluator, ObjectiveWeights};
 pub use placement::{Floorplan, PlacedBlock};
 pub use seqpair::SequencePair3d;

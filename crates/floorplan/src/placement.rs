@@ -256,7 +256,10 @@ mod tests {
         ];
         let terminals = vec![Terminal::new("t0", Point::new(0.0, 0.0))];
         let nets = vec![
-            Net::new("ab", vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(1))]),
+            Net::new(
+                "ab",
+                vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(1))],
+            ),
             Net::new(
                 "bc_t",
                 vec![

@@ -121,8 +121,8 @@ pub fn plan_signal_tsvs(design: &Design, floorplan: &Floorplan, grid: Grid) -> T
             )
         };
         let _ = net_id;
-        for interface in min_die..max_die {
-            fields[interface].add_site(TsvSite::single(topo_center));
+        for field in fields.iter_mut().take(max_die).skip(min_die) {
+            field.add_site(TsvSite::single(topo_center));
         }
     }
     TsvPlan::new(fields)
@@ -143,9 +143,15 @@ mod tests {
         ];
         let nets = vec![
             // Same-die net: no TSV.
-            Net::new("ab", vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(1))]),
+            Net::new(
+                "ab",
+                vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(1))],
+            ),
             // Cross-die net: one TSV.
-            Net::new("ac", vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(2))]),
+            Net::new(
+                "ac",
+                vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(2))],
+            ),
             // Cross-die 3-pin net: still one TSV for a two-die stack.
             Net::new(
                 "abc",
@@ -156,8 +162,7 @@ mod tests {
                 ],
             ),
         ];
-        let design =
-            Design::new("t", blocks, nets, vec![], Outline::new(100.0, 100.0)).unwrap();
+        let design = Design::new("t", blocks, nets, vec![], Outline::new(100.0, 100.0)).unwrap();
         let stack = Stack::two_die(Outline::new(100.0, 100.0));
         let fp = Floorplan::new(
             stack,

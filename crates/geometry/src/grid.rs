@@ -57,7 +57,10 @@ impl Grid {
     ///
     /// Panics if `cols` or `rows` is zero, or if the region has zero area.
     pub fn new(region: Rect, cols: usize, rows: usize) -> Self {
-        assert!(cols > 0 && rows > 0, "grid must have at least one bin per axis");
+        assert!(
+            cols > 0 && rows > 0,
+            "grid must have at least one bin per axis"
+        );
         assert!(region.area() > 0.0, "grid region must have positive area");
         Self { region, cols, rows }
     }
@@ -151,14 +154,15 @@ impl Grid {
         let bh = self.bin_height();
         let col_lo = (((rect.x - self.region.x) / bw).floor().max(0.0)) as usize;
         let row_lo = (((rect.y - self.region.y) / bh).floor().max(0.0)) as usize;
-        let col_hi = (((rect.x + rect.width - self.region.x) / bw).ceil().max(0.0) as usize)
-            .min(self.cols);
-        let row_hi = (((rect.y + rect.height - self.region.y) / bh).ceil().max(0.0) as usize)
+        let col_hi =
+            (((rect.x + rect.width - self.region.x) / bw).ceil().max(0.0) as usize).min(self.cols);
+        let row_hi = (((rect.y + rect.height - self.region.y) / bh)
+            .ceil()
+            .max(0.0) as usize)
             .min(self.rows);
         let cols = self.cols;
-        (row_lo.min(self.rows)..row_hi).flat_map(move |row| {
-            (col_lo.min(cols)..col_hi).map(move |col| GridPos::new(col, row))
-        })
+        (row_lo.min(self.rows)..row_hi)
+            .flat_map(move |row| (col_lo.min(cols)..col_hi).map(move |col| GridPos::new(col, row)))
     }
 
     /// The 4-neighbourhood (von Neumann) of a bin, clipped to the grid.
@@ -275,7 +279,10 @@ impl GridMap {
 
     /// Maximum bin value (`-inf` for an empty map, which cannot occur via constructors).
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum bin value.
@@ -286,28 +293,24 @@ impl GridMap {
     /// Population standard deviation of the bin values.
     pub fn std_dev(&self) -> f64 {
         let mean = self.mean();
-        let var = self
-            .values
-            .iter()
-            .map(|v| (v - mean).powi(2))
-            .sum::<f64>()
-            / self.values.len() as f64;
+        let var =
+            self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / self.values.len() as f64;
         var.sqrt()
     }
 
     /// Position of the bin holding the maximum value (first occurrence).
     pub fn argmax(&self) -> GridPos {
-        let (idx, _) = self
-            .values
-            .iter()
-            .enumerate()
-            .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
-                if v > bv {
-                    (i, v)
-                } else {
-                    (bi, bv)
-                }
-            });
+        let (idx, _) =
+            self.values
+                .iter()
+                .enumerate()
+                .fold((0, f64::NEG_INFINITY), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
         self.grid.pos_of(idx)
     }
 
@@ -446,7 +449,10 @@ mod tests {
         assert_eq!(g.bins(), 100);
         assert_eq!(g.bin_width(), 10.0);
         assert_eq!(g.bin_area(), 100.0);
-        assert_eq!(g.bin_rect(GridPos::new(0, 0)), Rect::new(0.0, 0.0, 10.0, 10.0));
+        assert_eq!(
+            g.bin_rect(GridPos::new(0, 0)),
+            Rect::new(0.0, 0.0, 10.0, 10.0)
+        );
         assert_eq!(g.bin_center(GridPos::new(1, 2)), Point::new(15.0, 25.0));
     }
 

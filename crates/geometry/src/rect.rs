@@ -38,7 +38,12 @@ impl Rect {
             width >= 0.0 && height >= 0.0 && width.is_finite() && height.is_finite(),
             "rectangle size must be finite and non-negative (got {width} x {height})"
         );
-        Self { x, y, width, height }
+        Self {
+            x,
+            y,
+            width,
+            height,
+        }
     }
 
     /// Creates a rectangle anchored at the origin with the given size.
@@ -84,10 +89,7 @@ impl Rect {
 
     /// Returns `true` if the point lies inside or on the boundary of the rectangle.
     pub fn contains(&self, p: Point) -> bool {
-        p.x >= self.x
-            && p.x <= self.x + self.width
-            && p.y >= self.y
-            && p.y <= self.y + self.height
+        p.x >= self.x && p.x <= self.x + self.width && p.y >= self.y && p.y <= self.y + self.height
     }
 
     /// Returns `true` if `other` lies entirely inside (or exactly on the boundary of) `self`.
@@ -195,7 +197,10 @@ impl Outline {
     ///
     /// Panics if either dimension is non-positive.
     pub fn new(width: f64, height: f64) -> Self {
-        assert!(width > 0.0 && height > 0.0, "outline must have positive area");
+        assert!(
+            width > 0.0 && height > 0.0,
+            "outline must have positive area"
+        );
         Self {
             rect: Rect::from_size(width, height),
         }
@@ -318,7 +323,10 @@ mod tests {
         assert_eq!(o.area(), 5000.0);
         assert!(o.fits(&Rect::new(0.0, 0.0, 100.0, 50.0)));
         assert!(!o.fits(&Rect::new(0.0, 0.0, 101.0, 50.0)));
-        let blocks = [Rect::new(0.0, 0.0, 50.0, 50.0), Rect::new(50.0, 0.0, 50.0, 50.0)];
+        let blocks = [
+            Rect::new(0.0, 0.0, 50.0, 50.0),
+            Rect::new(50.0, 0.0, 50.0, 50.0),
+        ];
         assert!((o.utilization(blocks.iter()) - 1.0).abs() < 1e-12);
     }
 

@@ -152,6 +152,6 @@ mod tests {
         let xs: Vec<f64> = (0..100).map(|i| i as f64 * 1e-8 + 1e9).collect();
         let ys: Vec<f64> = xs.iter().map(|x| x * 3.0).collect();
         let r = pearson(&xs, &ys).unwrap();
-        assert!(r <= 1.0 && r >= -1.0);
+        assert!((-1.0..=1.0).contains(&r));
     }
 }

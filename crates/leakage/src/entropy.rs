@@ -63,12 +63,7 @@ impl SpatialEntropy {
     /// partitioning.
     pub fn classify(&self, power: &GridMap) -> NestedMeansClasses {
         let grid = power.grid();
-        let mut indexed: Vec<(usize, f64)> = power
-            .values()
-            .iter()
-            .copied()
-            .enumerate()
-            .collect();
+        let mut indexed: Vec<(usize, f64)> = power.values().iter().copied().enumerate().collect();
         indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
 
         let mut groups: Vec<Vec<(usize, f64)>> = Vec::new();

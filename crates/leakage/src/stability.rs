@@ -49,7 +49,8 @@ impl StabilityMap {
     /// post-processing stage.
     pub fn top_bins(&self, k: usize) -> Vec<(GridPos, f64)> {
         let grid = self.map.grid();
-        let mut bins: Vec<(GridPos, f64)> = grid.positions().map(|p| (p, self.map.get(p))).collect();
+        let mut bins: Vec<(GridPos, f64)> =
+            grid.positions().map(|p| (p, self.map.get(p))).collect();
         bins.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         bins.truncate(k);
         bins
@@ -116,7 +117,10 @@ impl CorrelationStability {
     /// Panics if fewer than two samples have been added.
     pub fn finish(&self) -> StabilityMap {
         let m = self.power_samples.len();
-        assert!(m >= 2, "correlation stability needs at least two activity samples");
+        assert!(
+            m >= 2,
+            "correlation stability needs at least two activity samples"
+        );
         let bins = self.grid.bins();
         let mut values = vec![0.0; bins];
         let mut p_series = vec![0.0; m];
@@ -155,10 +159,7 @@ mod tests {
         let g = grid();
         let mut acc = CorrelationStability::new(g);
         for i in 0..20 {
-            let p = GridMap::from_values(
-                g,
-                (0..g.bins()).map(|b| 0.5 + noise(i, b)).collect(),
-            );
+            let p = GridMap::from_values(g, (0..g.bins()).map(|b| 0.5 + noise(i, b)).collect());
             let t = p.map(|v| 300.0 + 5.0 * v);
             acc.add_sample(&p, &t);
         }
@@ -177,7 +178,9 @@ mod tests {
             // Temperature varies independently of the local power.
             let t = GridMap::from_values(
                 g,
-                (0..g.bins()).map(|b| 300.0 + noise(i + 1000, b + 7)).collect(),
+                (0..g.bins())
+                    .map(|b| 300.0 + noise(i + 1000, b + 7))
+                    .collect(),
             );
             acc.add_sample(&p, &t);
         }

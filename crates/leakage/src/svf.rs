@@ -96,9 +96,15 @@ mod tests {
 
     #[test]
     fn shuffled_observation_lowers_svf() {
-        let phases: Vec<GridMap> = [0.0, 1.0, 2.0, 4.0, 8.0].iter().map(|&v| phase(v)).collect();
+        let phases: Vec<GridMap> = [0.0, 1.0, 2.0, 4.0, 8.0]
+            .iter()
+            .map(|&v| phase(v))
+            .collect();
         // Observations whose similarity structure does not follow the ground truth.
-        let observed: Vec<GridMap> = [5.0, 0.0, 7.0, 1.0, 3.0].iter().map(|&v| phase(v)).collect();
+        let observed: Vec<GridMap> = [5.0, 0.0, 7.0, 1.0, 3.0]
+            .iter()
+            .map(|&v| phase(v))
+            .collect();
         let faithful = svf(&phases, &phases).unwrap();
         let shuffled = svf(&phases, &observed).unwrap();
         assert!(shuffled < faithful);
@@ -107,7 +113,10 @@ mod tests {
     #[test]
     fn error_cases() {
         let phases: Vec<GridMap> = [0.0, 1.0].iter().map(|&v| phase(v)).collect();
-        assert_eq!(svf(&phases, &phases).unwrap_err(), CorrelationError::TooFewSamples);
+        assert_eq!(
+            svf(&phases, &phases).unwrap_err(),
+            CorrelationError::TooFewSamples
+        );
         let a: Vec<GridMap> = [0.0, 1.0, 2.0].iter().map(|&v| phase(v)).collect();
         let b: Vec<GridMap> = [0.0, 1.0].iter().map(|&v| phase(v)).collect();
         assert_eq!(svf(&a, &b).unwrap_err(), CorrelationError::LengthMismatch);

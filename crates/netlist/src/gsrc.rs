@@ -199,17 +199,20 @@ pub fn parse(
                 nets.push(Net::new(format!("net{}", nets.len()), pins));
             }
             let deg_tok = rest.trim_start_matches([':', ' ']).trim();
-            let deg = deg_tok
-                .split_whitespace()
-                .next()
-                .ok_or_else(|| ParseGsrcError::Malformed {
+            let deg =
+                deg_tok
+                    .split_whitespace()
+                    .next()
+                    .ok_or_else(|| ParseGsrcError::Malformed {
+                        section: "nets",
+                        line: line.to_string(),
+                    })?;
+            let deg = deg
+                .parse::<usize>()
+                .map_err(|_| ParseGsrcError::BadNumber {
                     section: "nets",
-                    line: line.to_string(),
+                    token: deg.to_string(),
                 })?;
-            let deg = deg.parse::<usize>().map_err(|_| ParseGsrcError::BadNumber {
-                section: "nets",
-                token: deg.to_string(),
-            })?;
             pending = Some((deg, Vec::new()));
             continue;
         }
@@ -304,9 +307,7 @@ pub fn write(design: &Design) -> (String, String, String) {
         nets_text.push_str(&format!("NetDegree : {}\n", net.degree()));
         for pin in net.pins() {
             match *pin {
-                PinRef::Block(b) => {
-                    nets_text.push_str(&format!("{} B\n", design.block(b).name()))
-                }
+                PinRef::Block(b) => nets_text.push_str(&format!("{} B\n", design.block(b).name())),
                 PinRef::Terminal(t) => {
                     nets_text.push_str(&format!("{} B\n", design.terminal(t).name()))
                 }
@@ -316,7 +317,12 @@ pub fn write(design: &Design) -> (String, String, String) {
 
     let mut pl_text = String::new();
     for t in design.terminals() {
-        pl_text.push_str(&format!("{} {} {}\n", t.name(), t.position().x, t.position().y));
+        pl_text.push_str(&format!(
+            "{} {} {}\n",
+            t.name(),
+            t.position().x,
+            t.position().y
+        ));
     }
 
     (blocks_text, nets_text, pl_text)
@@ -372,7 +378,13 @@ p0 B
     fn parse_rejects_malformed_block() {
         let blocks = "sb0 banana 1 2 3\n";
         let err = parse("t", blocks, "", "", Outline::new(10.0, 10.0), 1e-3).unwrap_err();
-        assert!(matches!(err, ParseGsrcError::Malformed { section: "blocks", .. }));
+        assert!(matches!(
+            err,
+            ParseGsrcError::Malformed {
+                section: "blocks",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -386,22 +398,20 @@ p0 B
     fn parse_rejects_pin_count_mismatch() {
         let nets = "NetDegree : 3\nsb0 B\nsb1 B\n";
         let err = parse("t", BLOCKS, nets, PL, Outline::new(10.0, 10.0), 1e-3).unwrap_err();
-        assert!(matches!(err, ParseGsrcError::Malformed { section: "nets", .. }));
+        assert!(matches!(
+            err,
+            ParseGsrcError::Malformed {
+                section: "nets",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn roundtrip_through_writer() {
         let original = generate(Benchmark::N100, 7);
         let (b, n, p) = write(&original);
-        let reparsed = parse(
-            original.name(),
-            &b,
-            &n,
-            &p,
-            original.outline(),
-            1e-6,
-        )
-        .unwrap();
+        let reparsed = parse(original.name(), &b, &n, &p, original.outline(), 1e-6).unwrap();
         assert_eq!(reparsed.blocks().len(), original.blocks().len());
         assert_eq!(reparsed.nets().len(), original.nets().len());
         assert_eq!(reparsed.terminals().len(), original.terminals().len());

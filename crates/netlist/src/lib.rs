@@ -27,8 +27,8 @@
 
 mod block;
 mod design;
-mod net;
 pub mod gsrc;
+mod net;
 pub mod suite;
 
 pub use block::{Block, BlockId, BlockShape};

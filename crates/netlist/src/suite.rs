@@ -228,11 +228,7 @@ fn generate_blocks(props: &Table1Row, target_area: f64, rng: &mut ChaCha8Rng) ->
     blocks
 }
 
-fn generate_terminals(
-    props: &Table1Row,
-    outline: &Outline,
-    rng: &mut ChaCha8Rng,
-) -> Vec<Terminal> {
+fn generate_terminals(props: &Table1Row, outline: &Outline, rng: &mut ChaCha8Rng) -> Vec<Terminal> {
     let w = outline.width();
     let h = outline.height();
     (0..props.terminals)
@@ -317,8 +313,14 @@ mod tests {
             assert_eq!(s.soft_blocks, props.soft_blocks, "{b}");
             assert_eq!(s.nets, props.nets, "{b}");
             assert_eq!(s.terminals, props.terminals, "{b}");
-            assert!((s.outline_mm2 - props.outline_mm2).abs() / props.outline_mm2 < 1e-9, "{b}");
-            assert!((s.power_w - props.power_w).abs() / props.power_w < 1e-9, "{b}");
+            assert!(
+                (s.outline_mm2 - props.outline_mm2).abs() / props.outline_mm2 < 1e-9,
+                "{b}"
+            );
+            assert!(
+                (s.power_w - props.power_w).abs() / props.power_w < 1e-9,
+                "{b}"
+            );
         }
     }
 

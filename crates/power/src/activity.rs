@@ -100,8 +100,8 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let samples = sampler.sample_many(&mut rng, 2_000);
         let mean_b: f64 = samples.iter().map(|s| s[1]).sum::<f64>() / samples.len() as f64;
-        let var_b: f64 = samples.iter().map(|s| (s[1] - mean_b).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var_b: f64 =
+            samples.iter().map(|s| (s[1] - mean_b).powi(2)).sum::<f64>() / samples.len() as f64;
         // Mean ≈ 2.0 W, sigma ≈ 0.2 W.
         assert!((mean_b - 2.0).abs() < 0.03, "mean {mean_b}");
         assert!((var_b.sqrt() - 0.2).abs() < 0.03, "sigma {}", var_b.sqrt());

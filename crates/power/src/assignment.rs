@@ -256,7 +256,14 @@ mod tests {
                 PinRef::Block(BlockId(3)),
             ],
         )];
-        Design::new("chain", blocks, nets, vec![], Outline::new(2_000.0, 2_000.0)).unwrap()
+        Design::new(
+            "chain",
+            blocks,
+            nets,
+            vec![],
+            Outline::new(2_000.0, 2_000.0),
+        )
+        .unwrap()
     }
 
     fn full_adjacency(n: usize) -> Vec<Vec<BlockId>> {

@@ -226,7 +226,11 @@ mod tests {
                 vec![VoltageLevel::V0_8, VoltageLevel::V1_0],
                 VoltageLevel::V0_8,
             ),
-            VoltageVolume::new(vec![BlockId(1)], vec![VoltageLevel::V1_2], VoltageLevel::V1_2),
+            VoltageVolume::new(
+                vec![BlockId(1)],
+                vec![VoltageLevel::V1_2],
+                VoltageLevel::V1_2,
+            ),
         ];
         let a = VoltageAssignment::new(3, volumes);
         let powers = a.scaled_powers(&d, &scaling);
@@ -264,7 +268,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "two volumes")]
     fn overlapping_volumes_rejected() {
-        let v1 = VoltageVolume::new(vec![BlockId(0)], vec![VoltageLevel::V1_0], VoltageLevel::V1_0);
+        let v1 = VoltageVolume::new(
+            vec![BlockId(0)],
+            vec![VoltageLevel::V1_0],
+            VoltageLevel::V1_0,
+        );
         let v2 = VoltageVolume::new(
             vec![BlockId(0), BlockId(1)],
             vec![VoltageLevel::V1_0],
@@ -276,13 +284,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "covered")]
     fn uncovered_block_rejected() {
-        let v1 = VoltageVolume::new(vec![BlockId(0)], vec![VoltageLevel::V1_0], VoltageLevel::V1_0);
+        let v1 = VoltageVolume::new(
+            vec![BlockId(0)],
+            vec![VoltageLevel::V1_0],
+            VoltageLevel::V1_0,
+        );
         let _ = VoltageAssignment::new(2, vec![v1]);
     }
 
     #[test]
     #[should_panic(expected = "feasible")]
     fn level_outside_feasible_set_rejected() {
-        let _ = VoltageVolume::new(vec![BlockId(0)], vec![VoltageLevel::V1_0], VoltageLevel::V0_8);
+        let _ = VoltageVolume::new(
+            vec![BlockId(0)],
+            vec![VoltageLevel::V1_0],
+            VoltageLevel::V0_8,
+        );
     }
 }

@@ -226,6 +226,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn material_constants_are_sensible() {
         assert!(MaterialProperties::COPPER.conductivity > MaterialProperties::SILICON.conductivity);
         assert!(MaterialProperties::SILICON.conductivity > MaterialProperties::BEOL.conductivity);

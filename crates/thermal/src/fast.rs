@@ -80,7 +80,11 @@ impl PowerBlurring {
     ///
     /// Panics if the maps are defined on different grids, or if
     /// `tsv_per_interface.len() + 1 != power_per_die.len()` for multi-die stacks.
-    pub fn estimate(&self, power_per_die: &[GridMap], tsv_per_interface: &[TsvField]) -> Vec<GridMap> {
+    pub fn estimate(
+        &self,
+        power_per_die: &[GridMap],
+        tsv_per_interface: &[TsvField],
+    ) -> Vec<GridMap> {
         assert!(!power_per_die.is_empty(), "at least one die required");
         let grid = power_per_die[0].grid();
         assert!(
@@ -121,11 +125,13 @@ impl PowerBlurring {
                     let mut coupled = 0.0;
                     if d > 0 {
                         let density = tsv_per_interface[d - 1].density().values()[b];
-                        coupled += self.coupling * (0.5 + density) * gain * blurred[d - 1].values()[b];
+                        coupled +=
+                            self.coupling * (0.5 + density) * gain * blurred[d - 1].values()[b];
                     }
                     if d + 1 < dies {
                         let density = tsv_per_interface[d].density().values()[b];
-                        coupled += self.coupling * (0.5 + density) * gain * blurred[d + 1].values()[b];
+                        coupled +=
+                            self.coupling * (0.5 + density) * gain * blurred[d + 1].values()[b];
                     }
                     // Local TSVs open a vertical escape path that reduces the rise.
                     let relief = if dies > 1 {
@@ -147,7 +153,9 @@ impl PowerBlurring {
 
     /// Peak temperature of an estimate produced by [`PowerBlurring::estimate`].
     pub fn peak(maps: &[GridMap]) -> f64 {
-        maps.iter().map(|m| m.max()).fold(f64::NEG_INFINITY, f64::max)
+        maps.iter()
+            .map(|m| m.max())
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -253,10 +261,7 @@ mod tests {
     fn tsvs_lower_local_temperature() {
         let (pb, grid) = setup();
         let p = GridMap::constant(grid, 0.01);
-        let cool = pb.estimate(
-            &[p.clone(), p.clone()],
-            &[TsvField::uniform(grid, 0.4)],
-        );
+        let cool = pb.estimate(&[p.clone(), p.clone()], &[TsvField::uniform(grid, 0.4)]);
         let warm = pb.estimate(&[p.clone(), p], &[TsvField::empty(grid)]);
         assert!(cool[0].mean() < warm[0].mean());
     }

@@ -41,10 +41,10 @@
 #![warn(missing_docs)]
 
 mod config;
-mod solver;
-mod tsv;
 pub mod fast;
+mod solver;
 pub mod transient;
+mod tsv;
 
 pub use config::{MaterialProperties, StackLayer, StackLayerKind, ThermalConfig};
 pub use solver::{SolveError, SteadyStateSolver, ThermalResult};

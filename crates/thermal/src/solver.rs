@@ -50,10 +50,16 @@ impl fmt::Display for SolveError {
                 write!(f, "expected {expected} power maps (one per die), got {got}")
             }
             SolveError::TsvFieldCount { got, expected } => {
-                write!(f, "expected {expected} TSV fields (one per interface), got {got}")
+                write!(
+                    f,
+                    "expected {expected} TSV fields (one per interface), got {got}"
+                )
             }
             SolveError::GridMismatch => write!(f, "power maps and TSV fields use different grids"),
-            SolveError::NotConverged { residual, iterations } => write!(
+            SolveError::NotConverged {
+                residual,
+                iterations,
+            } => write!(
                 f,
                 "solver did not converge after {iterations} iterations (residual {residual:.2e} K)"
             ),
@@ -130,13 +136,18 @@ pub struct SteadyStateSolver {
 }
 
 impl SteadyStateSolver {
-    /// Creates a solver with default numerical parameters (10 000 iterations, 1e-5 K
-    /// tolerance, ω = 1.85).
+    /// Default convergence tolerance of [`SteadyStateSolver::new`], in K.
+    pub const DEFAULT_TOLERANCE: f64 = 1e-5;
+    /// Default SOR iteration budget of [`SteadyStateSolver::new`].
+    pub const DEFAULT_MAX_ITERATIONS: usize = 10_000;
+
+    /// Creates a solver with default numerical parameters ([`Self::DEFAULT_MAX_ITERATIONS`]
+    /// iterations, [`Self::DEFAULT_TOLERANCE`] K tolerance, ω = 1.85).
     pub fn new(config: ThermalConfig) -> Self {
         Self {
             config,
-            max_iterations: 10_000,
-            tolerance: 1e-5,
+            max_iterations: Self::DEFAULT_MAX_ITERATIONS,
+            tolerance: Self::DEFAULT_TOLERANCE,
             relaxation: 1.85,
         }
     }
@@ -164,7 +175,10 @@ impl SteadyStateSolver {
     ///
     /// Panics if `omega` is outside `(0, 2)`.
     pub fn with_relaxation(mut self, omega: f64) -> Self {
-        assert!(omega > 0.0 && omega < 2.0, "SOR relaxation must be in (0, 2)");
+        assert!(
+            omega > 0.0 && omega < 2.0,
+            "SOR relaxation must be in (0, 2)"
+        );
         self.relaxation = omega;
         self
     }
@@ -356,7 +370,12 @@ impl Network {
     }
 
     /// One SOR solve; returns (temperatures, iterations, final residual).
-    fn solve_sor(&self, omega: f64, max_iterations: usize, tolerance: f64) -> (Vec<f64>, usize, f64) {
+    fn solve_sor(
+        &self,
+        omega: f64,
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> (Vec<f64>, usize, f64) {
         let bins = self.cols * self.rows;
         let n = self.layers * bins;
         let mut t = vec![self.ambient; n];
@@ -540,9 +559,21 @@ mod tests {
         let (cfg, grid) = setup(4);
         let solver = SteadyStateSolver::new(cfg);
         let err = solver.solve(&[GridMap::zeros(grid)], &[TsvField::empty(grid)]);
-        assert!(matches!(err, Err(SolveError::PowerMapCount { expected: 2, got: 1 })));
+        assert!(matches!(
+            err,
+            Err(SolveError::PowerMapCount {
+                expected: 2,
+                got: 1
+            })
+        ));
         let err = solver.solve(&[GridMap::zeros(grid), GridMap::zeros(grid)], &[]);
-        assert!(matches!(err, Err(SolveError::TsvFieldCount { expected: 1, got: 0 })));
+        assert!(matches!(
+            err,
+            Err(SolveError::TsvFieldCount {
+                expected: 1,
+                got: 0
+            })
+        ));
         let other_grid = Grid::square(Rect::from_size(2000.0, 2000.0), 5);
         let err = solver.solve(
             &[GridMap::zeros(grid), GridMap::zeros(other_grid)],
@@ -573,7 +604,10 @@ mod tests {
             .solve(&power, &[TsvField::from_pattern(grid, TsvPattern::None, 1)])
             .unwrap();
         let max = solver
-            .solve(&power, &[TsvField::from_pattern(grid, TsvPattern::MaxDensity, 1)])
+            .solve(
+                &power,
+                &[TsvField::from_pattern(grid, TsvPattern::MaxDensity, 1)],
+            )
             .unwrap();
         // Dense TSVs flatten the bottom-die thermal profile.
         assert!(max.die_temperature(0).std_dev() < none.die_temperature(0).std_dev());
@@ -582,7 +616,9 @@ mod tests {
     #[test]
     fn relaxation_validation() {
         let (cfg, _) = setup(4);
-        let s = SteadyStateSolver::new(cfg).with_relaxation(1.0).with_tolerance(1e-4);
+        let s = SteadyStateSolver::new(cfg)
+            .with_relaxation(1.0)
+            .with_tolerance(1e-4);
         assert_eq!(s.config().ambient, 293.0);
     }
 

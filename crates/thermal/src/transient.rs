@@ -98,7 +98,10 @@ impl LumpedTransient {
     where
         F: Fn(f64) -> f64,
     {
-        assert!(dt > 0.0 && duration > 0.0, "dt and duration must be positive");
+        assert!(
+            dt > 0.0 && duration > 0.0,
+            "dt and duration must be positive"
+        );
         let c = self.capacitance[die];
         let r = self.resistance[die];
         let steps = (duration / dt).ceil() as usize;

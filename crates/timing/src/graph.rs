@@ -110,7 +110,11 @@ impl TimingGraph {
 
     /// Nominal intrinsic delay of every module in the design (ns), before voltage scaling.
     pub fn nominal_module_delays(design: &Design, model: &ModuleDelayModel) -> Vec<f64> {
-        design.blocks().iter().map(|b| model.module_delay(b.area())).collect()
+        design
+            .blocks()
+            .iter()
+            .map(|b| model.module_delay(b.area()))
+            .collect()
     }
 
     /// Net delays for the given per-net topologies (ns).
@@ -127,7 +131,11 @@ impl TimingGraph {
     ///
     /// Panics if the delay vectors do not match the design's block/net counts.
     pub fn analyze(&self, module_delays: &[f64], net_delays: &[f64]) -> TimingReport {
-        assert_eq!(module_delays.len(), self.blocks, "one delay per block required");
+        assert_eq!(
+            module_delays.len(),
+            self.blocks,
+            "one delay per block required"
+        );
         let mut arrival = vec![0.0_f64; self.blocks];
         let mut pred: Vec<Option<usize>> = vec![None; self.blocks];
 
@@ -208,11 +216,27 @@ mod tests {
             Block::new("d", BlockShape::soft(2_500.0), 0.05),
         ];
         let nets = vec![
-            Net::new("ab", vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(1))]),
-            Net::new("bc", vec![PinRef::Block(BlockId(1)), PinRef::Block(BlockId(2))]),
-            Net::new("ad", vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(3))]),
+            Net::new(
+                "ab",
+                vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(1))],
+            ),
+            Net::new(
+                "bc",
+                vec![PinRef::Block(BlockId(1)), PinRef::Block(BlockId(2))],
+            ),
+            Net::new(
+                "ad",
+                vec![PinRef::Block(BlockId(0)), PinRef::Block(BlockId(3))],
+            ),
         ];
-        Design::new("chain", blocks, nets, vec![], Outline::new(1_000.0, 1_000.0)).unwrap()
+        Design::new(
+            "chain",
+            blocks,
+            nets,
+            vec![],
+            Outline::new(1_000.0, 1_000.0),
+        )
+        .unwrap()
     }
 
     fn uniform_delays(design: &Design, module: f64, net: f64) -> (Vec<f64>, Vec<f64>) {
@@ -278,7 +302,10 @@ mod tests {
     #[test]
     fn net_delay_helper_matches_model() {
         let model = ElmoreModel::default_90nm();
-        let topos = vec![NetTopology::new(100.0, 0, 1), NetTopology::new(5_000.0, 1, 2)];
+        let topos = vec![
+            NetTopology::new(100.0, 0, 1),
+            NetTopology::new(5_000.0, 1, 2),
+        ];
         let delays = TimingGraph::net_delays(&model, &topos);
         assert_eq!(delays.len(), 2);
         assert!(delays[1] > delays[0]);

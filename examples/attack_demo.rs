@@ -15,14 +15,16 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use tsc3d::oracle::FloorplanOracle;
 use tsc3d::postprocess::ThermalEngine;
-use tsc3d::{FlowConfig, FlowResult, Setup, TscFlow};
+use tsc3d::{FlowConfig, FlowError, FlowResult, Setup, TscFlow};
 use tsc3d_attack::{LocalizationAttack, MonitoringAttack};
 use tsc3d_geometry::Point;
 use tsc3d_netlist::suite::{generate, Benchmark};
 
 fn attack(result: &FlowResult, label: &str, powers: &[f64]) {
     let floorplan = result.floorplan().clone();
-    let grid = floorplan.analysis_grid(24);
+    // The oracle must observe on the grid the flow's TSV plan was built on (the
+    // verification grid), otherwise the thermal estimate rejects the mismatched fields.
+    let grid = result.verification.power_maps[0].grid();
     let oracle = FloorplanOracle::new(
         floorplan,
         grid,
@@ -58,13 +60,13 @@ fn attack(result: &FlowResult, label: &str, powers: &[f64]) {
     );
 }
 
-fn main() {
+fn main() -> Result<(), FlowError> {
     let design = generate(Benchmark::N100, 1);
     println!("attacking benchmark: {design}\n");
 
     let seed = 23;
-    let pa = TscFlow::new(FlowConfig::quick(Setup::PowerAware)).run(&design, seed);
-    let tsc = TscFlow::new(FlowConfig::quick(Setup::TscAware)).run(&design, seed);
+    let pa = TscFlow::new(FlowConfig::quick(Setup::PowerAware)).run(&design, seed)?;
+    let tsc = TscFlow::new(FlowConfig::quick(Setup::TscAware)).run(&design, seed)?;
 
     attack(&pa, "power-aware", &pa.scaled_powers);
     attack(&tsc, "TSC-aware", &tsc.scaled_powers);
@@ -74,4 +76,5 @@ fn main() {
          TSVs) yields flatter thermal signatures, so localization and monitoring become \
          less reliable for the attacker."
     );
+    Ok(())
 }

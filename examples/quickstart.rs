@@ -6,10 +6,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use tsc3d::{FlowConfig, Setup, TscFlow};
+use tsc3d::{FlowConfig, FlowError, Setup, TscFlow};
 use tsc3d_netlist::suite::{generate, Benchmark};
 
-fn main() {
+fn main() -> Result<(), FlowError> {
     // 1. Obtain a benchmark design. The suite reproduces the aggregate properties of
     //    Table 1 of the paper (module counts, nets, outline, power).
     let design = generate(Benchmark::N100, 1);
@@ -20,17 +20,25 @@ fn main() {
     let config = FlowConfig::quick(Setup::TscAware);
     let flow = TscFlow::new(config);
 
-    // 3. Run floorplanning, verification and dummy-TSV post-processing.
-    let result = flow.run(&design, 42);
+    // 3. Run the staged pipeline: floorplanning, voltage assignment, verification and
+    //    dummy-TSV post-processing. Every stage is fallible; a non-converging detailed
+    //    solve surfaces as a typed `FlowError` instead of a silent fallback.
+    let result = flow.run(&design, 42)?;
 
     // 4. Inspect the outcome.
     let breakdown = &result.sa.breakdown;
     println!("--- design cost ({} setup) ---", result.setup.label());
     println!("  wirelength       : {:.3} m", breakdown.wirelength * 1e-6);
     println!("  critical delay   : {:.3} ns", breakdown.critical_delay);
-    println!("  total power      : {:.3} W", result.scaled_powers.iter().sum::<f64>());
+    println!(
+        "  total power      : {:.3} W",
+        result.scaled_powers.iter().sum::<f64>()
+    );
     println!("  voltage volumes  : {}", result.assignment.volume_count());
-    println!("  peak temperature : {:.2} K (detailed)", result.verification.peak_temperature);
+    println!(
+        "  peak temperature : {:.2} K (detailed)",
+        result.verification.peak_temperature
+    );
     println!("  signal TSVs      : {}", result.signal_tsvs());
     println!("  dummy TSVs       : {}", result.dummy_tsvs());
 
@@ -54,5 +62,17 @@ fn main() {
             pp.dummy_tsvs
         );
     }
-    println!("flow runtime: {:.1} s", result.runtime_seconds);
+    let timings = result.stage_timings;
+    println!(
+        "flow runtime: {:.1} s (floorplan {:.1} s, assign {:.1} s, verify {:.1} s, post-process {:.1} s)",
+        result.runtime_seconds,
+        timings.floorplan_s,
+        timings.assign_s,
+        timings.verify_s,
+        timings.post_process_s
+    );
+    if result.used_relaxed_solve() {
+        println!("note: the relaxed solver retry was needed for at least one verification");
+    }
+    Ok(())
 }

@@ -7,10 +7,10 @@
 //! cargo run --release --example tsc_aware_n100
 //! ```
 
-use tsc3d::{FlowConfig, Setup, TscFlow};
+use tsc3d::{FlowConfig, FlowError, Setup, TscFlow};
 use tsc3d_netlist::suite::{generate, Benchmark};
 
-fn main() {
+fn main() -> Result<(), FlowError> {
     let design = generate(Benchmark::N100, 1);
     println!("benchmark: {design}");
 
@@ -29,27 +29,79 @@ fn main() {
 
     let seed = 17;
     println!("\nrunning power-aware floorplanning (baseline)...");
-    let pa = TscFlow::new(pa_config).run(&design, seed);
+    let pa = TscFlow::new(pa_config).run(&design, seed)?;
     println!("running TSC-aware floorplanning (proposed)...");
-    let tsc = TscFlow::new(tsc_config).run(&design, seed);
+    let tsc = TscFlow::new(tsc_config).run(&design, seed)?;
 
     let row = |label: &str, pa: f64, tsc: f64| {
         println!("  {label:<28} {pa:>10.3} {tsc:>10.3}");
     };
     println!("\n{:<30} {:>10} {:>10}", "", "PA", "TSC");
-    row("spatial entropy S1", pa.spatial_entropies[0], tsc.spatial_entropies[0]);
-    row("spatial entropy S2", pa.spatial_entropies[1], tsc.spatial_entropies[1]);
-    row("correlation r1 (verified)", pa.verified_correlations[0], tsc.verified_correlations[0]);
-    row("correlation r2 (verified)", pa.verified_correlations[1], tsc.verified_correlations[1]);
-    row("correlation r1 (final)", pa.final_correlations[0], tsc.final_correlations[0]);
-    row("correlation r2 (final)", pa.final_correlations[1], tsc.final_correlations[1]);
-    row("overall power [W]", pa.scaled_powers.iter().sum(), tsc.scaled_powers.iter().sum());
-    row("critical delay [ns]", pa.sa.breakdown.critical_delay, tsc.sa.breakdown.critical_delay);
-    row("wirelength [m]", pa.sa.breakdown.wirelength * 1e-6, tsc.sa.breakdown.wirelength * 1e-6);
-    row("peak temperature [K]", pa.verification.peak_temperature, tsc.verification.peak_temperature);
-    row("voltage volumes", pa.assignment.volume_count() as f64, tsc.assignment.volume_count() as f64);
-    row("signal TSVs", pa.signal_tsvs() as f64, tsc.signal_tsvs() as f64);
-    row("dummy thermal TSVs", pa.dummy_tsvs() as f64, tsc.dummy_tsvs() as f64);
+    row(
+        "spatial entropy S1",
+        pa.spatial_entropies[0],
+        tsc.spatial_entropies[0],
+    );
+    row(
+        "spatial entropy S2",
+        pa.spatial_entropies[1],
+        tsc.spatial_entropies[1],
+    );
+    row(
+        "correlation r1 (verified)",
+        pa.verified_correlations[0],
+        tsc.verified_correlations[0],
+    );
+    row(
+        "correlation r2 (verified)",
+        pa.verified_correlations[1],
+        tsc.verified_correlations[1],
+    );
+    row(
+        "correlation r1 (final)",
+        pa.final_correlations[0],
+        tsc.final_correlations[0],
+    );
+    row(
+        "correlation r2 (final)",
+        pa.final_correlations[1],
+        tsc.final_correlations[1],
+    );
+    row(
+        "overall power [W]",
+        pa.scaled_powers.iter().sum(),
+        tsc.scaled_powers.iter().sum(),
+    );
+    row(
+        "critical delay [ns]",
+        pa.sa.breakdown.critical_delay,
+        tsc.sa.breakdown.critical_delay,
+    );
+    row(
+        "wirelength [m]",
+        pa.sa.breakdown.wirelength * 1e-6,
+        tsc.sa.breakdown.wirelength * 1e-6,
+    );
+    row(
+        "peak temperature [K]",
+        pa.verification.peak_temperature,
+        tsc.verification.peak_temperature,
+    );
+    row(
+        "voltage volumes",
+        pa.assignment.volume_count() as f64,
+        tsc.assignment.volume_count() as f64,
+    );
+    row(
+        "signal TSVs",
+        pa.signal_tsvs() as f64,
+        tsc.signal_tsvs() as f64,
+    );
+    row(
+        "dummy thermal TSVs",
+        pa.dummy_tsvs() as f64,
+        tsc.dummy_tsvs() as f64,
+    );
     row("runtime [s]", pa.runtime_seconds, tsc.runtime_seconds);
 
     if let Some(pp) = &tsc.post_process {
@@ -74,4 +126,5 @@ fn main() {
         "\nbottom-die correlation reduction (TSC vs PA): {r1_gain:.1}% — an attacker modelling \
          the thermal leakage is correspondingly less likely to succeed."
     );
+    Ok(())
 }

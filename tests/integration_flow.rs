@@ -29,7 +29,9 @@ fn quick_config(setup: Setup) -> FlowConfig {
 #[test]
 fn full_tsc_flow_reduces_or_preserves_verified_leakage() {
     let design = generate(Benchmark::N100, 5);
-    let result = TscFlow::new(quick_config(Setup::TscAware)).run(&design, 5);
+    let result = TscFlow::new(quick_config(Setup::TscAware))
+        .run(&design, 5)
+        .expect("TSC flow converges");
 
     // The flow produces a legal floorplan within the fixed outline.
     assert!(result.floorplan().overlap_area() < 1e-6);
@@ -44,15 +46,22 @@ fn full_tsc_flow_reduces_or_preserves_verified_leakage() {
         assert!(r.abs() <= 1.0);
     }
     // Post-processing never increases the average correlation it optimizes.
-    let pp = result.post_process.as_ref().expect("TSC flow post-processes");
+    let pp = result
+        .post_process
+        .as_ref()
+        .expect("TSC flow post-processes");
     assert!(pp.correlation_after <= pp.correlation_before + 1e-12);
 }
 
 #[test]
 fn power_aware_and_tsc_aware_flows_share_the_same_input() {
     let design = generate(Benchmark::N100, 8);
-    let pa = TscFlow::new(quick_config(Setup::PowerAware)).run(&design, 8);
-    let tsc = TscFlow::new(quick_config(Setup::TscAware)).run(&design, 8);
+    let pa = TscFlow::new(quick_config(Setup::PowerAware))
+        .run(&design, 8)
+        .expect("PA flow converges");
+    let tsc = TscFlow::new(quick_config(Setup::TscAware))
+        .run(&design, 8)
+        .expect("TSC flow converges");
     // Same design → same number of blocks/nets everywhere.
     assert_eq!(pa.scaled_powers.len(), tsc.scaled_powers.len());
     // PA never inserts dummy TSVs; TSC may.
@@ -76,7 +85,8 @@ fn evaluator_and_detailed_solver_agree_on_leakage_direction() {
     let floorplan = SequencePair3d::initial(&design, stack, &mut rng).pack(&design);
     let grid = floorplan.analysis_grid(12);
 
-    let evaluator = Evaluator::new(&design, stack, ObjectiveWeights::tsc_aware()).with_grid_bins(12);
+    let evaluator =
+        Evaluator::new(&design, stack, ObjectiveWeights::tsc_aware()).with_grid_bins(12);
     let breakdown = evaluator.evaluate(&floorplan);
 
     let powers: Vec<f64> = design.blocks().iter().map(|b| b.power()).collect();
@@ -93,7 +103,9 @@ fn evaluator_and_detailed_solver_agree_on_leakage_direction() {
 #[test]
 fn attacks_run_end_to_end_against_a_flow_result() {
     let design = generate(Benchmark::N100, 3);
-    let result = TscFlow::new(quick_config(Setup::PowerAware)).run(&design, 3);
+    let result = TscFlow::new(quick_config(Setup::PowerAware))
+        .run(&design, 3)
+        .expect("PA flow converges");
     let floorplan = result.floorplan().clone();
     let grid = floorplan.analysis_grid(12);
     let oracle = FloorplanOracle::new(
@@ -103,8 +115,12 @@ fn attacks_run_end_to_end_against_a_flow_result() {
         ThermalEngine::Fast,
     );
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    let localization =
-        LocalizationAttack::ideal().run(&oracle, &result.scaled_powers, &oracle.footprints(), &mut rng);
+    let localization = LocalizationAttack::ideal().run(
+        &oracle,
+        &result.scaled_powers,
+        &oracle.footprints(),
+        &mut rng,
+    );
     assert_eq!(localization.outcomes.len(), design.blocks().len());
     assert!(localization.hit_rate() >= 0.0 && localization.hit_rate() <= 1.0);
     assert!(localization.mean_error_um() >= 0.0);
@@ -116,7 +132,9 @@ fn suite_designs_floorplan_within_reasonable_outline_stretch() {
     // close to) the fixed outline even with a very short schedule.
     for benchmark in [Benchmark::N100, Benchmark::Ibm01] {
         let design = generate(benchmark, 1);
-        let result = TscFlow::new(quick_config(Setup::PowerAware)).run(&design, 1);
+        let result = TscFlow::new(quick_config(Setup::PowerAware))
+            .run(&design, 1)
+            .expect("PA flow converges");
         assert!(
             result.sa.breakdown.packing < 1.6,
             "{benchmark:?}: packing stretch {}",

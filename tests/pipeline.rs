@@ -1,0 +1,133 @@
+//! Workspace-level tests of the staged flow pipeline: seeded determinism, typed errors on
+//! non-converging solver configurations, and the observability of the relaxed-solve retry.
+
+use tsc3d::{
+    FlowConfig, FlowError, FlowStage, RetryPolicy, Setup, SolveQuality, SolverSettings, TscFlow,
+};
+use tsc3d_netlist::suite::{generate, Benchmark};
+
+fn tiny_config(setup: Setup) -> FlowConfig {
+    let mut config = FlowConfig::quick(setup);
+    config.schedule.stages = 6;
+    config.schedule.moves_per_stage = 10;
+    config.schedule.grid_bins = 12;
+    config.verification_bins = 12;
+    config
+}
+
+#[test]
+fn same_seed_produces_identical_results() {
+    let design = generate(Benchmark::N100, 7);
+    let flow = TscFlow::new(tiny_config(Setup::TscAware));
+    let a = flow.run(&design, 11).expect("first run converges");
+    let b = flow.run(&design, 11).expect("second run converges");
+
+    // Bit-identical correlations, entropies and TSV counts: the pipeline is a pure
+    // function of (design, config, seed).
+    assert_eq!(a.verified_correlations, b.verified_correlations);
+    assert_eq!(a.final_correlations, b.final_correlations);
+    assert_eq!(a.spatial_entropies, b.spatial_entropies);
+    assert_eq!(a.signal_tsvs(), b.signal_tsvs());
+    assert_eq!(a.dummy_tsvs(), b.dummy_tsvs());
+    assert_eq!(a.scaled_powers, b.scaled_powers);
+    assert_eq!(a.verification_solve, b.verification_solve);
+}
+
+#[test]
+fn different_seeds_explore_different_floorplans() {
+    let design = generate(Benchmark::N100, 7);
+    let flow = TscFlow::new(tiny_config(Setup::PowerAware));
+    let a = flow.run(&design, 1).expect("seed 1 converges");
+    let b = flow.run(&design, 2).expect("seed 2 converges");
+    // With different seeds the annealer explores different floorplans; wirelength is a
+    // continuous objective, so an exact tie would indicate seed plumbing is broken.
+    assert_ne!(a.sa.breakdown.wirelength, b.sa.breakdown.wirelength);
+}
+
+#[test]
+fn non_converging_solver_yields_typed_error_not_panic() {
+    let design = generate(Benchmark::N100, 7);
+    let mut config = tiny_config(Setup::PowerAware);
+    config.solver = SolverSettings {
+        tolerance: 1e-12,
+        max_iterations: 1,
+    };
+    config.retry = RetryPolicy::Fail;
+
+    let err = TscFlow::new(config)
+        .run(&design, 11)
+        .expect_err("one SOR iteration cannot converge");
+    match err {
+        FlowError::Solve {
+            stage,
+            attempts,
+            source,
+        } => {
+            assert_eq!(stage, FlowStage::Verify);
+            assert_eq!(attempts, 1);
+            assert!(
+                matches!(source, tsc3d_thermal::SolveError::NotConverged { .. }),
+                "unexpected source: {source:?}"
+            );
+        }
+        other => panic!("expected a solve error, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_converging_retry_also_fails_with_two_attempts() {
+    let design = generate(Benchmark::N100, 7);
+    let mut config = tiny_config(Setup::PowerAware);
+    config.solver = SolverSettings {
+        tolerance: 1e-12,
+        max_iterations: 1,
+    };
+    // The retry is just as hopeless: the error must report both attempts.
+    config.retry = RetryPolicy::Relaxed(SolverSettings {
+        tolerance: 1e-12,
+        max_iterations: 2,
+    });
+
+    let err = TscFlow::new(config)
+        .run(&design, 11)
+        .expect_err("hopeless retry must fail too");
+    match err {
+        FlowError::Solve { attempts, .. } => assert_eq!(attempts, 2),
+        other => panic!("expected a solve error, got {other:?}"),
+    }
+}
+
+#[test]
+fn relaxed_retry_rescues_the_run_and_is_observable() {
+    let design = generate(Benchmark::N100, 7);
+    let mut config = tiny_config(Setup::PowerAware);
+    config.solver = SolverSettings {
+        tolerance: 1e-12,
+        max_iterations: 1,
+    };
+    config.retry = RetryPolicy::Relaxed(SolverSettings::relaxed());
+
+    let result = TscFlow::new(config)
+        .run(&design, 11)
+        .expect("relaxed retry converges");
+    assert_eq!(result.verification_solve, SolveQuality::Relaxed);
+    assert!(result.used_relaxed_solve());
+}
+
+#[test]
+fn stage_timings_are_recorded_for_every_stage() {
+    let design = generate(Benchmark::N100, 7);
+    let result = TscFlow::new(tiny_config(Setup::TscAware))
+        .run(&design, 11)
+        .expect("flow converges");
+    for stage in FlowStage::ALL {
+        assert!(
+            result.stage_timings.of(stage) >= 0.0,
+            "negative timing for {stage}"
+        );
+    }
+    assert!(result.stage_timings.total_s() <= result.runtime_seconds + 1e-9);
+    // The flow does real work in floorplanning and verification.
+    assert!(result.stage_timings.floorplan_s > 0.0);
+    assert!(result.stage_timings.verify_s > 0.0);
+}

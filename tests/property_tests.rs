@@ -55,7 +55,7 @@ proptest! {
         let xs = values.clone();
         let ys: Vec<f64> = values.iter().rev().map(|v| v * 0.5 + 1.0).collect();
         if let (Ok(r_xy), Ok(r_yx)) = (pearson(&xs, &ys), pearson(&ys, &xs)) {
-            prop_assert!(r_xy >= -1.0 && r_xy <= 1.0);
+            prop_assert!((-1.0..=1.0).contains(&r_xy));
             prop_assert!((r_xy - r_yx).abs() < 1e-9);
             let ys_affine: Vec<f64> = ys.iter().map(|v| v * scale + offset).collect();
             if let Ok(r_affine) = pearson(&xs, &ys_affine) {

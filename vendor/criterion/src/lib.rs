@@ -1,0 +1,227 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate implements the subset of
+//! criterion's API the workspace benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — with a simple wall-clock measurement loop instead of criterion's statistical
+//! machinery. Passing `--test` (as `cargo test --benches` does) runs every routine exactly
+//! once, so benches double as smoke tests.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock budget per benchmark routine (full measurement mode).
+const TIME_BUDGET: Duration = Duration::from_secs(3);
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self {
+            sample_size: 100,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks a single routine outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let test_mode = self.test_mode;
+        run_benchmark(&format!("{id}"), sample_size, test_mode, |b| routine(b));
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measurement samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks a routine under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&label, samples, self.criterion.test_mode, |b| routine(b));
+        self
+    }
+
+    /// Benchmarks a routine that receives a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&label, samples, self.criterion.test_mode, |b| {
+            routine(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (kept for API compatibility; measurements are reported eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier combining a function name and a parameter, e.g. `solve/32`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter: `name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id consisting of the parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: format!("{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark routines.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly, recording one wall-clock sample per call, until the
+    /// sample budget or the time budget is exhausted.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up run.
+        black_box(routine());
+        let started = Instant::now();
+        loop {
+            let sample_start = Instant::now();
+            black_box(routine());
+            self.samples.push(sample_start.elapsed());
+            if self.samples.len() >= self.max_samples || started.elapsed() >= TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, test_mode: bool, mut f: F) {
+    if test_mode {
+        // `cargo test --benches`: run once to prove the routine works, skip measurement.
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            max_samples: 1,
+        };
+        f(&mut bencher);
+        println!("test {label} ... ok");
+        return;
+    }
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        max_samples: samples.max(1),
+    };
+    f(&mut bencher);
+    let n = bencher.samples.len().max(1) as u32;
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / n;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    println!("{label:<50} mean {mean:>12.3?}   min {min:>12.3?}   ({n} samples)");
+}
+
+/// Declares a group of benchmark targets, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_runs_routine() {
+        let mut c = Criterion {
+            sample_size: 3,
+            test_mode: false,
+        };
+        let mut calls = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(2);
+            group.bench_function("f", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        // 1 warm-up + 2 samples.
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(format!("{}", BenchmarkId::from_parameter(32)), "32");
+        assert_eq!(format!("{}", BenchmarkId::new("solve", 32)), "solve/32");
+    }
+}

@@ -1,0 +1,246 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no crates.io access, so this crate implements the subset of
+//! proptest used by the workspace's property tests: the [`proptest!`] macro with
+//! `#![proptest_config(...)]` and `arg in strategy` bindings, range and
+//! [`collection::vec`] strategies, and `prop_assert!` / `prop_assert_eq!`. Inputs are
+//! sampled from a deterministic per-test RNG (seeded from the test name), so failures are
+//! reproducible; upstream's shrinking machinery is intentionally omitted — a failing case
+//! panics with the sampled values still derivable from the deterministic seed.
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test-case configuration and the deterministic RNG driving input generation.
+
+    /// Configuration of a `proptest!` block (case count only).
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the generator for a named test (FNV-1a hash of the name as seed).
+        pub fn for_case(name: &str) -> Self {
+            let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |acc, b| {
+                (acc ^ b as u64).wrapping_mul(0x100_0000_01b3)
+            });
+            Self { state: seed }
+        }
+
+        /// Next raw 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform `u64` below `n` (exclusive).
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Input-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    assert!(span > 0, "cannot sample from an empty range");
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from `size` and elements from
+    /// `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a [`VecStrategy`]; mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests; mirrors `proptest::proptest!`.
+///
+/// Supports the forms the workspace uses: an optional leading
+/// `#![proptest_config(expr)]` and test functions whose arguments are `name in strategy`
+/// bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::for_case(stringify!($name));
+            for __case in 0..config.cases {
+                $( let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut rng); )+
+                let __outcome: Result<(), String> = (|| { $body Ok(()) })();
+                if let Err(message) = __outcome {
+                    panic!(
+                        "property {} failed on case {}: {message}",
+                        stringify!($name),
+                        __case
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, reporting the failing case; mirrors
+/// `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property; mirrors `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {left:?}, right: {right:?})",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! Convenience re-exports, mirroring `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 1.0f64..2.0, n in 3usize..7) {
+            prop_assert!((1.0..2.0).contains(&x));
+            prop_assert!((3..7).contains(&n), "n out of range: {}", n);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(values in crate::collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!(values.len() >= 2 && values.len() < 5);
+            prop_assert_eq!(values.iter().filter(|v| **v < 0.0).count(), 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        let mut a = crate::test_runner::TestRng::for_case("t");
+        let mut b = crate::test_runner::TestRng::for_case("t");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

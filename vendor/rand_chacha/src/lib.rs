@@ -1,0 +1,162 @@
+//! Offline stand-in for the `rand_chacha` crate: a ChaCha8 generator implementing the
+//! vendored [`rand`] traits.
+//!
+//! The keystream is a faithful ChaCha implementation with 8 rounds (RFC 8439 block
+//! function, 64-bit block counter), seeded through [`rand::SeedableRng`]. Streams are
+//! deterministic per seed, which is the property the workspace's reproducibility tests
+//! rely on; bit-compatibility with upstream `rand_chacha` is not guaranteed.
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha random number generator with 8 rounds.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// The 8 key words of the ChaCha state.
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13 of the state; words 14–15 hold a zero nonce).
+    counter: u64,
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next unread word of `block`; 16 means exhausted.
+    cursor: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 8;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        let input = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(&input) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = state;
+        self.cursor = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    /// The number of 32-bit keystream words consumed so far.
+    ///
+    /// `counter` counts *generated* blocks (it is incremented when a block is produced),
+    /// so the unread remainder of the current block — `16 - cursor` words — is subtracted
+    /// back out. A fresh generator reports 0.
+    pub fn get_word_pos(&self) -> u64 {
+        self.counter
+            .wrapping_mul(16)
+            .wrapping_add(self.cursor as u64)
+            .wrapping_sub(16)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            *word = u32::from_le_bytes(seed[4 * i..4 * i + 4].try_into().expect("4-byte chunk"));
+        }
+        Self {
+            key,
+            counter: 0,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn uniform_unit_interval_mean_is_centred() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        assert_eq!(a.get_word_pos(), 0);
+        let _ = a.next_u64();
+        assert_eq!(a.get_word_pos(), 2);
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.get_word_pos(), b.get_word_pos());
+        // Positions keep counting across block boundaries (16 words per block).
+        for _ in 0..8 {
+            let _ = a.next_u64();
+        }
+        assert_eq!(a.get_word_pos(), 20);
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides just enough of
+//! serde's surface for the workspace to compile: the [`Serialize`] / [`Deserialize`]
+//! marker traits and (behind the `derive` feature) the no-op derive macros. No type in
+//! the workspace is actually serialized today; when a real serialization backend is
+//! needed, this stand-in is replaced by the upstream crate without touching any call
+//! site.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde_derive`: the `Serialize` / `Deserialize` derives expand to
+//! nothing. The workspace derives the traits for forward compatibility but never calls a
+//! serializer, so marker-level support is sufficient until the real `serde` is available
+//! (the build environment has no crates.io access).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
