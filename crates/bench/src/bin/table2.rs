@@ -8,14 +8,23 @@
 //! ```text
 //! cargo run --release -p tsc3d-bench --bin table2 -- --runs 4 --benchmarks n100,ibm01
 //! cargo run --release -p tsc3d-bench --bin table2 -- --paper          # full 50-run setup
+//! cargo run --release -p tsc3d-bench --bin table2 -- --out t2.jsonl   # persist + resumable
 //! ```
 //!
-//! CSV output lands in `target/experiments/table2.csv` (one row per benchmark and setup,
-//! which is also exactly the data plotted in Figure 5).
+//! The runs execute through the campaign engine (`tsc3d-campaign`) and its aggregator, so
+//! this binary shares the execution core, per-job records and summary statistics with
+//! `campaign run`; pass `--out FILE` to stream the per-job JSONL records (the file can
+//! then be resumed or re-reported with the `campaign` CLI). CSV output lands in
+//! `target/experiments/table2.csv` (one row per benchmark and setup, which is also
+//! exactly the data plotted in Figure 5).
 
-use tsc3d::experiment::{run_benchmark, BenchmarkComparison, ExperimentConfig, SetupAverages};
+use std::process::ExitCode;
+use tsc3d::experiment::{default_workers, ExperimentConfig, SetupAverages};
 use tsc3d::{FlowConfig, Setup};
 use tsc3d_bench::{arg_present, arg_usize, arg_value, write_csv};
+use tsc3d_campaign::{
+    aggregate, run_campaign, CampaignOptions, CampaignSpec, CampaignSummary, OverrideSet,
+};
 use tsc3d_floorplan::SaSchedule;
 use tsc3d_netlist::suite::Benchmark;
 
@@ -88,21 +97,26 @@ fn csv_row(benchmark: Benchmark, label: &str, avg: &SetupAverages) -> String {
     )
 }
 
-fn main() -> Result<(), tsc3d::FlowError> {
-    let benchmarks = selected_benchmarks();
-    let config = config();
-    println!(
-        "Table 2 / Figure 5: PA vs TSC floorplanning, {} runs per benchmark and setup\n",
-        config.runs
-    );
-
-    let mut rows = Vec::new();
-    let mut comparisons: Vec<BenchmarkComparison> = Vec::new();
-    for benchmark in benchmarks {
-        println!("=== {} ===", benchmark.name());
-        let comparison = run_benchmark(benchmark, &config, 1000 + benchmark.name().len() as u64)?;
-        print_setup("PA", &comparison.power_aware);
-        print_setup("TSC", &comparison.tsc_aware);
+fn print_benchmark(summary: &CampaignSummary, benchmark: Benchmark, rows: &mut Vec<String>) {
+    println!("=== {} ===", benchmark.name());
+    for setup in [Setup::PowerAware, Setup::TscAware] {
+        if let Some(group) = summary.group(benchmark, setup, "base") {
+            let avg = group.setup_averages();
+            print_setup(setup.label(), &avg);
+            if group.failed() > 0 || group.outline_repairs > 0 || group.relaxed_solves > 0 {
+                println!(
+                    "       [ok {}/{}  outline-repairs {}  relaxed-solves {}  failures {:?}]",
+                    group.succeeded,
+                    group.jobs,
+                    group.outline_repairs,
+                    group.relaxed_solves,
+                    group.failures
+                );
+            }
+            rows.push(csv_row(benchmark, setup.label(), &avg));
+        }
+    }
+    if let Some(comparison) = summary.comparison(benchmark, "base") {
         println!(
             "  -> r1 reduction {:+.2}%   power {:+.2}%   peak-temp rise {:+.2}% (reduction)   voltage volumes {:+.2}%",
             comparison.r1_reduction_percent(),
@@ -110,12 +124,53 @@ fn main() -> Result<(), tsc3d::FlowError> {
             comparison.peak_temperature_reduction_percent(),
             comparison.voltage_volume_increase_percent()
         );
-        rows.push(csv_row(benchmark, "PA", &comparison.power_aware));
-        rows.push(csv_row(benchmark, "TSC", &comparison.tsc_aware));
-        comparisons.push(comparison);
+    }
+}
+
+fn main() -> ExitCode {
+    let benchmarks = selected_benchmarks();
+    let config = config();
+    println!(
+        "Table 2 / Figure 5: PA vs TSC floorplanning, {} runs per benchmark and setup\n",
+        config.runs
+    );
+
+    // The same job model `campaign run` uses: every benchmark runs the identical seed
+    // list, and run `i` of both setups floorplans the same design instance.
+    let spec = CampaignSpec {
+        benchmarks: benchmarks.clone(),
+        setups: vec![Setup::PowerAware, Setup::TscAware],
+        seeds: (0..config.runs as u64).map(|r| 1000 + r).collect(),
+        overrides: vec![OverrideSet::base()],
+        power_aware: config.power_aware,
+        tsc_aware: config.tsc_aware,
+    };
+    let mut options = CampaignOptions::in_memory(if config.parallel {
+        default_workers()
+    } else {
+        1
+    });
+    options.results_path = arg_value("--out").map(std::path::PathBuf::from);
+
+    let outcome = match run_campaign(&spec, &options) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let summary = aggregate(&outcome.records);
+
+    let mut rows = Vec::new();
+    for &benchmark in &benchmarks {
+        print_benchmark(&summary, benchmark, &mut rows);
     }
 
     // Averages over the selected benchmarks (the paper's "Avg" column).
+    let comparisons: Vec<_> = benchmarks
+        .iter()
+        .filter_map(|&b| summary.comparison(b, "base"))
+        .collect();
     if !comparisons.is_empty() {
         let n = comparisons.len() as f64;
         let avg_r1_reduction = comparisons
@@ -155,5 +210,13 @@ fn main() -> Result<(), tsc3d::FlowError> {
         "\nCSV (also the Figure 5 series) written to {}",
         path.display()
     );
-    Ok(())
+
+    // Per-job failures are aggregated, not fatal mid-campaign — but a table built from
+    // partial averages should not exit 0 silently.
+    let failures = summary.failures();
+    if !failures.is_empty() {
+        eprintln!("warning: {failures:?} job failure(s); the averages above cover the successful runs only");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

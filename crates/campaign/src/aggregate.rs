@@ -1,0 +1,479 @@
+//! Folds job records into per-(benchmark, setup, override) summaries and renders the
+//! Table-2-style campaign report.
+//!
+//! Aggregation is a pure function of the record *set*: records are sorted by job id
+//! before any floating-point accumulation, so a campaign aggregated after a resume, a
+//! re-shard or a different worker count produces byte-identical reports.
+
+use crate::record::{JobOutcome, JobRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use tsc3d::experiment::{BenchmarkComparison, SetupAverages};
+use tsc3d::Setup;
+use tsc3d_netlist::suite::Benchmark;
+
+/// Summary statistics of one metric over the successful jobs of a group.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Stat {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Minimum (0 when empty).
+    pub min: f64,
+    /// Maximum (0 when empty).
+    pub max: f64,
+    /// Population standard deviation (0 when empty).
+    pub stddev: f64,
+}
+
+impl Stat {
+    /// Computes the statistics of `values` in the given order (callers pass job-id order
+    /// for deterministic floating-point accumulation).
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let n = values.len() as f64;
+        let mut sum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            sum += v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        let mean = sum / n;
+        let mut var = 0.0;
+        for &v in values {
+            var += (v - mean) * (v - mean);
+        }
+        Self {
+            count: values.len(),
+            mean,
+            min,
+            max,
+            stddev: (var / n).sqrt(),
+        }
+    }
+}
+
+/// Aggregated results of one (benchmark, setup, override) group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSummary {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// The setup.
+    pub setup: Setup,
+    /// The override-set name.
+    pub override_name: String,
+    /// Total jobs recorded for the group.
+    pub jobs: usize,
+    /// Successful jobs (the statistics' sample count).
+    pub succeeded: usize,
+    /// Failure counts keyed by [`tsc3d::FlowError::kind`] tags.
+    pub failures: BTreeMap<String, usize>,
+    /// Bottom-die correlation r1.
+    pub r1: Stat,
+    /// Top-die correlation r2.
+    pub r2: Stat,
+    /// Bottom-die spatial entropy S1.
+    pub s1: Stat,
+    /// Top-die spatial entropy S2.
+    pub s2: Stat,
+    /// Overall power in watts.
+    pub power_w: Stat,
+    /// Critical delay in ns.
+    pub critical_delay_ns: Stat,
+    /// Total wirelength in metres.
+    pub wirelength_m: Stat,
+    /// Peak temperature in kelvin.
+    pub peak_temperature_k: Stat,
+    /// Signal-TSV count.
+    pub signal_tsvs: Stat,
+    /// Dummy-TSV count.
+    pub dummy_tsvs: Stat,
+    /// Voltage-volume count.
+    pub voltage_volumes: Stat,
+    /// Flow runtime in seconds.
+    pub runtime_s: Stat,
+    /// Jobs whose verification needed the relaxed solver retry.
+    pub relaxed_solves: usize,
+    /// Jobs whose floorplan needed the outline-repair pass.
+    pub outline_repairs: usize,
+}
+
+impl GroupSummary {
+    /// Bridges the group means into the experiment module's [`SetupAverages`], so the
+    /// Table-2 binary and the campaign report share one comparison type.
+    pub fn setup_averages(&self) -> SetupAverages {
+        SetupAverages {
+            s1: self.s1.mean,
+            s2: self.s2.mean,
+            r1: self.r1.mean,
+            r2: self.r2.mean,
+            power_w: self.power_w.mean,
+            critical_delay_ns: self.critical_delay_ns.mean,
+            wirelength_m: self.wirelength_m.mean,
+            peak_temperature_k: self.peak_temperature_k.mean,
+            signal_tsvs: self.signal_tsvs.mean,
+            dummy_tsvs: self.dummy_tsvs.mean,
+            voltage_volumes: self.voltage_volumes.mean,
+            runtime_s: self.runtime_s.mean,
+        }
+    }
+
+    /// Total failed jobs of the group.
+    pub fn failed(&self) -> usize {
+        self.jobs - self.succeeded
+    }
+}
+
+/// The full campaign aggregation: one summary per (benchmark, override, setup), in
+/// first-seen job-id order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignSummary {
+    /// The group summaries.
+    pub groups: Vec<GroupSummary>,
+}
+
+impl CampaignSummary {
+    /// Looks up a group.
+    pub fn group(
+        &self,
+        benchmark: Benchmark,
+        setup: Setup,
+        override_name: &str,
+    ) -> Option<&GroupSummary> {
+        self.groups.iter().find(|g| {
+            g.benchmark == benchmark && g.setup == setup && g.override_name == override_name
+        })
+    }
+
+    /// Builds the PA-vs-TSC comparison of a benchmark/override pair when both setups have
+    /// successful jobs, reusing [`BenchmarkComparison`]'s derived percentages.
+    pub fn comparison(
+        &self,
+        benchmark: Benchmark,
+        override_name: &str,
+    ) -> Option<BenchmarkComparison> {
+        let pa = self.group(benchmark, Setup::PowerAware, override_name)?;
+        let tsc = self.group(benchmark, Setup::TscAware, override_name)?;
+        if pa.succeeded == 0 || tsc.succeeded == 0 {
+            return None;
+        }
+        Some(BenchmarkComparison {
+            benchmark,
+            runs: pa.succeeded.min(tsc.succeeded),
+            power_aware: pa.setup_averages(),
+            tsc_aware: tsc.setup_averages(),
+        })
+    }
+
+    /// Total number of records aggregated.
+    pub fn jobs(&self) -> usize {
+        self.groups.iter().map(|g| g.jobs).sum()
+    }
+
+    /// Total number of successful records.
+    pub fn succeeded(&self) -> usize {
+        self.groups.iter().map(|g| g.succeeded).sum()
+    }
+
+    /// Failure counts over all groups, keyed by error kind.
+    pub fn failures(&self) -> BTreeMap<String, usize> {
+        let mut total = BTreeMap::new();
+        for group in &self.groups {
+            for (kind, count) in &group.failures {
+                *total.entry(kind.clone()).or_insert(0) += count;
+            }
+        }
+        total
+    }
+}
+
+/// Aggregates records into group summaries (records are sorted by job id internally, so
+/// the result does not depend on the input order).
+pub fn aggregate(records: &[JobRecord]) -> CampaignSummary {
+    let mut sorted: Vec<&JobRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| r.job_id);
+
+    // Group assignment in first-seen (job-id) order.
+    let mut order: Vec<(Benchmark, Setup, String)> = Vec::new();
+    let mut buckets: BTreeMap<usize, Vec<&JobRecord>> = BTreeMap::new();
+    for record in sorted {
+        let key = (record.benchmark, record.setup, record.override_name.clone());
+        let index = match order.iter().position(|k| *k == key) {
+            Some(index) => index,
+            None => {
+                order.push(key);
+                order.len() - 1
+            }
+        };
+        buckets.entry(index).or_default().push(record);
+    }
+
+    let groups = order
+        .into_iter()
+        .enumerate()
+        .map(|(index, (benchmark, setup, override_name))| {
+            let records = buckets.remove(&index).unwrap_or_default();
+            summarize_group(benchmark, setup, override_name, &records)
+        })
+        .collect();
+    CampaignSummary { groups }
+}
+
+fn summarize_group(
+    benchmark: Benchmark,
+    setup: Setup,
+    override_name: String,
+    records: &[&JobRecord],
+) -> GroupSummary {
+    let mut failures: BTreeMap<String, usize> = BTreeMap::new();
+    let mut relaxed_solves = 0;
+    let mut outline_repairs = 0;
+    let metrics: Vec<_> = records
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            JobOutcome::Success(m) => {
+                relaxed_solves += usize::from(m.relaxed_solve);
+                outline_repairs += usize::from(m.outline_repaired);
+                Some(m)
+            }
+            JobOutcome::Failure { kind, .. } => {
+                *failures.entry(kind.clone()).or_insert(0) += 1;
+                None
+            }
+        })
+        .collect();
+
+    let stat = |extract: fn(&crate::record::JobMetrics) -> f64| -> Stat {
+        let values: Vec<f64> = metrics.iter().map(|m| extract(m)).collect();
+        Stat::of(&values)
+    };
+
+    GroupSummary {
+        benchmark,
+        setup,
+        override_name,
+        jobs: records.len(),
+        succeeded: metrics.len(),
+        failures,
+        r1: stat(|m| m.r1),
+        r2: stat(|m| m.r2),
+        s1: stat(|m| m.s1),
+        s2: stat(|m| m.s2),
+        power_w: stat(|m| m.power_w),
+        critical_delay_ns: stat(|m| m.critical_delay_ns),
+        wirelength_m: stat(|m| m.wirelength_m),
+        peak_temperature_k: stat(|m| m.peak_temperature_k),
+        signal_tsvs: stat(|m| m.signal_tsvs),
+        dummy_tsvs: stat(|m| m.dummy_tsvs),
+        voltage_volumes: stat(|m| m.voltage_volumes),
+        runtime_s: stat(|m| m.runtime_s),
+        relaxed_solves,
+        outline_repairs,
+    }
+}
+
+/// Renders the campaign report: a Table-2-style block per benchmark/override with one
+/// line per setup, derived PA-vs-TSC percentages, and failure counts.
+pub fn render_report(summary: &CampaignSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign report — {} jobs, {} ok, {} failed",
+        summary.jobs(),
+        summary.succeeded(),
+        summary.jobs() - summary.succeeded()
+    );
+
+    // Benchmark/override blocks in first-seen group order.
+    let mut blocks: Vec<(Benchmark, String)> = Vec::new();
+    for group in &summary.groups {
+        let key = (group.benchmark, group.override_name.clone());
+        if !blocks.contains(&key) {
+            blocks.push(key);
+        }
+    }
+
+    for (benchmark, override_name) in blocks {
+        let _ = writeln!(out, "\n=== {} · {} ===", benchmark.name(), override_name);
+        for group in summary
+            .groups
+            .iter()
+            .filter(|g| g.benchmark == benchmark && g.override_name == override_name)
+        {
+            let _ = writeln!(
+                out,
+                "  {:<4} n={:<3} r1 {:>6.3} ±{:.3}  r2 {:>6.3} ±{:.3}  S1 {:>6.3}  S2 {:>6.3} | \
+                 P {:>7.3} W  delay {:>6.3} ns  WL {:>8.3} m  Tpeak {:>7.2} K | \
+                 sTSV {:>6.0}  dTSV {:>4.0}  vol {:>6.1}  t {:>6.2} s",
+                group.setup.label(),
+                group.succeeded,
+                group.r1.mean,
+                group.r1.stddev,
+                group.r2.mean,
+                group.r2.stddev,
+                group.s1.mean,
+                group.s2.mean,
+                group.power_w.mean,
+                group.critical_delay_ns.mean,
+                group.wirelength_m.mean,
+                group.peak_temperature_k.mean,
+                group.signal_tsvs.mean,
+                group.dummy_tsvs.mean,
+                group.voltage_volumes.mean,
+                group.runtime_s.mean,
+            );
+            let mut notes = Vec::new();
+            if group.relaxed_solves > 0 {
+                notes.push(format!("relaxed-solve×{}", group.relaxed_solves));
+            }
+            if group.outline_repairs > 0 {
+                notes.push(format!("outline-repair×{}", group.outline_repairs));
+            }
+            for (kind, count) in &group.failures {
+                notes.push(format!("FAILED {kind}×{count}"));
+            }
+            if !notes.is_empty() {
+                let _ = writeln!(out, "       [{}]", notes.join("  "));
+            }
+        }
+        if let Some(comparison) = summary.comparison(benchmark, &override_name) {
+            let _ = writeln!(
+                out,
+                "  -> r1 {:+.2}% (reduction)  power {:+.2}%  peak-rise {:+.2}% (reduction)  volumes {:+.2}%",
+                comparison.r1_reduction_percent(),
+                comparison.power_increase_percent(),
+                comparison.peak_temperature_reduction_percent(),
+                comparison.voltage_volume_increase_percent(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::JobMetrics;
+
+    fn metrics(r1: f64, power: f64) -> JobMetrics {
+        JobMetrics {
+            s1: 5.0,
+            s2: 5.0,
+            r1,
+            r2: r1 / 2.0,
+            power_w: power,
+            critical_delay_ns: 2.0,
+            wirelength_m: 100.0,
+            peak_temperature_k: 340.0,
+            signal_tsvs: 800.0,
+            dummy_tsvs: 0.0,
+            voltage_volumes: 40.0,
+            runtime_s: 1.0,
+            relaxed_solve: false,
+            outline_repaired: false,
+        }
+    }
+
+    fn ok_record(job_id: u64, setup: Setup, r1: f64, power: f64) -> JobRecord {
+        JobRecord {
+            job_id,
+            benchmark: Benchmark::N100,
+            setup,
+            override_name: "base".into(),
+            seed: job_id,
+            outcome: JobOutcome::Success(metrics(r1, power)),
+        }
+    }
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let stat = Stat::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(stat.count, 4);
+        assert!((stat.mean - 2.5).abs() < 1e-12);
+        assert_eq!(stat.min, 1.0);
+        assert_eq!(stat.max, 4.0);
+        assert!((stat.stddev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert_eq!(Stat::of(&[]), Stat::default());
+    }
+
+    #[test]
+    fn aggregation_is_input_order_independent() {
+        let mut records = vec![
+            ok_record(0, Setup::PowerAware, 0.6, 8.0),
+            ok_record(1, Setup::TscAware, 0.5, 8.4),
+            ok_record(2, Setup::PowerAware, 0.7, 8.2),
+            ok_record(3, Setup::TscAware, 0.4, 8.6),
+        ];
+        let forward = aggregate(&records);
+        records.reverse();
+        let reversed = aggregate(&records);
+        assert_eq!(forward, reversed);
+        assert_eq!(render_report(&forward), render_report(&reversed));
+
+        let pa = forward
+            .group(Benchmark::N100, Setup::PowerAware, "base")
+            .unwrap();
+        assert_eq!(pa.succeeded, 2);
+        assert!((pa.r1.mean - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failures_are_counted_by_kind() {
+        let mut records = vec![ok_record(0, Setup::PowerAware, 0.6, 8.0)];
+        records.push(JobRecord {
+            job_id: 1,
+            benchmark: Benchmark::N100,
+            setup: Setup::PowerAware,
+            override_name: "base".into(),
+            seed: 1,
+            outcome: JobOutcome::Failure {
+                kind: "outline-violation".into(),
+                message: "packing 1.3".into(),
+            },
+        });
+        records.push(JobRecord {
+            job_id: 2,
+            benchmark: Benchmark::N100,
+            setup: Setup::PowerAware,
+            override_name: "base".into(),
+            seed: 2,
+            outcome: JobOutcome::Failure {
+                kind: "outline-violation".into(),
+                message: "packing 1.2".into(),
+            },
+        });
+        let summary = aggregate(&records);
+        let group = summary
+            .group(Benchmark::N100, Setup::PowerAware, "base")
+            .unwrap();
+        assert_eq!(group.jobs, 3);
+        assert_eq!(group.succeeded, 1);
+        assert_eq!(group.failed(), 2);
+        assert_eq!(group.failures.get("outline-violation"), Some(&2));
+        assert_eq!(summary.failures().get("outline-violation"), Some(&2));
+        let report = render_report(&summary);
+        assert!(report.contains("FAILED outline-violation×2"));
+        assert!(report.contains("3 jobs, 1 ok, 2 failed"));
+    }
+
+    #[test]
+    fn comparison_bridges_to_the_experiment_types() {
+        let records = vec![
+            ok_record(0, Setup::PowerAware, 0.8, 8.0),
+            ok_record(1, Setup::TscAware, 0.4, 8.8),
+        ];
+        let summary = aggregate(&records);
+        let comparison = summary.comparison(Benchmark::N100, "base").unwrap();
+        assert!((comparison.r1_reduction_percent() - 50.0).abs() < 1e-9);
+        assert!((comparison.power_increase_percent() - 10.0).abs() < 1e-9);
+        // A missing setup yields no comparison.
+        assert!(summary.comparison(Benchmark::N200, "base").is_none());
+        let report = render_report(&summary);
+        assert!(report.contains("-> r1 +50.00%"));
+    }
+}

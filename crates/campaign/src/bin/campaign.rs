@@ -1,0 +1,288 @@
+//! The `campaign` CLI: run, resume and report sharded batch experiments.
+//!
+//! ```text
+//! campaign run    --benchmarks n100,ibm01 --seeds 1,2,3 --out results.jsonl [--workers 8]
+//!                 [--shard 0/4] [--stages N] [--moves N] [--grid-bins N]
+//!                 [--verification-bins N] [--paper] [--smoke] [--sweep-tsv-budget a,b]
+//! campaign resume --out results.jsonl [--workers 8] [--shard 0/4]
+//! campaign report --out results.jsonl
+//! ```
+//!
+//! `run` writes a self-describing results file (first line: the spec), streams one JSON
+//! line per finished job, and prints the aggregated Table-2-style report. `resume`
+//! rebuilds the spec from the file and executes only the jobs without a record. `report`
+//! aggregates the file without running anything. `--smoke` is the CI preset: a small
+//! multi-design, multi-setup, multi-seed campaign on 4 workers.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tsc3d::{FlowConfig, Setup};
+use tsc3d_campaign::{
+    aggregate, read_campaign_file, render_report, resume_from_file, run_campaign, CampaignOptions,
+    CampaignSpec, OverrideSet, Shard,
+};
+use tsc3d_floorplan::SaSchedule;
+use tsc3d_netlist::suite::Benchmark;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command {
+        "run" => cmd_run(&args[1..], false),
+        "resume" => cmd_run(&args[1..], true),
+        "report" => cmd_report(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  campaign run    [--benchmarks a,b] [--setups pa,tsc] [--seeds 1,2,3 | --runs N [--seed-base S]]
+                  [--out FILE] [--workers N] [--shard K/N]
+                  [--stages N] [--moves N] [--grid-bins N] [--verification-bins N]
+                  [--sweep-tsv-budget a,b] [--paper] [--smoke]
+  campaign resume --out FILE [--workers N] [--shard K/N]
+  campaign report --out FILE";
+
+/// Parses `--flag value` from an argument list.
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn arg_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn parse_usize(args: &[String], flag: &str) -> Result<Option<usize>, String> {
+    arg_value(args, flag)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("{flag} expects an integer, got '{v}'"))
+        })
+        .transpose()
+}
+
+fn parse_options(args: &[String], resume: bool) -> Result<CampaignOptions, String> {
+    let workers =
+        parse_usize(args, "--workers")?.unwrap_or_else(tsc3d::experiment::default_workers);
+    let shard = match arg_value(args, "--shard") {
+        None => Shard::full(),
+        Some(text) => Shard::parse(&text)
+            .ok_or_else(|| format!("--shard expects K/N with K < N, got '{text}'"))?,
+    };
+    Ok(CampaignOptions {
+        workers,
+        shard,
+        results_path: arg_value(args, "--out").map(PathBuf::from),
+        resume,
+    })
+}
+
+/// Builds the campaign spec from `run` flags.
+fn parse_spec(args: &[String]) -> Result<CampaignSpec, String> {
+    if arg_present(args, "--smoke") {
+        return Ok(smoke_spec());
+    }
+
+    let benchmarks = match arg_value(args, "--benchmarks") {
+        None => vec![Benchmark::N100],
+        Some(spec) => spec
+            .split(',')
+            .map(|name| {
+                Benchmark::from_name(name.trim())
+                    .ok_or_else(|| format!("unknown benchmark '{}'", name.trim()))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+
+    let setups = match arg_value(args, "--setups") {
+        None => vec![Setup::PowerAware, Setup::TscAware],
+        Some(spec) => spec
+            .split(',')
+            .map(|name| match name.trim().to_ascii_lowercase().as_str() {
+                "pa" | "power-aware" => Ok(Setup::PowerAware),
+                "tsc" | "tsc-aware" => Ok(Setup::TscAware),
+                other => Err(format!("unknown setup '{other}' (use pa or tsc)")),
+            })
+            .collect::<Result<_, _>>()?,
+    };
+
+    let seeds: Vec<u64> = match arg_value(args, "--seeds") {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("--seeds expects integers, got '{}'", s.trim()))
+            })
+            .collect::<Result<_, _>>()?,
+        None => {
+            let runs = parse_usize(args, "--runs")?.unwrap_or(3);
+            let base = arg_value(args, "--seed-base")
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--seed-base expects an integer, got '{v}'"))
+                })
+                .transpose()?
+                .unwrap_or(1);
+            (0..runs as u64).map(|r| base + r).collect()
+        }
+    };
+
+    let paper = arg_present(args, "--paper");
+    let mut power_aware = if paper {
+        FlowConfig::paper(Setup::PowerAware)
+    } else {
+        FlowConfig::quick(Setup::PowerAware)
+    };
+    let mut tsc_aware = if paper {
+        FlowConfig::paper(Setup::TscAware)
+    } else {
+        FlowConfig::quick(Setup::TscAware)
+    };
+    for config in [&mut power_aware, &mut tsc_aware] {
+        if let Some(stages) = parse_usize(args, "--stages")? {
+            config.schedule.stages = stages;
+        }
+        if let Some(moves) = parse_usize(args, "--moves")? {
+            config.schedule.moves_per_stage = moves;
+        }
+        if let Some(bins) = parse_usize(args, "--grid-bins")? {
+            config.schedule.grid_bins = bins;
+        }
+        if let Some(bins) = parse_usize(args, "--verification-bins")? {
+            config.verification_bins = bins;
+        }
+    }
+
+    let mut overrides = vec![OverrideSet::base()];
+    if let Some(budgets) = arg_value(args, "--sweep-tsv-budget") {
+        for budget in budgets.split(',') {
+            let budget: usize = budget
+                .trim()
+                .parse()
+                .map_err(|_| format!("--sweep-tsv-budget expects integers, got '{budget}'"))?;
+            let mut set = OverrideSet::base();
+            set.name = format!("tsv-budget-{budget}");
+            set.tsv_budget = Some(budget);
+            overrides.push(set);
+        }
+    }
+
+    Ok(CampaignSpec {
+        benchmarks,
+        setups,
+        seeds,
+        overrides,
+        power_aware,
+        tsc_aware,
+    })
+}
+
+/// The CI smoke preset: two designs, both setups, two seeds each, tiny schedules.
+fn smoke_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new(vec![Benchmark::N100, Benchmark::N200], vec![1, 2]);
+    let schedule = SaSchedule {
+        stages: 8,
+        moves_per_stage: 16,
+        cooling: 0.85,
+        initial_acceptance: 0.8,
+        grid_bins: 12,
+    };
+    for config in [&mut spec.power_aware, &mut spec.tsc_aware] {
+        config.schedule = schedule;
+        config.verification_bins = 12;
+    }
+    if let Some(pp) = spec.tsc_aware.post_process.as_mut() {
+        pp.activity_samples = 8;
+        pp.max_insertions = 4;
+    }
+    spec
+}
+
+fn print_spec(spec: &CampaignSpec, options: &CampaignOptions) {
+    println!(
+        "campaign: {} jobs ({} benchmarks × {} setups × {} seeds × {} overrides), shard {}, {} workers",
+        spec.job_count(),
+        spec.benchmarks.len(),
+        spec.setups.len(),
+        spec.seeds.len(),
+        spec.overrides.len(),
+        options.shard,
+        options.workers,
+    );
+}
+
+fn cmd_run(args: &[String], resume: bool) -> Result<(), String> {
+    let mut options = parse_options(args, resume)?;
+    let outcome = if resume {
+        // One read of the results file: spec from the header, completed jobs skipped,
+        // torn tail repaired. Without an explicit --shard the file's own shard is
+        // restored, so a sharded campaign never resumes into the other shards' jobs.
+        let path = options
+            .results_path
+            .clone()
+            .ok_or("resume requires --out FILE")?;
+        let shard_override = arg_value(args, "--shard").map(|_| options.shard);
+        let (spec, outcome) =
+            resume_from_file(&path, options.workers, shard_override).map_err(|e| e.to_string())?;
+        options.shard = outcome.shard;
+        print_spec(&spec, &options);
+        outcome
+    } else {
+        if arg_present(args, "--smoke") {
+            if options.results_path.is_none() {
+                // The smoke preset must be re-runnable in CI without manual cleanup, so
+                // its *default* results file is disposable; a user-supplied --out is
+                // never deleted (an existing file is refused like any other run).
+                options.results_path = Some(PathBuf::from("target/campaign/smoke.jsonl"));
+                if let Some(path) = options.results_path.as_deref() {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+            if parse_usize(args, "--workers")?.is_none() {
+                options.workers = 4;
+            }
+        }
+        let spec = parse_spec(args)?;
+        print_spec(&spec, &options);
+        run_campaign(&spec, &options).map_err(|e| e.to_string())?
+    };
+
+    println!(
+        "campaign: executed {} job(s), resumed {} from file, {} outside this shard",
+        outcome.executed, outcome.resumed, outcome.out_of_shard
+    );
+    if let Some(path) = &options.results_path {
+        println!("results: {}", path.display());
+    }
+    print!("\n{}", render_report(&aggregate(&outcome.records)));
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let path = arg_value(args, "--out").ok_or("report requires --out FILE")?;
+    let file = read_campaign_file(PathBuf::from(&path).as_path()).map_err(|e| e.to_string())?;
+    if file.truncated_tail {
+        eprintln!(
+            "note: {path} ends in a truncated line (killed campaign?); resume will rerun that job"
+        );
+    }
+    print!("{}", render_report(&aggregate(&file.records)));
+    Ok(())
+}

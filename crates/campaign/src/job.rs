@@ -1,0 +1,323 @@
+//! The campaign job model: a cartesian product of designs × setups × seeds × config
+//! overrides, expanded into deterministic, individually-seeded jobs, plus the shard
+//! filter that splits a campaign across processes or machines.
+
+use tsc3d::{FlowConfig, Setup};
+use tsc3d_floorplan::{ObjectiveWeights, SaSchedule};
+use tsc3d_netlist::suite::Benchmark;
+
+/// A named bundle of configuration overrides applied on top of a setup's flow template.
+///
+/// Every `None` field keeps the template's value, so `OverrideSet::base()` reproduces the
+/// plain PA-vs-TSC comparison while additional sets sweep annealing schedules, TSV
+/// budgets, solver (thermal) settings or cost weights — the scenario axes the paper's
+/// fixed two-setup loop could not express.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverrideSet {
+    /// Label of the override set (appears in records and reports).
+    pub name: String,
+    /// Annealing-schedule override.
+    pub schedule: Option<SaSchedule>,
+    /// Verification-grid resolution override.
+    pub verification_bins: Option<usize>,
+    /// Detailed-solver settings override (tolerance, iteration budget).
+    pub solver: Option<tsc3d::SolverSettings>,
+    /// Objective-weight override (replaces the setup's canonical weights).
+    pub weights: Option<ObjectiveWeights>,
+    /// Post-processing activity-sample-count override (TSC setups only).
+    pub activity_samples: Option<usize>,
+    /// Dummy-TSV insertion budget override (`max_insertions`; TSC setups only).
+    pub tsv_budget: Option<usize>,
+}
+
+impl OverrideSet {
+    /// The identity override: the setup templates unchanged.
+    pub fn base() -> Self {
+        Self {
+            name: "base".to_string(),
+            schedule: None,
+            verification_bins: None,
+            solver: None,
+            weights: None,
+            activity_samples: None,
+            tsv_budget: None,
+        }
+    }
+
+    /// Applies the overrides to a flow-configuration template.
+    pub fn apply(&self, mut config: FlowConfig) -> FlowConfig {
+        if let Some(schedule) = self.schedule {
+            config.schedule = schedule;
+        }
+        if let Some(bins) = self.verification_bins {
+            config.verification_bins = bins;
+        }
+        if let Some(solver) = self.solver {
+            config.solver = solver;
+        }
+        if let Some(weights) = self.weights {
+            config.weights = Some(weights);
+        }
+        if let Some(pp) = config.post_process.as_mut() {
+            if let Some(samples) = self.activity_samples {
+                pp.activity_samples = samples;
+            }
+            if let Some(budget) = self.tsv_budget {
+                pp.max_insertions = budget;
+            }
+        }
+        config
+    }
+}
+
+/// The declarative description of a campaign: the axes of the cartesian product plus one
+/// flow template per setup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Benchmarks (designs) to run.
+    pub benchmarks: Vec<Benchmark>,
+    /// Floorplanning setups to compare.
+    pub setups: Vec<Setup>,
+    /// Design/run seeds; each seed generates its own design instance.
+    pub seeds: Vec<u64>,
+    /// Configuration override sets; at least one (use [`OverrideSet::base`]).
+    pub overrides: Vec<OverrideSet>,
+    /// Flow template of the power-aware setup.
+    pub power_aware: FlowConfig,
+    /// Flow template of the TSC-aware setup.
+    pub tsc_aware: FlowConfig,
+}
+
+impl CampaignSpec {
+    /// A spec comparing both setups with quick templates and the base override.
+    pub fn new(benchmarks: Vec<Benchmark>, seeds: Vec<u64>) -> Self {
+        Self {
+            benchmarks,
+            setups: vec![Setup::PowerAware, Setup::TscAware],
+            seeds,
+            overrides: vec![OverrideSet::base()],
+            power_aware: FlowConfig::quick(Setup::PowerAware),
+            tsc_aware: FlowConfig::quick(Setup::TscAware),
+        }
+    }
+
+    /// The flow template of a setup.
+    pub fn template_for(&self, setup: Setup) -> FlowConfig {
+        match setup {
+            Setup::PowerAware => self.power_aware,
+            Setup::TscAware => self.tsc_aware,
+        }
+    }
+
+    /// Total number of jobs the spec expands into.
+    pub fn job_count(&self) -> usize {
+        self.benchmarks.len() * self.setups.len() * self.seeds.len() * self.overrides.len()
+    }
+
+    /// Expands the cartesian product into jobs with stable ids (0-based expansion order:
+    /// benchmarks, then overrides, then seeds, then setups — so a PA/TSC pair on the same
+    /// inputs sits on adjacent ids).
+    pub fn expand(&self) -> Vec<CampaignJob> {
+        let mut jobs = Vec::with_capacity(self.job_count());
+        for &benchmark in &self.benchmarks {
+            for override_set in &self.overrides {
+                for &seed in &self.seeds {
+                    for &setup in &self.setups {
+                        jobs.push(CampaignJob {
+                            id: jobs.len() as u64,
+                            benchmark,
+                            setup,
+                            seed,
+                            override_name: override_set.name.clone(),
+                            config: override_set.apply(self.template_for(setup)),
+                        });
+                    }
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// One unit of campaign work: a single flow run, fully configured and individually
+/// seeded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignJob {
+    /// Stable id: the job's position in the spec's expansion order.
+    pub id: u64,
+    /// The benchmark whose design the job floorplans.
+    pub benchmark: Benchmark,
+    /// The floorplanning setup.
+    pub setup: Setup,
+    /// The design seed: the job runs `generate(benchmark, seed)`.
+    pub seed: u64,
+    /// Name of the override set that produced [`CampaignJob::config`].
+    pub override_name: String,
+    /// The fully resolved flow configuration.
+    pub config: FlowConfig,
+}
+
+impl CampaignJob {
+    /// The seed of the flow run (annealer etc.).
+    ///
+    /// Derived from the design seed and the benchmark only — *not* from the setup or the
+    /// override — so every scenario optimizes the identical design instance from the
+    /// identical starting point, exactly like the paper's PA-vs-TSC comparison.
+    pub fn run_seed(&self) -> u64 {
+        splitmix64(self.seed ^ fnv1a(self.benchmark.name()))
+    }
+}
+
+/// A `k/n` shard filter: this process runs every job whose id is congruent to `index`
+/// modulo `count`. The union of all `n` shards is exactly the full campaign and the
+/// shards are pairwise disjoint, so a campaign can be split across machines by giving
+/// each the same spec and a distinct `--shard k/n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's index, `0 <= index < count`.
+    pub index: u64,
+    /// Total number of shards.
+    pub count: u64,
+}
+
+impl Shard {
+    /// The trivial shard covering the whole campaign.
+    pub fn full() -> Self {
+        Self { index: 0, count: 1 }
+    }
+
+    /// Parses `"k/n"` (e.g. `--shard 2/8`). Returns `None` for malformed input,
+    /// `count == 0`, or `index >= count`.
+    pub fn parse(text: &str) -> Option<Self> {
+        let (index, count) = text.split_once('/')?;
+        let shard = Self {
+            index: index.trim().parse().ok()?,
+            count: count.trim().parse().ok()?,
+        };
+        (shard.count > 0 && shard.index < shard.count).then_some(shard)
+    }
+
+    /// Whether this shard owns the job with the given id.
+    pub fn contains(&self, job_id: u64) -> bool {
+        job_id % self.count == self.index
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// FNV-1a hash of a name (the same construction the suite generator uses for benchmark
+/// seeds).
+fn fnv1a(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |acc, b| {
+        (acc ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    })
+}
+
+/// SplitMix64 finalizer: decorrelates consecutive user seeds.
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_by_two_spec() -> CampaignSpec {
+        CampaignSpec::new(vec![Benchmark::N100, Benchmark::N200], vec![7, 8])
+    }
+
+    #[test]
+    fn expansion_covers_the_cartesian_product() {
+        let spec = two_by_two_spec();
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), spec.job_count());
+        assert_eq!(jobs.len(), 2 * 2 * 2);
+        // Ids are the positions; PA/TSC pairs on the same inputs are adjacent.
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.id, i as u64);
+        }
+        assert_eq!(jobs[0].setup, Setup::PowerAware);
+        assert_eq!(jobs[1].setup, Setup::TscAware);
+        assert_eq!(jobs[0].benchmark, jobs[1].benchmark);
+        assert_eq!(jobs[0].seed, jobs[1].seed);
+        assert_eq!(jobs[0].run_seed(), jobs[1].run_seed());
+    }
+
+    #[test]
+    fn run_seeds_differ_across_benchmarks_and_seeds() {
+        let spec = two_by_two_spec();
+        let jobs = spec.expand();
+        let mut run_seeds: Vec<u64> = jobs
+            .iter()
+            .filter(|j| j.setup == Setup::PowerAware)
+            .map(CampaignJob::run_seed)
+            .collect();
+        run_seeds.sort_unstable();
+        run_seeds.dedup();
+        assert_eq!(
+            run_seeds.len(),
+            4,
+            "each (benchmark, seed) pair is distinct"
+        );
+    }
+
+    #[test]
+    fn overrides_apply_on_top_of_templates() {
+        let mut spec = CampaignSpec::new(vec![Benchmark::N100], vec![1]);
+        let mut sweep = OverrideSet::base();
+        sweep.name = "tight-tsv".into();
+        sweep.tsv_budget = Some(2);
+        sweep.verification_bins = Some(20);
+        sweep.weights = Some(Setup::TscAware.weights());
+        spec.overrides.push(sweep);
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), 4);
+
+        let base_tsc = &jobs[1];
+        assert_eq!(base_tsc.override_name, "base");
+        assert_eq!(base_tsc.config.post_process.unwrap().max_insertions, 10);
+
+        let swept_tsc = &jobs[3];
+        assert_eq!(swept_tsc.override_name, "tight-tsv");
+        assert_eq!(swept_tsc.config.post_process.unwrap().max_insertions, 2);
+        assert_eq!(swept_tsc.config.verification_bins, 20);
+        assert!(swept_tsc.config.effective_weights().is_leakage_aware());
+        // The PA job got the weight override too but no post-processing.
+        let swept_pa = &jobs[2];
+        assert!(swept_pa.config.post_process.is_none());
+        assert!(swept_pa.config.effective_weights().is_leakage_aware());
+    }
+
+    #[test]
+    fn shards_partition_the_job_ids() {
+        let shard_count = 3u64;
+        let shards: Vec<Shard> = (0..shard_count)
+            .map(|index| Shard {
+                index,
+                count: shard_count,
+            })
+            .collect();
+        for id in 0..100u64 {
+            let owners = shards.iter().filter(|s| s.contains(id)).count();
+            assert_eq!(owners, 1, "job {id} must belong to exactly one shard");
+        }
+    }
+
+    #[test]
+    fn shard_parsing() {
+        assert_eq!(Shard::parse("2/8"), Some(Shard { index: 2, count: 8 }));
+        assert_eq!(Shard::parse(" 0 / 1 "), Some(Shard::full()));
+        assert_eq!(Shard::parse("8/8"), None);
+        assert_eq!(Shard::parse("1/0"), None);
+        assert_eq!(Shard::parse("x/2"), None);
+        assert_eq!(Shard::parse("3"), None);
+        assert_eq!(Shard { index: 1, count: 4 }.to_string(), "1/4");
+    }
+}

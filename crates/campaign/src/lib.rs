@@ -1,0 +1,49 @@
+//! # tsc3d-campaign: a sharded, resumable batch-experiment engine
+//!
+//! The paper's evaluation is inherently a batch workload — dozens of independent
+//! floorplanning runs per setup and benchmark — and this crate turns the one-shot
+//! experiment loop into a production-style batch engine:
+//!
+//! * **Job model** ([`job`]): a [`CampaignSpec`] is the cartesian product of
+//!   benchmarks × setups × seeds × [`OverrideSet`]s (annealing schedule, TSV budget,
+//!   solver settings, cost weights), expanded into deterministic, individually-seeded
+//!   [`CampaignJob`]s with stable ids.
+//! * **Scheduling** ([`engine`]): jobs execute on the shared work-stealing pool
+//!   ([`tsc3d::exec`], also backing the Figure-5/Table-2 experiment path), filtered by a
+//!   [`Shard`] (`--shard k/n`) so one campaign can span several processes or machines.
+//! * **Streaming sink + resume** ([`sink`]): every finished job appends one JSON line to
+//!   the results file; on restart the engine re-reads the file (tolerating a truncated
+//!   final line) and skips completed jobs, making long campaigns crash-tolerant.
+//! * **Aggregation** ([`mod@aggregate`]): records fold into per-(benchmark, setup, override)
+//!   summaries — mean/min/max/stddev per metric plus failure counts by
+//!   [`tsc3d::FlowError::kind`] — rendered as a Table-2-style report that is
+//!   byte-identical regardless of worker count, sharding or resume boundaries.
+//! * **CLI**: the `campaign` binary wires it together (`run`, `resume`, `report`,
+//!   `--smoke` for CI).
+//!
+//! ```no_run
+//! use tsc3d_campaign::{aggregate, render_report, run_campaign, CampaignOptions, CampaignSpec};
+//! use tsc3d_netlist::suite::Benchmark;
+//!
+//! let spec = CampaignSpec::new(vec![Benchmark::N100, Benchmark::N200], vec![1, 2, 3]);
+//! let outcome = run_campaign(&spec, &CampaignOptions::in_memory(4)).expect("campaign runs");
+//! println!("{}", render_report(&aggregate(&outcome.records)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod codec;
+pub mod engine;
+pub mod job;
+pub mod json;
+pub mod record;
+pub mod sink;
+
+pub use aggregate::{aggregate, render_report, CampaignSummary, GroupSummary, Stat};
+pub use engine::{
+    execute_job, resume_from_file, run_campaign, CampaignError, CampaignOptions, CampaignOutcome,
+};
+pub use job::{CampaignJob, CampaignSpec, OverrideSet, Shard};
+pub use record::{JobMetrics, JobOutcome, JobRecord};
+pub use sink::{read_campaign_file, repair_torn_tail, CampaignFile, ResultSink, SinkError};

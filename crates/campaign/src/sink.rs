@@ -1,0 +1,380 @@
+//! The streaming results file: a spec header plus one JSON line per finished job.
+//!
+//! The sink appends and flushes each record as its job finishes, so a crashed or killed
+//! campaign loses at most the jobs that were still in flight. On startup the resume path
+//! re-reads the file, tolerates a truncated final line (the crash artifact), and skips
+//! every job that already has a record.
+
+use crate::codec::{spec_from_json, spec_to_json};
+use crate::job::{CampaignSpec, Shard};
+use crate::json::Json;
+use crate::record::JobRecord;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Errors of the results-file sink.
+#[derive(Debug)]
+pub enum SinkError {
+    /// An I/O operation on the results file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A non-final line of the results file does not parse.
+    Corrupt {
+        /// The file involved.
+        path: PathBuf,
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SinkError::Io { path, source } => {
+                write!(f, "results file {}: {source}", path.display())
+            }
+            SinkError::Corrupt { path, line, reason } => {
+                write!(
+                    f,
+                    "results file {} is corrupt at line {line}: {reason}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SinkError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SinkError::Io { source, .. } => Some(source),
+            SinkError::Corrupt { .. } => None,
+        }
+    }
+}
+
+fn io_error(path: &Path, source: std::io::Error) -> SinkError {
+    SinkError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+/// The parsed content of a results file.
+#[derive(Debug)]
+pub struct CampaignFile {
+    /// The spec from the header line, when present.
+    pub spec: Option<CampaignSpec>,
+    /// The shard the file's campaign was started with (from the header), when present.
+    /// A bare `campaign resume` restores this instead of defaulting to the full job
+    /// space, so a sharded file never re-executes the other shards' jobs.
+    pub shard: Option<Shard>,
+    /// All intact job records, in file order.
+    pub records: Vec<JobRecord>,
+    /// Whether the final line was truncated/malformed and ignored (the signature of a
+    /// killed campaign).
+    pub truncated_tail: bool,
+}
+
+/// One parsed line of a results file.
+enum Line {
+    Header(Box<CampaignSpec>, Option<Shard>),
+    Record(JobRecord),
+}
+
+/// Reads a results file, tolerating a truncated final line.
+///
+/// Only a *torn* tail — a final fragment with no terminating newline, the partial write
+/// of a killed process — is tolerated (and removable by [`repair_torn_tail`]). A
+/// newline-terminated line that fails to parse is corruption wherever it sits: treating
+/// it as a tail would let a resume append past it and wedge the file permanently.
+pub fn read_campaign_file(path: &Path) -> Result<CampaignFile, SinkError> {
+    use Line::{Header, Record};
+    let content = std::fs::read_to_string(path).map_err(|e| io_error(path, e))?;
+    let has_torn_tail = !content.is_empty() && !content.ends_with('\n');
+    let lines: Vec<&str> = content
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    let mut spec = None;
+    let mut shard = None;
+    let mut records = Vec::new();
+    let mut truncated_tail = false;
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        let parsed = Json::parse(line).and_then(|value| {
+            if let Some(header) = value.get("campaign") {
+                let header_shard = value
+                    .get("shard")
+                    .and_then(Json::as_str)
+                    .and_then(Shard::parse);
+                spec_from_json(header)
+                    .map(|parsed| Header(Box::new(parsed), header_shard))
+                    .map_err(|e| crate::json::JsonError {
+                        offset: 0,
+                        message: e.to_string(),
+                    })
+            } else {
+                JobRecord::from_json(&value)
+                    .map(Record)
+                    .map_err(|e| crate::json::JsonError {
+                        offset: 0,
+                        message: e.to_string(),
+                    })
+            }
+        });
+        match parsed {
+            Ok(Header(parsed_spec, parsed_shard)) => {
+                if i != 0 {
+                    return Err(SinkError::Corrupt {
+                        path: path.to_path_buf(),
+                        line: i + 1,
+                        reason: "campaign header not on the first line".into(),
+                    });
+                }
+                spec = Some(*parsed_spec);
+                shard = parsed_shard;
+            }
+            Ok(Record(record)) => records.push(record),
+            // Only a torn final line may fail to parse: it is the partial write of a
+            // killed process, and its job simply reruns on resume.
+            Err(_) if i == last && has_torn_tail => truncated_tail = true,
+            Err(e) => {
+                return Err(SinkError::Corrupt {
+                    path: path.to_path_buf(),
+                    line: i + 1,
+                    reason: e.to_string(),
+                })
+            }
+        }
+    }
+    Ok(CampaignFile {
+        spec,
+        shard,
+        records,
+        truncated_tail,
+    })
+}
+
+/// Truncates a torn trailing fragment (bytes after the last newline — the partial write
+/// of a killed campaign) so appended records start on a fresh line. Returns whether
+/// anything was removed. Must run before [`ResultSink::append_to`] on a resumed file;
+/// appending directly after a torn fragment would glue two records into one corrupt
+/// interior line.
+pub fn repair_torn_tail(path: &Path) -> Result<bool, SinkError> {
+    let content = std::fs::read(path).map_err(|e| io_error(path, e))?;
+    let keep = match content.iter().rposition(|&b| b == b'\n') {
+        Some(last_newline) => last_newline + 1,
+        None => 0,
+    };
+    if keep == content.len() {
+        return Ok(false);
+    }
+    let file = OpenOptions::new()
+        .write(true)
+        .open(path)
+        .map_err(|e| io_error(path, e))?;
+    file.set_len(keep as u64).map_err(|e| io_error(path, e))?;
+    Ok(true)
+}
+
+/// A thread-safe appending writer of the results file.
+#[derive(Debug)]
+pub struct ResultSink {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl ResultSink {
+    /// Creates (truncates) a results file and writes the header line: the spec plus the
+    /// shard this file's campaign runs.
+    pub fn create(path: &Path, spec: &CampaignSpec, shard: Shard) -> Result<Self, SinkError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| io_error(path, e))?;
+            }
+        }
+        let file = File::create(path).map_err(|e| io_error(path, e))?;
+        let sink = Self {
+            path: path.to_path_buf(),
+            writer: Mutex::new(BufWriter::new(file)),
+        };
+        let header = Json::Obj(vec![
+            ("campaign".into(), spec_to_json(spec)),
+            ("shard".into(), Json::Str(shard.to_string())),
+        ])
+        .render();
+        sink.append_line(&header)?;
+        Ok(sink)
+    }
+
+    /// Opens an existing results file for appending (the resume path).
+    pub fn append_to(path: &Path) -> Result<Self, SinkError> {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| io_error(path, e))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Appends one record and flushes, so the line survives a subsequent crash.
+    pub fn append(&self, record: &JobRecord) -> Result<(), SinkError> {
+        self.append_line(&record.to_json_line())
+    }
+
+    fn append_line(&self, line: &str) -> Result<(), SinkError> {
+        let mut writer = self.writer.lock().expect("sink writer poisoned");
+        writeln!(writer, "{line}")
+            .and_then(|()| writer.flush())
+            .map_err(|e| io_error(&self.path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{JobOutcome, JobRecord};
+    use tsc3d::Setup;
+    use tsc3d_netlist::suite::Benchmark;
+
+    fn record(job_id: u64) -> JobRecord {
+        JobRecord {
+            job_id,
+            benchmark: Benchmark::N100,
+            setup: Setup::PowerAware,
+            override_name: "base".into(),
+            seed: job_id * 3,
+            outcome: JobOutcome::Failure {
+                kind: "solve".into(),
+                message: "test".into(),
+            },
+        }
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("tsc3d-campaign-sink-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn create_append_and_read_back() {
+        let path = temp_path("roundtrip");
+        let spec = CampaignSpec::new(vec![Benchmark::N100], vec![1, 2]);
+        let sink = ResultSink::create(&path, &spec, Shard::full()).unwrap();
+        sink.append(&record(0)).unwrap();
+        sink.append(&record(1)).unwrap();
+        drop(sink);
+
+        // Reopen in append mode, as resume does.
+        let sink = ResultSink::append_to(&path).unwrap();
+        sink.append(&record(2)).unwrap();
+        drop(sink);
+
+        let file = read_campaign_file(&path).unwrap();
+        assert_eq!(file.spec.as_ref(), Some(&spec));
+        assert_eq!(file.records.len(), 3);
+        assert_eq!(file.records[2], record(2));
+        assert!(!file.truncated_tail);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_final_line_is_tolerated() {
+        let path = temp_path("truncated");
+        let spec = CampaignSpec::new(vec![Benchmark::N100], vec![1]);
+        let sink = ResultSink::create(&path, &spec, Shard::full()).unwrap();
+        sink.append(&record(0)).unwrap();
+        drop(sink);
+        // Simulate a kill mid-write: a partial JSON line with no newline.
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("{\"job_id\":1,\"bench");
+        std::fs::write(&path, &content).unwrap();
+
+        let file = read_campaign_file(&path).unwrap();
+        assert_eq!(file.records.len(), 1);
+        assert!(file.truncated_tail);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn newline_terminated_corrupt_final_line_is_an_error_not_a_tail() {
+        // A complete (newline-terminated) line that fails to parse is corruption, not a
+        // kill artifact: repair_torn_tail cannot remove it, so tolerating it would let a
+        // resume append past it and wedge the file.
+        let path = temp_path("corrupt-final");
+        let spec = CampaignSpec::new(vec![Benchmark::N100], vec![1]);
+        let sink = ResultSink::create(&path, &spec, Shard::full()).unwrap();
+        sink.append(&record(0)).unwrap();
+        drop(sink);
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content.push_str("{\"job_id\":1,\"bench}\n");
+        std::fs::write(&path, &content).unwrap();
+
+        let err = read_campaign_file(&path).unwrap_err();
+        assert!(matches!(err, SinkError::Corrupt { line: 3, .. }), "{err}");
+        assert!(!repair_torn_tail(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_repair_enables_clean_appends() {
+        let path = temp_path("repair");
+        let spec = CampaignSpec::new(vec![Benchmark::N100], vec![1]);
+        let sink = ResultSink::create(&path, &spec, Shard::full()).unwrap();
+        sink.append(&record(0)).unwrap();
+        drop(sink);
+        let intact = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, format!("{intact}{{\"job_id\":1,\"ben")).unwrap();
+
+        assert!(repair_torn_tail(&path).unwrap());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), intact);
+        // Appending now lands on a fresh line.
+        let sink = ResultSink::append_to(&path).unwrap();
+        sink.append(&record(1)).unwrap();
+        drop(sink);
+        let file = read_campaign_file(&path).unwrap();
+        assert_eq!(file.records.len(), 2);
+        assert!(!file.truncated_tail);
+        // A clean file is left untouched.
+        assert!(!repair_torn_tail(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn interior_corruption_is_an_error() {
+        let path = temp_path("corrupt");
+        let spec = CampaignSpec::new(vec![Benchmark::N100], vec![1]);
+        let sink = ResultSink::create(&path, &spec, Shard::full()).unwrap();
+        sink.append(&record(0)).unwrap();
+        drop(sink);
+        let mut content = std::fs::read_to_string(&path).unwrap();
+        content = content.replacen("\"job_id\":0", "\"job_id\":oops", 1);
+        content.push_str(&record(1).to_json_line());
+        content.push('\n');
+        std::fs::write(&path, &content).unwrap();
+
+        let err = read_campaign_file(&path).unwrap_err();
+        assert!(matches!(err, SinkError::Corrupt { line: 2, .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = read_campaign_file(Path::new("/nonexistent/campaign.jsonl")).unwrap_err();
+        assert!(matches!(err, SinkError::Io { .. }));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,301 @@
+//! Integration tests of the campaign engine: scheduler determinism, shard partitioning,
+//! crash/resume equivalence, and the job-expansion contract.
+//!
+//! Flow metrics are bit-deterministic per job, but wall-clock runtimes are not; the
+//! comparisons therefore zero out `runtime_s` before asserting byte-identical records and
+//! reports.
+
+use std::path::PathBuf;
+use tsc3d_campaign::{
+    aggregate, read_campaign_file, render_report, run_campaign, CampaignOptions, CampaignSpec,
+    JobOutcome, JobRecord, OverrideSet, Shard,
+};
+use tsc3d_netlist::suite::Benchmark;
+
+/// A fast spec: 1 benchmark × 2 setups × 2 seeds × 2 overrides = 8 jobs.
+fn test_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new(vec![Benchmark::N100], vec![1, 2]);
+    for template in [&mut spec.power_aware, &mut spec.tsc_aware] {
+        template.schedule.stages = 4;
+        template.schedule.moves_per_stage = 8;
+        template.schedule.grid_bins = 10;
+        template.verification_bins = 10;
+        // Bound the repair rounds: keeps the suite fast, and failed jobs are themselves
+        // test data (the engine records them instead of aborting). Also exercises the
+        // codec round trip of a non-default outline policy through the file header.
+        template.outline = tsc3d::OutlinePolicy::Repair { max_rounds: 2 };
+    }
+    if let Some(pp) = spec.tsc_aware.post_process.as_mut() {
+        pp.activity_samples = 6;
+        pp.max_insertions = 3;
+    }
+    let mut sweep = OverrideSet::base();
+    sweep.name = "tight-tsv".into();
+    sweep.tsv_budget = Some(1);
+    spec.overrides.push(sweep);
+    spec
+}
+
+/// Clears the wall-clock field so deterministic records compare bit-identically.
+fn normalized(records: &[JobRecord]) -> Vec<JobRecord> {
+    records
+        .iter()
+        .cloned()
+        .map(|mut record| {
+            if let JobOutcome::Success(metrics) = &mut record.outcome {
+                metrics.runtime_s = 0.0;
+            }
+            record
+        })
+        .collect()
+}
+
+fn temp_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("tsc3d-campaign-integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+#[test]
+fn one_and_many_workers_produce_identical_campaigns() {
+    let spec = test_spec();
+    let single = run_campaign(&spec, &CampaignOptions::in_memory(1)).unwrap();
+    let pooled = run_campaign(&spec, &CampaignOptions::in_memory(4)).unwrap();
+    assert_eq!(single.records.len(), spec.job_count());
+    assert_eq!(normalized(&single.records), normalized(&pooled.records));
+    // The rendered aggregate is byte-identical too.
+    assert_eq!(
+        render_report(&aggregate(&normalized(&single.records))),
+        render_report(&aggregate(&normalized(&pooled.records)))
+    );
+}
+
+#[test]
+fn any_shard_partition_reassembles_the_full_campaign() {
+    let spec = test_spec();
+    let full = run_campaign(&spec, &CampaignOptions::in_memory(2)).unwrap();
+
+    let shard_count = 3;
+    let mut reassembled: Vec<JobRecord> = Vec::new();
+    for index in 0..shard_count {
+        let mut options = CampaignOptions::in_memory(2);
+        options.shard = Shard {
+            index,
+            count: shard_count,
+        };
+        let outcome = run_campaign(&spec, &options).unwrap();
+        assert_eq!(
+            outcome.executed + outcome.out_of_shard,
+            spec.job_count(),
+            "shard {index}/{shard_count} accounts for every job"
+        );
+        // Shards own disjoint id sets.
+        for record in &outcome.records {
+            assert!(reassembled.iter().all(|r| r.job_id != record.job_id));
+        }
+        reassembled.extend(outcome.records);
+    }
+    reassembled.sort_by_key(|r| r.job_id);
+    assert_eq!(normalized(&reassembled), normalized(&full.records));
+    assert_eq!(
+        render_report(&aggregate(&normalized(&reassembled))),
+        render_report(&aggregate(&normalized(&full.records)))
+    );
+}
+
+#[test]
+fn killed_campaigns_resume_to_identical_aggregates() {
+    let spec = test_spec();
+    let path = temp_file("resume");
+
+    // Reference: the full campaign in one go, streamed to a file.
+    let mut options = CampaignOptions::in_memory(2);
+    options.results_path = Some(path.clone());
+    let full = run_campaign(&spec, &options).unwrap();
+    assert_eq!(full.executed, spec.job_count());
+
+    // Simulate a campaign killed after k jobs: keep the header and the first k record
+    // lines, plus a torn partial line (the in-flight write at kill time).
+    let content = std::fs::read_to_string(&path).unwrap();
+    let mut lines = content.lines();
+    let header = lines.next().unwrap().to_string();
+    let k = 3;
+    let mut truncated: Vec<String> = vec![header];
+    truncated.extend(lines.take(k).map(str::to_string));
+    let kept: Vec<JobRecord> = truncated[1..]
+        .iter()
+        .map(|l| JobRecord::from_json(&tsc3d_campaign::json::Json::parse(l).unwrap()).unwrap())
+        .collect();
+    let mut torn = truncated.join("\n");
+    torn.push_str("\n{\"job_id\":99,\"bench");
+    let resume_path = temp_file("resume-killed");
+    std::fs::write(&resume_path, &torn).unwrap();
+
+    // Resume: the spec comes from the file header, exactly as the CLI does it (one read,
+    // torn tail repaired, completed jobs skipped).
+    let file = read_campaign_file(&resume_path).unwrap();
+    assert!(file.truncated_tail);
+    let (resumed_spec, resumed) = tsc3d_campaign::resume_from_file(&resume_path, 4, None).unwrap();
+    assert_eq!(resumed_spec, spec);
+
+    // The k prior records were reused verbatim (runtime included), the rest re-ran.
+    assert_eq!(resumed.resumed, k);
+    assert_eq!(resumed.executed, spec.job_count() - k);
+    for prior in &kept {
+        assert!(resumed.records.contains(prior));
+    }
+
+    // The resumed campaign's aggregate is byte-identical to the uninterrupted one.
+    assert_eq!(normalized(&resumed.records), normalized(&full.records));
+    assert_eq!(
+        render_report(&aggregate(&normalized(&resumed.records))),
+        render_report(&aggregate(&normalized(&full.records)))
+    );
+
+    // And the resumed *file* now contains every record: a plain `report` run sees the
+    // full campaign.
+    let final_file = read_campaign_file(&resume_path).unwrap();
+    assert_eq!(final_file.records.len(), spec.job_count());
+    assert!(!final_file.truncated_tail, "resume repaired the torn tail");
+
+    // Resuming a complete campaign executes nothing (via the spec-supplying path too).
+    let mut resume_options = CampaignOptions::in_memory(2);
+    resume_options.results_path = Some(resume_path.clone());
+    resume_options.resume = true;
+    let idle = run_campaign(&resumed_spec, &resume_options).unwrap();
+    assert_eq!(idle.executed, 0);
+    assert_eq!(idle.resumed, spec.job_count());
+
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&resume_path).unwrap();
+}
+
+#[test]
+fn bare_resume_restores_the_shard_from_the_header() {
+    let spec = test_spec();
+    let path = temp_file("shard-resume");
+    let mut options = CampaignOptions::in_memory(2);
+    options.results_path = Some(path.clone());
+    options.shard = Shard { index: 0, count: 2 };
+    let first = run_campaign(&spec, &options).unwrap();
+    assert_eq!(first.executed, spec.job_count() / 2);
+
+    // A bare resume (no shard argument) stays within the file's shard instead of
+    // executing the other shard's jobs.
+    let (_, resumed) = tsc3d_campaign::resume_from_file(&path, 2, None).unwrap();
+    assert_eq!(resumed.shard, options.shard);
+    assert_eq!(resumed.executed, 0);
+    assert_eq!(resumed.resumed, first.records.len());
+    assert_eq!(resumed.out_of_shard, spec.job_count() - first.records.len());
+
+    // An explicit override still wins.
+    let (_, overridden) =
+        tsc3d_campaign::resume_from_file(&path, 2, Some(Shard { index: 0, count: 4 })).unwrap();
+    assert_eq!(overridden.shard, Shard { index: 0, count: 4 });
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn resume_with_a_different_spec_is_rejected() {
+    let spec = test_spec();
+    let path = temp_file("mismatch");
+    let mut options = CampaignOptions::in_memory(2);
+    options.results_path = Some(path.clone());
+    run_campaign(&spec, &options).unwrap();
+
+    let mut other = spec.clone();
+    other.seeds = vec![5, 6];
+    let mut resume_options = options.clone();
+    resume_options.resume = true;
+    let err = run_campaign(&other, &resume_options).unwrap_err();
+    assert!(err.to_string().contains("does not match"), "{err}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+mod expansion_properties {
+    use super::*;
+    use proptest::prelude::*;
+    use tsc3d::Setup;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Job expansion is duplicate-free, covers the full cartesian product, and
+        /// assigns ids 0..n in order.
+        #[test]
+        fn expansion_is_a_duplicate_free_cartesian_product(
+            benchmark_mask in 1usize..64,
+            setup_choice in 0usize..3,
+            seed_list in proptest::collection::vec(0u64..1000, 1..5),
+            override_count in 1usize..4,
+        ) {
+            let benchmarks: Vec<Benchmark> = Benchmark::ALL
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| benchmark_mask & (1 << i) != 0)
+                .map(|(_, b)| b)
+                .collect();
+            let mut seeds = seed_list.clone();
+            seeds.sort_unstable();
+            seeds.dedup();
+            let mut spec = CampaignSpec::new(benchmarks.clone(), seeds.clone());
+            spec.setups = match setup_choice {
+                0 => vec![Setup::PowerAware],
+                1 => vec![Setup::TscAware],
+                _ => vec![Setup::PowerAware, Setup::TscAware],
+            };
+            spec.overrides = (0..override_count)
+                .map(|i| {
+                    let mut set = OverrideSet::base();
+                    set.name = format!("o{i}");
+                    set.tsv_budget = Some(i + 1);
+                    set
+                })
+                .collect();
+
+            let jobs = spec.expand();
+            prop_assert_eq!(jobs.len(), spec.job_count());
+            prop_assert_eq!(
+                jobs.len(),
+                benchmarks.len() * spec.setups.len() * seeds.len() * override_count
+            );
+
+            // Ids are dense and ordered.
+            for (i, job) in jobs.iter().enumerate() {
+                prop_assert_eq!(job.id, i as u64);
+            }
+
+            // Every combination appears exactly once (duplicate-free + full coverage).
+            let mut combos: Vec<(Benchmark, Setup, u64, String)> = jobs
+                .iter()
+                .map(|j| (j.benchmark, j.setup, j.seed, j.override_name.clone()))
+                .collect();
+            let before = combos.len();
+            combos.sort_by(|a, b| {
+                (a.0.name(), a.1.label(), a.2, &a.3).cmp(&(b.0.name(), b.1.label(), b.2, &b.3))
+            });
+            combos.dedup();
+            prop_assert_eq!(combos.len(), before);
+            for &benchmark in &benchmarks {
+                for &setup in &spec.setups {
+                    for &seed in &seeds {
+                        for override_set in &spec.overrides {
+                            let hits = jobs.iter().filter(|j| {
+                                j.benchmark == benchmark
+                                    && j.setup == setup
+                                    && j.seed == seed
+                                    && j.override_name == override_set.name
+                            });
+                            prop_assert_eq!(hits.count(), 1);
+                        }
+                    }
+                }
+            }
+
+            // Expansion is deterministic.
+            prop_assert_eq!(spec.expand(), jobs);
+        }
+    }
+}

@@ -164,6 +164,15 @@ pub enum FlowError {
         /// Human-readable description of the problem.
         reason: String,
     },
+    /// The floorplanning stage produced a floorplan whose packing envelope exceeds the
+    /// fixed die outline. Short ("quick") annealing schedules cannot guarantee a legal
+    /// packing for every seed; carrying such a floorplan into verification would report
+    /// correlations for a physically unrealizable design, so the flow fails typed instead.
+    OutlineViolation {
+        /// The packing-envelope stretch `max(bbox_w/outline_w, bbox_h/outline_h)` over all
+        /// dies; values above 1 violate the fixed outline.
+        packing: f64,
+    },
 }
 
 impl FlowError {
@@ -173,8 +182,40 @@ impl FlowError {
         match self {
             FlowError::Solve { stage, .. } => *stage,
             FlowError::InvalidConfig { .. } => FlowStage::Floorplan,
+            FlowError::OutlineViolation { .. } => FlowStage::Floorplan,
         }
     }
+
+    /// Short stable kebab-case tag of the error variant (`solve`, `invalid-config`,
+    /// `outline-violation`) — the key campaign aggregation counts failures under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FlowError::Solve { .. } => "solve",
+            FlowError::InvalidConfig { .. } => "invalid-config",
+            FlowError::OutlineViolation { .. } => "outline-violation",
+        }
+    }
+}
+
+/// Renders an error and its full [`Error::source`] chain as `error: cause: root-cause`.
+///
+/// [`FlowError`]'s own `Display` already includes its direct [`SolveError`] source; this
+/// helper is for log sinks (campaign failure records, CLI diagnostics) that receive an
+/// arbitrary `dyn Error` and must show root causes without assuming a concrete type. The
+/// chain is deduplicated against the head text, so sources a `Display` implementation
+/// already inlined are not repeated.
+pub fn display_chain(error: &(dyn Error + 'static)) -> String {
+    let mut text = error.to_string();
+    let mut current = error.source();
+    while let Some(source) = current {
+        let rendered = source.to_string();
+        if !text.contains(&rendered) {
+            text.push_str(": ");
+            text.push_str(&rendered);
+        }
+        current = source.source();
+    }
+    text
 }
 
 impl fmt::Display for FlowError {
@@ -189,6 +230,10 @@ impl fmt::Display for FlowError {
                 "detailed thermal solve failed in the {stage} stage after {attempts} attempt(s): {source}"
             ),
             FlowError::InvalidConfig { reason } => write!(f, "invalid flow configuration: {reason}"),
+            FlowError::OutlineViolation { packing } => write!(
+                f,
+                "floorplan violates the fixed outline: packing envelope stretch {packing:.4} > 1"
+            ),
         }
     }
 }
@@ -197,7 +242,7 @@ impl Error for FlowError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             FlowError::Solve { source, .. } => Some(source),
-            FlowError::InvalidConfig { .. } => None,
+            FlowError::InvalidConfig { .. } | FlowError::OutlineViolation { .. } => None,
         }
     }
 }
@@ -246,6 +291,57 @@ mod tests {
         };
         assert_eq!(config_err.stage(), FlowStage::Floorplan);
         assert!(std::error::Error::source(&config_err).is_none());
+    }
+
+    #[test]
+    fn outline_violation_is_a_floorplan_stage_error() {
+        let err = FlowError::OutlineViolation { packing: 1.25 };
+        assert_eq!(err.stage(), FlowStage::Floorplan);
+        assert_eq!(err.kind(), "outline-violation");
+        assert!(err.to_string().contains("1.2500"));
+        assert!(std::error::Error::source(&err).is_none());
+    }
+
+    #[test]
+    fn error_kinds_are_stable_tags() {
+        let solve = FlowError::Solve {
+            stage: FlowStage::Verify,
+            attempts: 1,
+            source: SolveError::GridMismatch,
+        };
+        assert_eq!(solve.kind(), "solve");
+        let config = FlowError::InvalidConfig { reason: "x".into() };
+        assert_eq!(config.kind(), "invalid-config");
+    }
+
+    #[test]
+    fn display_chain_walks_to_the_root_cause() {
+        #[derive(Debug)]
+        struct Wrapper(FlowError);
+        impl fmt::Display for Wrapper {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "job 7 failed")
+            }
+        }
+        impl Error for Wrapper {
+            fn source(&self) -> Option<&(dyn Error + 'static)> {
+                Some(&self.0)
+            }
+        }
+
+        let err = Wrapper(FlowError::Solve {
+            stage: FlowStage::Verify,
+            attempts: 2,
+            source: SolveError::NotConverged {
+                residual: 1.0,
+                iterations: 5,
+            },
+        });
+        let chain = display_chain(&err);
+        // Head, mid (FlowError) and root (SolveError) all appear exactly once.
+        assert!(chain.starts_with("job 7 failed: "));
+        assert!(chain.contains("verify stage"));
+        assert_eq!(chain.matches("did not converge").count(), 1);
     }
 
     #[test]

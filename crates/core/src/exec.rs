@@ -1,0 +1,179 @@
+//! The shared batch-execution core: a small work-stealing thread pool on
+//! [`std::thread::scope`].
+//!
+//! Both the paper's Figure-5/Table-2 experiment loop ([`crate::experiment`]) and the
+//! campaign subsystem (`tsc3d-campaign`) execute their independent flow runs through
+//! [`run_jobs`], so the two paths share one scheduler: a shared injector queue feeding
+//! per-worker deques, with idle workers stealing from the front of their peers' deques.
+//! Jobs are independent and results are written into per-job slots, so the returned vector
+//! is in job order regardless of worker count or steal interleaving — callers observe
+//! bit-identical results for 1 and N workers.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// How many jobs a worker moves from the shared injector into its own deque at once.
+///
+/// Small enough that the tail of a batch remains stealable, large enough to amortize the
+/// injector lock for short jobs.
+const INJECTOR_BATCH: usize = 4;
+
+/// Runs `jobs` on `workers` threads and returns one result per job, in job order.
+///
+/// `f` receives the job's index (its position in `jobs`) and the job itself. The pool is a
+/// classic work-stealing design: all jobs start in a shared injector; each worker drains
+/// its own deque LIFO, refills from the injector in small batches, and steals FIFO from
+/// its peers once the injector is empty. Because every job is executed exactly once and
+/// its result is stored in the slot of its index, the output is deterministic — identical
+/// for any worker count and any steal interleaving (given a deterministic `f`).
+///
+/// `workers == 0` is treated as 1. With a single worker (or at most one job) everything
+/// runs inline on the calling thread, without spawning.
+///
+/// # Panics
+///
+/// Propagates a panic raised by `f` (the scope joins all workers first).
+pub fn run_jobs<J, R, F>(jobs: Vec<J>, workers: usize, f: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(usize, J) -> R + Sync,
+{
+    let workers = workers.max(1);
+    if workers == 1 || jobs.len() <= 1 {
+        return jobs
+            .into_iter()
+            .enumerate()
+            .map(|(index, job)| f(index, job))
+            .collect();
+    }
+
+    let n = jobs.len();
+    let injector: Mutex<VecDeque<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
+    let locals: Vec<Mutex<VecDeque<(usize, J)>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let injector = &injector;
+            let locals = &locals;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                let Some((index, job)) = next_job(me, injector, locals) else {
+                    return;
+                };
+                let result = f(index, job);
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job produces exactly one result")
+        })
+        .collect()
+}
+
+/// Fetches the next job for worker `me`: own deque (LIFO), then the injector (batch
+/// refill), then a steal from a peer's front (FIFO). Returns `None` when no work is
+/// visible anywhere — jobs still queued in a peer's deque are completed by that peer,
+/// which never exits before draining its own deque.
+fn next_job<J>(
+    me: usize,
+    injector: &Mutex<VecDeque<(usize, J)>>,
+    locals: &[Mutex<VecDeque<(usize, J)>>],
+) -> Option<(usize, J)> {
+    if let Some(job) = locals[me].lock().expect("worker deque poisoned").pop_back() {
+        return Some(job);
+    }
+
+    {
+        let mut shared = injector.lock().expect("injector poisoned");
+        if let Some(job) = shared.pop_front() {
+            let mut own = locals[me].lock().expect("worker deque poisoned");
+            for _ in 1..INJECTOR_BATCH {
+                match shared.pop_front() {
+                    Some(extra) => own.push_back(extra),
+                    None => break,
+                }
+            }
+            return Some(job);
+        }
+    }
+
+    let workers = locals.len();
+    for offset in 1..workers {
+        let victim = (me + offset) % workers;
+        if let Some(job) = locals[victim]
+            .lock()
+            .expect("worker deque poisoned")
+            .pop_front()
+        {
+            return Some(job);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_job_order() {
+        let jobs: Vec<u64> = (0..100).collect();
+        let results = run_jobs(jobs, 4, |index, job| {
+            assert_eq!(index as u64, job);
+            job * job
+        });
+        assert_eq!(results.len(), 100);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let results = run_jobs(vec![1, 2, 3], 1, |_, job| job + 1);
+        assert_eq!(results, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_workers_is_treated_as_one() {
+        let results = run_jobs(vec![5], 0, |_, job| job * 2);
+        assert_eq!(results, vec![10]);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let results: Vec<i32> = run_jobs(Vec::<i32>::new(), 8, |_, job| job);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counters: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        let jobs: Vec<usize> = (0..200).collect();
+        run_jobs(jobs, 8, |_, job| {
+            counters[job].fetch_add(1, Ordering::SeqCst);
+        });
+        for counter in &counters {
+            assert_eq!(counter.load(Ordering::SeqCst), 1);
+        }
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let jobs: Vec<u64> = (0..50).collect();
+        let one = run_jobs(jobs.clone(), 1, |_, job| job.wrapping_mul(0x9E37_79B9));
+        let many = run_jobs(jobs, 7, |_, job| job.wrapping_mul(0x9E37_79B9));
+        assert_eq!(one, many);
+    }
+}

@@ -190,28 +190,30 @@ pub fn run_benchmark(
         Ok((pa_result, tsc_result))
     };
 
-    if config.parallel && config.runs > 1 {
-        let results: Vec<Result<(FlowResult, FlowResult), FlowError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..config.runs)
-                    .map(|run| scope.spawn(move || run_one(run)))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("experiment worker thread panicked"))
-                    .collect()
-            });
-        for result in results {
-            let (pa_result, tsc_result) = result?;
-            pa.accumulate(&pa_result);
-            tsc.accumulate(&tsc_result);
-        }
+    // The parallel path executes on the same work-stealing pool the campaign engine
+    // (`tsc3d-campaign`) uses, so both batch paths share one execution core. Results come
+    // back in run order regardless of worker count, keeping the averages deterministic.
+    // The sequential path keeps its short-circuit: the first failed run aborts the
+    // comparison without paying for the remaining runs.
+    let results: Vec<Result<(FlowResult, FlowResult), FlowError>> = if config.parallel {
+        let runs: Vec<usize> = (0..config.runs).collect();
+        crate::exec::run_jobs(runs, default_workers(), |_, run| run_one(run))
     } else {
+        let mut results = Vec::with_capacity(config.runs);
         for run in 0..config.runs {
-            let (pa_result, tsc_result) = run_one(run)?;
-            pa.accumulate(&pa_result);
-            tsc.accumulate(&tsc_result);
+            let result = run_one(run);
+            let failed = result.is_err();
+            results.push(result);
+            if failed {
+                break;
+            }
         }
+        results
+    };
+    for result in results {
+        let (pa_result, tsc_result) = result?;
+        pa.accumulate(&pa_result);
+        tsc.accumulate(&tsc_result);
     }
 
     pa.finalize(config.runs);
@@ -222,6 +224,13 @@ pub fn run_benchmark(
         power_aware: pa,
         tsc_aware: tsc,
     })
+}
+
+/// Worker count used by parallel experiment runs: the machine's available parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Runs the comparison over a set of benchmarks, returning one comparison per benchmark.

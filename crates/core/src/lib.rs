@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod exec;
 pub mod experiment;
 pub mod exploration;
 mod flow;
@@ -49,5 +50,7 @@ pub mod oracle;
 pub mod postprocess;
 pub mod verification;
 
-pub use error::{FlowError, FlowStage, RetryPolicy, SolveQuality, SolverSettings, StageTimings};
-pub use flow::{FlowConfig, FlowResult, Setup, TscFlow};
+pub use error::{
+    display_chain, FlowError, FlowStage, RetryPolicy, SolveQuality, SolverSettings, StageTimings,
+};
+pub use flow::{FlowConfig, FlowResult, OutlinePolicy, OutlineRepair, Setup, TscFlow};

@@ -21,7 +21,7 @@ use crate::{plan_signal_tsvs, Floorplan, TsvPlan};
 /// "For (i) [power-aware floorplanning], we optimize the packing density, wirelength,
 /// critical delay, peak temperature, and voltage assignment, all at the same time; all
 /// criteria are weighted equally. [...] For (ii) [TSC-aware], we consider the same criteria
-/// [and] additionally seek to minimize both the average correlation coefficients and the
+/// \[and\] additionally seek to minimize both the average correlation coefficients and the
 /// average spatial entropies."
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ObjectiveWeights {

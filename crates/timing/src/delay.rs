@@ -102,7 +102,7 @@ impl Default for ElmoreModel {
 /// Intrinsic module delay model.
 ///
 /// Block-level benchmarks expose no internal netlists, so — following the model adopted by
-/// the paper from its reference [27] — a module's intrinsic delay is estimated from its
+/// the paper from its reference \[27\] — a module's intrinsic delay is estimated from its
 /// footprint: larger modules host longer internal paths, with a square-root dependence on
 /// area (logic depth grows with the linear dimension, not the area).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -7,7 +7,7 @@
 //! * [`ElmoreModel`] — Elmore RC delays for block-to-block nets, accounting for wire length
 //!   (half-perimeter estimate) and for TSVs when the net spans dies,
 //! * [`ModuleDelayModel`] — a simple area/complexity-based intrinsic delay per module, after
-//!   the model the paper adopts from its reference [27],
+//!   the model the paper adopts from its reference \[27\],
 //! * [`VoltageLevel`] and [`VoltageScaling`] — the three 90 nm operating points used in the
 //!   paper (0.8 V, 1.0 V, 1.2 V) with their power and delay scaling factors,
 //! * [`TimingGraph`] — a DAG over modules built from the netlist, supporting critical-path

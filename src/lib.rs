@@ -1,6 +1,7 @@
 //! Umbrella re-export crate.
 pub use tsc3d;
 pub use tsc3d_attack as attack;
+pub use tsc3d_campaign as campaign;
 pub use tsc3d_floorplan as floorplan;
 pub use tsc3d_geometry as geometry;
 pub use tsc3d_leakage as leakage;
