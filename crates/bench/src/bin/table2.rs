@@ -9,6 +9,7 @@
 //! cargo run --release -p tsc3d-bench --bin table2 -- --runs 4 --benchmarks n100,ibm01
 //! cargo run --release -p tsc3d-bench --bin table2 -- --paper          # full 50-run setup
 //! cargo run --release -p tsc3d-bench --bin table2 -- --out t2.jsonl   # persist + resumable
+//! cargo run --release -p tsc3d-bench --bin table2 -- --workers 8      # pool width
 //! ```
 //!
 //! The runs execute through the campaign engine (`tsc3d-campaign`) and its aggregator, so
@@ -145,8 +146,10 @@ fn main() -> ExitCode {
         power_aware: config.power_aware,
         tsc_aware: config.tsc_aware,
     };
+    // Worker count: `--workers N` wins, otherwise the machine's available parallelism
+    // (threaded through to the shared execution pool, like `campaign run --workers`).
     let mut options = CampaignOptions::in_memory(if config.parallel {
-        default_workers()
+        arg_usize("--workers", default_workers())
     } else {
         1
     });

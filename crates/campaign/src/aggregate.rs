@@ -355,6 +355,71 @@ pub fn render_report(summary: &CampaignSummary) -> String {
     out
 }
 
+/// Accessor of one metric's [`Stat`] within a group summary.
+type StatAccessor = fn(&GroupSummary) -> &Stat;
+
+/// The metric columns of [`render_csv`], in output order: name plus accessor.
+const CSV_METRICS: [(&str, StatAccessor); 12] = [
+    ("r1", |g| &g.r1),
+    ("r2", |g| &g.r2),
+    ("s1", |g| &g.s1),
+    ("s2", |g| &g.s2),
+    ("power_w", |g| &g.power_w),
+    ("critical_delay_ns", |g| &g.critical_delay_ns),
+    ("wirelength_m", |g| &g.wirelength_m),
+    ("peak_temperature_k", |g| &g.peak_temperature_k),
+    ("signal_tsvs", |g| &g.signal_tsvs),
+    ("dummy_tsvs", |g| &g.dummy_tsvs),
+    ("voltage_volumes", |g| &g.voltage_volumes),
+    ("runtime_s", |g| &g.runtime_s),
+];
+
+/// Quotes a CSV field when it contains a delimiter, quote or newline.
+fn csv_field(text: &str) -> String {
+    if text.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", text.replace('"', "\"\""))
+    } else {
+        text.to_string()
+    }
+}
+
+/// Renders the aggregate table as CSV: one row per (benchmark, setup, override) group,
+/// with mean/stddev/min/max columns per metric. Floats print with Rust's shortest
+/// round-trip `Display`, so the CSV carries the exact aggregated values (no rounding) and
+/// is byte-identical whenever the report is.
+pub fn render_csv(summary: &CampaignSummary) -> String {
+    let mut out = String::new();
+    out.push_str("benchmark,setup,override,jobs,ok,failed,relaxed_solves,outline_repairs");
+    for (name, _) in CSV_METRICS {
+        let _ = write!(out, ",{name}_mean,{name}_stddev,{name}_min,{name}_max");
+    }
+    out.push('\n');
+    for group in &summary.groups {
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            csv_field(group.benchmark.name()),
+            csv_field(group.setup.label()),
+            csv_field(&group.override_name),
+            group.jobs,
+            group.succeeded,
+            group.failed(),
+            group.relaxed_solves,
+            group.outline_repairs,
+        );
+        for (_, stat_of) in CSV_METRICS {
+            let stat = stat_of(group);
+            let _ = write!(
+                out,
+                ",{},{},{},{}",
+                stat.mean, stat.stddev, stat.min, stat.max
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -459,6 +524,30 @@ mod tests {
         let report = render_report(&summary);
         assert!(report.contains("FAILED outline-violation×2"));
         assert!(report.contains("3 jobs, 1 ok, 2 failed"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_group_and_exact_values() {
+        let records = vec![
+            ok_record(0, Setup::PowerAware, 0.125, 8.0),
+            ok_record(1, Setup::TscAware, 0.5, 8.5),
+            ok_record(2, Setup::PowerAware, 0.375, 8.25),
+        ];
+        let summary = aggregate(&records);
+        let csv = render_csv(&summary);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + summary.groups.len());
+        assert!(lines[0].starts_with("benchmark,setup,override,jobs,ok,failed"));
+        assert!(lines[0].contains("r1_mean,r1_stddev,r1_min,r1_max"));
+        let header_columns = lines[0].split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), header_columns, "{row}");
+        }
+        // Exact (power-of-two) values survive the shortest-round-trip formatting.
+        assert!(lines[1].starts_with("n100,PA,base,2,2,0,0,0,0.25,0.125,0.125,0.375"));
+        // Quoting kicks in only for fields carrying delimiters.
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b\"c"), "\"a,b\"\"c\"");
     }
 
     #[test]

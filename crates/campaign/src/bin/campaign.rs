@@ -5,7 +5,7 @@
 //!                 [--shard 0/4] [--stages N] [--moves N] [--grid-bins N]
 //!                 [--verification-bins N] [--paper] [--smoke] [--sweep-tsv-budget a,b]
 //! campaign resume --out results.jsonl [--workers 8] [--shard 0/4]
-//! campaign report --out results.jsonl
+//! campaign report --out results.jsonl [--csv table.csv]
 //! ```
 //!
 //! `run` writes a self-describing results file (first line: the spec), streams one JSON
@@ -18,8 +18,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use tsc3d::{FlowConfig, Setup};
 use tsc3d_campaign::{
-    aggregate, read_campaign_file, render_report, resume_from_file, run_campaign, CampaignOptions,
-    CampaignSpec, OverrideSet, Shard,
+    aggregate, read_campaign_file, render_csv, render_report, resume_from_file, run_campaign,
+    CampaignOptions, CampaignSpec, CampaignSummary, OverrideSet, Shard,
 };
 use tsc3d_floorplan::SaSchedule;
 use tsc3d_netlist::suite::Benchmark;
@@ -53,9 +53,9 @@ const USAGE: &str = "usage:
   campaign run    [--benchmarks a,b] [--setups pa,tsc] [--seeds 1,2,3 | --runs N [--seed-base S]]
                   [--out FILE] [--workers N] [--shard K/N]
                   [--stages N] [--moves N] [--grid-bins N] [--verification-bins N]
-                  [--sweep-tsv-budget a,b] [--paper] [--smoke]
-  campaign resume --out FILE [--workers N] [--shard K/N]
-  campaign report --out FILE";
+                  [--sweep-tsv-budget a,b] [--paper] [--smoke] [--csv PATH]
+  campaign resume --out FILE [--workers N] [--shard K/N] [--csv PATH]
+  campaign report --out FILE [--csv PATH]";
 
 /// Parses `--flag value` from an argument list.
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -271,7 +271,9 @@ fn cmd_run(args: &[String], resume: bool) -> Result<(), String> {
     if let Some(path) = &options.results_path {
         println!("results: {}", path.display());
     }
-    print!("\n{}", render_report(&aggregate(&outcome.records)));
+    let summary = aggregate(&outcome.records);
+    write_csv_if_requested(args, &summary)?;
+    print!("\n{}", render_report(&summary));
     Ok(())
 }
 
@@ -283,6 +285,26 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
             "note: {path} ends in a truncated line (killed campaign?); resume will rerun that job"
         );
     }
-    print!("{}", render_report(&aggregate(&file.records)));
+    let summary = aggregate(&file.records);
+    write_csv_if_requested(args, &summary)?;
+    print!("{}", render_report(&summary));
+    Ok(())
+}
+
+/// Writes the aggregate table to `--csv PATH` (if given) alongside the printed report.
+fn write_csv_if_requested(args: &[String], summary: &CampaignSummary) -> Result<(), String> {
+    let Some(path) = arg_value(args, "--csv") else {
+        return Ok(());
+    };
+    let path = PathBuf::from(path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("could not create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(&path, render_csv(summary))
+        .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+    println!("csv: {}", path.display());
     Ok(())
 }

@@ -8,7 +8,8 @@ use crate::sink::{read_campaign_file, repair_torn_tail, CampaignFile, ResultSink
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+use tsc3d::exec::Pool;
 use tsc3d::TscFlow;
 use tsc3d_netlist::suite::generate;
 
@@ -144,6 +145,24 @@ pub fn run_campaign(
     spec: &CampaignSpec,
     options: &CampaignOptions,
 ) -> Result<CampaignOutcome, CampaignError> {
+    let pool = Pool::with_batch_workers(options.workers);
+    let outcome = run_campaign_on(&pool, spec, options);
+    pool.shutdown();
+    outcome
+}
+
+/// [`run_campaign`] on a caller-provided (typically long-lived, shared) pool — the serve
+/// daemon's entry point, where one persistent executor backs every submitted campaign.
+/// `options.workers` is ignored in favour of the pool's own parallelism.
+///
+/// # Errors
+///
+/// Same contract as [`run_campaign`].
+pub fn run_campaign_on(
+    pool: &Pool,
+    spec: &CampaignSpec,
+    options: &CampaignOptions,
+) -> Result<CampaignOutcome, CampaignError> {
     // A killed campaign can leave a torn final line; cut it off *before* reading so the
     // prior-record set and the file agree (a torn fragment that happens to parse must not
     // count as completed and then be truncated), and so appended records start on a
@@ -165,7 +184,7 @@ pub fn run_campaign(
             options.shard = file_shard;
         }
     }
-    run_with_prior(spec, &options, prior_file)
+    run_with_prior(pool, spec, &options, prior_file)
 }
 
 /// Resumes a campaign from its self-describing results file: repairs a torn tail, reads
@@ -198,14 +217,17 @@ pub fn resume_from_file(
         results_path: Some(path.to_path_buf()),
         resume: true,
     };
-    let outcome = run_with_prior(&spec, &options, Some(file))?;
-    Ok((spec, outcome))
+    let pool = Pool::with_batch_workers(workers);
+    let outcome = run_with_prior(&pool, &spec, &options, Some(file));
+    pool.shutdown();
+    Ok((spec, outcome?))
 }
 
-/// The execution core shared by [`run_campaign`] and [`resume_from_file`]; `prior_file`
-/// is the already-read (and tail-repaired) results file of a resume, `None` for a fresh
-/// run.
+/// The execution core shared by [`run_campaign`], [`run_campaign_on`] and
+/// [`resume_from_file`]; `prior_file` is the already-read (and tail-repaired) results
+/// file of a resume, `None` for a fresh run.
 fn run_with_prior(
+    pool: &Pool,
     spec: &CampaignSpec,
     options: &CampaignOptions,
     prior_file: Option<CampaignFile>,
@@ -233,7 +255,7 @@ fn run_with_prior(
         .cloned()
         .collect();
 
-    let sink = match options.results_path.as_deref() {
+    let sink: Arc<Option<ResultSink>> = Arc::new(match options.results_path.as_deref() {
         None => None,
         Some(path) => Some(if prior_file.is_some() {
             ResultSink::append_to(path)?
@@ -244,29 +266,34 @@ fn run_with_prior(
         } else {
             ResultSink::create(path, spec, options.shard)?
         }),
-    };
+    });
 
     // Execute on the shared pool, streaming each record to the sink as it lands. The
     // first sink failure (e.g. a full disk) aborts the remaining jobs — results that
     // cannot be persisted are not worth hours of compute — and is surfaced after the
-    // pool drains.
-    let sink_error: Mutex<Option<SinkError>> = Mutex::new(None);
-    let abort = AtomicBool::new(false);
+    // batch drains.
+    let sink_error: Arc<Mutex<Option<SinkError>>> = Arc::new(Mutex::new(None));
+    let abort = Arc::new(AtomicBool::new(false));
     let executed = pending.len();
-    let new_records = tsc3d::exec::run_jobs(pending, options.workers, |_, job| {
-        if abort.load(Ordering::Relaxed) {
-            return None;
-        }
-        let record = execute_job(&job);
-        if let Some(sink) = &sink {
-            if let Err(e) = sink.append(&record) {
-                sink_error.lock().expect("sink error slot").get_or_insert(e);
-                abort.store(true, Ordering::Relaxed);
+    let new_records = {
+        let sink = Arc::clone(&sink);
+        let sink_error = Arc::clone(&sink_error);
+        let abort = Arc::clone(&abort);
+        pool.run_batch(pending, move |_, job| {
+            if abort.load(Ordering::Relaxed) {
+                return None;
             }
-        }
-        Some(record)
-    });
-    if let Some(e) = sink_error.into_inner().expect("sink error slot") {
+            let record = execute_job(&job);
+            if let Some(sink) = sink.as_ref() {
+                if let Err(e) = sink.append(&record) {
+                    sink_error.lock().expect("sink error slot").get_or_insert(e);
+                    abort.store(true, Ordering::Relaxed);
+                }
+            }
+            Some(record)
+        })
+    };
+    if let Some(e) = sink_error.lock().expect("sink error slot").take() {
         return Err(e.into());
     }
     let new_records = new_records.into_iter().flatten();

@@ -7,6 +7,16 @@
 //! written with Rust's shortest-round-trip `Display` and re-parsed with `str::parse`,
 //! which is correctly rounded, so a metric read back from disk is bit-identical to the
 //! one written.
+//!
+//! # Non-finite numbers
+//!
+//! JSON has no `NaN`/`Infinity` tokens, and emitting them bare would produce files no
+//! parser accepts. Non-finite [`Json::Num`] values are therefore written as the sentinel
+//! *strings* `"NaN"`, `"Infinity"` and `"-Infinity"`, which [`Json::as_f64`] maps back —
+//! so a NaN metric round-trips (as a NaN; payload bits are not preserved) instead of
+//! silently degrading. Strict decoders that refuse non-finite input (e.g. the campaign
+//! spec codec's numeric fields) treat the sentinels like any other string: a typed
+//! decode error.
 
 use std::error::Error;
 use std::fmt;
@@ -20,7 +30,8 @@ pub enum Json {
     Bool(bool),
     /// A non-negative integer (kept exact up to `u64::MAX`, e.g. seeds and job ids).
     UInt(u64),
-    /// Any other number. Non-finite values are written as `null`.
+    /// Any other number. Non-finite values are written as the sentinel strings `"NaN"`,
+    /// `"Infinity"` and `"-Infinity"` (see the module docs).
     Num(f64),
     /// A string.
     Str(String),
@@ -47,12 +58,19 @@ impl Json {
         }
     }
 
-    /// The value as an `f64` (integers widen; `null` is NaN, mirroring the writer's
-    /// encoding of non-finite numbers).
+    /// The value as an `f64` (integers widen). The writer's non-finite sentinel strings
+    /// map back to their values, and `null` — the encoding of NaN in files written before
+    /// the sentinels existed — still reads as NaN.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
             Json::UInt(u) => Some(*u as f64),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "Infinity" => Some(f64::INFINITY),
+                "-Infinity" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
             Json::Null => Some(f64::NAN),
             _ => None,
         }
@@ -105,7 +123,11 @@ impl Json {
             // floats print like integers and re-parse as `UInt`; `as_f64` widens them
             // back losslessly.
             Json::Num(x) if x.is_finite() => out.push_str(&x.to_string()),
-            Json::Num(_) => out.push_str("null"),
+            // Never a bare NaN/Infinity token (invalid JSON): non-finite numbers become
+            // sentinel strings that as_f64 maps back.
+            Json::Num(x) if x.is_nan() => out.push_str("\"NaN\""),
+            Json::Num(x) if *x > 0.0 => out.push_str("\"Infinity\""),
+            Json::Num(_) => out.push_str("\"-Infinity\""),
             Json::Str(s) => write_string(s, out),
             Json::Arr(items) => {
                 out.push('[');
@@ -425,10 +447,21 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_numbers_become_null() {
-        assert_eq!(Json::Num(f64::NAN).render(), "null");
-        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    fn non_finite_numbers_round_trip_as_sentinel_strings() {
+        assert_eq!(Json::Num(f64::NAN).render(), "\"NaN\"");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "\"Infinity\"");
+        assert_eq!(Json::Num(f64::NEG_INFINITY).render(), "\"-Infinity\"");
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let back = Json::parse(&Json::Num(x).render())
+                .unwrap()
+                .as_f64()
+                .unwrap();
+            assert!(x.is_nan() && back.is_nan() || back == x, "{x} -> {back}");
+        }
+        // Legacy encoding: a null metric (pre-sentinel files) still reads as NaN.
         assert!(Json::parse("null").unwrap().as_f64().unwrap().is_nan());
+        // Ordinary strings are not numbers.
+        assert_eq!(Json::Str("nan".into()).as_f64(), None);
     }
 
     #[test]

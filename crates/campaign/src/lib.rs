@@ -40,9 +40,10 @@ pub mod json;
 pub mod record;
 pub mod sink;
 
-pub use aggregate::{aggregate, render_report, CampaignSummary, GroupSummary, Stat};
+pub use aggregate::{aggregate, render_csv, render_report, CampaignSummary, GroupSummary, Stat};
 pub use engine::{
-    execute_job, resume_from_file, run_campaign, CampaignError, CampaignOptions, CampaignOutcome,
+    execute_job, resume_from_file, run_campaign, run_campaign_on, CampaignError, CampaignOptions,
+    CampaignOutcome,
 };
 pub use job::{CampaignJob, CampaignSpec, OverrideSet, Shard};
 pub use record::{JobMetrics, JobOutcome, JobRecord};

@@ -7,8 +7,8 @@
 
 use std::path::PathBuf;
 use tsc3d_campaign::{
-    aggregate, read_campaign_file, render_report, run_campaign, CampaignOptions, CampaignSpec,
-    JobOutcome, JobRecord, OverrideSet, Shard,
+    aggregate, read_campaign_file, render_report, run_campaign, run_campaign_on, CampaignOptions,
+    CampaignSpec, JobOutcome, JobRecord, OverrideSet, Shard,
 };
 use tsc3d_netlist::suite::Benchmark;
 
@@ -70,6 +70,22 @@ fn one_and_many_workers_produce_identical_campaigns() {
         render_report(&aggregate(&normalized(&single.records))),
         render_report(&aggregate(&normalized(&pooled.records)))
     );
+}
+
+#[test]
+fn a_shared_long_lived_pool_matches_ephemeral_pools() {
+    // The serve daemon runs campaigns on one persistent pool (`run_campaign_on`); records
+    // must be identical to `run_campaign`'s ephemeral-pool path, including across several
+    // campaigns reusing the same pool.
+    let spec = test_spec();
+    let reference = run_campaign(&spec, &CampaignOptions::in_memory(2)).unwrap();
+    let pool = tsc3d::exec::Pool::new(3);
+    for _ in 0..2 {
+        let shared =
+            run_campaign_on(&pool, &spec, &CampaignOptions::in_memory(usize::MAX)).unwrap();
+        assert_eq!(normalized(&reference.records), normalized(&shared.records));
+    }
+    pool.shutdown();
 }
 
 #[test]
@@ -296,6 +312,97 @@ mod expansion_properties {
 
             // Expansion is deterministic.
             prop_assert_eq!(spec.expand(), jobs);
+        }
+    }
+}
+
+mod json_properties {
+    use proptest::prelude::*;
+    use tsc3d_campaign::json::Json;
+    use tsc3d_campaign::{JobMetrics, JobOutcome};
+    use tsc3d_netlist::suite::Benchmark;
+
+    /// `true` when the two floats are the same number for round-trip purposes: bitwise
+    /// identical for finite values and infinities, NaN-for-NaN otherwise (the sentinel
+    /// encoding does not preserve NaN payload bits).
+    fn same_number(a: f64, b: f64) -> bool {
+        (a.is_nan() && b.is_nan()) || a.to_bits() == b.to_bits()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Every `f64` bit pattern — finite, subnormal, ±inf and all NaN payloads —
+        /// renders to valid JSON (never a bare `NaN`/`Infinity` token) and reads back as
+        /// the same number.
+        #[test]
+        fn every_f64_bit_pattern_round_trips(bits in 0u64..u64::MAX) {
+            let x = f64::from_bits(bits);
+            let text = Json::Num(x).render();
+            prop_assert!(!text.starts_with('N') && !text.starts_with('I'),
+                "bare non-finite token: {text}");
+            let parsed = Json::parse(&text);
+            prop_assert!(parsed.is_ok(), "{text} does not re-parse");
+            let back = parsed.unwrap().as_f64();
+            prop_assert!(back.is_some(), "{text} is not numeric");
+            prop_assert!(same_number(back.unwrap(), x),
+                "{x:?} -> {text} -> {:?}", back.unwrap());
+        }
+
+        /// A metrics record whose fields carry non-finite values still round-trips
+        /// through the JSONL line format field by field.
+        #[test]
+        fn records_with_non_finite_metrics_round_trip(
+            bits in proptest::collection::vec(0u64..u64::MAX, 3..4),
+            selector in 0usize..4,
+        ) {
+            let special = match selector {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => f64::from_bits(bits[0]),
+            };
+            let metrics = JobMetrics {
+                s1: special,
+                s2: f64::from_bits(bits[1]),
+                r1: f64::from_bits(bits[2]),
+                r2: -0.25,
+                power_w: special,
+                critical_delay_ns: 1.5,
+                wirelength_m: 100.0,
+                peak_temperature_k: special,
+                signal_tsvs: 800.0,
+                dummy_tsvs: 0.0,
+                voltage_volumes: 40.0,
+                runtime_s: 0.5,
+                relaxed_solve: false,
+                outline_repaired: true,
+            };
+            let record = tsc3d_campaign::JobRecord {
+                job_id: 11,
+                benchmark: Benchmark::N100,
+                setup: tsc3d::Setup::TscAware,
+                override_name: "specials".into(),
+                seed: 5,
+                outcome: JobOutcome::Success(metrics),
+            };
+            let line = record.to_json_line();
+            let back = tsc3d_campaign::JobRecord::from_json(&Json::parse(&line).unwrap());
+            prop_assert!(back.is_ok(), "{line} does not decode");
+            let back = back.unwrap();
+            let JobOutcome::Success(decoded) = &back.outcome else {
+                return Err("decoded record lost its success outcome".into());
+            };
+            for (name, wrote, read) in [
+                ("s1", metrics.s1, decoded.s1),
+                ("s2", metrics.s2, decoded.s2),
+                ("r1", metrics.r1, decoded.r1),
+                ("power_w", metrics.power_w, decoded.power_w),
+                ("peak_temperature_k", metrics.peak_temperature_k, decoded.peak_temperature_k),
+            ] {
+                prop_assert!(same_number(wrote, read),
+                    "{name}: {wrote:?} -> {read:?} via {line}");
+            }
         }
     }
 }

@@ -1,130 +1,464 @@
-//! The shared batch-execution core: a small work-stealing thread pool on
-//! [`std::thread::scope`].
+//! The shared batch-execution core: a long-lived work-stealing thread pool.
 //!
-//! Both the paper's Figure-5/Table-2 experiment loop ([`crate::experiment`]) and the
-//! campaign subsystem (`tsc3d-campaign`) execute their independent flow runs through
-//! [`run_jobs`], so the two paths share one scheduler: a shared injector queue feeding
-//! per-worker deques, with idle workers stealing from the front of their peers' deques.
-//! Jobs are independent and results are written into per-job slots, so the returned vector
-//! is in job order regardless of worker count or steal interleaving — callers observe
-//! bit-identical results for 1 and N workers.
+//! Both the paper's Figure-5/Table-2 experiment loop ([`crate::experiment`]), the campaign
+//! subsystem (`tsc3d-campaign`) and the evaluation service (`tsc3d-serve`) execute their
+//! independent flow runs through one scheduler. Until PR 3 the scheduler was a scoped
+//! fork-join pool rebuilt for every batch; the serve daemon needs a *persistent* executor,
+//! so the pool is now an explicit [`Pool`] value with long-lived workers:
+//!
+//! * a shared injector queue feeds per-worker deques (workers refill in small batches and
+//!   steal FIFO from their peers when the injector runs dry),
+//! * idle workers park on a condvar and wake on submission,
+//! * [`Pool::submit`] enqueues fire-and-forget tasks (the serve daemon's job dispatch),
+//! * [`Pool::run_batch`] runs a vector of jobs and returns their results in job order —
+//!   the calling thread *helps execute* while it waits, so batches nested inside pool
+//!   tasks (a campaign job running on the serve pool) can never deadlock, and
+//! * [`Pool::shutdown`] drains gracefully: submissions are refused, every task already
+//!   accepted still runs, then the workers are joined.
+//!
+//! Batch results are written into per-job slots, so the returned vector is in job order
+//! regardless of worker count or steal interleaving — callers observe bit-identical
+//! results for 1 and N workers.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
-/// How many jobs a worker moves from the shared injector into its own deque at once.
+/// How many extra tasks a worker moves from the shared injector into its own deque at
+/// once.
 ///
 /// Small enough that the tail of a batch remains stealable, large enough to amortize the
-/// injector lock for short jobs.
+/// injector lock for short tasks.
 const INJECTOR_BATCH: usize = 4;
 
-/// Runs `jobs` on `workers` threads and returns one result per job, in job order.
+/// A unit of pool work.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error of [`Pool::submit`]: the pool is draining (or drained) and accepts no new tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the pool is shutting down and accepts no new tasks")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
+
+/// The injector queue plus the drain flag, guarded by one mutex so a submission can never
+/// race past the drain decision (a task either lands in the queue before draining is
+/// observable — and therefore runs — or is refused).
+struct Injector {
+    queue: VecDeque<Task>,
+    draining: bool,
+}
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    injector: Mutex<Injector>,
+    /// Parked idle workers wait here; submissions and shutdown notify it.
+    work_available: Condvar,
+    /// Per-worker deques. Only the owner pushes (injector refill); anyone may steal from
+    /// the front.
+    locals: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks currently executing (on worker threads or batch helpers).
+    active: AtomicUsize,
+    /// Tasks whose closure panicked (the panic is contained; for fire-and-forget tasks it
+    /// is recorded here, for batch tasks it is additionally re-raised at the batch call
+    /// site).
+    panicked: AtomicU64,
+}
+
+impl Shared {
+    /// Fetches the next task for worker `me`: own deque (LIFO), then the injector (batch
+    /// refill), then a steal from a peer's front (FIFO), then park. Returns `None` only
+    /// when the pool is draining and no work is visible anywhere — tasks still queued in
+    /// a peer's deque are completed by that peer, which never exits before draining its
+    /// own deque.
+    fn next_task(&self, me: usize) -> Option<Task> {
+        loop {
+            if let Some(task) = self.locals[me].lock().expect("worker deque").pop_back() {
+                return Some(task);
+            }
+
+            {
+                let mut injector = self.injector.lock().expect("injector");
+                if let Some(task) = injector.queue.pop_front() {
+                    let mut own = self.locals[me].lock().expect("worker deque");
+                    for _ in 0..INJECTOR_BATCH - 1 {
+                        match injector.queue.pop_front() {
+                            Some(extra) => own.push_back(extra),
+                            None => break,
+                        }
+                    }
+                    return Some(task);
+                }
+            }
+
+            if let Some(task) = self.try_steal(Some(me)) {
+                return Some(task);
+            }
+
+            // Re-check under the injector lock before parking: every path that makes work
+            // visible (submission; refill, which requires a prior submission) holds this
+            // lock, so a task submitted after the steal attempt is either seen here or
+            // notifies the condvar while we wait.
+            let injector = self.injector.lock().expect("injector");
+            if !injector.queue.is_empty() {
+                continue;
+            }
+            if injector.draining {
+                return None;
+            }
+            let _unused = self
+                .work_available
+                .wait(injector)
+                .expect("injector poisoned");
+        }
+    }
+
+    /// Steals one task from the front of any deque other than `skip`.
+    fn try_steal(&self, skip: Option<usize>) -> Option<Task> {
+        let workers = self.locals.len();
+        let start = skip.map_or(0, |me| me + 1);
+        for offset in 0..workers {
+            let victim = (start + offset) % workers;
+            if Some(victim) == skip {
+                continue;
+            }
+            if let Some(task) = self.locals[victim]
+                .lock()
+                .expect("worker deque")
+                .pop_front()
+            {
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Pops any visible task (injector first, then steals) without parking — the batch
+    /// helper path for the calling thread, which has no deque of its own.
+    fn try_pop_any(&self) -> Option<Task> {
+        if let Some(task) = self.injector.lock().expect("injector").queue.pop_front() {
+            return Some(task);
+        }
+        self.try_steal(None)
+    }
+
+    /// Runs one task, containing a panic so a misbehaving job cannot take down a
+    /// long-lived worker (batch tasks additionally capture the payload and re-raise it at
+    /// the batch call site).
+    fn run_task(&self, task: Task) {
+        self.active.fetch_add(1, Ordering::Relaxed);
+        if catch_unwind(AssertUnwindSafe(task)).is_err() {
+            self.panicked.fetch_add(1, Ordering::Relaxed);
+        }
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Completion state of one [`Pool::run_batch`] call.
+struct BatchState<R> {
+    slots: Vec<Mutex<Option<R>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A long-lived work-stealing thread pool with graceful drain-then-join shutdown.
 ///
-/// `f` receives the job's index (its position in `jobs`) and the job itself. The pool is a
-/// classic work-stealing design: all jobs start in a shared injector; each worker drains
-/// its own deque LIFO, refills from the injector in small batches, and steals FIFO from
-/// its peers once the injector is empty. Because every job is executed exactly once and
-/// its result is stored in the slot of its index, the output is deterministic — identical
-/// for any worker count and any steal interleaving (given a deterministic `f`).
+/// `Pool::new(0)` is valid and spawns no threads: [`Pool::run_batch`] then executes every
+/// job inline on the calling thread (the deterministic single-threaded mode), while
+/// [`Pool::submit`] still queues tasks that only batch helpers or [`Pool::shutdown`]'s
+/// drain would execute — fire-and-forget submission therefore only makes sense on a pool
+/// with at least one thread.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.shared.locals.len())
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Spawns a pool with `threads` worker threads.
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(Injector {
+                queue: VecDeque::new(),
+                draining: false,
+            }),
+            work_available: Condvar::new(),
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            active: AtomicUsize::new(0),
+            panicked: AtomicU64::new(0),
+        });
+        let handles = (0..threads)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    while let Some(task) = shared.next_task(me) {
+                        shared.run_task(task);
+                    }
+                })
+            })
+            .collect();
+        Self {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// A pool sized so that `workers` threads execute a batch: `workers - 1` pool threads
+    /// plus the calling thread helping inside [`Pool::run_batch`].
+    pub fn with_batch_workers(workers: usize) -> Self {
+        Self::new(workers.max(1) - 1)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.shared.locals.len()
+    }
+
+    /// Tasks queued but not yet started (injector plus worker deques).
+    pub fn queued(&self) -> usize {
+        let injector = self.shared.injector.lock().expect("injector").queue.len();
+        let locals: usize = self
+            .shared
+            .locals
+            .iter()
+            .map(|deque| deque.lock().expect("worker deque").len())
+            .sum();
+        injector + locals
+    }
+
+    /// Tasks currently executing on worker threads.
+    pub fn active(&self) -> usize {
+        self.shared.active.load(Ordering::Relaxed)
+    }
+
+    /// Fire-and-forget tasks whose closure panicked (contained, see [`Pool::submit`];
+    /// batch-job panics are not counted here — they re-raise at the batch call site).
+    pub fn panicked(&self) -> u64 {
+        self.shared.panicked.load(Ordering::Relaxed)
+    }
+
+    /// Submits a fire-and-forget task.
+    ///
+    /// A task accepted here is guaranteed to run, even when [`Pool::shutdown`] is called
+    /// concurrently (shutdown drains the queue before joining). A panic inside the task
+    /// is contained and counted ([`Pool::panicked`]); it does not take down the worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolClosed`] when the pool is draining; the task is returned unexecuted
+    /// inside the dropped closure.
+    pub fn submit<T>(&self, task: T) -> Result<(), PoolClosed>
+    where
+        T: FnOnce() + Send + 'static,
+    {
+        self.submit_task(Box::new(task))
+            .map_err(|_rejected| PoolClosed)
+    }
+
+    /// [`Pool::submit`] returning the rejected task, so batch submission can fall back to
+    /// inline execution during a drain.
+    fn submit_task(&self, task: Task) -> Result<(), Task> {
+        {
+            let mut injector = self.shared.injector.lock().expect("injector");
+            if injector.draining {
+                return Err(task);
+            }
+            injector.queue.push_back(task);
+        }
+        self.shared.work_available.notify_one();
+        Ok(())
+    }
+
+    /// Runs `jobs` and returns one result per job, in job order.
+    ///
+    /// `f` receives the job's index (its position in `jobs`) and the job itself. Every
+    /// job is executed exactly once and its result stored in the slot of its index, so
+    /// the output is deterministic — identical for any thread count and any steal
+    /// interleaving (given a deterministic `f`).
+    ///
+    /// The calling thread *helps*: it executes queued tasks while waiting, so `run_batch`
+    /// issued from inside a pool task (nested batches) cannot deadlock, and a pool with 0
+    /// threads simply runs the whole batch inline. During a drain the submissions a batch
+    /// could not enqueue run inline as well — a batch that started always completes.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f` (after every job of the batch finished or
+    /// was accounted for).
+    pub fn run_batch<J, R, F>(&self, jobs: Vec<J>, f: F) -> Vec<R>
+    where
+        J: Send + 'static,
+        R: Send + 'static,
+        F: Fn(usize, J) -> R + Send + Sync + 'static,
+    {
+        let n = jobs.len();
+        if n <= 1 || self.threads() == 0 {
+            return jobs
+                .into_iter()
+                .enumerate()
+                .map(|(index, job)| f(index, job))
+                .collect();
+        }
+
+        let f = Arc::new(f);
+        let batch = Arc::new(BatchState {
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        });
+
+        for (index, job) in jobs.into_iter().enumerate() {
+            let task = batch_task(Arc::clone(&batch), Arc::clone(&f), index, job);
+            if let Err(rejected) = self.submit_task(task) {
+                // Draining: the pool refuses new queue entries, but the batch must still
+                // complete — run the job on the calling thread instead.
+                rejected();
+            }
+        }
+
+        // Help execute while the batch is outstanding, then park on the batch condvar.
+        loop {
+            if *batch.remaining.lock().expect("batch remaining") == 0 {
+                break;
+            }
+            if let Some(task) = self.shared.try_pop_any() {
+                // Any task helps: either it is one of ours, or it unblocks a worker that
+                // holds one of ours.
+                self.shared.run_task(task);
+                continue;
+            }
+            let mut remaining = batch.remaining.lock().expect("batch remaining");
+            while *remaining > 0 {
+                remaining = batch.done.wait(remaining).expect("batch condvar");
+            }
+            break;
+        }
+
+        if let Some(payload) = batch.panic.lock().expect("batch panic slot").take() {
+            resume_unwind(payload);
+        }
+        batch
+            .slots
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .expect("batch slot")
+                    .take()
+                    .expect("every job produces exactly one result")
+            })
+            .collect()
+    }
+
+    /// Gracefully shuts the pool down: refuses further submissions, lets the workers
+    /// drain every task already accepted, then joins them. Idempotent; also invoked by
+    /// `Drop`.
+    pub fn shutdown(&self) {
+        {
+            let mut injector = self.shared.injector.lock().expect("injector");
+            injector.draining = true;
+        }
+        self.shared.work_available.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().expect("pool handles"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // With worker threads, the join above implies an empty queue. Without any (a
+        // 0-thread pool), `submit`'s accepted-means-executed contract still holds: the
+        // shutdown caller drains whatever was queued.
+        while let Some(task) = self.shared.try_pop_any() {
+            self.shared.run_task(task);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Wraps one batch job into a pool task: run, store the result (or capture the panic),
+/// then decrement the batch counter and wake the batch owner on completion.
+fn batch_task<J, R, F>(batch: Arc<BatchState<R>>, f: Arc<F>, index: usize, job: J) -> Task
+where
+    J: Send + 'static,
+    R: Send + 'static,
+    F: Fn(usize, J) -> R + Send + Sync + 'static,
+{
+    Box::new(move || {
+        match catch_unwind(AssertUnwindSafe(|| f(index, job))) {
+            Ok(result) => {
+                *batch.slots[index].lock().expect("batch slot") = Some(result);
+            }
+            Err(payload) => {
+                batch
+                    .panic
+                    .lock()
+                    .expect("batch panic slot")
+                    .get_or_insert(payload);
+            }
+        }
+        let mut remaining = batch.remaining.lock().expect("batch remaining");
+        *remaining -= 1;
+        if *remaining == 0 {
+            batch.done.notify_all();
+        }
+    })
+}
+
+/// Runs `jobs` on an ephemeral pool of `workers` threads (counting the calling thread,
+/// which helps) and returns one result per job, in job order.
 ///
-/// `workers == 0` is treated as 1. With a single worker (or at most one job) everything
-/// runs inline on the calling thread, without spawning.
+/// The one-shot convenience wrapper around [`Pool::run_batch`] used by the offline batch
+/// paths; `workers == 0` is treated as 1, and with a single worker (or at most one job)
+/// everything runs inline on the calling thread without spawning.
 ///
 /// # Panics
 ///
-/// Propagates a panic raised by `f` (the scope joins all workers first).
+/// Propagates a panic raised by `f` (the batch completes first).
 pub fn run_jobs<J, R, F>(jobs: Vec<J>, workers: usize, f: F) -> Vec<R>
 where
-    J: Send,
-    R: Send,
-    F: Fn(usize, J) -> R + Sync,
+    J: Send + 'static,
+    R: Send + 'static,
+    F: Fn(usize, J) -> R + Send + Sync + 'static,
 {
-    let workers = workers.max(1);
-    if workers == 1 || jobs.len() <= 1 {
+    // Nothing to parallelize: skip the pool entirely (run_batch would also inline these
+    // cases, but only after spawning and joining workers for no work).
+    if workers <= 1 || jobs.len() <= 1 {
         return jobs
             .into_iter()
             .enumerate()
             .map(|(index, job)| f(index, job))
             .collect();
     }
-
-    let n = jobs.len();
-    let injector: Mutex<VecDeque<(usize, J)>> = Mutex::new(jobs.into_iter().enumerate().collect());
-    let locals: Vec<Mutex<VecDeque<(usize, J)>>> =
-        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for me in 0..workers {
-            let injector = &injector;
-            let locals = &locals;
-            let slots = &slots;
-            let f = &f;
-            scope.spawn(move || loop {
-                let Some((index, job)) = next_job(me, injector, locals) else {
-                    return;
-                };
-                let result = f(index, job);
-                *slots[index].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job produces exactly one result")
-        })
-        .collect()
-}
-
-/// Fetches the next job for worker `me`: own deque (LIFO), then the injector (batch
-/// refill), then a steal from a peer's front (FIFO). Returns `None` when no work is
-/// visible anywhere — jobs still queued in a peer's deque are completed by that peer,
-/// which never exits before draining its own deque.
-fn next_job<J>(
-    me: usize,
-    injector: &Mutex<VecDeque<(usize, J)>>,
-    locals: &[Mutex<VecDeque<(usize, J)>>],
-) -> Option<(usize, J)> {
-    if let Some(job) = locals[me].lock().expect("worker deque poisoned").pop_back() {
-        return Some(job);
-    }
-
-    {
-        let mut shared = injector.lock().expect("injector poisoned");
-        if let Some(job) = shared.pop_front() {
-            let mut own = locals[me].lock().expect("worker deque poisoned");
-            for _ in 1..INJECTOR_BATCH {
-                match shared.pop_front() {
-                    Some(extra) => own.push_back(extra),
-                    None => break,
-                }
-            }
-            return Some(job);
-        }
-    }
-
-    let workers = locals.len();
-    for offset in 1..workers {
-        let victim = (me + offset) % workers;
-        if let Some(job) = locals[victim]
-            .lock()
-            .expect("worker deque poisoned")
-            .pop_front()
-        {
-            return Some(job);
-        }
-    }
-    None
+    let pool = Pool::with_batch_workers(workers);
+    let results = pool.run_batch(jobs, f);
+    pool.shutdown();
+    results
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
 
     #[test]
     fn results_are_in_job_order() {
@@ -159,12 +493,14 @@ mod tests {
 
     #[test]
     fn every_job_runs_exactly_once() {
-        let counters: Vec<AtomicUsize> = (0..200).map(|_| AtomicUsize::new(0)).collect();
+        let counters: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..200).map(|_| AtomicUsize::new(0)).collect());
         let jobs: Vec<usize> = (0..200).collect();
-        run_jobs(jobs, 8, |_, job| {
-            counters[job].fetch_add(1, Ordering::SeqCst);
+        let observed = Arc::clone(&counters);
+        run_jobs(jobs, 8, move |_, job| {
+            observed[job].fetch_add(1, Ordering::SeqCst);
         });
-        for counter in &counters {
+        for counter in counters.iter() {
             assert_eq!(counter.load(Ordering::SeqCst), 1);
         }
     }
@@ -175,5 +511,141 @@ mod tests {
         let one = run_jobs(jobs.clone(), 1, |_, job| job.wrapping_mul(0x9E37_79B9));
         let many = run_jobs(jobs, 7, |_, job| job.wrapping_mul(0x9E37_79B9));
         assert_eq!(one, many);
+    }
+
+    #[test]
+    fn batches_reuse_a_persistent_pool() {
+        let pool = Pool::new(3);
+        for round in 0..5u64 {
+            let jobs: Vec<u64> = (0..40).collect();
+            let results = pool.run_batch(jobs, move |_, job| job + round);
+            assert_eq!(results, (0..40).map(|j| j + round).collect::<Vec<_>>());
+        }
+        assert_eq!(pool.threads(), 3);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn nested_batches_do_not_deadlock() {
+        // A batch task issuing its own run_batch on the same pool must complete even when
+        // the pool is smaller than the total outstanding work, because waiters help.
+        let pool = Arc::new(Pool::new(2));
+        let inner_pool = Arc::clone(&pool);
+        let outer: Vec<u64> = (0..8).collect();
+        let results = pool.run_batch(outer, move |_, job| {
+            let inner: Vec<u64> = (0..10).collect();
+            inner_pool
+                .run_batch(inner, move |_, x| x * job)
+                .into_iter()
+                .sum::<u64>()
+        });
+        assert_eq!(results, (0..8).map(|j| 45 * j).collect::<Vec<_>>());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_tasks() {
+        let pool = Pool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("pool is open");
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 64, "drain ran every task");
+        assert_eq!(pool.queued(), 0);
+        assert_eq!(pool.active(), 0);
+    }
+
+    #[test]
+    fn no_task_loss_under_concurrent_submit_and_shutdown() {
+        // Every submission the pool *accepts* must execute, even when shutdown races the
+        // submitting thread; once shutdown is observable, submissions fail typed.
+        for _ in 0..8 {
+            let pool = Arc::new(Pool::new(2));
+            let executed = Arc::new(AtomicUsize::new(0));
+            let submitter = {
+                let pool = Arc::clone(&pool);
+                let executed = Arc::clone(&executed);
+                std::thread::spawn(move || {
+                    let mut accepted = 0usize;
+                    loop {
+                        let executed = Arc::clone(&executed);
+                        match pool.submit(move || {
+                            executed.fetch_add(1, Ordering::SeqCst);
+                        }) {
+                            Ok(()) => accepted += 1,
+                            Err(PoolClosed) => return accepted,
+                        }
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            std::thread::sleep(Duration::from_millis(2));
+            pool.shutdown();
+            let accepted = submitter.join().expect("submitter thread");
+            assert_eq!(
+                executed.load(Ordering::SeqCst),
+                accepted,
+                "accepted tasks all executed, refused tasks did not"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_thread_pool_drains_submissions_on_shutdown() {
+        // submit's accepted-means-executed contract must hold even with no workers: the
+        // shutdown caller runs what was queued.
+        let pool = Pool::new(0);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("pool is open");
+        }
+        assert_eq!(pool.queued(), 5);
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 5);
+        assert_eq!(pool.queued(), 0);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let pool = Pool::new(1);
+        pool.shutdown();
+        assert_eq!(pool.submit(|| {}), Err(PoolClosed));
+        // A batch on a drained pool still completes (inline fallback).
+        let results = pool.run_batch(vec![1, 2, 3], |_, x: i32| x * 2);
+        assert_eq!(results, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn batch_panics_propagate_after_the_batch_completes() {
+        let pool = Pool::new(2);
+        let completed = Arc::new(AtomicUsize::new(0));
+        let observed = Arc::clone(&completed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_batch((0..16).collect::<Vec<usize>>(), move |_, job| {
+                if job == 3 {
+                    panic!("job 3 exploded");
+                }
+                observed.fetch_add(1, Ordering::SeqCst);
+            })
+        }));
+        assert!(outcome.is_err(), "the panic reaches the batch caller");
+        assert_eq!(
+            completed.load(Ordering::SeqCst),
+            15,
+            "the other jobs still ran"
+        );
+        // The pool survives the panic and stays usable.
+        assert_eq!(pool.run_batch(vec![7u64, 9], |_, x| x + 1), vec![8, 10]);
+        pool.shutdown();
     }
 }

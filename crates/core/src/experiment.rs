@@ -182,26 +182,34 @@ pub fn run_benchmark(
     let mut pa = SetupAverages::default();
     let mut tsc = SetupAverages::default();
 
-    let run_one = |run: usize| -> Result<(FlowResult, FlowResult), FlowError> {
+    fn run_one(
+        benchmark: Benchmark,
+        config: &ExperimentConfig,
+        seed: u64,
+        run: usize,
+    ) -> Result<(FlowResult, FlowResult), FlowError> {
         let design = generate(benchmark, seed.wrapping_add(run as u64));
         let run_seed = seed.wrapping_add(1_000 + run as u64);
         let pa_result = TscFlow::new(config.power_aware).run(&design, run_seed)?;
         let tsc_result = TscFlow::new(config.tsc_aware).run(&design, run_seed)?;
         Ok((pa_result, tsc_result))
-    };
+    }
 
-    // The parallel path executes on the same work-stealing pool the campaign engine
-    // (`tsc3d-campaign`) uses, so both batch paths share one execution core. Results come
-    // back in run order regardless of worker count, keeping the averages deterministic.
-    // The sequential path keeps its short-circuit: the first failed run aborts the
-    // comparison without paying for the remaining runs.
+    // The parallel path executes on the same long-lived work-stealing pool the campaign
+    // engine (`tsc3d-campaign`) and the serve daemon use, so every batch path shares one
+    // execution core. Results come back in run order regardless of worker count, keeping
+    // the averages deterministic. The sequential path keeps its short-circuit: the first
+    // failed run aborts the comparison without paying for the remaining runs.
     let results: Vec<Result<(FlowResult, FlowResult), FlowError>> = if config.parallel {
         let runs: Vec<usize> = (0..config.runs).collect();
-        crate::exec::run_jobs(runs, default_workers(), |_, run| run_one(run))
+        let config = *config;
+        crate::exec::run_jobs(runs, default_workers(), move |_, run| {
+            run_one(benchmark, &config, seed, run)
+        })
     } else {
         let mut results = Vec::with_capacity(config.runs);
         for run in 0..config.runs {
-            let result = run_one(run);
+            let result = run_one(benchmark, config, seed, run);
             let failed = result.is_err();
             results.push(result);
             if failed {

@@ -1,0 +1,92 @@
+//! The `serve` binary: boot the evaluation service and run until killed.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7878] [--workers N] [--state-dir DIR]
+//!       [--cache-cap N] [--queue-cap N]
+//! ```
+//!
+//! With `--state-dir`, completed results persist to `DIR/results.jsonl` and a restarted
+//! server serves them without re-running (see the crate docs and the README's "Serving
+//! evaluations" section). `POST /v1/shutdown` stops the daemon gracefully: accepted jobs
+//! drain and persist before the process exits.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tsc3d_serve::{Server, ServerConfig};
+
+const USAGE: &str = "usage:
+  serve [--addr HOST:PORT] [--workers N] [--state-dir DIR] [--cache-cap N] [--queue-cap N]";
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_usize(args: &[String], flag: &str) -> Result<Option<usize>, String> {
+    arg_value(args, flag)
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("{flag} expects an integer, got '{v}'"))
+        })
+        .transpose()
+}
+
+fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    if let Some(addr) = arg_value(args, "--addr") {
+        config.addr = addr;
+    }
+    if let Some(workers) = parse_usize(args, "--workers")? {
+        config.workers = workers;
+    }
+    if let Some(cap) = parse_usize(args, "--cache-cap")? {
+        config.cache_cap = cap;
+    }
+    if let Some(cap) = parse_usize(args, "--queue-cap")? {
+        config.queue_cap = cap;
+    }
+    config.state_dir = arg_value(args, "--state-dir").map(PathBuf::from);
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let config = match parse_config(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("error: {message}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let state_note = match &config.state_dir {
+        Some(dir) => format!("state in {}", dir.display()),
+        None => "in-memory only (no --state-dir)".to_string(),
+    };
+    let workers = config.workers;
+    let cache_cap = config.cache_cap;
+    match Server::start(config) {
+        Ok(server) => {
+            println!(
+                "serve: listening on http://{} ({workers} workers, cache cap {cache_cap}, {state_note})",
+                server.local_addr()
+            );
+            // Run until a client POSTs /v1/shutdown (the graceful path: accepted jobs
+            // drain and persist before exit). A hard kill is also safe — per-line
+            // flushing means completed results are served after restart.
+            server.wait_shutdown_requested();
+            println!("serve: shutdown requested, draining");
+            server.shutdown();
+            println!("serve: drained");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

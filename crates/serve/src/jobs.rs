@@ -1,0 +1,433 @@
+//! The job registry and executor: submission dedup, backpressure, execution on the
+//! shared pool, persistence and cache fill.
+//!
+//! The registry is the serialization point of the API: one mutex over the job table and
+//! the in-flight index makes the dedup decision atomic. The completion path publishes in
+//! a fixed order — state file, disk index, result cache, *then* in-flight index removal —
+//! so a concurrent submission always sees at least one of them (completed result or
+//! dedup), never none.
+
+use crate::cache::ResultCache;
+use crate::metrics::Metrics;
+use crate::payload::Payload;
+use crate::state::StateFile;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tsc3d::exec::Pool;
+use tsc3d::TscFlow;
+use tsc3d_campaign::json::Json;
+use tsc3d_campaign::{
+    aggregate, render_report, run_campaign_on, CampaignOptions, JobOutcome, JobRecord,
+};
+use tsc3d_netlist::suite::generate;
+
+/// Lifecycle of one submitted job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a pool worker.
+    Queued,
+    /// Executing.
+    Running,
+    /// Finished; the result body is available.
+    Done,
+    /// Failed internally (panic or engine error); `error` holds the reason.
+    Failed,
+}
+
+impl JobState {
+    /// The status label used in API responses.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+        }
+    }
+}
+
+/// One entry of the job table.
+#[derive(Debug, Clone)]
+pub struct JobInfo {
+    /// The job id (process-local, monotonically increasing).
+    pub id: u64,
+    /// The canonical cache key of the submission.
+    pub key: Arc<str>,
+    /// `"flow"` or `"campaign"`.
+    pub kind: &'static str,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Whether the job completed without executing (cache hit at submission).
+    pub cached: bool,
+    /// The rendered result body (when `Done`).
+    pub result: Option<Arc<String>>,
+    /// The failure reason (when `Failed`).
+    pub error: Option<String>,
+    /// When the job was accepted (queue-wait metric anchor).
+    pub submitted_at: Instant,
+}
+
+/// The mutable core of the registry (one lock: dedup decisions are atomic).
+///
+/// The table is ordered by id ([`std::collections::BTreeMap`]) so settled jobs can be
+/// pruned oldest-first: without pruning, a long-running daemon would accumulate one entry
+/// (pinning its result body) per submission forever.
+#[derive(Default)]
+struct Table {
+    jobs: std::collections::BTreeMap<u64, JobInfo>,
+    /// Canonical key → job id, for queued/running jobs only.
+    in_flight: HashMap<Arc<str>, u64>,
+    next_id: u64,
+    /// Queued + running jobs (the backpressure measure).
+    pending: usize,
+}
+
+impl Table {
+    fn allocate_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Evicts the oldest settled (done/failed) jobs beyond `retained`. In-flight jobs are
+    /// never pruned, and results stay reachable through the cache and the disk index —
+    /// only the id-addressed status entry expires (a later `GET /v1/jobs/{id}` gets 404).
+    fn prune_settled(&mut self, retained: usize) {
+        while self.jobs.len() - self.pending > retained {
+            let oldest_settled = self
+                .jobs
+                .iter()
+                .find(|(_, job)| matches!(job.state, JobState::Done | JobState::Failed))
+                .map(|(&id, _)| id);
+            match oldest_settled {
+                Some(id) => self.jobs.remove(&id),
+                None => break,
+            };
+        }
+    }
+}
+
+/// How a submission was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// A new job was enqueued.
+    Enqueued,
+    /// An identical job is already in flight; the caller joined it.
+    Deduped,
+    /// The result was already cached; the job is `Done` without executing.
+    CacheHit,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Refusal {
+    /// The queue is at capacity (`429`).
+    Busy {
+        /// The configured capacity.
+        queue_cap: usize,
+    },
+    /// The server is draining (`503`).
+    Draining,
+}
+
+/// The job subsystem: table + cache + persistence + pool.
+pub struct JobService {
+    pool: Pool,
+    table: Mutex<Table>,
+    cache: ResultCache,
+    state: Option<StateFile>,
+    /// Canonical key → state-file byte offset of *every* persisted result — results
+    /// evicted from the bounded cache are re-read from disk instead of re-running.
+    disk_index: Mutex<HashMap<Arc<str>, u64>>,
+    metrics: Arc<Metrics>,
+    queue_cap: usize,
+    jobs_retained: usize,
+}
+
+impl JobService {
+    /// Builds the service: `pool` executes jobs, `cache` serves repeats, `state` (if any)
+    /// persists completions, and `seed_entries` (recovered from the state file) pre-fill
+    /// the cache (newest win the LRU slots) and the disk index (which covers everything).
+    pub fn new(
+        pool: Pool,
+        cache: ResultCache,
+        state: Option<StateFile>,
+        seed_entries: Vec<crate::state::StateEntry>,
+        metrics: Arc<Metrics>,
+        queue_cap: usize,
+        jobs_retained: usize,
+    ) -> Self {
+        let mut disk_index = HashMap::with_capacity(seed_entries.len());
+        for entry in seed_entries {
+            disk_index.insert(Arc::clone(&entry.key), entry.offset);
+            cache.insert(entry.key, entry.result);
+        }
+        Self {
+            pool,
+            table: Mutex::new(Table::default()),
+            cache,
+            state,
+            disk_index: Mutex::new(disk_index),
+            metrics,
+            queue_cap,
+            jobs_retained,
+        }
+    }
+
+    /// The worker pool (read-only observers: queue depth, active count).
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// The result cache (read-only observers).
+    pub fn cache(&self) -> &ResultCache {
+        &self.cache
+    }
+
+    /// Jobs queued or running.
+    pub fn in_flight(&self) -> usize {
+        self.table.lock().expect("job table").pending
+    }
+
+    /// Total jobs the table has seen.
+    pub fn total_jobs(&self) -> usize {
+        self.table.lock().expect("job table").jobs.len()
+    }
+
+    /// A snapshot of one job.
+    pub fn job(&self, id: u64) -> Option<JobInfo> {
+        self.table.lock().expect("job table").jobs.get(&id).cloned()
+    }
+
+    /// Submits a payload under its canonical key. Returns the job id and how the
+    /// submission was admitted, or a typed refusal (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`Refusal::Busy`] when `queue_cap` jobs are already in flight, [`Refusal::Draining`]
+    /// when the pool no longer accepts tasks.
+    pub fn submit(
+        self: &Arc<Self>,
+        key: Arc<str>,
+        payload: Payload,
+    ) -> Result<(u64, Admission), Refusal> {
+        let metrics = &self.metrics;
+        let mut table = self.table.lock().expect("job table");
+
+        if let Some(&id) = table.in_flight.get(&key) {
+            metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+            metrics.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((id, Admission::Deduped));
+        }
+        // The cache/disk check must happen under the table lock *after* the in-flight
+        // miss: completion publishes disk index and cache before clearing the in-flight
+        // entry, so this order can never miss all of them. The disk fallback does read
+        // one state-file line while holding the lock — accepted deliberately: the read is
+        // a single seek of a line we wrote, and moving it outside the lock would reopen
+        // the execute-once window the ordering exists to close.
+        if let Some(result) = self.lookup_completed(&key) {
+            let id = table.allocate_id();
+            table.jobs.insert(
+                id,
+                JobInfo {
+                    id,
+                    key,
+                    kind: payload.kind(),
+                    state: JobState::Done,
+                    cached: true,
+                    result: Some(result),
+                    error: None,
+                    submitted_at: Instant::now(),
+                },
+            );
+            table.prune_settled(self.jobs_retained);
+            metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+            metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((id, Admission::CacheHit));
+        }
+        if table.pending >= self.queue_cap {
+            metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            return Err(Refusal::Busy {
+                queue_cap: self.queue_cap,
+            });
+        }
+
+        let id = table.allocate_id();
+        table.jobs.insert(
+            id,
+            JobInfo {
+                id,
+                key: Arc::clone(&key),
+                kind: payload.kind(),
+                state: JobState::Queued,
+                cached: false,
+                result: None,
+                error: None,
+                submitted_at: Instant::now(),
+            },
+        );
+        table.in_flight.insert(Arc::clone(&key), id);
+        table.pending += 1;
+        drop(table);
+
+        let service = Arc::clone(self);
+        let task_key = Arc::clone(&key);
+        if let Err(closed) = self
+            .pool
+            .submit(move || service.execute(id, task_key, payload))
+        {
+            // The pool is draining and the job will never run. The entry is *settled as
+            // failed*, not deleted: between the lock drop and here, a concurrent
+            // identical submission may already have deduped onto this id — deleting it
+            // would hand that client an id that 404s forever.
+            let mut table = self.table.lock().expect("job table");
+            if let Some(job) = table.jobs.get_mut(&id) {
+                job.state = JobState::Failed;
+                job.error = Some("the server is draining; the job was never started".into());
+            }
+            table.in_flight.remove(&key);
+            table.pending -= 1;
+            let _ = closed;
+            return Err(Refusal::Draining);
+        }
+        metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        Ok((id, Admission::Enqueued))
+    }
+
+    /// Finds the completed result of `key`: in-memory cache first, then the disk index (a
+    /// result evicted from the bounded cache re-reads from the state file and re-enters
+    /// the cache — never re-runs).
+    fn lookup_completed(&self, key: &Arc<str>) -> Option<Arc<String>> {
+        if let Some(result) = self.cache.get(key) {
+            return Some(result);
+        }
+        let offset = *self.disk_index.lock().expect("disk index").get(key)?;
+        let state = self.state.as_ref()?;
+        match state.read_at(offset) {
+            Ok(entry) if entry.key == *key => {
+                self.cache
+                    .insert(Arc::clone(key), Arc::clone(&entry.result));
+                Some(entry.result)
+            }
+            Ok(_) => {
+                eprintln!("serve: disk index entry at {offset} holds a different key; ignoring");
+                None
+            }
+            Err(e) => {
+                eprintln!("serve: could not re-read persisted result: {e}");
+                None
+            }
+        }
+    }
+
+    /// Runs one job on a pool worker and publishes its result.
+    fn execute(self: Arc<Self>, id: u64, key: Arc<str>, payload: Payload) {
+        let queued_for = {
+            let mut table = self.table.lock().expect("job table");
+            let Some(job) = table.jobs.get_mut(&id) else {
+                return;
+            };
+            job.state = JobState::Running;
+            job.submitted_at.elapsed()
+        };
+        self.metrics.queue_wait.observe(queued_for.as_secs_f64());
+
+        let started = Instant::now();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_payload(&payload)));
+        self.metrics
+            .job_latency
+            .observe(started.elapsed().as_secs_f64());
+
+        let mut table = self.table.lock().expect("job table");
+        match outcome {
+            Ok(Ok(result)) => {
+                let result = Arc::new(result);
+                // Persist first (flush-per-line: a kill after this point still serves the
+                // result on restart), then disk index, then cache, then clear in-flight —
+                // see the module doc for why this order makes dedup airtight.
+                drop(table);
+                if let Some(state) = &self.state {
+                    match state.append(&key, &result) {
+                        Ok(offset) => {
+                            self.disk_index
+                                .lock()
+                                .expect("disk index")
+                                .insert(Arc::clone(&key), offset);
+                        }
+                        Err(e) => eprintln!("serve: could not persist job {id}: {e}"),
+                    }
+                }
+                self.cache.insert(Arc::clone(&key), Arc::clone(&result));
+                table = self.table.lock().expect("job table");
+                if let Some(job) = table.jobs.get_mut(&id) {
+                    job.state = JobState::Done;
+                    job.result = Some(result);
+                }
+                self.metrics.jobs_executed.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(Err(message)) => {
+                if let Some(job) = table.jobs.get_mut(&id) {
+                    job.state = JobState::Failed;
+                    job.error = Some(message);
+                }
+                self.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_panic) => {
+                if let Some(job) = table.jobs.get_mut(&id) {
+                    job.state = JobState::Failed;
+                    job.error = Some("job panicked".to_string());
+                }
+                self.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        table.in_flight.remove(&key);
+        table.pending -= 1;
+        table.prune_settled(self.jobs_retained);
+    }
+
+    /// Executes the payload, returning the rendered result body.
+    fn run_payload(&self, payload: &Payload) -> Result<String, String> {
+        match payload {
+            Payload::Flow(job) => {
+                let design = generate(job.benchmark, job.seed);
+                let result = TscFlow::new(job.config).run(&design, job.run_seed());
+                if let Ok(flow) = &result {
+                    self.metrics.observe_stages(&flow.stage_timings);
+                }
+                let record = JobRecord {
+                    job_id: job.id,
+                    benchmark: job.benchmark,
+                    setup: job.setup,
+                    override_name: job.override_name.clone(),
+                    seed: job.seed,
+                    outcome: JobOutcome::from_flow(&result),
+                };
+                Ok(record.to_json_line())
+            }
+            Payload::Campaign(spec) => {
+                let options = CampaignOptions::in_memory(0); // pool-provided parallelism
+                let outcome =
+                    run_campaign_on(&self.pool, spec, &options).map_err(|e| e.to_string())?;
+                let records: Result<Vec<Json>, String> = outcome
+                    .records
+                    .iter()
+                    .map(|r| Json::parse(&r.to_json_line()).map_err(|e| e.to_string()))
+                    .collect();
+                let report = render_report(&aggregate(&outcome.records));
+                Ok(Json::Obj(vec![
+                    ("executed".into(), Json::UInt(outcome.executed as u64)),
+                    ("records".into(), Json::Arr(records?)),
+                    ("report".into(), Json::Str(report)),
+                ])
+                .render())
+            }
+        }
+    }
+
+    /// Drains the pool: every accepted job finishes (and persists), then workers join.
+    pub fn shutdown(&self) {
+        self.pool.shutdown();
+    }
+}

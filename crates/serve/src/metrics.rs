@@ -1,0 +1,256 @@
+//! Service counters and latency histograms, rendered in Prometheus text format.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use tsc3d::StageTimings;
+
+/// Histogram bucket upper bounds, in seconds (an `+Inf` bucket is implicit).
+const BOUNDS_S: [f64; 10] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0];
+
+/// A fixed-bucket latency histogram (lock-free; Prometheus `histogram` semantics:
+/// cumulative buckets plus `_sum` and `_count`).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BOUNDS_S.len() + 1],
+    sum_micros: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, seconds: f64) {
+        let index = BOUNDS_S
+            .iter()
+            .position(|&bound| seconds <= bound)
+            .unwrap_or(BOUNDS_S.len());
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros
+            .fetch_add((seconds.max(0.0) * 1e6) as u64, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn render(&self, out: &mut String, name: &str, labels: &str) {
+        let mut cumulative = 0u64;
+        for (i, bound) in BOUNDS_S.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let sep = if labels.is_empty() { "" } else { "," };
+            out.push_str(&format!(
+                "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}\n"
+            ));
+        }
+        cumulative += self.buckets[BOUNDS_S.len()].load(Ordering::Relaxed);
+        let sep = if labels.is_empty() { "" } else { "," };
+        out.push_str(&format!(
+            "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}\n"
+        ));
+        out.push_str(&format!(
+            "{name}_sum{{{labels}}} {}\n",
+            self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+        ));
+        out.push_str(&format!(
+            "{name}_count{{{labels}}} {}\n",
+            self.count.load(Ordering::Relaxed)
+        ));
+    }
+}
+
+/// All counters of the serve daemon.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// HTTP requests handled (any endpoint, any status).
+    pub http_requests: AtomicU64,
+    /// Jobs accepted by `POST /v1/jobs` (including dedups and cache hits).
+    pub jobs_submitted: AtomicU64,
+    /// Jobs that actually executed a flow or campaign.
+    pub jobs_executed: AtomicU64,
+    /// Jobs that failed internally (panic in the job closure).
+    pub jobs_failed: AtomicU64,
+    /// Submissions joined onto an identical in-flight job.
+    pub dedup_hits: AtomicU64,
+    /// Submissions answered from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Submissions refused with `429` (queue full).
+    pub rejected_busy: AtomicU64,
+    /// Time from submission to execution start.
+    pub queue_wait: Histogram,
+    /// Total job execution time (flow or campaign).
+    pub job_latency: Histogram,
+    /// Floorplanning-stage latency of completed flow jobs.
+    pub stage_floorplan: Histogram,
+    /// Voltage-assignment-stage latency.
+    pub stage_assign: Histogram,
+    /// Detailed-verification-stage latency.
+    pub stage_verify: Histogram,
+    /// Post-processing-stage latency.
+    pub stage_post_process: Histogram,
+}
+
+impl Metrics {
+    /// Records the per-stage wall-clock breakdown of one completed flow run.
+    pub fn observe_stages(&self, timings: &StageTimings) {
+        self.stage_floorplan.observe(timings.floorplan_s);
+        self.stage_assign.observe(timings.assign_s);
+        self.stage_verify.observe(timings.verify_s);
+        self.stage_post_process.observe(timings.post_process_s);
+    }
+
+    /// The cache hit rate over all submissions (0 when nothing was submitted).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let submitted = self.jobs_submitted.load(Ordering::Relaxed);
+        if submitted == 0 {
+            return 0.0;
+        }
+        self.cache_hits.load(Ordering::Relaxed) as f64 / submitted as f64
+    }
+
+    /// Renders the Prometheus exposition text. `queue_depth`, `jobs_in_flight` and
+    /// `cache_len` are sampled by the caller (they live in the pool/cache, not here).
+    pub fn render(&self, queue_depth: usize, jobs_in_flight: usize, cache_len: usize) -> String {
+        let mut out = String::new();
+        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        let gauge = |out: &mut String, name: &str, help: &str, value: f64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+            ));
+        };
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+
+        counter(
+            &mut out,
+            "tsc3d_serve_http_requests_total",
+            "HTTP requests handled",
+            load(&self.http_requests),
+        );
+        counter(
+            &mut out,
+            "tsc3d_serve_jobs_submitted_total",
+            "Job submissions accepted",
+            load(&self.jobs_submitted),
+        );
+        counter(
+            &mut out,
+            "tsc3d_serve_jobs_executed_total",
+            "Jobs that executed (not deduped or cached)",
+            load(&self.jobs_executed),
+        );
+        counter(
+            &mut out,
+            "tsc3d_serve_jobs_failed_total",
+            "Jobs that failed internally",
+            load(&self.jobs_failed),
+        );
+        counter(
+            &mut out,
+            "tsc3d_serve_dedup_hits_total",
+            "Submissions joined onto an in-flight identical job",
+            load(&self.dedup_hits),
+        );
+        counter(
+            &mut out,
+            "tsc3d_serve_cache_hits_total",
+            "Submissions served from the result cache",
+            load(&self.cache_hits),
+        );
+        counter(
+            &mut out,
+            "tsc3d_serve_rejected_busy_total",
+            "Submissions refused with 429",
+            load(&self.rejected_busy),
+        );
+        gauge(
+            &mut out,
+            "tsc3d_serve_queue_depth",
+            "Tasks queued on the worker pool",
+            queue_depth as f64,
+        );
+        gauge(
+            &mut out,
+            "tsc3d_serve_jobs_in_flight",
+            "Jobs queued or running",
+            jobs_in_flight as f64,
+        );
+        gauge(
+            &mut out,
+            "tsc3d_serve_cache_entries",
+            "Results held in the cache",
+            cache_len as f64,
+        );
+        gauge(
+            &mut out,
+            "tsc3d_serve_cache_hit_rate",
+            "Cache hits per submission",
+            self.cache_hit_rate(),
+        );
+
+        out.push_str(
+            "# HELP tsc3d_serve_latency_seconds Job latencies by phase\n\
+             # TYPE tsc3d_serve_latency_seconds histogram\n",
+        );
+        self.queue_wait.render(
+            &mut out,
+            "tsc3d_serve_latency_seconds",
+            "phase=\"queue_wait\"",
+        );
+        self.job_latency.render(
+            &mut out,
+            "tsc3d_serve_latency_seconds",
+            "phase=\"job_total\"",
+        );
+
+        out.push_str(
+            "# HELP tsc3d_serve_stage_seconds Flow-stage latencies of completed flow jobs\n\
+             # TYPE tsc3d_serve_stage_seconds histogram\n",
+        );
+        for (stage, histogram) in [
+            ("floorplan", &self.stage_floorplan),
+            ("assign", &self.stage_assign),
+            ("verify", &self.stage_verify),
+            ("post_process", &self.stage_post_process),
+        ] {
+            histogram.render(
+                &mut out,
+                "tsc3d_serve_stage_seconds",
+                &format!("stage=\"{stage}\""),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histograms_are_cumulative_and_render() {
+        let metrics = Metrics::default();
+        metrics.job_latency.observe(0.003);
+        metrics.job_latency.observe(0.07);
+        metrics.job_latency.observe(1000.0);
+        assert_eq!(metrics.job_latency.count(), 3);
+        let text = metrics.render(2, 1, 4);
+        assert!(text.contains("tsc3d_serve_queue_depth 2"));
+        assert!(text.contains("tsc3d_serve_jobs_in_flight 1"));
+        assert!(text.contains("phase=\"job_total\",le=\"+Inf\"} 3"));
+        // 0.003 and 0.07 are both <= 0.1: the cumulative bucket holds 2.
+        assert!(text.contains("phase=\"job_total\",le=\"0.1\"} 2"));
+        assert!(text.contains("tsc3d_serve_latency_seconds_count{phase=\"job_total\"} 3"));
+    }
+
+    #[test]
+    fn cache_hit_rate_is_hits_over_submissions() {
+        let metrics = Metrics::default();
+        assert_eq!(metrics.cache_hit_rate(), 0.0);
+        metrics.jobs_submitted.store(4, Ordering::Relaxed);
+        metrics.cache_hits.store(1, Ordering::Relaxed);
+        assert_eq!(metrics.cache_hit_rate(), 0.25);
+    }
+}

@@ -1,0 +1,468 @@
+//! The daemon: a blocking accept loop feeding HTTP handler threads, the API routes, and
+//! graceful drain-then-join shutdown.
+
+use crate::cache::ResultCache;
+use crate::http::{read_request, write_response, Request, RequestError, Response};
+use crate::jobs::{Admission, JobService, JobState, Refusal};
+use crate::metrics::Metrics;
+use crate::payload::{canonical_key, key_hash, parse_payload};
+use crate::state::{StateError, StateFile};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tsc3d::exec::Pool;
+use tsc3d_campaign::json::Json;
+
+/// Configuration of the serve daemon.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads of the evaluation pool.
+    pub workers: usize,
+    /// Directory of the persistent state (`results.jsonl`); `None` keeps results in
+    /// memory only.
+    pub state_dir: Option<PathBuf>,
+    /// Result-cache capacity (entries); 0 disables caching.
+    pub cache_cap: usize,
+    /// Maximum jobs in flight (queued + running) before submissions get `429`.
+    pub queue_cap: usize,
+    /// Maximum accepted request-body size in bytes (`413` beyond).
+    pub max_body_bytes: usize,
+    /// Threads handling HTTP connections (separate from the evaluation pool, so status
+    /// and metrics endpoints stay responsive while every evaluation worker is busy).
+    pub http_threads: usize,
+    /// Settled (done/failed) job-table entries retained for `GET /v1/jobs/{id}`; older
+    /// entries expire (results stay reachable via cache/disk by resubmitting the spec).
+    pub jobs_retained: usize,
+    /// Maximum flow runs a single campaign submission may expand to (`400` beyond) — one
+    /// request counts as one queue slot, so its expansion must be bounded or the queue
+    /// cap would not bound the actual work.
+    pub max_campaign_jobs: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: tsc3d::experiment::default_workers(),
+            state_dir: None,
+            cache_cap: 1024,
+            queue_cap: 256,
+            max_body_bytes: 1024 * 1024,
+            http_threads: 4,
+            jobs_retained: 4096,
+            max_campaign_jobs: 10_000,
+        }
+    }
+}
+
+/// Errors of server startup.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The listener could not bind.
+    Bind(std::io::Error),
+    /// The state directory could not be opened or recovered.
+    State(StateError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(e) => write!(f, "could not bind the listener: {e}"),
+            ServeError::State(e) => write!(f, "could not recover server state: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Bind(e) => Some(e),
+            ServeError::State(e) => Some(e),
+        }
+    }
+}
+
+/// State shared by every connection handler.
+struct Shared {
+    jobs: Arc<JobService>,
+    metrics: Arc<Metrics>,
+    /// Submissions are refused (`503`) but status/metrics stay served — set by
+    /// `POST /v1/shutdown` and by [`Server::shutdown`].
+    draining: AtomicBool,
+    /// The accept loop exits — set only by [`Server::shutdown`], after which nothing is
+    /// served at all.
+    stop_accepting: AtomicBool,
+    max_body_bytes: usize,
+    max_campaign_jobs: usize,
+    /// Set by `POST /v1/shutdown`; [`Server::wait_shutdown_requested`] parks on it so the
+    /// binary can run the graceful drain path without OS signal handling.
+    shutdown_requested: (Mutex<bool>, Condvar),
+}
+
+/// A running serve daemon. Dropping it without [`Server::shutdown`] aborts less
+/// gracefully (threads are detached); call `shutdown` for the drain-then-join path.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    http_threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, recovers persisted results, and spawns the accept loop plus
+    /// the HTTP handler threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] when the address cannot be bound or the state directory
+    /// cannot be recovered (I/O failure or an interior-corrupt results file).
+    pub fn start(config: ServerConfig) -> Result<Self, ServeError> {
+        let listener = TcpListener::bind(&config.addr).map_err(ServeError::Bind)?;
+        let local_addr = listener.local_addr().map_err(ServeError::Bind)?;
+
+        let (state, seed_entries) = match &config.state_dir {
+            None => (None, Vec::new()),
+            Some(dir) => {
+                let (state, entries) = StateFile::open(dir).map_err(ServeError::State)?;
+                (Some(state), entries)
+            }
+        };
+
+        let metrics = Arc::new(Metrics::default());
+        let jobs = Arc::new(JobService::new(
+            Pool::new(config.workers.max(1)),
+            ResultCache::new(config.cache_cap),
+            state,
+            seed_entries,
+            Arc::clone(&metrics),
+            config.queue_cap,
+            config.jobs_retained,
+        ));
+        let shared = Arc::new(Shared {
+            jobs,
+            metrics,
+            draining: AtomicBool::new(false),
+            stop_accepting: AtomicBool::new(false),
+            max_body_bytes: config.max_body_bytes,
+            max_campaign_jobs: config.max_campaign_jobs,
+            shutdown_requested: (Mutex::new(false), Condvar::new()),
+        });
+
+        // Connection hand-off: the accept loop stays dumb, handlers pull from a channel.
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let http_threads = (0..config.http_threads.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let next = rx.lock().expect("connection channel").recv();
+                    match next {
+                        Ok(stream) => handle_connection(&shared, stream),
+                        Err(_) => return, // sender dropped: shutdown
+                    }
+                })
+            })
+            .collect();
+
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shared.stop_accepting.load(Ordering::SeqCst) {
+                        return; // tx drops here, handlers drain and exit
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            if tx.send(stream).is_err() {
+                                return;
+                            }
+                        }
+                        Err(e) => eprintln!("serve: accept error: {e}"),
+                    }
+                }
+            })
+        };
+
+        Ok(Self {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            http_threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until a client requests a graceful stop via `POST /v1/shutdown`. The
+    /// binary's main thread parks here and then runs [`Server::shutdown`] — the drain
+    /// path stays reachable in deployments without OS signal handling.
+    pub fn wait_shutdown_requested(&self) {
+        let (flag, condvar) = &self.shared.shutdown_requested;
+        let mut requested = flag.lock().expect("shutdown flag");
+        while !*requested {
+            requested = condvar.wait(requested).expect("shutdown condvar");
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, finish in-progress connections, then drain the
+    /// evaluation pool (every accepted job completes and persists) and join all threads.
+    pub fn shutdown(mut self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.stop_accepting.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a no-op connection. A wildcard bind (0.0.0.0/[::])
+        // is not a connectable destination everywhere, so aim at loopback on the bound
+        // port instead, and bound the attempt so a platform oddity cannot wedge shutdown.
+        let mut wake_addr = self.local_addr;
+        if wake_addr.ip().is_unspecified() {
+            wake_addr.set_ip(std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST));
+        }
+        let _ = TcpStream::connect_timeout(&wake_addr, Duration::from_secs(2));
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        for handle in self.http_threads.drain(..) {
+            let _ = handle.join();
+        }
+        self.shared.jobs.shutdown();
+    }
+}
+
+/// Handles one connection: one request, one response, close.
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let response = match read_request(&mut stream, shared.max_body_bytes) {
+        Ok(request) => {
+            shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+            route(shared, &request)
+        }
+        // A read that tripped the per-read socket timeout is a stalled client, not a dead
+        // socket: answer with the documented 408 (the write usually still succeeds — the
+        // stall is on the client's send side).
+        Err(RequestError::Io(e))
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            let response = Response::error(408, &RequestError::Timeout.to_string());
+            let _ = write_response(&mut stream, &response);
+            return;
+        }
+        Err(RequestError::Io(_)) => return, // nothing to answer on a dead socket
+        Err(e) => {
+            // The request was refused before its body was consumed; answer, then drain
+            // what the client is still sending so the close is graceful (an immediate
+            // close would RST the client mid-write and destroy the response).
+            let response = Response::error(e.status(), &e.to_string());
+            if write_response(&mut stream, &response).is_ok() {
+                discard_excess_input(&mut stream);
+            }
+            return;
+        }
+    };
+    if let Err(e) = write_response(&mut stream, &response) {
+        eprintln!("serve: write error: {e}");
+    }
+}
+
+/// Reads and discards whatever the client is still sending, bounded in bytes *and* wall
+/// clock (a trickling client must not pin a handler thread), so an error response lands
+/// before the connection closes.
+fn discard_excess_input(stream: &mut TcpStream) {
+    use std::io::Read;
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let mut scratch = [0u8; 8 * 1024];
+    let mut discarded = 0usize;
+    while discarded < 4 * 1024 * 1024 && std::time::Instant::now() < deadline {
+        match stream.read(&mut scratch) {
+            Ok(0) | Err(_) => return,
+            Ok(n) => discarded += n,
+        }
+    }
+}
+
+/// Dispatches one request to its endpoint.
+fn route(shared: &Shared, request: &Request) -> Response {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => Response::text(
+            200,
+            shared.metrics.render(
+                shared.jobs.pool().queued(),
+                shared.jobs.in_flight(),
+                shared.jobs.cache().len(),
+            ),
+        ),
+        ("POST", "/v1/jobs") => submit(shared, request),
+        ("POST", "/v1/shutdown") => request_shutdown(shared),
+        ("GET", _) if path.starts_with("/v1/jobs/") => job_route(shared, path),
+        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown") => {
+            Response::error(405, &format!("method {} not allowed here", request.method))
+        }
+        (_, _) if path.starts_with("/v1/jobs/") => {
+            Response::error(405, &format!("method {} not allowed here", request.method))
+        }
+        _ => Response::error(404, &format!("no route for {path}")),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("status".into(), Json::Str("ok".into())),
+            (
+                "draining".into(),
+                Json::Bool(shared.draining.load(Ordering::SeqCst)),
+            ),
+            (
+                "queue_depth".into(),
+                Json::UInt(shared.jobs.pool().queued() as u64),
+            ),
+            (
+                "jobs_in_flight".into(),
+                Json::UInt(shared.jobs.in_flight() as u64),
+            ),
+            (
+                "cache_entries".into(),
+                Json::UInt(shared.jobs.cache().len() as u64),
+            ),
+            (
+                "pool_threads".into(),
+                Json::UInt(shared.jobs.pool().threads() as u64),
+            ),
+        ]),
+    )
+}
+
+/// `POST /v1/shutdown`: flags the graceful stop. Submissions are refused from here on
+/// (503); the main thread parked in [`Server::wait_shutdown_requested`] performs the
+/// actual drain-then-join.
+fn request_shutdown(shared: &Shared) -> Response {
+    shared.draining.store(true, Ordering::SeqCst);
+    let (flag, condvar) = &shared.shutdown_requested;
+    *flag.lock().expect("shutdown flag") = true;
+    condvar.notify_all();
+    Response::json(
+        200,
+        &Json::Obj(vec![("status".into(), Json::Str("draining".into()))]),
+    )
+}
+
+fn submit(shared: &Shared, request: &Request) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::error(503, "the server is draining");
+    }
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(text) => text,
+        Err(_) => return Response::error(400, "the request body is not UTF-8"),
+    };
+    let parsed = match Json::parse(body) {
+        Ok(value) => value,
+        Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+    };
+    let payload = match parse_payload(&parsed) {
+        Ok(payload) => payload,
+        Err(reason) => return Response::error(400, &reason),
+    };
+    // One submission occupies one queue slot, so a campaign's expansion must be bounded
+    // for the queue cap to bound actual work.
+    if let crate::payload::Payload::Campaign(spec) = &payload {
+        let jobs = spec.job_count();
+        if jobs > shared.max_campaign_jobs {
+            return Response::error(
+                400,
+                &format!(
+                    "campaign expands to {jobs} flow runs, above the {}-run limit; \
+                     split it into shards or smaller specs",
+                    shared.max_campaign_jobs
+                ),
+            );
+        }
+    }
+    let key: Arc<str> = Arc::from(canonical_key(&parsed));
+    let hash = key_hash(&key);
+
+    match shared.jobs.submit(key, payload) {
+        Ok((id, admission)) => {
+            let (status, state) = match admission {
+                Admission::CacheHit => (200, "done"),
+                Admission::Enqueued | Admission::Deduped => (202, "accepted"),
+            };
+            Response::json(
+                status,
+                &Json::Obj(vec![
+                    ("id".into(), Json::UInt(id)),
+                    ("status".into(), Json::Str(state.into())),
+                    (
+                        "deduped".into(),
+                        Json::Bool(admission == Admission::Deduped),
+                    ),
+                    (
+                        "cached".into(),
+                        Json::Bool(admission == Admission::CacheHit),
+                    ),
+                    ("key".into(), Json::Str(hash)),
+                ]),
+            )
+        }
+        Err(Refusal::Busy { queue_cap }) => Response::error(
+            429,
+            &format!("{queue_cap} jobs already in flight; retry later"),
+        ),
+        Err(Refusal::Draining) => Response::error(503, "the server is draining"),
+    }
+}
+
+/// `GET /v1/jobs/{id}` and `GET /v1/jobs/{id}/result`.
+fn job_route(shared: &Shared, path: &str) -> Response {
+    let rest = &path["/v1/jobs/".len()..];
+    let (id_text, want_result) = match rest.strip_suffix("/result") {
+        Some(id_text) => (id_text, true),
+        None => (rest, false),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, &format!("bad job id '{id_text}'"));
+    };
+    let Some(job) = shared.jobs.job(id) else {
+        return Response::error(404, &format!("no job {id}"));
+    };
+
+    if want_result {
+        return match (job.state, &job.result) {
+            (JobState::Done, Some(result)) => Response::raw_json(200, result),
+            (JobState::Failed, _) => {
+                Response::error(500, job.error.as_deref().unwrap_or("job failed"))
+            }
+            _ => Response::error(
+                409,
+                &format!("job {id} is {}; result not ready", job.state.label()),
+            ),
+        };
+    }
+
+    let mut members = vec![
+        ("id".into(), Json::UInt(job.id)),
+        ("kind".into(), Json::Str(job.kind.into())),
+        ("status".into(), Json::Str(job.state.label().into())),
+        ("cached".into(), Json::Bool(job.cached)),
+        ("key".into(), Json::Str(key_hash(&job.key))),
+    ];
+    if let Some(error) = &job.error {
+        members.push(("error".into(), Json::Str(error.clone())));
+    }
+    Response::json(200, &Json::Obj(members))
+}
