@@ -1,0 +1,425 @@
+//! `bench` — the measured-perf harness of the floorplanning hot path.
+//!
+//! Measures the three throughput numbers every layer of the system bottoms out in and
+//! records them as one entry of the committed perf trajectory (`BENCH_flow.json`):
+//!
+//! * **evaluations/sec** of the simulated-annealing hot loop (`SimulatedAnnealing::
+//!   optimize_on`) on the N100/N200 two-die smoke, per seed, alongside the retained
+//!   from-scratch reference loop and the final cost (so seeded-result drift is caught),
+//! * **packs/sec** of the Fenwick scratch packing vs. the O(n²) reference packing,
+//! * **sweeps/sec** of the detailed red-black SOR solver per grid size.
+//!
+//! ```text
+//! bench [--smoke] [--reps N] [--label NAME] \
+//!       [--json PATH]      # write a fresh single-entry trajectory document
+//!       [--append PATH]    # append this run as a new entry to an existing trajectory
+//!       [--baseline PATH]  # print a delta table against the last entry of PATH
+//! ```
+//!
+//! CI runs `bench --smoke --json target/bench/BENCH_flow.json --baseline BENCH_flow.json`
+//! as a non-gating step; releases regenerate the committed file with
+//! `bench --smoke --append BENCH_flow.json --label prN`.
+
+use std::time::Instant;
+
+use tsc3d_bench::{arg_present, arg_usize, arg_value};
+use tsc3d_campaign::json::Json;
+use tsc3d_floorplan::{
+    ObjectiveWeights, PackScratch, SaSchedule, SequencePair3d, SimulatedAnnealing,
+};
+use tsc3d_geometry::{Grid, GridMap, Outline, Rect, Stack};
+use tsc3d_netlist::suite::{generate, Benchmark};
+use tsc3d_netlist::Design;
+use tsc3d_thermal::{SteadyStateSolver, ThermalConfig, TsvField};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One SA throughput sample.
+struct SaSample {
+    benchmark: &'static str,
+    seed: u64,
+    evals_per_sec: f64,
+    reference_evals_per_sec: f64,
+    cost: f64,
+}
+
+/// One packing throughput sample.
+struct PackSample {
+    benchmark: &'static str,
+    packs_per_sec: f64,
+    reference_packs_per_sec: f64,
+}
+
+/// One solver throughput sample.
+struct SolverSample {
+    grid: usize,
+    sweeps_per_sec: f64,
+}
+
+fn main() {
+    let smoke = arg_present("--smoke");
+    let reps = arg_usize("--reps", if smoke { 2 } else { 3 });
+    let label = arg_value("--label").unwrap_or_else(|| "current".to_string());
+
+    let schedule = if smoke {
+        SaSchedule::quick()
+    } else {
+        SaSchedule::standard()
+    };
+    let benchmarks: [(&'static str, Benchmark); 2] =
+        [("N100", Benchmark::N100), ("N200", Benchmark::N200)];
+    let seeds: [u64; 2] = [3, 5];
+
+    println!(
+        "bench: mode={} reps={reps} schedule={}x{} grid={}",
+        if smoke { "smoke" } else { "full" },
+        schedule.stages,
+        schedule.moves_per_stage,
+        schedule.grid_bins
+    );
+
+    // Simulated-annealing evaluations per second (the system's headline throughput).
+    let mut sa_samples = Vec::new();
+    for (name, bench) in benchmarks {
+        let design = generate(bench, 1);
+        let stack = Stack::two_die(design.outline());
+        let weights = ObjectiveWeights::tsc_aware();
+        let sa = SimulatedAnnealing::new(schedule);
+        for seed in seeds {
+            let mut evals_per_sec = 0.0f64;
+            let mut cost = 0.0;
+            for _ in 0..reps {
+                let result = sa.optimize_on(&design, stack, &weights, seed);
+                evals_per_sec =
+                    evals_per_sec.max(result.evaluations as f64 / result.runtime_seconds);
+                cost = result.cost;
+            }
+            let reference = sa.optimize_on_reference(&design, stack, &weights, seed);
+            let reference_evals_per_sec = reference.evaluations as f64 / reference.runtime_seconds;
+            assert_eq!(
+                cost, reference.cost,
+                "incremental and reference loops diverged on {name} seed {seed}"
+            );
+            println!(
+                "  sa {name} seed {seed}: {evals_per_sec:.0} evals/s \
+                 (reference loop {reference_evals_per_sec:.0}, cost {cost:.6})"
+            );
+            sa_samples.push(SaSample {
+                benchmark: name,
+                seed,
+                evals_per_sec,
+                reference_evals_per_sec,
+                cost,
+            });
+        }
+    }
+
+    // Packing throughput: the Fenwick scratch path vs. the O(n²) reference.
+    let pack_iters = if smoke { 3_000 } else { 10_000 };
+    let mut pack_samples = Vec::new();
+    for (name, bench) in benchmarks {
+        let design = generate(bench, 1);
+        let stack = Stack::two_die(design.outline());
+        let sample = measure_packs(&design, stack, name, pack_iters, reps);
+        println!(
+            "  pack {name}: {:.0} packs/s (reference {:.0})",
+            sample.packs_per_sec, sample.reference_packs_per_sec
+        );
+        pack_samples.push(sample);
+    }
+
+    // Detailed-solver sweep throughput (serial red-black SOR).
+    let sweep_budget = 300usize;
+    let mut solver_samples = Vec::new();
+    for bins in [32usize, 64] {
+        let sweeps_per_sec = measure_sweeps(bins, sweep_budget, reps);
+        println!("  solver grid {bins}: {sweeps_per_sec:.0} sweeps/s");
+        solver_samples.push(SolverSample {
+            grid: bins,
+            sweeps_per_sec,
+        });
+    }
+
+    let entry = render_entry(&label, smoke, &sa_samples, &pack_samples, &solver_samples);
+
+    if let Some(path) = arg_value("--json") {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("tsc3d-bench-flow/v1".into())),
+            ("entries".into(), Json::Arr(vec![entry.clone()])),
+        ]);
+        write_doc(&path, &doc);
+        println!("bench: wrote {path}");
+    }
+
+    if let Some(path) = arg_value("--append") {
+        let mut doc = read_doc(&path).unwrap_or_else(|| {
+            Json::Obj(vec![
+                ("schema".into(), Json::Str("tsc3d-bench-flow/v1".into())),
+                ("entries".into(), Json::Arr(Vec::new())),
+            ])
+        });
+        if let Json::Obj(members) = &mut doc {
+            if let Some((_, Json::Arr(entries))) = members.iter_mut().find(|(k, _)| k == "entries")
+            {
+                entries.push(entry.clone());
+            }
+        }
+        write_doc(&path, &doc);
+        println!("bench: appended entry '{label}' to {path}");
+    }
+
+    if let Some(path) = arg_value("--baseline") {
+        match read_doc(&path) {
+            Some(doc) => print_delta(&doc, &entry, &path),
+            None => println!("bench: no baseline at {path}; skipping delta table"),
+        }
+    }
+}
+
+/// Best-of-`reps` packing throughput for both the scratch and the reference path.
+fn measure_packs(
+    design: &Design,
+    stack: Stack,
+    benchmark: &'static str,
+    iters: usize,
+    reps: usize,
+) -> PackSample {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut sp = SequencePair3d::initial(design, stack, &mut rng);
+    for _ in 0..50 {
+        sp.perturb(design, &mut rng);
+    }
+    let mut scratch = PackScratch::new();
+    let mut floorplan = sp.pack(design);
+    let mut packs_per_sec = 0.0f64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            sp.pack_with(design, &mut scratch, &mut floorplan);
+        }
+        packs_per_sec = packs_per_sec.max(iters as f64 / start.elapsed().as_secs_f64());
+    }
+    // The reference path costs more per pack; a quarter of the iterations suffices.
+    let ref_iters = (iters / 4).max(1);
+    let mut reference_packs_per_sec = 0.0f64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..ref_iters {
+            let _ = sp.pack_reference(design);
+        }
+        reference_packs_per_sec =
+            reference_packs_per_sec.max(ref_iters as f64 / start.elapsed().as_secs_f64());
+    }
+    assert_eq!(
+        sp.pack_reference(design),
+        floorplan,
+        "scratch and reference packings diverged on {benchmark}"
+    );
+    PackSample {
+        benchmark,
+        packs_per_sec,
+        reference_packs_per_sec,
+    }
+}
+
+/// Best-of-`reps` red-black SOR sweep throughput on a two-die stack at `bins`².
+fn measure_sweeps(bins: usize, budget: usize, reps: usize) -> f64 {
+    let stack = Stack::two_die(Outline::new(2000.0, 2000.0));
+    let grid = Grid::square(stack.outline().rect(), bins);
+    // An unreachable tolerance keeps the solver running for the full sweep budget.
+    let solver = SteadyStateSolver::new(ThermalConfig::default_for(stack))
+        .with_max_iterations(budget)
+        .with_tolerance(1e-300);
+    let mut hotspot = GridMap::zeros(grid);
+    hotspot.splat_power(&Rect::new(0.0, 0.0, 900.0, 700.0), 2.0);
+    let power = vec![hotspot, GridMap::constant(grid, 2.0 / grid.bins() as f64)];
+    let tsvs = vec![TsvField::uniform(grid, 0.05)];
+    let mut sweeps_per_sec = 0.0f64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let _ = solver.solve(&power, &tsvs);
+        sweeps_per_sec = sweeps_per_sec.max(budget as f64 / start.elapsed().as_secs_f64());
+    }
+    sweeps_per_sec
+}
+
+fn render_entry(
+    label: &str,
+    smoke: bool,
+    sa: &[SaSample],
+    packs: &[PackSample],
+    solver: &[SolverSample],
+) -> Json {
+    Json::Obj(vec![
+        ("label".into(), Json::Str(label.into())),
+        (
+            "mode".into(),
+            Json::Str(if smoke { "smoke" } else { "full" }.into()),
+        ),
+        (
+            "sa".into(),
+            Json::Arr(
+                sa.iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("benchmark".into(), Json::Str(s.benchmark.into())),
+                            ("seed".into(), Json::UInt(s.seed)),
+                            ("evals_per_sec".into(), Json::Num(s.evals_per_sec)),
+                            (
+                                "reference_evals_per_sec".into(),
+                                Json::Num(s.reference_evals_per_sec),
+                            ),
+                            ("cost".into(), Json::Num(s.cost)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "packs".into(),
+            Json::Arr(
+                packs
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("benchmark".into(), Json::Str(p.benchmark.into())),
+                            ("packs_per_sec".into(), Json::Num(p.packs_per_sec)),
+                            (
+                                "reference_packs_per_sec".into(),
+                                Json::Num(p.reference_packs_per_sec),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "solver".into(),
+            Json::Arr(
+                solver
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("grid".into(), Json::UInt(s.grid as u64)),
+                            ("sweeps_per_sec".into(), Json::Num(s.sweeps_per_sec)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn write_doc(path: &str, doc: &Json) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(err) = std::fs::write(path, format!("{}\n", doc.render())) {
+        eprintln!("bench: could not write {path}: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn read_doc(path: &str) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    Json::parse(&text).ok()
+}
+
+/// Prints a delta table of this run against the last entry of the baseline trajectory.
+fn print_delta(baseline_doc: &Json, current: &Json, path: &str) {
+    let Some(baseline) = baseline_doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .and_then(<[Json]>::last)
+    else {
+        println!("bench: baseline {path} holds no entries; skipping delta table");
+        return;
+    };
+    let base_label = baseline.get("label").and_then(Json::as_str).unwrap_or("?");
+    println!("\ndelta vs baseline '{base_label}' ({path}):");
+    println!(
+        "{:<34} {:>12} {:>12} {:>9}",
+        "metric", "baseline", "now", "ratio"
+    );
+
+    let row = |name: String, base: Option<f64>, now: Option<f64>| {
+        if let (Some(base), Some(now)) = (base, now) {
+            println!("{name:<34} {base:>12.0} {now:>12.0} {:>8.2}x", now / base);
+        }
+    };
+
+    for section in ["sa", "packs", "solver"] {
+        let (Some(base_items), Some(now_items)) = (
+            baseline.get(section).and_then(Json::as_array),
+            current.get(section).and_then(Json::as_array),
+        ) else {
+            continue;
+        };
+        for now_item in now_items {
+            let matches = |candidate: &&Json| match section {
+                "solver" => {
+                    candidate.get("grid").and_then(Json::as_u64)
+                        == now_item.get("grid").and_then(Json::as_u64)
+                }
+                _ => {
+                    candidate.get("benchmark").and_then(Json::as_str)
+                        == now_item.get("benchmark").and_then(Json::as_str)
+                        && candidate.get("seed").and_then(Json::as_u64)
+                            == now_item.get("seed").and_then(Json::as_u64)
+                }
+            };
+            let Some(base_item) = base_items.iter().find(matches) else {
+                continue;
+            };
+            let (key, name) = match section {
+                "sa" => (
+                    "evals_per_sec",
+                    format!(
+                        "sa {} seed {} evals/s",
+                        now_item
+                            .get("benchmark")
+                            .and_then(Json::as_str)
+                            .unwrap_or("?"),
+                        now_item.get("seed").and_then(Json::as_u64).unwrap_or(0)
+                    ),
+                ),
+                "packs" => (
+                    "packs_per_sec",
+                    format!(
+                        "pack {} packs/s",
+                        now_item
+                            .get("benchmark")
+                            .and_then(Json::as_str)
+                            .unwrap_or("?")
+                    ),
+                ),
+                _ => (
+                    "sweeps_per_sec",
+                    format!(
+                        "solver grid {} sweeps/s",
+                        now_item.get("grid").and_then(Json::as_u64).unwrap_or(0)
+                    ),
+                ),
+            };
+            row(
+                name,
+                base_item.get(key).and_then(Json::as_f64),
+                now_item.get(key).and_then(Json::as_f64),
+            );
+            // Seeded costs are part of the contract: flag any drift loudly (non-gating).
+            if section == "sa" {
+                let base_cost = base_item.get("cost").and_then(Json::as_f64);
+                let now_cost = now_item.get("cost").and_then(Json::as_f64);
+                if let (Some(b), Some(n)) = (base_cost, now_cost) {
+                    if b != n {
+                        println!(
+                            "  WARNING: seeded cost changed ({b} -> {n}) — seeded results \
+                             are expected to be stable across perf PRs"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -439,6 +439,7 @@ mod tests {
             dummy_tsvs: 0.0,
             voltage_volumes: 40.0,
             runtime_s: 1.0,
+            evaluations: 616.0,
             relaxed_solve: false,
             outline_repaired: false,
         }

@@ -33,6 +33,9 @@ pub struct JobMetrics {
     pub voltage_volumes: f64,
     /// Flow runtime in seconds.
     pub runtime_s: f64,
+    /// Cost evaluations performed by the annealing stage (including outline-repair
+    /// re-anneals) — the numerator of the system's evaluations/sec throughput.
+    pub evaluations: f64,
     /// Whether any verification needed the relaxed solver retry.
     pub relaxed_solve: bool,
     /// Whether the outline-repair pass ran.
@@ -56,6 +59,7 @@ impl JobMetrics {
             dummy_tsvs: result.dummy_tsvs() as f64,
             voltage_volumes: result.assignment.volume_count() as f64,
             runtime_s: result.runtime_seconds,
+            evaluations: result.sa.evaluations as f64,
             relaxed_solve: result.used_relaxed_solve(),
             outline_repaired: result.outline_repair.is_some(),
         }
@@ -81,6 +85,7 @@ impl JobMetrics {
             ("dummy_tsvs".into(), Json::Num(self.dummy_tsvs)),
             ("voltage_volumes".into(), Json::Num(self.voltage_volumes)),
             ("runtime_s".into(), Json::Num(self.runtime_s)),
+            ("evaluations".into(), Json::Num(self.evaluations)),
             ("relaxed_solve".into(), Json::Bool(self.relaxed_solve)),
             ("outline_repaired".into(), Json::Bool(self.outline_repaired)),
         ])
@@ -112,6 +117,12 @@ impl JobMetrics {
             dummy_tsvs: num("dummy_tsvs")?,
             voltage_volumes: num("voltage_volumes")?,
             runtime_s: num("runtime_s")?,
+            // Records written before PR 4 lack the field; read them as zero evaluations
+            // rather than failing resume.
+            evaluations: value
+                .get("evaluations")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
             relaxed_solve: flag("relaxed_solve")?,
             outline_repaired: flag("outline_repaired")?,
         })
@@ -280,6 +291,7 @@ mod tests {
             dummy_tsvs: 32.0,
             voltage_volumes: 41.0,
             runtime_s: 1.5,
+            evaluations: 616.0,
             relaxed_solve: false,
             outline_repaired: true,
         }

@@ -375,6 +375,7 @@ mod json_properties {
                 dummy_tsvs: 0.0,
                 voltage_volumes: 40.0,
                 runtime_s: 0.5,
+                evaluations: 616.0,
                 relaxed_solve: false,
                 outline_repaired: true,
             };

@@ -42,7 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
-pub mod exec;
+pub use tsc3d_exec as exec;
 pub mod experiment;
 pub mod exploration;
 mod flow;

@@ -1,10 +1,13 @@
 //! The shared batch-execution core: a long-lived work-stealing thread pool.
 //!
-//! Both the paper's Figure-5/Table-2 experiment loop ([`crate::experiment`]), the campaign
-//! subsystem (`tsc3d-campaign`) and the evaluation service (`tsc3d-serve`) execute their
-//! independent flow runs through one scheduler. Until PR 3 the scheduler was a scoped
-//! fork-join pool rebuilt for every batch; the serve daemon needs a *persistent* executor,
-//! so the pool is now an explicit [`Pool`] value with long-lived workers:
+//! The paper's Figure-5/Table-2 experiment loop (`tsc3d::experiment`), the campaign
+//! subsystem (`tsc3d-campaign`), the evaluation service (`tsc3d-serve`) and the detailed
+//! thermal solver's red-black SOR sweep (`tsc3d-thermal`) all execute through one
+//! scheduler. Until PR 3 the scheduler was a scoped fork-join pool rebuilt for every
+//! batch; the serve daemon needs a *persistent* executor, so the pool is an explicit
+//! [`Pool`] value with long-lived workers. The crate sits below every analysis crate of
+//! the workspace (it was hoisted out of `tsc3d::exec` in PR 4 so `tsc3d-thermal` can use
+//! it without a dependency cycle; `tsc3d::exec` re-exports it unchanged):
 //!
 //! * a shared injector queue feeds per-worker deques (workers refill in small batches and
 //!   steal FIFO from their peers when the injector runs dry),
@@ -19,6 +22,8 @@
 //! Batch results are written into per-job slots, so the returned vector is in job order
 //! regardless of worker count or steal interleaving — callers observe bit-identical
 //! results for 1 and N workers.
+
+#![warn(missing_docs)]
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use tsc3d_geometry::Stack;
 use tsc3d_netlist::Design;
 
-use crate::{CostBreakdown, Evaluator, Floorplan, ObjectiveWeights, SequencePair3d};
+use crate::{CostBreakdown, Evaluator, Floorplan, ObjectiveWeights, PackScratch, SequencePair3d};
 
 /// Annealing schedule parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -116,6 +116,14 @@ impl SimulatedAnnealing {
     }
 
     /// Optimizes the design on an arbitrary stack.
+    ///
+    /// This is the incremental hot loop: each move is applied to the current solution in
+    /// place and reverted through an undo token on rejection (no clone per move), packing
+    /// reuses a [`PackScratch`] and a single [`Floorplan`] buffer, and the cost is
+    /// evaluated through the tiered scratch path ([`Evaluator::evaluate_with`]). It
+    /// consumes the same random stream and computes bit-identical costs as the retained
+    /// reference loop ([`SimulatedAnnealing::optimize_on_reference`]), so seeded results
+    /// are unchanged — only faster.
     pub fn optimize_on(
         &self,
         design: &Design,
@@ -126,10 +134,13 @@ impl SimulatedAnnealing {
         let start = std::time::Instant::now();
         let evaluator =
             Evaluator::new(design, stack, *weights).with_grid_bins(self.schedule.grid_bins);
+        let mut scratch = evaluator.scratch();
+        let mut pack_scratch = PackScratch::new();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
 
         let mut current = SequencePair3d::initial(design, stack, &mut rng);
-        let baseline = evaluator.evaluate(&current.pack(design));
+        let mut floorplan = current.pack(design);
+        let baseline = evaluator.evaluate_with(&floorplan, &mut scratch);
         let mut current_cost = evaluator.scalar_cost(&baseline, &baseline);
 
         let mut best = current.clone();
@@ -146,7 +157,104 @@ impl SimulatedAnnealing {
         let mut probe = current.clone();
         for _ in 0..15 {
             probe.perturb(design, &mut rng);
-            let cost = evaluator.scalar_cost(&evaluator.evaluate(&probe.pack(design)), &baseline);
+            probe.pack_with(design, &mut pack_scratch, &mut floorplan);
+            let cost = evaluator.scalar_cost(
+                &evaluator.evaluate_with(&floorplan, &mut scratch),
+                &baseline,
+            );
+            evaluations += 1;
+            if cost > current_cost {
+                uphill.push(cost - current_cost);
+            }
+        }
+        let mean_uphill = if uphill.is_empty() {
+            0.05 * current_cost.max(1e-6)
+        } else {
+            uphill.iter().sum::<f64>() / uphill.len() as f64
+        };
+        let mut temperature =
+            -mean_uphill / self.schedule.initial_acceptance.clamp(0.05, 0.99).ln();
+
+        for _stage in 0..self.schedule.stages {
+            for _ in 0..self.schedule.moves_per_stage {
+                let undo = current.perturb_undoable(design, &mut rng);
+                current.pack_with(design, &mut pack_scratch, &mut floorplan);
+                let breakdown = evaluator.evaluate_with(&floorplan, &mut scratch);
+                let cost = evaluator.scalar_cost(&breakdown, &baseline);
+                evaluations += 1;
+
+                let delta = cost - current_cost;
+                let accept = delta <= 0.0
+                    || rng.gen_range(0.0..1.0) < (-delta / temperature.max(1e-12)).exp();
+                if accept {
+                    current_cost = cost;
+                    accepted += 1;
+                    if cost < best_cost {
+                        best = current.clone();
+                        best_cost = cost;
+                        best_breakdown = breakdown;
+                    }
+                } else {
+                    current.undo(undo);
+                }
+            }
+            temperature *= self.schedule.cooling;
+            history.push(best_cost);
+        }
+
+        SaResult {
+            floorplan: best.pack(design),
+            breakdown: best_breakdown,
+            cost: best_cost,
+            baseline,
+            evaluations,
+            accepted,
+            history,
+            runtime_seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// The original clone-per-move annealing loop over the from-scratch evaluation path,
+    /// retained as the equivalence reference and the "before" measurement of the perf
+    /// harness (`tsc3d-bench`'s `bench` binary).
+    ///
+    /// Produces a [`SaResult`] identical to [`SimulatedAnnealing::optimize_on`] for the
+    /// same inputs (bit-identical cost, breakdown and history; only `runtime_seconds`
+    /// differs).
+    pub fn optimize_on_reference(
+        &self,
+        design: &Design,
+        stack: Stack,
+        weights: &ObjectiveWeights,
+        seed: u64,
+    ) -> SaResult {
+        let start = std::time::Instant::now();
+        let evaluator =
+            Evaluator::new(design, stack, *weights).with_grid_bins(self.schedule.grid_bins);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        let mut current = SequencePair3d::initial(design, stack, &mut rng);
+        let baseline = evaluator.evaluate(&current.pack_reference(design));
+        let mut current_cost = evaluator.scalar_cost(&baseline, &baseline);
+
+        let mut best = current.clone();
+        let mut best_cost = current_cost;
+        let mut best_breakdown = baseline.clone();
+
+        let mut evaluations = 1usize;
+        let mut accepted = 0usize;
+        let mut history = Vec::with_capacity(self.schedule.stages);
+
+        // Calibrate the initial temperature from a short random walk so that roughly
+        // `initial_acceptance` of uphill moves would be accepted at the start.
+        let mut uphill = Vec::new();
+        let mut probe = current.clone();
+        for _ in 0..15 {
+            probe.perturb(design, &mut rng);
+            let cost = evaluator.scalar_cost(
+                &evaluator.evaluate(&probe.pack_reference(design)),
+                &baseline,
+            );
             evaluations += 1;
             if cost > current_cost {
                 uphill.push(cost - current_cost);
@@ -164,7 +272,7 @@ impl SimulatedAnnealing {
             for _ in 0..self.schedule.moves_per_stage {
                 let mut candidate = current.clone();
                 candidate.perturb(design, &mut rng);
-                let breakdown = evaluator.evaluate(&candidate.pack(design));
+                let breakdown = evaluator.evaluate(&candidate.pack_reference(design));
                 let cost = evaluator.scalar_cost(&breakdown, &baseline);
                 evaluations += 1;
 
@@ -187,7 +295,7 @@ impl SimulatedAnnealing {
         }
 
         SaResult {
-            floorplan: best.pack(design),
+            floorplan: best.pack_reference(design),
             breakdown: best_breakdown,
             cost: best_cost,
             baseline,
@@ -277,6 +385,54 @@ mod tests {
         assert!(result.breakdown.avg_correlation().abs() <= 1.0);
         assert!(result.breakdown.avg_entropy() >= 0.0);
         assert!(result.floorplan.overlap_area() < 1e-6);
+    }
+
+    fn assert_same_sa_result(fast: &SaResult, reference: &SaResult) {
+        assert_eq!(fast.floorplan, reference.floorplan);
+        assert_eq!(fast.breakdown, reference.breakdown);
+        assert_eq!(fast.cost, reference.cost);
+        assert_eq!(fast.baseline, reference.baseline);
+        assert_eq!(fast.evaluations, reference.evaluations);
+        assert_eq!(
+            fast.accepted, reference.accepted,
+            "accept/reject trace diverged"
+        );
+        assert_eq!(fast.history, reference.history);
+    }
+
+    #[test]
+    fn incremental_loop_matches_reference_loop_exactly() {
+        // The perturb/undo + scratch-evaluation loop must reproduce the clone-per-move +
+        // from-scratch loop bit for bit: same accept/reject trace, same best floorplan,
+        // same cost history — for both objectives and several seeds.
+        let design = small_design();
+        let stack = Stack::two_die(design.outline());
+        let sa = SimulatedAnnealing::new(SaSchedule::quick());
+        for weights in [
+            ObjectiveWeights::power_aware(),
+            ObjectiveWeights::tsc_aware(),
+        ] {
+            for seed in [3, 11, 29] {
+                let fast = sa.optimize_on(&design, stack, &weights, seed);
+                let reference = sa.optimize_on_reference(&design, stack, &weights, seed);
+                assert_same_sa_result(&fast, &reference);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_loop_matches_reference_on_benchmark_designs() {
+        use tsc3d_netlist::suite::{generate, Benchmark};
+        let design = generate(Benchmark::N100, 1);
+        let stack = Stack::two_die(design.outline());
+        let mut schedule = SaSchedule::quick();
+        schedule.stages = 4;
+        schedule.moves_per_stage = 8;
+        schedule.grid_bins = 12;
+        let sa = SimulatedAnnealing::new(schedule);
+        let fast = sa.optimize_on(&design, stack, &ObjectiveWeights::tsc_aware(), 3);
+        let reference = sa.optimize_on_reference(&design, stack, &ObjectiveWeights::tsc_aware(), 3);
+        assert_same_sa_result(&fast, &reference);
     }
 
     #[test]

@@ -5,16 +5,37 @@
 //! are evaluated, the leakage-aware voltage assignment is performed, the fast thermal
 //! analysis is run, and finally the leakage metrics (Pearson correlation and spatial
 //! entropy) are computed alongside the classical design criteria.
+//!
+//! # Evaluation tiers
+//!
+//! The evaluation splits into two tiers, exposed separately so the annealer (and the
+//! benchmarks) can account for them individually:
+//!
+//! * the **geometric tier** ([`Evaluator::evaluate_geometry`]): packing envelope, outline
+//!   violation and wirelength. The per-net bounding boxes (and the Elmore net delays
+//!   derived from them) are cached in the [`EvalScratch`] and recomputed only for nets
+//!   touching blocks that moved since the previous evaluation.
+//! * the **analysis tier** ([`Evaluator::evaluate_analysis`]): timing analysis, voltage
+//!   assignment, power-map rasterization, signal-TSV planning, fast thermal estimation and
+//!   the leakage metrics, all writing into reusable [`EvalScratch`] buffers instead of
+//!   fresh allocations.
+//!
+//! [`Evaluator::evaluate_with`] chains both tiers; it produces [`CostBreakdown`]s
+//! bit-identical to the retained from-scratch reference path ([`Evaluator::evaluate`] /
+//! [`Evaluator::evaluate_full`]) while allocating almost nothing per call.
 
 use serde::{Deserialize, Serialize};
-use tsc3d_geometry::Stack;
-use tsc3d_leakage::{map_correlation, SpatialEntropy};
-use tsc3d_netlist::Design;
-use tsc3d_power::{AssignmentObjective, VoltageAssigner, VoltageAssignment};
-use tsc3d_thermal::{fast::PowerBlurring, ThermalConfig};
-use tsc3d_timing::{ElmoreModel, ModuleDelayModel, TimingGraph};
+use tsc3d_geometry::{Grid, GridMap, Point, Stack};
+use tsc3d_leakage::{map_correlation, EntropyScratch, SpatialEntropy};
+use tsc3d_netlist::{Design, NetId};
+use tsc3d_power::{AssignScratch, AssignmentObjective, VoltageAssigner, VoltageAssignment};
+use tsc3d_thermal::{
+    fast::{BlurScratch, PowerBlurring},
+    ThermalConfig, TsvField, TsvSite,
+};
+use tsc3d_timing::{ElmoreModel, ModuleDelayModel, NetTopology, TimingGraph, TimingScratch};
 
-use crate::{plan_signal_tsvs, Floorplan, TsvPlan};
+use crate::{plan_signal_tsvs, Floorplan, PlacedBlock, TsvPlan};
 
 /// Weights of the multi-objective cost.
 ///
@@ -165,14 +186,127 @@ impl CostBreakdown {
     }
 }
 
+/// Result of the cheap geometric evaluation tier ([`Evaluator::evaluate_geometry`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeometricCost {
+    /// Largest per-die packing-envelope stretch (see [`CostBreakdown::packing`]).
+    pub packing: f64,
+    /// Block area outside the fixed outline in µm².
+    pub outline_violation: f64,
+    /// Total half-perimeter wirelength in µm (including TSV detours).
+    pub wirelength: f64,
+}
+
+/// Per-net cache for the incremental signal-TSV planning: the die span of the net's block
+/// pins and the (clamped) bounding-box centre where its TSV stack would be dropped.
+#[derive(Debug, Clone, Copy)]
+struct TsvNetCache {
+    /// Lowest die with a block pin (`usize::MAX` for nets without block pins).
+    min_die: usize,
+    /// Highest die with a block pin.
+    max_die: usize,
+    /// Clamped bounding-box centre of the net's block pins.
+    center: Point,
+    /// Analysis-grid bin containing `center` (`None` when outside the grid, in which
+    /// case [`TsvField::add_site`] would drop the site too).
+    bin: Option<tsc3d_geometry::GridPos>,
+}
+
+/// Reusable buffers for the tiered evaluation ([`Evaluator::evaluate_with`]).
+///
+/// The scratch caches the floorplan of the previous evaluation together with its per-net
+/// topologies and delays, so the geometric tier only re-derives nets whose blocks actually
+/// moved; every map and vector of the analysis tier is reused across calls. Create one via
+/// [`Evaluator::scratch`] (after the builder methods, so the analysis grid matches) and
+/// keep it for the whole optimization run.
+#[derive(Debug, Clone)]
+pub struct EvalScratch {
+    /// Analysis grid the buffers are sized for.
+    grid: Grid,
+    /// Placements as of the previous evaluation (empty before the first).
+    prev: Vec<PlacedBlock>,
+    /// Per-net topology of the previous evaluation.
+    topologies: Vec<NetTopology>,
+    /// Per-net Elmore delay of the previous evaluation.
+    net_delays: Vec<f64>,
+    /// Per-net signal-TSV cache of the previous evaluation.
+    tsv_nets: Vec<TsvNetCache>,
+    /// Per-net dirty flags of the current evaluation.
+    net_dirty: Vec<bool>,
+    timing: TimingScratch,
+    slacks: Vec<f64>,
+    scaled_delays: Vec<f64>,
+    scaled_powers: Vec<f64>,
+    adjacency: Vec<Vec<tsc3d_netlist::BlockId>>,
+    /// Expanded block rects of the current adjacency derivation.
+    expanded: Vec<tsc3d_geometry::Rect>,
+    /// Spatial-hash buckets over the expanded rects (block indices, ascending).
+    buckets: Vec<Vec<u32>>,
+    /// Bucket-grid edge length the buckets were built for.
+    bucket_grid: usize,
+    /// Candidate dedup stamps (one per block, compared against `stamp`).
+    last_seen: Vec<u64>,
+    stamp: u64,
+    assign: AssignScratch,
+    entropy: EntropyScratch,
+    power_maps: Vec<GridMap>,
+    signal_tsvs: Vec<TsvField>,
+    blur: BlurScratch,
+    thermal_maps: Vec<GridMap>,
+}
+
+impl EvalScratch {
+    fn new(grid: Grid, nets: usize, interfaces: usize) -> Self {
+        Self {
+            grid,
+            prev: Vec::new(),
+            topologies: Vec::with_capacity(nets),
+            net_delays: Vec::with_capacity(nets),
+            tsv_nets: Vec::with_capacity(nets),
+            net_dirty: vec![false; nets],
+            timing: TimingScratch::new(),
+            slacks: Vec::new(),
+            scaled_delays: Vec::new(),
+            scaled_powers: Vec::new(),
+            adjacency: Vec::new(),
+            expanded: Vec::new(),
+            buckets: Vec::new(),
+            bucket_grid: 0,
+            last_seen: Vec::new(),
+            stamp: 0,
+            assign: AssignScratch::new(),
+            entropy: EntropyScratch::new(),
+            power_maps: Vec::new(),
+            signal_tsvs: (0..interfaces).map(|_| TsvField::empty(grid)).collect(),
+            blur: BlurScratch::new(),
+            thermal_maps: Vec::new(),
+        }
+    }
+
+    /// Drops the cached previous floorplan, forcing the next geometric tier to re-derive
+    /// every net (used when the scratch is about to see an unrelated floorplan sequence).
+    pub fn invalidate(&mut self) {
+        self.prev.clear();
+    }
+}
+
 /// Evaluates floorplans under the multi-objective cost.
 ///
-/// The evaluator owns everything that stays constant across annealing iterations (the
-/// design, the timing graph, the delay/thermal/entropy models, the voltage assigner), so
-/// each [`Evaluator::evaluate`] call only performs the per-layout work.
+/// The evaluator borrows the design and owns everything else that stays constant across
+/// annealing iterations (the timing graph, the delay/thermal/entropy models, the voltage
+/// assigner), so each evaluation call only performs the per-layout work. Two evaluation
+/// paths are offered:
+///
+/// * [`Evaluator::evaluate_with`] — the tiered, scratch-buffer path used by the annealing
+///   hot loop (see the crate's `cost`-module docs above for the tier split), and
+/// * [`Evaluator::evaluate`] / [`Evaluator::evaluate_full`] — the from-scratch reference
+///   path, which additionally returns the voltage-assignment and TSV-plan artefacts that
+///   downstream flow stages consume.
+///
+/// Both produce bit-identical [`CostBreakdown`]s for the same floorplan.
 #[derive(Debug, Clone)]
-pub struct Evaluator {
-    design: Design,
+pub struct Evaluator<'d> {
+    design: &'d Design,
     stack: Stack,
     weights: ObjectiveWeights,
     grid_bins: usize,
@@ -186,14 +320,20 @@ pub struct Evaluator {
     blurring: PowerBlurring,
     entropy_model: SpatialEntropy,
     ambient: f64,
+    /// Nets touching each block (for dirty-net tracking in the geometric tier).
+    block_nets: Vec<Vec<NetId>>,
 }
 
-impl Evaluator {
+impl<'d> Evaluator<'d> {
     /// Creates an evaluator for a design on the given stack.
+    ///
+    /// The evaluator borrows the design for its lifetime (batch drivers that used to pay a
+    /// full netlist clone per job now share one `Design` across workers); wrap the design
+    /// in an `Arc` on the caller side if an owning handle is needed.
     ///
     /// The voltage-assignment objective follows the weights: leakage-aware weights use the
     /// TSC-aware assignment (power-uniformity-driven), otherwise the power-aware assignment.
-    pub fn new(design: &Design, stack: Stack, weights: ObjectiveWeights) -> Self {
+    pub fn new(design: &'d Design, stack: Stack, weights: ObjectiveWeights) -> Self {
         let module_model = ModuleDelayModel::default_90nm();
         let timing_graph = TimingGraph::new(design);
         let nominal_delays = TimingGraph::nominal_module_delays(design, &module_model);
@@ -203,8 +343,17 @@ impl Evaluator {
             AssignmentObjective::PowerAware
         };
         let thermal_config = ThermalConfig::default_for(stack);
+        let mut block_nets = vec![Vec::new(); design.blocks().len()];
+        for (net_id, net) in design.iter_nets() {
+            for b in net.blocks() {
+                let nets = &mut block_nets[b.index()];
+                if nets.last() != Some(&net_id) {
+                    nets.push(net_id);
+                }
+            }
+        }
         Self {
-            design: design.clone(),
+            design,
             stack,
             weights,
             grid_bins: 32,
@@ -218,6 +367,7 @@ impl Evaluator {
             blurring: PowerBlurring::new(&thermal_config),
             entropy_model: SpatialEntropy::default(),
             ambient: thermal_config.ambient,
+            block_nets,
         }
     }
 
@@ -234,8 +384,8 @@ impl Evaluator {
     }
 
     /// The design being evaluated.
-    pub fn design(&self) -> &Design {
-        &self.design
+    pub fn design(&self) -> &'d Design {
+        self.design
     }
 
     /// The stack being targeted.
@@ -258,8 +408,30 @@ impl Evaluator {
         &self.module_model
     }
 
+    /// The analysis grid used for power/thermal maps (matches
+    /// [`Floorplan::analysis_grid`] at the configured resolution).
+    pub fn analysis_grid(&self) -> Grid {
+        Grid::square(self.stack.outline().rect(), self.grid_bins)
+    }
+
+    /// Creates a reusable [`EvalScratch`] sized for this evaluator's design and grid.
+    ///
+    /// Call after the builder methods ([`Evaluator::with_grid_bins`]) so the buffers match
+    /// the final configuration.
+    pub fn scratch(&self) -> EvalScratch {
+        EvalScratch::new(
+            self.analysis_grid(),
+            self.design.nets().len(),
+            self.stack.dies().saturating_sub(1),
+        )
+    }
+
     /// Evaluates a floorplan, returning the full breakdown plus the artefacts downstream
     /// stages need (the voltage assignment and the TSV plan).
+    ///
+    /// This is the retained from-scratch reference path: every quantity is derived directly
+    /// from the floorplan with freshly allocated intermediates. The tiered
+    /// [`Evaluator::evaluate_with`] path produces bit-identical breakdowns.
     pub fn evaluate_full(
         &self,
         floorplan: &Floorplan,
@@ -279,8 +451,8 @@ impl Evaluator {
         let outline_violation = floorplan.outline_violation_area();
 
         // Wirelength and net topologies (timing).
-        let topologies = floorplan.net_topologies(&self.design, self.tsv_length);
-        let wirelength = floorplan.total_wirelength(&self.design, self.tsv_length);
+        let topologies = floorplan.net_topologies(self.design, self.tsv_length);
+        let wirelength = floorplan.total_wirelength(self.design, self.tsv_length);
         let net_delays = TimingGraph::net_delays(&self.elmore, &topologies);
 
         // Nominal-timing slacks drive the voltage assignment.
@@ -289,7 +461,7 @@ impl Evaluator {
         let adjacency = floorplan.adjacency(self.adjacency_margin);
         let assignment =
             self.assigner
-                .assign(&self.design, &adjacency, &self.nominal_delays, &slacks);
+                .assign(self.design, &adjacency, &self.nominal_delays, &slacks);
 
         // Voltage-scaled timing and power.
         let scaled_delays = assignment.scaled_delays(&self.nominal_delays, self.assigner.scaling());
@@ -297,12 +469,12 @@ impl Evaluator {
             .timing_graph
             .analyze(&scaled_delays, &net_delays)
             .critical_delay();
-        let scaled_powers = assignment.scaled_powers(&self.design, self.assigner.scaling());
+        let scaled_powers = assignment.scaled_powers(self.design, self.assigner.scaling());
         let total_power: f64 = scaled_powers.iter().sum();
 
         // Power maps, TSV plan, fast thermal maps.
         let power_maps = floorplan.power_maps(grid, &scaled_powers);
-        let tsv_plan = plan_signal_tsvs(&self.design, floorplan, grid);
+        let tsv_plan = plan_signal_tsvs(self.design, floorplan, grid);
         let thermal_maps = self.blurring.estimate(&power_maps, &tsv_plan.combined());
         let peak_temperature = PowerBlurring::peak(&thermal_maps);
 
@@ -333,9 +505,392 @@ impl Evaluator {
         (breakdown, assignment, tsv_plan)
     }
 
-    /// Evaluates a floorplan, returning only the cost breakdown.
+    /// Evaluates a floorplan, returning only the cost breakdown (from-scratch reference
+    /// path; see [`Evaluator::evaluate_with`] for the hot-loop variant).
     pub fn evaluate(&self, floorplan: &Floorplan) -> CostBreakdown {
         self.evaluate_full(floorplan).0
+    }
+
+    /// The cheap geometric evaluation tier: packing envelope, outline violation and
+    /// wirelength.
+    ///
+    /// Net bounding boxes (and the Elmore delays derived from them) are recomputed only
+    /// for nets touching blocks whose placement changed since the scratch's previous
+    /// evaluation; unchanged nets keep their cached values, which are bit-identical
+    /// because their pins did not move.
+    pub fn evaluate_geometry(
+        &self,
+        floorplan: &Floorplan,
+        scratch: &mut EvalScratch,
+    ) -> GeometricCost {
+        let placements = floorplan.placements();
+        assert_eq!(
+            placements.len(),
+            self.design.blocks().len(),
+            "floorplan must place every design block"
+        );
+        let outline = floorplan.outline();
+
+        // Packing / fixed outline (identical traversal to the reference path).
+        let mut packing: f64 = 0.0;
+        for die in self.stack.die_ids() {
+            if let Some(bbox) = floorplan.packing_bbox(die) {
+                let stretch = (bbox.upper_right().x / outline.width())
+                    .max(bbox.upper_right().y / outline.height());
+                packing = packing.max(stretch);
+            }
+        }
+        let outline_violation = floorplan.outline_violation_area();
+
+        // Incremental net derivations: re-derive topology, Elmore delay and the signal-TSV
+        // cache only for nets with a moved block.
+        let nets = self.design.nets().len();
+        if scratch.prev.len() != placements.len()
+            || scratch.topologies.len() != nets
+            || scratch.tsv_nets.len() != nets
+        {
+            scratch.topologies.clear();
+            scratch.net_delays.clear();
+            scratch.tsv_nets.clear();
+            for (net_id, _) in self.design.iter_nets() {
+                let (topo, tsv) = self.derive_net(floorplan, net_id, scratch.grid);
+                scratch.net_delays.push(self.elmore.net_delay(&topo));
+                scratch.topologies.push(topo);
+                scratch.tsv_nets.push(tsv);
+            }
+        } else {
+            scratch.net_dirty.fill(false);
+            for (block, (now, before)) in placements.iter().zip(&scratch.prev).enumerate() {
+                if now != before {
+                    for net in &self.block_nets[block] {
+                        scratch.net_dirty[net.index()] = true;
+                    }
+                }
+            }
+            for (net, dirty) in scratch.net_dirty.iter().enumerate() {
+                if *dirty {
+                    let (topo, tsv) = self.derive_net(floorplan, NetId(net), scratch.grid);
+                    scratch.net_delays[net] = self.elmore.net_delay(&topo);
+                    scratch.topologies[net] = topo;
+                    scratch.tsv_nets[net] = tsv;
+                }
+            }
+        }
+        scratch.prev.clear();
+        scratch.prev.extend_from_slice(placements);
+
+        // Same per-net terms and summation order as `Floorplan::total_wirelength`.
+        let wirelength = scratch
+            .topologies
+            .iter()
+            .map(|t| t.hpwl + t.tsv_crossings as f64 * self.tsv_length)
+            .sum();
+
+        GeometricCost {
+            packing,
+            outline_violation,
+            wirelength,
+        }
+    }
+
+    /// Derives the block adjacency into `scratch.adjacency` through a uniform spatial
+    /// hash over the margin-expanded footprints, instead of the all-pairs scan of
+    /// [`Floorplan::adjacency`].
+    ///
+    /// Candidate pairs come from shared buckets and are then checked with *exactly* the
+    /// reference predicate (same expanded rects, same `overlaps` comparison, same
+    /// die-distance filter); per-block lists are sorted ascending afterwards, which is the
+    /// order the all-pairs scan produces — the resulting lists are identical.
+    fn adjacency_fast(&self, floorplan: &Floorplan, scratch: &mut EvalScratch) {
+        let placements = floorplan.placements();
+        let n = placements.len();
+        let margin = self.adjacency_margin;
+        scratch.adjacency.resize_with(n, Vec::new);
+        for list in scratch.adjacency.iter_mut() {
+            list.clear();
+        }
+        if n == 0 {
+            return;
+        }
+
+        scratch.expanded.clear();
+        scratch
+            .expanded
+            .extend(placements.iter().map(|p| p.rect.expanded(margin)));
+
+        // Bucket grid over the bounding region of all expanded rects, sized so that the
+        // expected bucket occupancy stays constant.
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for r in &scratch.expanded {
+            min_x = min_x.min(r.x);
+            min_y = min_y.min(r.y);
+            max_x = max_x.max(r.x + r.width);
+            max_y = max_y.max(r.y + r.height);
+        }
+        let g = ((n as f64).sqrt().ceil() as usize).max(1);
+        let inv_x = g as f64 / (max_x - min_x).max(1e-9);
+        let inv_y = g as f64 / (max_y - min_y).max(1e-9);
+        let cell_x = |v: f64| (((v - min_x) * inv_x) as usize).min(g - 1);
+        let cell_y = |v: f64| (((v - min_y) * inv_y) as usize).min(g - 1);
+
+        if scratch.bucket_grid != g {
+            scratch.buckets.resize_with(g * g, Vec::new);
+            scratch.bucket_grid = g;
+        }
+        for bucket in scratch.buckets.iter_mut() {
+            bucket.clear();
+        }
+        for (i, r) in scratch.expanded.iter().enumerate() {
+            let (c0, c1) = (cell_x(r.x), cell_x(r.x + r.width));
+            let (r0, r1) = (cell_y(r.y), cell_y(r.y + r.height));
+            for row in r0..=r1 {
+                for col in c0..=c1 {
+                    scratch.buckets[row * g + col].push(i as u32);
+                }
+            }
+        }
+
+        scratch.last_seen.resize(n, 0);
+        for i in 0..n {
+            scratch.stamp += 1;
+            let stamp = scratch.stamp;
+            let die_i = placements[i].die.index();
+            let ra = scratch.expanded[i];
+            let (c0, c1) = (cell_x(ra.x), cell_x(ra.x + ra.width));
+            let (r0, r1) = (cell_y(ra.y), cell_y(ra.y + ra.height));
+            for row in r0..=r1 {
+                for col in c0..=c1 {
+                    for &j in &scratch.buckets[row * g + col] {
+                        let j = j as usize;
+                        if j <= i || scratch.last_seen[j] == stamp {
+                            continue;
+                        }
+                        scratch.last_seen[j] = stamp;
+                        if placements[j].die.index().abs_diff(die_i) > 1 {
+                            continue;
+                        }
+                        if ra.overlaps(&scratch.expanded[j]) {
+                            scratch.adjacency[i].push(tsc3d_netlist::BlockId(j));
+                            scratch.adjacency[j].push(tsc3d_netlist::BlockId(i));
+                        }
+                    }
+                }
+            }
+        }
+        for list in scratch.adjacency.iter_mut() {
+            list.sort_unstable();
+        }
+    }
+
+    /// Derives one net's topology and signal-TSV cache entry in a single pin pass.
+    ///
+    /// Replicates the arithmetic of [`Floorplan::net_topology`] (bounding box over *all*
+    /// pins including terminals, die span with terminals on die 0) and of
+    /// [`plan_signal_tsvs`] (bounding box and die span over the *block* pins only, centre
+    /// clamped into the outline) exactly — min/max accumulation is order-insensitive, so
+    /// sharing the traversal changes no value.
+    fn derive_net(
+        &self,
+        floorplan: &Floorplan,
+        net: NetId,
+        grid: Grid,
+    ) -> (NetTopology, TsvNetCache) {
+        let net_ref = self.design.net(net);
+        let placements = floorplan.placements();
+        // Topology accumulators (all pins).
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        let mut min_die = usize::MAX;
+        let mut max_die = 0usize;
+        let mut pins = 0usize;
+        // TSV accumulators (block pins only).
+        let mut b_min_x = f64::INFINITY;
+        let mut b_max_x = f64::NEG_INFINITY;
+        let mut b_min_y = f64::INFINITY;
+        let mut b_max_y = f64::NEG_INFINITY;
+        let mut b_min_die = usize::MAX;
+        let mut b_max_die = 0usize;
+        for pin in net_ref.pins() {
+            let (point, die) = match *pin {
+                tsc3d_netlist::PinRef::Block(b) => {
+                    let p = &placements[b.index()];
+                    let c = p.rect.center();
+                    let die = p.die.index();
+                    b_min_x = b_min_x.min(c.x);
+                    b_max_x = b_max_x.max(c.x);
+                    b_min_y = b_min_y.min(c.y);
+                    b_max_y = b_max_y.max(c.y);
+                    b_min_die = b_min_die.min(die);
+                    b_max_die = b_max_die.max(die);
+                    (c, die)
+                }
+                tsc3d_netlist::PinRef::Terminal(t) => {
+                    // Terminals sit on the package; they do not add die crossings beyond
+                    // the bottom die.
+                    (self.design.terminal(t).position(), 0)
+                }
+            };
+            min_x = min_x.min(point.x);
+            max_x = max_x.max(point.x);
+            min_y = min_y.min(point.y);
+            max_y = max_y.max(point.y);
+            min_die = min_die.min(die);
+            max_die = max_die.max(die);
+            pins += 1;
+        }
+        let hpwl = (max_x - min_x) + (max_y - min_y);
+        let crossings = max_die.saturating_sub(min_die);
+        let topo = NetTopology::new(hpwl, crossings, pins.saturating_sub(1));
+
+        let outline = floorplan.outline().rect();
+        let center = if b_min_die == usize::MAX {
+            Point::new(0.0, 0.0)
+        } else {
+            Point::new(
+                ((b_min_x + b_max_x) / 2.0).clamp(outline.x, outline.x + outline.width),
+                ((b_min_y + b_max_y) / 2.0).clamp(outline.y, outline.y + outline.height),
+            )
+        };
+        let bin = if b_min_die != usize::MAX && b_max_die > b_min_die {
+            grid.bin_of(center)
+        } else {
+            None
+        };
+        (
+            topo,
+            TsvNetCache {
+                min_die: b_min_die,
+                max_die: b_max_die,
+                center,
+                bin,
+            },
+        )
+    }
+
+    /// The expensive analysis evaluation tier: timing, voltage assignment, power maps,
+    /// signal-TSV planning, fast thermal estimation and leakage metrics, all into the
+    /// scratch's reusable buffers.
+    ///
+    /// Must be called after [`Evaluator::evaluate_geometry`] on the same floorplan (it
+    /// consumes the net delays the geometric tier cached).
+    pub fn evaluate_analysis(
+        &self,
+        floorplan: &Floorplan,
+        geometry: &GeometricCost,
+        scratch: &mut EvalScratch,
+    ) -> CostBreakdown {
+        // Nominal-timing slacks drive the voltage assignment.
+        self.timing_graph.analyze_with(
+            &self.nominal_delays,
+            &scratch.net_delays,
+            &mut scratch.timing,
+        );
+        scratch.timing.slacks_into(&mut scratch.slacks);
+        self.adjacency_fast(floorplan, scratch);
+        let assignment = self.assigner.assign_with(
+            self.design,
+            &scratch.adjacency,
+            &self.nominal_delays,
+            &scratch.slacks,
+            &mut scratch.assign,
+        );
+
+        // Voltage-scaled timing and power.
+        assignment.scaled_delays_into(
+            &self.nominal_delays,
+            self.assigner.scaling(),
+            &mut scratch.scaled_delays,
+        );
+        // Only the critical delay is needed here, so the backward (required-time) pass
+        // is skipped; the forward arrival arithmetic is identical.
+        let critical_delay = self.timing_graph.analyze_forward(
+            &scratch.scaled_delays,
+            &scratch.net_delays,
+            &mut scratch.timing,
+        );
+        assignment.scaled_powers_into(
+            self.design,
+            self.assigner.scaling(),
+            &mut scratch.scaled_powers,
+        );
+        let total_power: f64 = scratch.scaled_powers.iter().sum();
+
+        // Power maps, signal TSVs, fast thermal maps. The signal fields equal the
+        // `TsvPlan::combined` fields of the reference path because no dummy TSVs exist
+        // inside the floorplanning loop (merging an all-zero dummy field is the identity).
+        // The TSV fields are rebuilt from the geometric tier's per-net cache — sites land
+        // in the same net order at the same centres as a fresh `plan_signal_tsvs`.
+        floorplan.power_maps_into(
+            scratch.grid,
+            &scratch.scaled_powers,
+            &mut scratch.power_maps,
+        );
+        for field in scratch.signal_tsvs.iter_mut() {
+            field.clear();
+        }
+        if !scratch.signal_tsvs.is_empty() {
+            for cache in &scratch.tsv_nets {
+                if cache.min_die != usize::MAX && cache.max_die > cache.min_die {
+                    if let Some(bin) = cache.bin {
+                        for field in scratch.signal_tsvs[cache.min_die..cache.max_die].iter_mut() {
+                            field.add_site_at(TsvSite::single(cache.center), bin);
+                        }
+                    }
+                }
+            }
+        }
+        let signal_count = scratch.signal_tsvs.iter().map(TsvField::tsv_count).sum();
+        self.blurring.estimate_into(
+            &scratch.power_maps,
+            &scratch.signal_tsvs,
+            &mut scratch.blur,
+            &mut scratch.thermal_maps,
+        );
+        let peak_temperature = PowerBlurring::peak(&scratch.thermal_maps);
+
+        // Leakage metrics per die.
+        let correlations: Vec<f64> = scratch
+            .power_maps
+            .iter()
+            .zip(&scratch.thermal_maps)
+            .map(|(p, t)| map_correlation(p, t).unwrap_or(0.0))
+            .collect();
+        let mut entropies = Vec::with_capacity(scratch.power_maps.len());
+        for die in 0..scratch.power_maps.len() {
+            entropies.push(
+                self.entropy_model
+                    .of_map_with(&scratch.power_maps[die], &mut scratch.entropy),
+            );
+        }
+
+        CostBreakdown {
+            packing: geometry.packing,
+            outline_violation: geometry.outline_violation,
+            wirelength: geometry.wirelength,
+            critical_delay,
+            peak_temperature,
+            ambient: self.ambient,
+            total_power,
+            voltage_volumes: assignment.volume_count(),
+            signal_tsvs: signal_count,
+            correlations,
+            entropies,
+        }
+    }
+
+    /// Evaluates a floorplan through both tiers using the scratch's reusable buffers.
+    ///
+    /// Produces a [`CostBreakdown`] bit-identical to [`Evaluator::evaluate`] while
+    /// performing no per-call allocations beyond the breakdown's two per-die vectors and
+    /// the internals of the voltage assignment.
+    pub fn evaluate_with(&self, floorplan: &Floorplan, scratch: &mut EvalScratch) -> CostBreakdown {
+        let geometry = self.evaluate_geometry(floorplan, scratch);
+        self.evaluate_analysis(floorplan, &geometry, scratch)
     }
 
     /// Scalar cost of a breakdown relative to a baseline (see [`ObjectiveWeights::scalar`]).
@@ -347,7 +902,7 @@ impl Evaluator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::SequencePair3d;
+    use crate::{PackScratch, SequencePair3d};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use tsc3d_netlist::suite::{generate, Benchmark};
@@ -433,5 +988,49 @@ mod tests {
         assert_eq!(breakdown.voltage_volumes, assignment.volume_count());
         assert_eq!(breakdown.signal_tsvs, tsv_plan.signal_count());
         assert_eq!(tsv_plan.dummy_count(), 0);
+    }
+
+    #[test]
+    fn tiered_evaluation_matches_reference_bit_for_bit() {
+        // The scratch path (incremental net topologies, reused maps) must reproduce the
+        // reference breakdown *exactly*, across both objectives and a long move sequence.
+        let design = generate(Benchmark::N100, 1);
+        let stack = Stack::two_die(design.outline());
+        for weights in [
+            ObjectiveWeights::power_aware(),
+            ObjectiveWeights::tsc_aware(),
+        ] {
+            let eval = Evaluator::new(&design, stack, weights).with_grid_bins(16);
+            let mut scratch = eval.scratch();
+            let mut pack_scratch = PackScratch::new();
+            let mut rng = ChaCha8Rng::seed_from_u64(17);
+            let mut sp = SequencePair3d::initial(&design, stack, &mut rng);
+            let mut fp = sp.pack(&design);
+            for step in 0..40 {
+                sp.perturb(&design, &mut rng);
+                sp.pack_with(&design, &mut pack_scratch, &mut fp);
+                let tiered = eval.evaluate_with(&fp, &mut scratch);
+                let reference = eval.evaluate(&fp);
+                assert_eq!(tiered, reference, "breakdowns diverged after {step} moves");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_survives_unrelated_floorplans() {
+        // Jumping to an unrelated floorplan (as the annealer does between restarts) must
+        // not poison the cached topologies.
+        let design = generate(Benchmark::N100, 1);
+        let stack = Stack::two_die(design.outline());
+        let eval =
+            Evaluator::new(&design, stack, ObjectiveWeights::power_aware()).with_grid_bins(12);
+        let mut scratch = eval.scratch();
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let a = SequencePair3d::initial(&design, stack, &mut rng).pack(&design);
+        let b = SequencePair3d::initial(&design, stack, &mut rng).pack(&design);
+        assert_eq!(eval.evaluate_with(&a, &mut scratch), eval.evaluate(&a));
+        assert_eq!(eval.evaluate_with(&b, &mut scratch), eval.evaluate(&b));
+        scratch.invalidate();
+        assert_eq!(eval.evaluate_with(&a, &mut scratch), eval.evaluate(&a));
     }
 }

@@ -3,7 +3,6 @@
 use serde::{Deserialize, Serialize};
 use tsc3d_geometry::{DieId, Grid, GridMap, Outline, Point, Rect, Stack};
 use tsc3d_netlist::{BlockId, Design, NetId};
-use tsc3d_power::power_map_from_rects;
 use tsc3d_timing::NetTopology;
 
 /// A block placed on a specific die with a concrete footprint.
@@ -41,6 +40,27 @@ impl Floorplan {
             assert!(stack.contains(p.die), "die {} outside the stack", p.die);
         }
         Self { stack, placements }
+    }
+
+    /// Creates a floorplan shell for `n` blocks (default rects on the bottom die): a
+    /// reusable output buffer for [`SequencePair3d::pack_with`](crate::SequencePair3d).
+    pub(crate) fn shell(stack: Stack, n: usize) -> Self {
+        Self {
+            stack,
+            placements: (0..n)
+                .map(|b| PlacedBlock {
+                    block: BlockId(b),
+                    die: DieId(0),
+                    rect: Rect::default(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Mutable placement storage for the in-crate packing path, which maintains the
+    /// `placements[i].block == i` invariant itself.
+    pub(crate) fn placements_mut(&mut self) -> &mut Vec<PlacedBlock> {
+        &mut self.placements
     }
 
     /// The stack the floorplan targets.
@@ -190,8 +210,20 @@ impl Floorplan {
     /// expanded by `margin` µm, overlap — either on the same die or on vertically
     /// neighbouring dies (which is what lets voltage volumes span dies).
     pub fn adjacency(&self, margin: f64) -> Vec<Vec<BlockId>> {
+        let mut adj = Vec::new();
+        self.adjacency_into(margin, &mut adj);
+        adj
+    }
+
+    /// [`Floorplan::adjacency`] into a reusable buffer: the outer vector is resized to the
+    /// block count and the per-block lists are cleared, keeping their allocations across
+    /// calls. Produces the same lists as the allocating variant.
+    pub fn adjacency_into(&self, margin: f64, adj: &mut Vec<Vec<BlockId>>) {
         let n = self.placements.len();
-        let mut adj = vec![Vec::new(); n];
+        adj.resize_with(n, Vec::new);
+        for list in adj.iter_mut() {
+            list.clear();
+        }
         for i in 0..n {
             let a = &self.placements[i];
             let ra = a.rect.expanded(margin);
@@ -207,7 +239,6 @@ impl Floorplan {
                 }
             }
         }
-        adj
     }
 
     /// Builds the per-die power maps (watts per bin) for the given per-block powers.
@@ -216,23 +247,35 @@ impl Floorplan {
     ///
     /// Panics if `block_powers` does not provide one value per block.
     pub fn power_maps(&self, grid: Grid, block_powers: &[f64]) -> Vec<GridMap> {
+        let mut out = Vec::new();
+        self.power_maps_into(grid, block_powers, &mut out);
+        out
+    }
+
+    /// [`Floorplan::power_maps`] into reusable maps: `out` is rebuilt only when the die
+    /// count or grid changed, otherwise the existing maps are zeroed and re-rasterized.
+    /// Splats the same rects in the same order as the allocating variant (and as
+    /// [`tsc3d_power::power_map_from_rects`]), so the maps are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_powers` does not provide one value per block.
+    pub fn power_maps_into(&self, grid: Grid, block_powers: &[f64], out: &mut Vec<GridMap>) {
         assert_eq!(
             block_powers.len(),
             self.placements.len(),
             "one power value per block required"
         );
-        self.stack
-            .die_ids()
-            .map(|die| {
-                let placed: Vec<(Rect, f64)> = self
-                    .placements
-                    .iter()
-                    .filter(|p| p.die == die)
-                    .map(|p| (p.rect, block_powers[p.block.index()]))
-                    .collect();
-                power_map_from_rects(grid, &placed)
-            })
-            .collect()
+        let dies = self.stack.dies();
+        if out.len() != dies || out.iter().any(|m| m.grid() != grid) {
+            *out = (0..dies).map(|_| GridMap::zeros(grid)).collect();
+        }
+        for (die, map) in self.stack.die_ids().zip(out.iter_mut()) {
+            map.values_mut().fill(0.0);
+            for p in self.placements.iter().filter(|p| p.die == die) {
+                map.splat_power(&p.rect, block_powers[p.block.index()]);
+            }
+        }
     }
 
     /// The standard analysis grid used throughout the experiments: 64×64 bins over the die

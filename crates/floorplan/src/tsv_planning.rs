@@ -84,21 +84,47 @@ impl TsvPlan {
 pub fn plan_signal_tsvs(design: &Design, floorplan: &Floorplan, grid: Grid) -> TsvPlan {
     let interfaces = floorplan.stack().dies().saturating_sub(1);
     let mut fields: Vec<TsvField> = (0..interfaces).map(|_| TsvField::empty(grid)).collect();
+    plan_signal_tsvs_into(design, floorplan, &mut fields);
+    TsvPlan::new(fields)
+}
+
+/// Re-derives the signal-TSV fields of a floorplan into existing per-interface fields,
+/// clearing them first — the allocation-free variant of [`plan_signal_tsvs`] used inside
+/// the annealing loop (the fields keep their site/density storage across re-plans).
+///
+/// Produces exactly the fields `plan_signal_tsvs` would build on the same grid.
+///
+/// # Panics
+///
+/// Panics if `fields` does not hold one field per inter-die interface of the floorplan's
+/// stack.
+pub fn plan_signal_tsvs_into(design: &Design, floorplan: &Floorplan, fields: &mut [TsvField]) {
+    let interfaces = floorplan.stack().dies().saturating_sub(1);
+    assert_eq!(
+        fields.len(),
+        interfaces,
+        "one TSV field per inter-die interface required"
+    );
+    for field in fields.iter_mut() {
+        field.clear();
+    }
     if interfaces == 0 {
-        return TsvPlan::new(fields);
+        return;
     }
 
     let outline = floorplan.outline().rect();
     for (net_id, net) in design.iter_nets() {
-        let dies: Vec<usize> = net
-            .blocks()
-            .map(|b| floorplan.placement(b).die.index())
-            .collect();
-        if dies.is_empty() {
+        let mut min_die = usize::MAX;
+        let mut max_die = 0usize;
+        for b in net.blocks() {
+            let die = floorplan.placement(b).die.index();
+            min_die = min_die.min(die);
+            max_die = max_die.max(die);
+        }
+        if min_die == usize::MAX {
+            // No block pins on this net.
             continue;
         }
-        let min_die = *dies.iter().min().expect("non-empty");
-        let max_die = *dies.iter().max().expect("non-empty");
         if max_die == min_die {
             continue;
         }
@@ -125,7 +151,6 @@ pub fn plan_signal_tsvs(design: &Design, floorplan: &Floorplan, grid: Grid) -> T
             field.add_site(TsvSite::single(topo_center));
         }
     }
-    TsvPlan::new(fields)
 }
 
 #[cfg(test)]

@@ -337,14 +337,42 @@ impl GridMap {
     /// the grid region are dropped (their share is lost), mirroring how power outside the die
     /// outline is not modelled.
     pub fn splat_power(&mut self, rect: &Rect, total: f64) {
-        if rect.area() <= 0.0 {
+        let rect_area = rect.area();
+        if rect_area <= 0.0 {
             return;
         }
+        // Manually fused variant of `bins_overlapping` + `bin_rect().overlap_area()`:
+        // rasterization is the inner loop of every power-map build, so the per-bin `Rect`
+        // round-trips are flattened into the same clip arithmetic on the same operands
+        // (the accumulated values are bit-identical to the iterator formulation).
         let grid = self.grid;
-        for pos in grid.bins_overlapping(rect) {
-            let overlap = grid.bin_rect(pos).overlap_area(rect);
-            if overlap > 0.0 {
-                self.add(pos, total * overlap / rect.area());
+        let region = grid.region();
+        let bw = grid.bin_width();
+        let bh = grid.bin_height();
+        let col_lo = ((((rect.x - region.x) / bw).floor().max(0.0)) as usize).min(grid.cols);
+        let row_lo = ((((rect.y - region.y) / bh).floor().max(0.0)) as usize).min(grid.rows);
+        let col_hi =
+            (((rect.x + rect.width - region.x) / bw).ceil().max(0.0) as usize).min(grid.cols);
+        let row_hi =
+            (((rect.y + rect.height - region.y) / bh).ceil().max(0.0) as usize).min(grid.rows);
+        let rect_x1 = rect.x + rect.width;
+        let rect_y1 = rect.y + rect.height;
+        for row in row_lo..row_hi {
+            let bin_y = region.y + row as f64 * bh;
+            let y0 = bin_y.max(rect.y);
+            let y1 = (bin_y + bh).min(rect_y1);
+            if y1 <= y0 {
+                continue;
+            }
+            let base = row * grid.cols;
+            for col in col_lo..col_hi {
+                let bin_x = region.x + col as f64 * bw;
+                let x0 = bin_x.max(rect.x);
+                let x1 = (bin_x + bw).min(rect_x1);
+                if x1 > x0 {
+                    let overlap = (x1 - x0) * (y1 - y0);
+                    self.values[base + col] += total * overlap / rect_area;
+                }
             }
         }
     }

@@ -25,6 +25,35 @@ impl NestedMeansClasses {
     }
 }
 
+/// Reusable buffers for [`SpatialEntropy::of_map_with`]: the sorted value array, the class
+/// index ranges and the per-class coordinate histograms.
+#[derive(Debug, Clone, Default)]
+pub struct EntropyScratch {
+    /// `(bin index, value)` pairs sorted by value.
+    sorted: Vec<(usize, f64)>,
+    /// Class ranges (start, end) over `sorted`.
+    classes: Vec<(usize, usize)>,
+    col_class: Vec<u64>,
+    row_class: Vec<u64>,
+    /// Column of every bin index (avoids a division per class member).
+    col_of: Vec<u16>,
+    /// Row of every bin index.
+    row_of: Vec<u16>,
+    /// `f_col[c] = Σ_w |c - w|` over all columns (whole-grid distance profile).
+    f_col: Vec<u64>,
+    /// `f_row[r] = Σ_w |r - w|` over all rows.
+    f_row: Vec<u64>,
+    /// Column count the lookup tables were built for.
+    table_cols: usize,
+}
+
+impl EntropyScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Spatial-entropy calculator (Eq. 3).
 ///
 /// The entropy rewards configurations where *similar* power values cluster spatially (low
@@ -66,13 +95,14 @@ impl SpatialEntropy {
         let mut indexed: Vec<(usize, f64)> = power.values().iter().copied().enumerate().collect();
         indexed.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
 
-        let mut groups: Vec<Vec<(usize, f64)>> = Vec::new();
+        let mut groups = Vec::new();
         self.split(&indexed, 0, &mut groups);
 
         let mut assignment = vec![0usize; grid.bins()];
         let mut members = Vec::with_capacity(groups.len());
         let mut ranges = Vec::with_capacity(groups.len());
-        for (class, group) in groups.iter().enumerate() {
+        for (class, &(start, end)) in groups.iter().enumerate() {
+            let group = &indexed[start..end];
             let mut bins = Vec::with_capacity(group.len());
             let mut lo = f64::INFINITY;
             let mut hi = f64::NEG_INFINITY;
@@ -92,26 +122,41 @@ impl SpatialEntropy {
         }
     }
 
-    fn split(&self, sorted: &[(usize, f64)], depth: usize, out: &mut Vec<Vec<(usize, f64)>>) {
-        if sorted.is_empty() {
+    /// Nested-means partitioning of the (pre-sorted) values, emitting class index ranges
+    /// in value order. Shared by [`SpatialEntropy::classify`] and the allocation-free
+    /// [`SpatialEntropy::of_map_with`], so both derive identical classes.
+    fn split(&self, sorted: &[(usize, f64)], depth: usize, out: &mut Vec<(usize, usize)>) {
+        self.split_range(sorted, 0, sorted.len(), depth, out);
+    }
+
+    fn split_range(
+        &self,
+        sorted: &[(usize, f64)],
+        start: usize,
+        end: usize,
+        depth: usize,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        if start == end {
             return;
         }
-        let n = sorted.len() as f64;
-        let mean = sorted.iter().map(|(_, v)| v).sum::<f64>() / n;
-        let std = (sorted.iter().map(|(_, v)| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
+        let slice = &sorted[start..end];
+        let n = slice.len() as f64;
+        let mean = slice.iter().map(|(_, v)| v).sum::<f64>() / n;
+        let std = (slice.iter().map(|(_, v)| (v - mean).powi(2)).sum::<f64>() / n).sqrt();
         let scale = mean.abs().max(1e-12);
-        if depth >= self.max_depth || sorted.len() == 1 || std / scale < self.std_dev_threshold {
-            out.push(sorted.to_vec());
+        if depth >= self.max_depth || slice.len() == 1 || std / scale < self.std_dev_threshold {
+            out.push((start, end));
             return;
         }
         // The values are sorted, so the mean defines a single cut point.
-        let cut = sorted.partition_point(|(_, v)| *v < mean);
-        if cut == 0 || cut == sorted.len() {
-            out.push(sorted.to_vec());
+        let cut = slice.partition_point(|(_, v)| *v < mean);
+        if cut == 0 || cut == slice.len() {
+            out.push((start, end));
             return;
         }
-        self.split(&sorted[..cut], depth + 1, out);
-        self.split(&sorted[cut..], depth + 1, out);
+        self.split_range(sorted, start, start + cut, depth + 1, out);
+        self.split_range(sorted, start + cut, end, depth + 1, out);
     }
 
     /// Computes the spatial entropy `S_d` of a power map (Eq. 3).
@@ -131,24 +176,163 @@ impl SpatialEntropy {
         self.of_classes(&classes, power)
     }
 
+    /// [`SpatialEntropy::of_map`] over reusable buffers, skipping the materialized
+    /// [`NestedMeansClasses`]: classes live as index ranges of the sorted value array and
+    /// the distance means come straight from per-class coordinate histograms.
+    ///
+    /// Produces the same entropy as [`SpatialEntropy::of_map`] — same partitioning (the
+    /// range splitter is shared with [`SpatialEntropy::classify`]), same exact integer
+    /// distance sums, same accumulation order. Equal power values may classify into a
+    /// different *order within* a class here (the sort is unstable), which affects no sum:
+    /// class membership, histograms and per-class value statistics are functions of the
+    /// value multiset alone.
+    pub fn of_map_with(&self, power: &GridMap, scratch: &mut EntropyScratch) -> f64 {
+        let grid = power.grid();
+        scratch.sorted.clear();
+        scratch
+            .sorted
+            .extend(power.values().iter().copied().enumerate());
+        // Branch-free total-order key (sign-flip transform): for the NaN-free maps the
+        // evaluator produces this sorts exactly like `partial_cmp`, only faster; the -0.0
+        // vs +0.0 tie order (the one place the orders differ) cannot affect the class
+        // partition or any sum.
+        let sort_key = |v: f64| -> u64 {
+            let bits = v.to_bits();
+            bits ^ (((bits as i64 >> 63) as u64) | 0x8000_0000_0000_0000)
+        };
+        scratch.sorted.sort_unstable_by_key(|&(_, v)| sort_key(v));
+
+        scratch.classes.clear();
+        self.split(&scratch.sorted, 0, &mut scratch.classes);
+        let k = scratch.classes.len();
+        if k <= 1 {
+            // A perfectly uniform map has zero spatial entropy: no gradients, no leakage.
+            return 0.0;
+        }
+
+        let cols = grid.cols();
+        let rows = grid.rows();
+        let total = grid.bins() as f64;
+        let members_all = grid.bins() as u64;
+        scratch.col_class.resize(cols, 0);
+        scratch.row_class.resize(rows, 0);
+        if scratch.col_of.len() != grid.bins() || scratch.table_cols != cols {
+            scratch.col_of.clear();
+            scratch.row_of.clear();
+            for idx in 0..grid.bins() {
+                scratch.col_of.push((idx % cols) as u16);
+                scratch.row_of.push((idx / cols) as u16);
+            }
+            let distance_profile = |n: usize| -> Vec<u64> {
+                (0..n as u64)
+                    .map(|c| {
+                        let left = c * (c + 1) / 2;
+                        let right_span = n as u64 - 1 - c;
+                        let right = right_span * (right_span + 1) / 2;
+                        left + right
+                    })
+                    .collect()
+            };
+            scratch.f_col = distance_profile(cols);
+            scratch.f_row = distance_profile(rows);
+            scratch.table_cols = cols;
+        }
+
+        let mut entropy = 0.0;
+        for &(start, end) in &scratch.classes {
+            let m = (end - start) as u64;
+            if m == 0 {
+                continue;
+            }
+            scratch.col_class.fill(0);
+            scratch.row_class.fill(0);
+            // `cross_all` accumulates Σ_{a∈A} Σ_{all bins b} |a - b| via the whole-grid
+            // distance profiles (the classes partition every bin, so the whole-map
+            // histogram is uniform: `rows` members per column and `cols` per row).
+            let mut cross_all = 0u64;
+            for &(idx, _) in &scratch.sorted[start..end] {
+                let col = scratch.col_of[idx] as usize;
+                let row = scratch.row_of[idx] as usize;
+                scratch.col_class[col] += 1;
+                scratch.row_class[row] += 1;
+                cross_all += rows as u64 * scratch.f_col[col] + cols as u64 * scratch.f_row[row];
+            }
+            let p = m as f64 / total;
+            let intra_sum =
+                pairwise_abs_sum(&scratch.col_class) + pairwise_abs_sum(&scratch.row_class);
+            let d_intra = mean_distance(intra_sum, m * (m - 1) / 2);
+            // Distances from the class to everything outside it: all-pairs minus the
+            // ordered intra pairs (integer-exact, so identical to the histogram cross sum
+            // of the reference path).
+            let inter_sum = cross_all - 2 * intra_sum;
+            let d_inter = mean_distance(inter_sum, m * (members_all - m));
+            entropy -= (d_intra / d_inter) * p * p.log2();
+        }
+        entropy
+    }
+
     /// Computes the entropy from a pre-computed classification (useful when both the classes
     /// and the entropy are needed).
+    ///
+    /// The intra/inter-class Manhattan distance means are evaluated from per-class
+    /// column/row histograms in O(bins) per class rather than by the literal O(m²)
+    /// pairwise sums. Both formulations produce the same integer distance sum and pair
+    /// count (which are exactly representable in `f64` for every grid size in use, so the
+    /// literal accumulation never rounds) — the returned entropy is bit-identical to the
+    /// pairwise evaluation while being fast enough for the floorplanner's inner loop.
     pub fn of_classes(&self, classes: &NestedMeansClasses, power: &GridMap) -> f64 {
-        let total = power.grid().bins() as f64;
+        let grid = power.grid();
+        let total = grid.bins() as f64;
         let k = classes.class_count();
         if k <= 1 {
             // A perfectly uniform map has zero spatial entropy: no gradients, no leakage.
             return 0.0;
         }
+
+        // Per-class and whole-map histograms of member columns and rows: the Manhattan
+        // metric is separable, so every pairwise distance sum reduces to two 1D sums.
+        let cols = grid.cols();
+        let rows = grid.rows();
+        let mut col_hists = vec![vec![0u64; cols]; k];
+        let mut row_hists = vec![vec![0u64; rows]; k];
+        let mut col_all = vec![0u64; cols];
+        let mut row_all = vec![0u64; rows];
+        let mut members_all = 0u64;
+        for (class, members) in classes.members.iter().enumerate() {
+            for pos in members {
+                col_hists[class][pos.col] += 1;
+                row_hists[class][pos.row] += 1;
+                col_all[pos.col] += 1;
+                row_all[pos.row] += 1;
+            }
+            members_all += members.len() as u64;
+        }
+
         let mut entropy = 0.0;
+        let mut col_other = vec![0u64; cols];
+        let mut row_other = vec![0u64; rows];
         for i in 0..k {
             let members = &classes.members[i];
             if members.is_empty() {
                 continue;
             }
+            let m = members.len() as u64;
             let p = members.len() as f64 / total;
-            let d_intra = mean_intra_distance(members);
-            let d_inter = mean_inter_distance(members, classes, i);
+            let d_intra = mean_intra_distance(m, &col_hists[i], &row_hists[i]);
+            for (o, (a, h)) in col_other.iter_mut().zip(col_all.iter().zip(&col_hists[i])) {
+                *o = a - h;
+            }
+            for (o, (a, h)) in row_other.iter_mut().zip(row_all.iter().zip(&row_hists[i])) {
+                *o = a - h;
+            }
+            let d_inter = mean_inter_distance(
+                m,
+                members_all - m,
+                &col_hists[i],
+                &row_hists[i],
+                &col_other,
+                &row_other,
+            );
             let ratio = d_intra / d_inter;
             entropy -= ratio * p * p.log2();
         }
@@ -156,46 +340,80 @@ impl SpatialEntropy {
     }
 }
 
-/// Average pairwise Manhattan distance (in bins) within a class; 1.0 for singletons.
-fn mean_intra_distance(members: &[GridPos]) -> f64 {
-    if members.len() < 2 {
-        return 1.0;
-    }
-    let mut sum = 0.0;
-    let mut count = 0.0;
-    for (i, a) in members.iter().enumerate() {
-        for b in &members[i + 1..] {
-            sum += a.manhattan(*b) as f64;
-            count += 1.0;
-        }
-    }
-    if count == 0.0 || sum == 0.0 {
+/// Mean distance with the degenerate-case convention of the pairwise reference: 1.0 when
+/// there are no pairs or the distance sum is zero.
+fn mean_distance(sum: u64, count: u64) -> f64 {
+    if count == 0 || sum == 0 {
         1.0
     } else {
-        sum / count
+        sum as f64 / count as f64
     }
 }
 
-/// Average Manhattan distance (in bins) from members of class `class` to members of all
-/// other classes; 1.0 when there are no other members.
-fn mean_inter_distance(members: &[GridPos], classes: &NestedMeansClasses, class: usize) -> f64 {
-    let mut sum = 0.0;
-    let mut count = 0.0;
-    for (other, other_members) in classes.members.iter().enumerate() {
-        if other == class {
-            continue;
-        }
-        for a in members {
-            for b in other_members {
-                sum += a.manhattan(*b) as f64;
-                count += 1.0;
-            }
+/// Sum of `|a - b|` over every unordered pair of distinct elements drawn from one
+/// histogram of coordinate counts (equal-coordinate pairs contribute zero).
+fn pairwise_abs_sum(hist: &[u64]) -> u64 {
+    let mut seen = 0u64;
+    let mut seen_sum = 0u64;
+    let mut sum = 0u64;
+    for (v, &count) in hist.iter().enumerate() {
+        if count > 0 {
+            sum += count * (v as u64 * seen - seen_sum);
+            seen += count;
+            seen_sum += count * v as u64;
         }
     }
-    if count == 0.0 || sum == 0.0 {
+    sum
+}
+
+/// Sum of `|a - b|` over every pair with `a` drawn from `ha` and `b` drawn from `hb`.
+fn cross_abs_sum(ha: &[u64], hb: &[u64]) -> u64 {
+    let mut seen_a = 0u64;
+    let mut sum_a = 0u64;
+    let mut seen_b = 0u64;
+    let mut sum_b = 0u64;
+    let mut sum = 0u64;
+    for (v, (&ca, &cb)) in ha.iter().zip(hb).enumerate() {
+        let v = v as u64;
+        sum += ca * (v * seen_b - sum_b) + cb * (v * seen_a - sum_a);
+        seen_a += ca;
+        sum_a += ca * v;
+        seen_b += cb;
+        sum_b += cb * v;
+    }
+    sum
+}
+
+/// Average pairwise Manhattan distance (in bins) within a class; 1.0 for singletons.
+fn mean_intra_distance(members: u64, col_hist: &[u64], row_hist: &[u64]) -> f64 {
+    if members < 2 {
+        return 1.0;
+    }
+    let sum = pairwise_abs_sum(col_hist) + pairwise_abs_sum(row_hist);
+    let count = members * (members - 1) / 2;
+    if count == 0 || sum == 0 {
         1.0
     } else {
-        sum / count
+        sum as f64 / count as f64
+    }
+}
+
+/// Average Manhattan distance (in bins) from members of a class to members of all other
+/// classes; 1.0 when there are no other members.
+fn mean_inter_distance(
+    members: u64,
+    others: u64,
+    col_hist: &[u64],
+    row_hist: &[u64],
+    col_other: &[u64],
+    row_other: &[u64],
+) -> f64 {
+    let sum = cross_abs_sum(col_hist, col_other) + cross_abs_sum(row_hist, row_other);
+    let count = members * others;
+    if count == 0 || sum == 0 {
+        1.0
+    } else {
+        sum as f64 / count as f64
     }
 }
 
@@ -230,6 +448,99 @@ mod tests {
             })
             .collect();
         GridMap::from_values(g, values)
+    }
+
+    /// The literal O(m²) distance sums the histogram evaluation replaces.
+    fn entropy_pairwise_reference(e: &SpatialEntropy, power: &GridMap) -> f64 {
+        let classes = e.classify(power);
+        let total = power.grid().bins() as f64;
+        let k = classes.class_count();
+        if k <= 1 {
+            return 0.0;
+        }
+        let mut entropy = 0.0;
+        for i in 0..k {
+            let members = &classes.members[i];
+            if members.is_empty() {
+                continue;
+            }
+            let p = members.len() as f64 / total;
+            let (mut sum, mut count) = (0.0, 0.0);
+            for (a_idx, a) in members.iter().enumerate() {
+                for b in &members[a_idx + 1..] {
+                    sum += a.manhattan(*b) as f64;
+                    count += 1.0;
+                }
+            }
+            let d_intra = if count == 0.0 || sum == 0.0 {
+                1.0
+            } else {
+                sum / count
+            };
+            let (mut sum, mut count) = (0.0, 0.0);
+            for (other, other_members) in classes.members.iter().enumerate() {
+                if other == i {
+                    continue;
+                }
+                for a in members {
+                    for b in other_members {
+                        sum += a.manhattan(*b) as f64;
+                        count += 1.0;
+                    }
+                }
+            }
+            let d_inter = if count == 0.0 || sum == 0.0 {
+                1.0
+            } else {
+                sum / count
+            };
+            entropy -= (d_intra / d_inter) * p * p.log2();
+        }
+        entropy
+    }
+
+    #[test]
+    fn of_map_with_matches_of_map_bit_for_bit() {
+        let e = SpatialEntropy::default();
+        let mut scratch = EntropyScratch::new();
+        let g = grid(16);
+        // Include duplicate values so the unstable sort's tie handling is exercised.
+        let values: Vec<f64> = (0..g.bins())
+            .map(|i| ((i * 7919) % 23) as f64 * 0.5)
+            .collect();
+        let maps = [
+            striped(8, 2),
+            striped(8, 8),
+            checkerboard(16),
+            GridMap::constant(grid(8), 3.0),
+            GridMap::from_values(g, values),
+        ];
+        for map in &maps {
+            assert_eq!(e.of_map_with(map, &mut scratch), e.of_map(map));
+        }
+    }
+
+    #[test]
+    fn histogram_distances_match_pairwise_reference_bit_for_bit() {
+        let e = SpatialEntropy::default();
+        let mut maps = vec![
+            striped(8, 2),
+            striped(8, 8),
+            checkerboard(8),
+            checkerboard(16),
+            GridMap::constant(grid(8), 3.0),
+        ];
+        // A pseudo-random map exercising irregular class shapes.
+        let g = grid(12);
+        let values: Vec<f64> = (0..g.bins())
+            .map(|i| ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 40) as f64)
+            .collect();
+        maps.push(GridMap::from_values(g, values));
+        for map in &maps {
+            let fast = e.of_map(map);
+            let reference = entropy_pairwise_reference(&e, map);
+            assert_eq!(fast, reference, "entropy diverged from pairwise reference");
+        }
     }
 
     #[test]

@@ -40,5 +40,5 @@ mod stability;
 pub mod svf;
 
 pub use correlation::{map_correlation, pearson, CorrelationError};
-pub use entropy::{NestedMeansClasses, SpatialEntropy};
+pub use entropy::{EntropyScratch, NestedMeansClasses, SpatialEntropy};
 pub use stability::{CorrelationStability, StabilityMap};

@@ -32,6 +32,34 @@ impl AssignmentObjective {
     }
 }
 
+/// Reusable buffers for [`VoltageAssigner::assign_with`], the allocation-lean assignment
+/// used inside the floorplanner's hot loop.
+///
+/// Feasible voltage sets are held as bitmasks over the scaling-table indices, and the
+/// power-sorted visit order (a function of the design alone) is computed once and reused.
+/// One scratch must only be used with a single design (the visit order is cached by block
+/// count); create a fresh scratch per design.
+#[derive(Debug, Clone, Default)]
+pub struct AssignScratch {
+    /// Blocks in decreasing-power order; rebuilt when the block count changes.
+    order: Vec<usize>,
+    /// Power density per block (`power / area`); rebuilt with `order`.
+    densities: Vec<f64>,
+    /// Feasible-set bitmask per block (bit `i` = scaling-table level `i`).
+    feasible: Vec<u32>,
+    /// Per-block visited flags of the current assignment.
+    assigned: Vec<bool>,
+    /// BFS frontier.
+    queue: VecDeque<usize>,
+}
+
+impl AssignScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The breadth-first voltage-volume construction of the paper.
 ///
 /// "Voltage volumes are constructed by considering each module individually as the root for
@@ -190,6 +218,142 @@ impl VoltageAssigner {
 
             let level = self.select_level(design, &members, &common);
             volumes.push(VoltageVolume::new(members, common, level));
+        }
+
+        VoltageAssignment::new(n, volumes)
+    }
+
+    /// [`VoltageAssigner::assign`] over reusable buffers, with feasible voltage sets held
+    /// as bitmasks over the scaling-table indices.
+    ///
+    /// Performs the same visits in the same order with the same merge decisions as the
+    /// vector-based construction — set intersection becomes `&`, the "lowest feasible
+    /// level" check becomes a trailing-zeros comparison — so the produced assignment is
+    /// identical. This is the path the floorplanner's evaluation tier calls thousands of
+    /// times per annealing run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths do not match the design's block count, or if the
+    /// scaling table holds more than 32 levels.
+    pub fn assign_with(
+        &self,
+        design: &Design,
+        adjacency: &[Vec<BlockId>],
+        nominal_delays: &[f64],
+        slacks: &[f64],
+        scratch: &mut AssignScratch,
+    ) -> VoltageAssignment {
+        let n = design.blocks().len();
+        assert_eq!(adjacency.len(), n, "adjacency list per block required");
+        assert_eq!(nominal_delays.len(), n, "nominal delay per block required");
+        assert_eq!(slacks.len(), n, "slack per block required");
+        let table = self.scaling.entries();
+        assert!(
+            table.len() <= u32::BITS as usize,
+            "bitmask assignment supports at most 32 voltage levels"
+        );
+
+        // Feasible sets as bitmasks, mirroring `feasible_sets`: a level is feasible when
+        // the scaled delay fits the block's budget; an empty set falls back to the fastest
+        // level.
+        scratch.feasible.clear();
+        scratch
+            .feasible
+            .extend(nominal_delays.iter().zip(slacks).map(|(&delay, &slack)| {
+                let budget = delay + slack + 1e-12;
+                let mut mask = 0u32;
+                for (i, (_, _, delay_factor)) in table.iter().enumerate() {
+                    if delay * delay_factor <= budget {
+                        mask |= 1 << i;
+                    }
+                }
+                if mask == 0 {
+                    mask = 1 << (table.len() - 1);
+                }
+                mask
+            }));
+
+        // Visit blocks in decreasing-power order (a property of the design alone; cached,
+        // as are the per-block power densities the TSC-aware merge criterion reads).
+        if scratch.order.len() != n {
+            scratch.order = (0..n).collect();
+            scratch.order.sort_by(|&a, &b| {
+                design.blocks()[b]
+                    .power()
+                    .partial_cmp(&design.blocks()[a].power())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            scratch.densities = (0..n).map(|b| density(design, b)).collect();
+        }
+
+        scratch.assigned.clear();
+        scratch.assigned.resize(n, false);
+        scratch.queue.clear();
+        let mut volumes = Vec::new();
+
+        for idx in 0..n {
+            let root = scratch.order[idx];
+            if scratch.assigned[root] {
+                continue;
+            }
+            let mut members = vec![BlockId(root)];
+            let mut common = scratch.feasible[root];
+            scratch.assigned[root] = true;
+
+            let root_density = scratch.densities[root];
+            let mut min_density = root_density;
+            let mut max_density = root_density;
+
+            scratch.queue.push_back(root);
+            while let Some(current) = scratch.queue.pop_front() {
+                for &neighbor in &adjacency[current] {
+                    let b = neighbor.index();
+                    if scratch.assigned[b] {
+                        continue;
+                    }
+                    // Merging keeps the volume only if a commonly feasible voltage remains.
+                    let merged = common & scratch.feasible[b];
+                    if merged == 0 {
+                        continue;
+                    }
+                    // Power-aware volumes must never force a module to a higher voltage than
+                    // it needs on its own — merging has to be power-neutral.
+                    if self.objective == AssignmentObjective::PowerAware
+                        && merged.trailing_zeros() != scratch.feasible[b].trailing_zeros()
+                    {
+                        continue;
+                    }
+                    // The TSC-aware objective additionally demands locally uniform power
+                    // densities within the volume.
+                    if let AssignmentObjective::TscAware {
+                        density_spread_limit,
+                    } = self.objective
+                    {
+                        let d = scratch.densities[b];
+                        let new_min = min_density.min(d);
+                        let new_max = max_density.max(d);
+                        if new_min > 0.0 && new_max / new_min > density_spread_limit {
+                            continue;
+                        }
+                        min_density = new_min;
+                        max_density = new_max;
+                    }
+                    common = merged;
+                    scratch.assigned[b] = true;
+                    members.push(neighbor);
+                    scratch.queue.push_back(b);
+                }
+            }
+
+            let feasible: Vec<VoltageLevel> = table
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| common & (1 << i) != 0)
+                .map(|(_, (level, _, _))| *level)
+                .collect();
+            let level = self.select_level(design, &members, &feasible);
+            volumes.push(VoltageVolume::new(members, feasible, level));
         }
 
         VoltageAssignment::new(n, volumes)
@@ -358,6 +522,36 @@ mod tests {
         // Block 2 runs at 1.2 V; the others at 0.8 V in a merged volume.
         assert_eq!(assignment.level_of(BlockId(2)), VoltageLevel::V1_2);
         assert_eq!(assignment.level_of(BlockId(0)), VoltageLevel::V0_8);
+    }
+
+    #[test]
+    fn assign_with_matches_assign_exactly() {
+        let d = design();
+        let n = d.blocks().len();
+        let adjacency = full_adjacency(n);
+        let sparse: Vec<Vec<BlockId>> = (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vec![BlockId((i + 1) % n)]
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        for objective in [
+            AssignmentObjective::PowerAware,
+            AssignmentObjective::tsc_default(),
+        ] {
+            let assigner = VoltageAssigner::new(objective);
+            let mut scratch = AssignScratch::new();
+            for adj in [&adjacency, &sparse] {
+                for slacks in [[2.0; 4], [0.1; 4], [2.0, 0.0, -0.5, 0.05]] {
+                    let reference = assigner.assign(&d, adj, &[1.0; 4], &slacks);
+                    let fast = assigner.assign_with(&d, adj, &[1.0; 4], &slacks, &mut scratch);
+                    assert_eq!(fast, reference);
+                }
+            }
+        }
     }
 
     #[test]

@@ -395,6 +395,9 @@ impl JobService {
                 let result = TscFlow::new(job.config).run(&design, job.run_seed());
                 if let Ok(flow) = &result {
                     self.metrics.observe_stages(&flow.stage_timings);
+                    self.metrics
+                        .evaluations_total
+                        .fetch_add(flow.sa.evaluations as u64, Ordering::Relaxed);
                 }
                 let record = JobRecord {
                     job_id: job.id,
@@ -410,6 +413,17 @@ impl JobService {
                 let options = CampaignOptions::in_memory(0); // pool-provided parallelism
                 let outcome =
                     run_campaign_on(&self.pool, spec, &options).map_err(|e| e.to_string())?;
+                let evaluations: f64 = outcome
+                    .records
+                    .iter()
+                    .filter_map(|record| match &record.outcome {
+                        JobOutcome::Success(metrics) => Some(metrics.evaluations),
+                        JobOutcome::Failure { .. } => None,
+                    })
+                    .sum();
+                self.metrics
+                    .evaluations_total
+                    .fetch_add(evaluations as u64, Ordering::Relaxed);
                 let records: Result<Vec<Json>, String> = outcome
                     .records
                     .iter()

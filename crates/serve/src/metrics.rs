@@ -1,6 +1,7 @@
 //! Service counters and latency histograms, rendered in Prometheus text format.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 use tsc3d::StageTimings;
 
 /// Histogram bucket upper bounds, in seconds (an `+Inf` bucket is implicit).
@@ -59,8 +60,14 @@ impl Histogram {
 }
 
 /// All counters of the serve daemon.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metrics {
+    /// When the daemon's metrics came up (anchor of the evaluations/sec rate).
+    started: Instant,
+    /// Annealing cost evaluations performed by completed jobs (flow jobs contribute their
+    /// SA loop's count; campaign jobs the sum over their successful flow runs). The
+    /// observable form of the hot loop's evaluations/sec throughput in production.
+    pub evaluations_total: AtomicU64,
     /// HTTP requests handled (any endpoint, any status).
     pub http_requests: AtomicU64,
     /// Jobs accepted by `POST /v1/jobs` (including dedups and cache hits).
@@ -89,7 +96,43 @@ pub struct Metrics {
     pub stage_post_process: Histogram,
 }
 
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            started: Instant::now(),
+            evaluations_total: AtomicU64::new(0),
+            http_requests: AtomicU64::new(0),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_executed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            dedup_hits: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            queue_wait: Histogram::default(),
+            job_latency: Histogram::default(),
+            stage_floorplan: Histogram::default(),
+            stage_assign: Histogram::default(),
+            stage_verify: Histogram::default(),
+            stage_post_process: Histogram::default(),
+        }
+    }
+}
+
 impl Metrics {
+    /// Evaluations per second averaged over the daemon's whole uptime (0 before the first
+    /// evaluation).
+    ///
+    /// A lifetime average decays during idle periods; dashboards that want the sustained
+    /// under-load throughput should compute `rate(tsc3d_serve_evaluations_total[5m])`
+    /// from the counter instead — this gauge is the zero-dependency summary.
+    pub fn evaluations_per_sec(&self) -> f64 {
+        let uptime = self.started.elapsed().as_secs_f64();
+        if uptime <= 0.0 {
+            return 0.0;
+        }
+        self.evaluations_total.load(Ordering::Relaxed) as f64 / uptime
+    }
+
     /// Records the per-stage wall-clock breakdown of one completed flow run.
     pub fn observe_stages(&self, timings: &StageTimings) {
         self.stage_floorplan.observe(timings.floorplan_s);
@@ -164,6 +207,18 @@ impl Metrics {
             "tsc3d_serve_rejected_busy_total",
             "Submissions refused with 429",
             load(&self.rejected_busy),
+        );
+        counter(
+            &mut out,
+            "tsc3d_serve_evaluations_total",
+            "Annealing cost evaluations performed by completed jobs",
+            load(&self.evaluations_total),
+        );
+        gauge(
+            &mut out,
+            "tsc3d_serve_evaluations_per_sec",
+            "Evaluations per second averaged since daemon start (prefer rate() over the counter for windowed throughput)",
+            self.evaluations_per_sec(),
         );
         gauge(
             &mut out,
@@ -243,6 +298,18 @@ mod tests {
         // 0.003 and 0.07 are both <= 0.1: the cumulative bucket holds 2.
         assert!(text.contains("phase=\"job_total\",le=\"0.1\"} 2"));
         assert!(text.contains("tsc3d_serve_latency_seconds_count{phase=\"job_total\"} 3"));
+    }
+
+    #[test]
+    fn evaluation_throughput_is_exported() {
+        let metrics = Metrics::default();
+        assert_eq!(metrics.evaluations_per_sec(), 0.0);
+        metrics.evaluations_total.store(1200, Ordering::Relaxed);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(metrics.evaluations_per_sec() > 0.0);
+        let text = metrics.render(0, 0, 0);
+        assert!(text.contains("tsc3d_serve_evaluations_total 1200"));
+        assert!(text.contains("tsc3d_serve_evaluations_per_sec"));
     }
 
     #[test]

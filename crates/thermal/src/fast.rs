@@ -19,7 +19,7 @@
 
 use crate::{ThermalConfig, TsvField};
 use serde::{Deserialize, Serialize};
-use tsc3d_geometry::GridMap;
+use tsc3d_geometry::{Grid, GridMap};
 
 /// Parameters of the power-blurring estimator.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -74,7 +74,8 @@ impl PowerBlurring {
     /// Estimates the per-die thermal maps for a stack of `power_per_die.len()` dies.
     ///
     /// `tsv_per_interface[i]` is the TSV field between die `i` and `i+1`; pass an empty
-    /// slice for single-die stacks.
+    /// slice for single-die stacks. Allocates fresh maps (and a transient [`BlurScratch`]);
+    /// the floorplanner's hot loop uses [`PowerBlurring::estimate_into`] instead.
     ///
     /// # Panics
     ///
@@ -85,6 +86,27 @@ impl PowerBlurring {
         power_per_die: &[GridMap],
         tsv_per_interface: &[TsvField],
     ) -> Vec<GridMap> {
+        let mut scratch = BlurScratch::new();
+        let mut out = Vec::new();
+        self.estimate_into(power_per_die, tsv_per_interface, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`PowerBlurring::estimate`] into reusable buffers: the Gaussian kernel, the blurred
+    /// intermediate maps and the output maps are all reused across calls, so a steady-state
+    /// annealing loop allocates nothing here. Produces values identical to
+    /// [`PowerBlurring::estimate`] (same kernel, same traversal order).
+    ///
+    /// # Panics
+    ///
+    /// See [`PowerBlurring::estimate`].
+    pub fn estimate_into(
+        &self,
+        power_per_die: &[GridMap],
+        tsv_per_interface: &[TsvField],
+        scratch: &mut BlurScratch,
+        out: &mut Vec<GridMap>,
+    ) {
         assert!(!power_per_die.is_empty(), "at least one die required");
         let grid = power_per_die[0].grid();
         assert!(
@@ -104,51 +126,58 @@ impl PowerBlurring {
             );
         }
 
-        let blurred: Vec<GridMap> = power_per_die
-            .iter()
-            .map(|p| gaussian_blur(p, self.sigma_bins))
-            .collect();
+        scratch.ensure(self.sigma_bins, dies, grid);
+        let BlurScratch {
+            kernel,
+            tmp,
+            blurred,
+            col_idx,
+            row_idx,
+            ..
+        } = scratch;
+        for (d, power) in power_per_die.iter().enumerate() {
+            gaussian_blur_tables(power, kernel, col_idx, row_idx, tmp, &mut blurred[d]);
+        }
+        let blurred = &*blurred;
 
+        if out.len() != dies || out.iter().any(|m| m.grid() != grid) {
+            *out = (0..dies).map(|_| GridMap::zeros(grid)).collect();
+        }
         let top = dies - 1;
-        (0..dies)
-            .map(|d| {
-                let gain = if d == top {
-                    self.top_die_gain
-                } else {
-                    self.bottom_die_gain
-                };
-                let mut values = Vec::with_capacity(grid.bins());
-                for b in 0..grid.bins() {
-                    let own = gain * blurred[d].values()[b];
-                    // Coupling from the neighbouring dies (two-die stacks have one
-                    // neighbour; larger stacks accumulate both).
-                    let mut coupled = 0.0;
-                    if d > 0 {
-                        let density = tsv_per_interface[d - 1].density().values()[b];
-                        coupled +=
-                            self.coupling * (0.5 + density) * gain * blurred[d - 1].values()[b];
-                    }
-                    if d + 1 < dies {
-                        let density = tsv_per_interface[d].density().values()[b];
-                        coupled +=
-                            self.coupling * (0.5 + density) * gain * blurred[d + 1].values()[b];
-                    }
-                    // Local TSVs open a vertical escape path that reduces the rise.
-                    let relief = if dies > 1 {
-                        let density = if d == top {
-                            tsv_per_interface[d - 1].density().values()[b]
-                        } else {
-                            tsv_per_interface[d].density().values()[b]
-                        };
-                        (1.0 - self.tsv_relief * density).max(0.0)
-                    } else {
-                        1.0
-                    };
-                    values.push(self.ambient + (own + coupled) * relief);
+        for (d, map) in out.iter_mut().enumerate() {
+            let gain = if d == top {
+                self.top_die_gain
+            } else {
+                self.bottom_die_gain
+            };
+            let values = map.values_mut();
+            for (b, value) in values.iter_mut().enumerate() {
+                let own = gain * blurred[d].values()[b];
+                // Coupling from the neighbouring dies (two-die stacks have one
+                // neighbour; larger stacks accumulate both).
+                let mut coupled = 0.0;
+                if d > 0 {
+                    let density = tsv_per_interface[d - 1].density().values()[b];
+                    coupled += self.coupling * (0.5 + density) * gain * blurred[d - 1].values()[b];
                 }
-                GridMap::from_values(grid, values)
-            })
-            .collect()
+                if d + 1 < dies {
+                    let density = tsv_per_interface[d].density().values()[b];
+                    coupled += self.coupling * (0.5 + density) * gain * blurred[d + 1].values()[b];
+                }
+                // Local TSVs open a vertical escape path that reduces the rise.
+                let relief = if dies > 1 {
+                    let density = if d == top {
+                        tsv_per_interface[d - 1].density().values()[b]
+                    } else {
+                        tsv_per_interface[d].density().values()[b]
+                    };
+                    (1.0 - self.tsv_relief * density).max(0.0)
+                } else {
+                    1.0
+                };
+                *value = self.ambient + (own + coupled) * relief;
+            }
+        }
     }
 
     /// Peak temperature of an estimate produced by [`PowerBlurring::estimate`].
@@ -159,54 +188,163 @@ impl PowerBlurring {
     }
 }
 
-/// Separable Gaussian blur with reflecting boundaries.
-fn gaussian_blur(map: &GridMap, sigma: f64) -> GridMap {
-    let grid = map.grid();
-    let radius = (3.0 * sigma).ceil() as isize;
-    let kernel: Vec<f64> = (-radius..=radius)
-        .map(|i| (-(i as f64).powi(2) / (2.0 * sigma * sigma)).exp())
-        .collect();
-    let norm: f64 = kernel.iter().sum();
-    let kernel: Vec<f64> = kernel.into_iter().map(|k| k / norm).collect();
+/// Reusable buffers for [`PowerBlurring::estimate_into`]: the normalized Gaussian kernel
+/// (rebuilt only when the sigma changes), the separable-blur intermediate and the per-die
+/// blurred maps.
+#[derive(Debug, Clone)]
+pub struct BlurScratch {
+    /// Sigma (in bins) the kernel was built for; NaN before the first use.
+    sigma: f64,
+    /// Normalized 1D Gaussian taps covering `-radius..=radius`.
+    kernel: Vec<f64>,
+    /// Horizontal-pass intermediate of the separable blur.
+    tmp: Vec<f64>,
+    /// Blurred power map per die.
+    blurred: Vec<GridMap>,
+    /// Pre-resolved reflected source column per (column, tap) pair.
+    col_idx: Vec<u32>,
+    /// Pre-resolved reflected source row per (row, tap) pair.
+    row_idx: Vec<u32>,
+    /// Grid the index tables were built for.
+    table_grid: Option<Grid>,
+}
 
-    let cols = grid.cols() as isize;
-    let rows = grid.rows() as isize;
-    let reflect = |i: isize, n: isize| -> usize {
-        let mut i = i;
-        if i < 0 {
-            i = -i - 1;
+impl Default for BlurScratch {
+    fn default() -> Self {
+        Self {
+            sigma: f64::NAN,
+            kernel: Vec::new(),
+            tmp: Vec::new(),
+            blurred: Vec::new(),
+            col_idx: Vec::new(),
+            row_idx: Vec::new(),
+            table_grid: None,
         }
-        if i >= n {
-            i = 2 * n - i - 1;
+    }
+}
+
+impl BlurScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the kernel, the reflect-index tables and the buffers as needed.
+    fn ensure(&mut self, sigma: f64, dies: usize, grid: Grid) {
+        let sigma_changed = self.sigma != sigma;
+        if sigma_changed {
+            let radius = (3.0 * sigma).ceil() as isize;
+            self.kernel = (-radius..=radius)
+                .map(|i| (-(i as f64).powi(2) / (2.0 * sigma * sigma)).exp())
+                .collect();
+            let norm: f64 = self.kernel.iter().sum();
+            for k in &mut self.kernel {
+                *k /= norm;
+            }
+            self.sigma = sigma;
         }
-        i.clamp(0, n - 1) as usize
-    };
+        if self.tmp.len() != grid.bins() {
+            self.tmp = vec![0.0; grid.bins()];
+        }
+        if self.blurred.len() != dies || self.blurred.iter().any(|m| m.grid() != grid) {
+            self.blurred = (0..dies).map(|_| GridMap::zeros(grid)).collect();
+        }
+        if sigma_changed || self.table_grid != Some(grid) {
+            let radius = (self.kernel.len() / 2) as isize;
+            let reflect = |i: isize, n: isize| -> u32 {
+                let mut i = i;
+                if i < 0 {
+                    i = -i - 1;
+                }
+                if i >= n {
+                    i = 2 * n - i - 1;
+                }
+                i.clamp(0, n - 1) as u32
+            };
+            let taps = self.kernel.len();
+            let cols = grid.cols() as isize;
+            let rows = grid.rows() as isize;
+            self.col_idx.clear();
+            self.col_idx.reserve(grid.cols() * taps);
+            for col in 0..cols {
+                for k in 0..taps as isize {
+                    self.col_idx.push(reflect(col + k - radius, cols));
+                }
+            }
+            self.row_idx.clear();
+            self.row_idx.reserve(grid.rows() * taps);
+            for row in 0..rows {
+                for k in 0..taps as isize {
+                    self.row_idx.push(reflect(row + k - radius, rows));
+                }
+            }
+            self.table_grid = Some(grid);
+        }
+    }
+}
+
+/// Separable Gaussian blur with reflecting boundaries (allocating convenience wrapper,
+/// kept for the blur-conservation tests).
+#[cfg(test)]
+fn gaussian_blur(map: &GridMap, sigma: f64) -> GridMap {
+    let mut scratch = BlurScratch::new();
+    scratch.ensure(sigma, 1, map.grid());
+    let mut out = GridMap::zeros(map.grid());
+    gaussian_blur_tables(
+        map,
+        &scratch.kernel,
+        &scratch.col_idx,
+        &scratch.row_idx,
+        &mut scratch.tmp,
+        &mut out,
+    );
+    out
+}
+
+/// Separable Gaussian blur with reflecting boundaries, into a caller-provided map.
+///
+/// `kernel` holds the normalized taps over `-radius..=radius`; `col_idx`/`row_idx` are the
+/// pre-resolved reflected source indices per (position, tap) pair (see
+/// [`BlurScratch::ensure`]) — resolving them once instead of per sample keeps the inner
+/// loop a pure multiply–add over the same operands in the same order.
+fn gaussian_blur_tables(
+    map: &GridMap,
+    kernel: &[f64],
+    col_idx: &[u32],
+    row_idx: &[u32],
+    tmp: &mut [f64],
+    out: &mut GridMap,
+) {
+    let grid = map.grid();
+    let cols = grid.cols();
+    let rows = grid.rows();
+    let taps = kernel.len();
 
     // Horizontal pass.
-    let mut tmp = vec![0.0; grid.bins()];
+    let input = map.values();
     for row in 0..rows {
+        let line = &input[row * cols..(row + 1) * cols];
         for col in 0..cols {
             let mut acc = 0.0;
-            for (k, w) in kernel.iter().enumerate() {
-                let c = reflect(col + k as isize - radius, cols);
-                acc += w * map.values()[row as usize * cols as usize + c];
+            let idx = &col_idx[col * taps..(col + 1) * taps];
+            for (w, &c) in kernel.iter().zip(idx) {
+                acc += w * line[c as usize];
             }
-            tmp[row as usize * cols as usize + col as usize] = acc;
+            tmp[row * cols + col] = acc;
         }
     }
     // Vertical pass.
-    let mut out = vec![0.0; grid.bins()];
+    let values = out.values_mut();
     for row in 0..rows {
+        let idx = &row_idx[row * taps..(row + 1) * taps];
         for col in 0..cols {
             let mut acc = 0.0;
-            for (k, w) in kernel.iter().enumerate() {
-                let r = reflect(row + k as isize - radius, rows);
-                acc += w * tmp[r * cols as usize + col as usize];
+            for (w, &r) in kernel.iter().zip(idx) {
+                acc += w * tmp[r as usize * cols + col];
             }
-            out[row as usize * cols as usize + col as usize] = acc;
+            values[row * cols + col] = acc;
         }
     }
-    GridMap::from_values(grid, out)
 }
 
 #[cfg(test)]
@@ -218,6 +356,22 @@ mod tests {
         let stack = Stack::two_die(Outline::new(2000.0, 2000.0));
         let grid = Grid::square(stack.outline().rect(), 16);
         (PowerBlurring::new(&ThermalConfig::default_for(stack)), grid)
+    }
+
+    #[test]
+    fn estimate_into_matches_estimate_and_reuses_buffers() {
+        let (pb, grid) = setup();
+        let mut p0 = GridMap::zeros(grid);
+        p0.splat_power(&Rect::new(200.0, 300.0, 700.0, 500.0), 2.5);
+        let power = vec![p0, GridMap::constant(grid, 0.004)];
+        let tsvs = vec![TsvField::uniform(grid, 0.1)];
+        let reference = pb.estimate(&power, &tsvs);
+        let mut scratch = BlurScratch::new();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            pb.estimate_into(&power, &tsvs, &mut scratch, &mut out);
+            assert_eq!(out, reference);
+        }
     }
 
     #[test]

@@ -6,6 +6,15 @@
 //! paths to ambient), and solves the resulting linear system with successive over-relaxation.
 //! It plays the role HotSpot 6.0 plays in the paper: the reference ("detailed") analysis used
 //! to verify correlations after floorplanning.
+//!
+//! The SOR sweep uses a **red-black (checkerboard) ordering**: nodes are colored by the
+//! parity of `layer + row + col`, so every neighbour of a node has the other color and all
+//! updates within one color are mutually independent. That makes the sweep embarrassingly
+//! parallel *without* changing its result — [`SteadyStateSolver::solve_on`] distributes each
+//! half-sweep over a [`tsc3d_exec::Pool`] and produces **bit-identical** temperatures,
+//! iteration counts and residuals for any worker count (including the serial
+//! [`SteadyStateSolver::solve`], which performs the same arithmetic in the same per-node
+//! order; the residual is a `max` reduction and therefore order-insensitive).
 
 use crate::config::{StackLayerKind, ThermalConfig};
 use crate::tsv::TsvField;
@@ -13,6 +22,8 @@ use crate::MaterialProperties;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
+use tsc3d_exec::Pool;
 use tsc3d_geometry::{Grid, GridMap};
 
 /// Errors raised by [`SteadyStateSolver::solve`].
@@ -198,6 +209,38 @@ impl SteadyStateSolver {
         power_per_die: &[GridMap],
         tsv_per_interface: &[TsvField],
     ) -> Result<ThermalResult, SolveError> {
+        self.solve_impl(power_per_die, tsv_per_interface, None)
+    }
+
+    /// [`SteadyStateSolver::solve`] with the red-black half-sweeps distributed over a
+    /// worker pool.
+    ///
+    /// Each color's node updates are mutually independent (every neighbour has the other
+    /// color), so the sweep parallelizes without reordering any arithmetic: temperatures,
+    /// iteration counts and residuals are bit-identical to the serial solve for every
+    /// worker count. A pool with zero threads degrades to the serial path. Parallelism
+    /// pays off on fine grids (≳ 64×64 bins); for coarse grids the per-sweep dispatch
+    /// overhead can outweigh the gain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] when the inputs are inconsistent or the iteration fails to
+    /// converge (identically to the serial solve).
+    pub fn solve_on(
+        &self,
+        pool: &Pool,
+        power_per_die: &[GridMap],
+        tsv_per_interface: &[TsvField],
+    ) -> Result<ThermalResult, SolveError> {
+        self.solve_impl(power_per_die, tsv_per_interface, Some(pool))
+    }
+
+    fn solve_impl(
+        &self,
+        power_per_die: &[GridMap],
+        tsv_per_interface: &[TsvField],
+        pool: Option<&Pool>,
+    ) -> Result<ThermalResult, SolveError> {
         let dies = self.config.stack.dies();
         if power_per_die.len() != dies {
             return Err(SolveError::PowerMapCount {
@@ -220,8 +263,15 @@ impl SteadyStateSolver {
         }
 
         let network = Network::build(&self.config, grid, power_per_die, tsv_per_interface);
-        let (temps, iterations, residual) =
-            network.solve_sor(self.relaxation, self.max_iterations, self.tolerance);
+        let (temps, iterations, residual) = match pool {
+            Some(pool) if pool.threads() > 0 => Arc::new(network).solve_sor_parallel(
+                pool,
+                self.relaxation,
+                self.max_iterations,
+                self.tolerance,
+            ),
+            _ => network.solve_sor(self.relaxation, self.max_iterations, self.tolerance),
+        };
         if residual > self.tolerance {
             return Err(SolveError::NotConverged {
                 residual,
@@ -369,7 +419,61 @@ impl Network {
         }
     }
 
-    /// One SOR solve; returns (temperatures, iterations, final residual).
+    /// The relaxed value of one node given the current temperature field: returns the new
+    /// temperature and the absolute update `|flow/g_sum - t|` (the residual contribution).
+    ///
+    /// During a red-black half-sweep every operand read here belongs to the *other* color
+    /// (or is the node's own pre-sweep value), so the same `(value, update)` pair results
+    /// whether the sweep runs in place serially or gathers into fresh storage in parallel.
+    #[inline]
+    fn relaxed_value(&self, t: &[f64], l: usize, row: usize, col: usize, omega: f64) -> (f64, f64) {
+        let bins = self.cols * self.rows;
+        let b = row * self.cols + col;
+        let idx = l * bins + b;
+        let mut g_sum = self.gb[idx];
+        let mut flow = self.gb[idx] * self.ambient + self.power[idx];
+
+        if col + 1 < self.cols {
+            let g = self.gx[idx];
+            g_sum += g;
+            flow += g * t[idx + 1];
+        }
+        if col > 0 {
+            let g = self.gx[idx - 1];
+            g_sum += g;
+            flow += g * t[idx - 1];
+        }
+        if row + 1 < self.rows {
+            let g = self.gy[idx];
+            g_sum += g;
+            flow += g * t[idx + self.cols];
+        }
+        if row > 0 {
+            let g = self.gy[idx - self.cols];
+            g_sum += g;
+            flow += g * t[idx - self.cols];
+        }
+        if l + 1 < self.layers {
+            let g = self.gz[idx];
+            g_sum += g;
+            flow += g * t[idx + bins];
+        }
+        if l > 0 {
+            let g = self.gz[idx - bins];
+            g_sum += g;
+            flow += g * t[idx - bins];
+        }
+
+        if g_sum > 0.0 {
+            let new = flow / g_sum;
+            let update = new - t[idx];
+            (t[idx] + omega * update, update.abs())
+        } else {
+            (t[idx], 0.0)
+        }
+    }
+
+    /// One serial red-black SOR solve; returns (temperatures, iterations, final residual).
     fn solve_sor(
         &self,
         omega: f64,
@@ -384,50 +488,15 @@ impl Network {
 
         for iter in 0..max_iterations {
             residual = 0.0;
-            for l in 0..self.layers {
-                for row in 0..self.rows {
-                    for col in 0..self.cols {
-                        let b = row * self.cols + col;
-                        let idx = l * bins + b;
-                        let mut g_sum = self.gb[idx];
-                        let mut flow = self.gb[idx] * self.ambient + self.power[idx];
-
-                        if col + 1 < self.cols {
-                            let g = self.gx[idx];
-                            g_sum += g;
-                            flow += g * t[idx + 1];
-                        }
-                        if col > 0 {
-                            let g = self.gx[idx - 1];
-                            g_sum += g;
-                            flow += g * t[idx - 1];
-                        }
-                        if row + 1 < self.rows {
-                            let g = self.gy[idx];
-                            g_sum += g;
-                            flow += g * t[idx + self.cols];
-                        }
-                        if row > 0 {
-                            let g = self.gy[idx - self.cols];
-                            g_sum += g;
-                            flow += g * t[idx - self.cols];
-                        }
-                        if l + 1 < self.layers {
-                            let g = self.gz[idx];
-                            g_sum += g;
-                            flow += g * t[idx + bins];
-                        }
-                        if l > 0 {
-                            let g = self.gz[idx - bins];
-                            g_sum += g;
-                            flow += g * t[idx - bins];
-                        }
-
-                        if g_sum > 0.0 {
-                            let new = flow / g_sum;
-                            let update = new - t[idx];
-                            t[idx] += omega * update;
-                            residual = residual.max(update.abs());
+            for color in 0..2usize {
+                for l in 0..self.layers {
+                    for row in 0..self.rows {
+                        let first = (color + l + row) % 2;
+                        for col in (first..self.cols).step_by(2) {
+                            let idx = l * bins + row * self.cols + col;
+                            let (value, update) = self.relaxed_value(&t, l, row, col, omega);
+                            t[idx] = value;
+                            residual = residual.max(update);
                         }
                     }
                 }
@@ -438,6 +507,88 @@ impl Network {
             }
         }
         (t, iterations, residual)
+    }
+
+    /// The parallel red-black SOR solve: each half-sweep fans the `(layer, row)` pairs out
+    /// over the pool; workers gather new values for their rows against an immutable
+    /// snapshot of the field, and the caller writes them back between colors.
+    ///
+    /// Bit-identical to [`Network::solve_sor`]: per node the same [`Network::relaxed_value`]
+    /// arithmetic runs against the same operand values (same-color operands are untouched
+    /// within a half-sweep), and the residual is combined with the order-insensitive `max`.
+    fn solve_sor_parallel(
+        self: Arc<Network>,
+        pool: &Pool,
+        omega: f64,
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> (Vec<f64>, usize, f64) {
+        let bins = self.cols * self.rows;
+        let n = self.layers * bins;
+        let rows = self.rows;
+        let cols = self.cols;
+
+        // Fixed contiguous (layer, row) chunks; the partition only affects scheduling,
+        // never values.
+        let lr_total = self.layers * rows;
+        let chunk_count = (pool.threads() * 3).clamp(1, lr_total);
+        let mut chunks = Vec::with_capacity(chunk_count);
+        for c in 0..chunk_count {
+            let lo = c * lr_total / chunk_count;
+            let hi = (c + 1) * lr_total / chunk_count;
+            if lo < hi {
+                chunks.push((lo, hi));
+            }
+        }
+
+        let mut t: Arc<Vec<f64>> = Arc::new(vec![self.ambient; n]);
+        let mut residual = f64::INFINITY;
+        let mut iterations = 0;
+
+        for iter in 0..max_iterations {
+            residual = 0.0;
+            for color in 0..2usize {
+                let network = Arc::clone(&self);
+                let snapshot = Arc::clone(&t);
+                let results = pool.run_batch(chunks.clone(), move |_, (lo, hi)| {
+                    let field: &[f64] = &snapshot;
+                    let mut values = Vec::with_capacity((hi - lo) * (cols / 2 + 1));
+                    let mut worst = 0.0f64;
+                    for lr in lo..hi {
+                        let l = lr / rows;
+                        let row = lr % rows;
+                        let first = (color + l + row) % 2;
+                        for col in (first..cols).step_by(2) {
+                            let (value, update) = network.relaxed_value(field, l, row, col, omega);
+                            values.push(value);
+                            worst = worst.max(update);
+                        }
+                    }
+                    (values, worst)
+                });
+
+                let field = Arc::make_mut(&mut t);
+                for (&(lo, hi), (values, worst)) in chunks.iter().zip(results) {
+                    residual = residual.max(worst);
+                    let mut v = values.into_iter();
+                    for lr in lo..hi {
+                        let l = lr / rows;
+                        let row = lr % rows;
+                        let first = (color + l + row) % 2;
+                        for col in (first..cols).step_by(2) {
+                            let idx = l * bins + row * cols + col;
+                            field[idx] = v.next().expect("one value per swept node");
+                        }
+                    }
+                }
+            }
+            iterations = iter + 1;
+            if residual < tolerance {
+                break;
+            }
+        }
+        let temps = Arc::try_unwrap(t).unwrap_or_else(|shared| (*shared).clone());
+        (temps, iterations, residual)
     }
 }
 
@@ -580,6 +731,51 @@ mod tests {
             &[TsvField::empty(grid)],
         );
         assert!(matches!(err, Err(SolveError::GridMismatch)));
+    }
+
+    #[test]
+    fn parallel_red_black_solve_is_bit_identical_to_serial() {
+        // The checkerboard half-sweeps update independent nodes, so the pooled solve must
+        // reproduce the serial one *exactly* — temperatures, iterations and residual —
+        // for any worker count.
+        let (cfg, grid) = setup(16);
+        let solver = SteadyStateSolver::new(cfg);
+        let mut p0 = GridMap::zeros(grid);
+        p0.splat_power(&Rect::new(0.0, 0.0, 700.0, 500.0), 2.5);
+        let power = vec![p0, uniform_power(grid, 1.0)];
+        let tsvs = vec![TsvField::uniform(grid, 0.07)];
+        let serial = solver.solve(&power, &tsvs).unwrap();
+        for workers in [1usize, 3, 7] {
+            let pool = Pool::new(workers);
+            let parallel = solver.solve_on(&pool, &power, &tsvs).unwrap();
+            assert_eq!(
+                parallel.iterations(),
+                serial.iterations(),
+                "{workers} workers"
+            );
+            assert_eq!(parallel.residual(), serial.residual(), "{workers} workers");
+            assert_eq!(
+                parallel.layer_temperatures(),
+                serial.layer_temperatures(),
+                "{workers} workers"
+            );
+            assert_eq!(parallel.die_temperatures(), serial.die_temperatures());
+            pool.shutdown();
+        }
+    }
+
+    #[test]
+    fn parallel_non_convergence_stays_typed_and_matches_serial() {
+        let (cfg, grid) = setup(8);
+        let solver = SteadyStateSolver::new(cfg).with_max_iterations(2);
+        let power = vec![uniform_power(grid, 2.0), uniform_power(grid, 2.0)];
+        let tsvs = vec![TsvField::empty(grid)];
+        let pool = Pool::new(2);
+        let err = solver.solve_on(&pool, &power, &tsvs).unwrap_err();
+        assert!(matches!(err, SolveError::NotConverged { .. }));
+        // Same typed payload (residual and iteration count) as the serial solve.
+        assert_eq!(err, solver.solve(&power, &tsvs).unwrap_err());
+        pool.shutdown();
     }
 
     #[test]

@@ -187,6 +187,13 @@ impl TsvField {
         self.sites.iter().map(|s| s.count).sum()
     }
 
+    /// Removes every TSV from the field (density back to zero, sites cleared), keeping the
+    /// allocated storage. Lets hot loops reuse one field per interface across re-plans.
+    pub fn clear(&mut self) {
+        self.density.values_mut().fill(0.0);
+        self.sites.clear();
+    }
+
     /// Adds a TSV site, updating the density map.
     ///
     /// The site's metal area is spread over the bin containing it (and clipped at a density
@@ -199,6 +206,21 @@ impl TsvField {
             self.density.set(pos, new);
             self.sites.push(site);
         }
+    }
+
+    /// [`TsvField::add_site`] with the containing bin already resolved — the hot-loop
+    /// variant for callers that cache `bin_of(site.position)` alongside the site.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert that `pos` is the bin containing the site.
+    pub fn add_site_at(&mut self, site: TsvSite, pos: GridPos) {
+        let grid = self.density.grid();
+        debug_assert_eq!(grid.bin_of(site.position), Some(pos));
+        let added = site.count as f64 * self.technology.metal_area() / grid.bin_area();
+        let new = (self.density.get(pos) + added).min(1.0);
+        self.density.set(pos, new);
+        self.sites.push(site);
     }
 
     /// Adds several sites.

@@ -55,6 +55,44 @@ impl TimingReport {
     }
 }
 
+/// Reusable buffers for [`TimingGraph::analyze_with`], the allocation-free analysis used
+/// inside the floorplanner's hot loop.
+///
+/// One scratch serves any number of analyses; the arrival/required buffers grow on demand
+/// and are reused across calls. [`TimingScratch::slacks_into`] extracts the per-block
+/// slacks of the most recent analysis without allocating.
+#[derive(Debug, Clone, Default)]
+pub struct TimingScratch {
+    arrival: Vec<f64>,
+    required: Vec<f64>,
+}
+
+impl TimingScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arrival time of every block from the most recent analysis, in ns.
+    pub fn arrival(&self) -> &[f64] {
+        &self.arrival
+    }
+
+    /// Writes the per-block slacks of the most recent analysis into `out` (cleared first).
+    ///
+    /// Computes the same `(required - arrival).max(0)` values as
+    /// [`TimingReport::slacks`].
+    pub fn slacks_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.required
+                .iter()
+                .zip(&self.arrival)
+                .map(|(r, a)| (r - a).max(0.0)),
+        );
+    }
+}
+
 /// A directed acyclic timing graph derived from the block-level netlist.
 ///
 /// Block-level benchmarks carry undirected nets with no signal directions, so — as is usual
@@ -199,6 +237,95 @@ impl TimingGraph {
             },
         }
     }
+
+    /// Runs the longest-path analysis into reusable buffers and returns the critical
+    /// delay in ns.
+    ///
+    /// Performs exactly the arithmetic of [`TimingGraph::analyze`] (same traversal order,
+    /// same comparisons) without allocating and without reconstructing the critical path,
+    /// so the returned delay — and the slacks recoverable via
+    /// [`TimingScratch::slacks_into`] — are bit-identical to the allocating analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay vectors do not match the design's block/net counts.
+    pub fn analyze_with(
+        &self,
+        module_delays: &[f64],
+        net_delays: &[f64],
+        scratch: &mut TimingScratch,
+    ) -> f64 {
+        let critical_delay = self.analyze_forward(module_delays, net_delays, scratch);
+
+        // Backward pass for required times.
+        scratch.required.clear();
+        scratch.required.resize(self.blocks, critical_delay);
+        let required = &mut scratch.required;
+        for &block in self.topo.iter().rev() {
+            let b = block.index();
+            for &edge_idx in &self.out_edges[b] {
+                let (_, sink, net) = self.edges[edge_idx];
+                let candidate =
+                    required[sink.index()] - module_delays[sink.index()] - net_delays[net.index()];
+                if candidate < required[b] {
+                    required[b] = candidate;
+                }
+            }
+        }
+
+        critical_delay
+    }
+
+    /// The forward (arrival) half of [`TimingGraph::analyze_with`] alone, returning the
+    /// critical delay.
+    ///
+    /// For callers that only need the critical delay (the voltage-scaled re-analysis of
+    /// the evaluation loop), skipping the backward pass halves the work; the arrival
+    /// arithmetic — and thus the returned delay — is identical. The scratch's required
+    /// times are *not* updated; call [`TimingGraph::analyze_with`] when slacks are needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay vectors do not match the design's block/net counts.
+    pub fn analyze_forward(
+        &self,
+        module_delays: &[f64],
+        net_delays: &[f64],
+        scratch: &mut TimingScratch,
+    ) -> f64 {
+        assert_eq!(
+            module_delays.len(),
+            self.blocks,
+            "one delay per block required"
+        );
+        scratch.arrival.clear();
+        scratch.arrival.resize(self.blocks, 0.0);
+        let arrival = &mut scratch.arrival;
+
+        // Forward pass in topological (= id) order: arrival includes the block's own delay.
+        for &block in &self.topo {
+            let b = block.index();
+            arrival[b] += module_delays[b];
+            for &edge_idx in &self.out_edges[b] {
+                let (_, sink, net) = self.edges[edge_idx];
+                assert!(
+                    net.index() < net_delays.len(),
+                    "one delay per net required (missing net {net})"
+                );
+                let candidate = arrival[b] + net_delays[net.index()];
+                if candidate > arrival[sink.index()] {
+                    arrival[sink.index()] = candidate;
+                }
+            }
+        }
+
+        *arrival
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("design has at least one block")
+            .1
+    }
 }
 
 #[cfg(test)]
@@ -320,6 +447,23 @@ mod tests {
         assert!(r.arrival(BlockId(1)) > r.arrival(BlockId(0)));
         assert!(r.arrival(BlockId(2)) > r.arrival(BlockId(1)));
         assert!(r.required(BlockId(0)) <= r.required(BlockId(2)));
+    }
+
+    #[test]
+    fn analyze_with_matches_analyze_bit_for_bit() {
+        let d = chain_design();
+        let g = TimingGraph::new(&d);
+        let mut scratch = TimingScratch::new();
+        let mut slacks = Vec::new();
+        for (m, n) in [(1.0, 0.5), (0.7, 0.3), (2.5, 0.0)] {
+            let (md, nd) = uniform_delays(&d, m, n);
+            let report = g.analyze(&md, &nd);
+            let critical = g.analyze_with(&md, &nd, &mut scratch);
+            assert_eq!(critical, report.critical_delay());
+            scratch.slacks_into(&mut slacks);
+            assert_eq!(slacks, report.slacks());
+            assert_eq!(scratch.arrival().len(), d.blocks().len());
+        }
     }
 
     #[test]

@@ -31,5 +31,5 @@ mod graph;
 mod voltage;
 
 pub use delay::{ElmoreModel, ModuleDelayModel, NetTopology};
-pub use graph::{PathSummary, TimingGraph, TimingReport};
+pub use graph::{PathSummary, TimingGraph, TimingReport, TimingScratch};
 pub use voltage::{VoltageLevel, VoltageScaling};

@@ -55,6 +55,12 @@ impl VoltageScaling {
         }
     }
 
+    /// The raw scaling table: `(level, power factor, delay factor)` rows, lowest voltage
+    /// first. Lets hot loops index levels by table position without allocating.
+    pub fn entries(&self) -> &[(VoltageLevel, f64, f64)] {
+        &self.levels
+    }
+
     /// The available levels, lowest voltage first.
     pub fn levels(&self) -> Vec<VoltageLevel> {
         self.levels.iter().map(|(l, _, _)| *l).collect()
