@@ -55,4 +55,4 @@ mod oracle;
 pub use characterization::{CharacterizationAttack, CharacterizationResult, ModuleSignature};
 pub use localization::{LocalizationAttack, LocalizationOutcome, LocalizationResult};
 pub use monitoring::{MonitoringAttack, MonitoringResult};
-pub use oracle::{NoisyOracle, ThermalOracle};
+pub use oracle::{standard_normal, NoisyOracle, ThermalOracle};

@@ -1,7 +1,6 @@
 //! Attack 2b: runtime monitoring of a localized module.
 
-use crate::ThermalOracle;
-use rand::Rng;
+use crate::{standard_normal, ThermalOracle};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use tsc3d_geometry::Point;
@@ -107,12 +106,6 @@ impl MonitoringAttack {
             samples: self.samples,
         }
     }
-}
-
-fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 #[cfg(test)]

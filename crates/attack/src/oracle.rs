@@ -70,7 +70,10 @@ impl<O: ThermalOracle> ThermalOracle for NoisyOracle<O> {
     }
 }
 
-fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+/// Standard normal variate via the Box–Muller transform — the noise convention every
+/// sensor/noise model of the attack stack (and `tsc3d-sca`'s sensor layer) shares, so
+/// seeded noise streams are reproducible across crates.
+pub fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()

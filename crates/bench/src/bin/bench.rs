@@ -7,7 +7,10 @@
 //!   optimize_on`) on the N100/N200 two-die smoke, per seed, alongside the retained
 //!   from-scratch reference loop and the final cost (so seeded-result drift is caught),
 //! * **packs/sec** of the Fenwick scratch packing vs. the O(n²) reference packing,
-//! * **sweeps/sec** of the detailed red-black SOR solver per grid size.
+//! * **sweeps/sec** of the detailed red-black SOR solver per grid size,
+//! * **transient steps/sec** of the spatial transient engine per grid size — the hot
+//!   loop of the `tsc3d-sca` trace simulations (one sca trace is a few hundred steps, so
+//!   traces/sec is this number divided by the configured dwell's step count).
 //!
 //! ```text
 //! bench [--smoke] [--reps N] [--label NAME] \
@@ -30,7 +33,7 @@ use tsc3d_floorplan::{
 use tsc3d_geometry::{Grid, GridMap, Outline, Rect, Stack};
 use tsc3d_netlist::suite::{generate, Benchmark};
 use tsc3d_netlist::Design;
-use tsc3d_thermal::{SteadyStateSolver, ThermalConfig, TsvField};
+use tsc3d_thermal::{SteadyStateSolver, ThermalConfig, TransientSolver, TsvField};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -55,6 +58,12 @@ struct PackSample {
 struct SolverSample {
     grid: usize,
     sweeps_per_sec: f64,
+}
+
+/// One transient-engine throughput sample.
+struct TransientSample {
+    grid: usize,
+    steps_per_sec: f64,
 }
 
 fn main() {
@@ -141,7 +150,26 @@ fn main() {
         });
     }
 
-    let entry = render_entry(&label, smoke, &sa_samples, &pack_samples, &solver_samples);
+    // Transient-engine step throughput (the sca trace hot loop).
+    let transient_budget = if smoke { 2_000usize } else { 10_000 };
+    let mut transient_samples = Vec::new();
+    for bins in [16usize, 32] {
+        let steps_per_sec = measure_transient_steps(bins, transient_budget, reps);
+        println!("  transient grid {bins}: {steps_per_sec:.0} steps/s");
+        transient_samples.push(TransientSample {
+            grid: bins,
+            steps_per_sec,
+        });
+    }
+
+    let entry = render_entry(
+        &label,
+        smoke,
+        &sa_samples,
+        &pack_samples,
+        &solver_samples,
+        &transient_samples,
+    );
 
     if let Some(path) = arg_value("--json") {
         let doc = Json::Obj(vec![
@@ -244,12 +272,46 @@ fn measure_sweeps(bins: usize, budget: usize, reps: usize) -> f64 {
     sweeps_per_sec
 }
 
+/// Best-of-`reps` explicit-Euler step throughput of the transient engine on a two-die
+/// stack at `bins`² (hotspot power, stability-bounded dt).
+fn measure_transient_steps(bins: usize, budget: usize, reps: usize) -> f64 {
+    let stack = Stack::two_die(Outline::new(2000.0, 2000.0));
+    let grid = Grid::square(stack.outline().rect(), bins);
+    let solver = TransientSolver::new(
+        &ThermalConfig::default_for(stack),
+        grid,
+        &[TsvField::uniform(grid, 0.05)],
+    )
+    .expect("transient solver builds");
+    let mut hotspot = GridMap::zeros(grid);
+    hotspot.splat_power(&Rect::new(0.0, 0.0, 900.0, 700.0), 2.0);
+    let power = vec![hotspot, GridMap::constant(grid, 2.0 / grid.bins() as f64)];
+    let mut state = solver.state();
+    solver.set_power(&mut state, &power).unwrap();
+    let dt = solver.max_stable_dt() * 0.5;
+    let mut steps_per_sec = 0.0f64;
+    for _ in 0..reps {
+        solver.reset(&mut state);
+        let start = Instant::now();
+        for _ in 0..budget {
+            solver.step(&mut state, dt);
+        }
+        steps_per_sec = steps_per_sec.max(budget as f64 / start.elapsed().as_secs_f64());
+    }
+    assert!(
+        state.temperatures().iter().all(|t| t.is_finite()),
+        "transient bench diverged"
+    );
+    steps_per_sec
+}
+
 fn render_entry(
     label: &str,
     smoke: bool,
     sa: &[SaSample],
     packs: &[PackSample],
     solver: &[SolverSample],
+    transient: &[TransientSample],
 ) -> Json {
     Json::Obj(vec![
         ("label".into(), Json::Str(label.into())),
@@ -308,6 +370,20 @@ fn render_entry(
                     .collect(),
             ),
         ),
+        (
+            "transient".into(),
+            Json::Arr(
+                transient
+                    .iter()
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("grid".into(), Json::UInt(s.grid as u64)),
+                            ("steps_per_sec".into(), Json::Num(s.steps_per_sec)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -349,7 +425,7 @@ fn print_delta(baseline_doc: &Json, current: &Json, path: &str) {
         }
     };
 
-    for section in ["sa", "packs", "solver"] {
+    for section in ["sa", "packs", "solver", "transient"] {
         let (Some(base_items), Some(now_items)) = (
             baseline.get(section).and_then(Json::as_array),
             current.get(section).and_then(Json::as_array),
@@ -358,7 +434,7 @@ fn print_delta(baseline_doc: &Json, current: &Json, path: &str) {
         };
         for now_item in now_items {
             let matches = |candidate: &&Json| match section {
-                "solver" => {
+                "solver" | "transient" => {
                     candidate.get("grid").and_then(Json::as_u64)
                         == now_item.get("grid").and_then(Json::as_u64)
                 }
@@ -392,6 +468,13 @@ fn print_delta(baseline_doc: &Json, current: &Json, path: &str) {
                             .get("benchmark")
                             .and_then(Json::as_str)
                             .unwrap_or("?")
+                    ),
+                ),
+                "transient" => (
+                    "steps_per_sec",
+                    format!(
+                        "transient grid {} steps/s",
+                        now_item.get("grid").and_then(Json::as_u64).unwrap_or(0)
                     ),
                 ),
                 _ => (

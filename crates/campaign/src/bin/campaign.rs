@@ -18,8 +18,10 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use tsc3d::{FlowConfig, Setup};
 use tsc3d_campaign::{
-    aggregate, read_campaign_file, render_csv, render_report, resume_from_file, run_campaign,
-    CampaignOptions, CampaignSpec, CampaignSummary, OverrideSet, Shard,
+    aggregate, aggregate_sca, read_campaign_file, read_sca_file, render_csv, render_report,
+    render_sca_report, resume_from_file, resume_sca_from_file, run_campaign, run_sca_campaign,
+    CampaignOptions, CampaignSpec, CampaignSummary, OverrideSet, ScaCampaignSpec, ScaSensorSet,
+    Shard,
 };
 use tsc3d_floorplan::SaSchedule;
 use tsc3d_netlist::suite::Benchmark;
@@ -34,6 +36,9 @@ fn main() -> ExitCode {
         "run" => cmd_run(&args[1..], false),
         "resume" => cmd_run(&args[1..], true),
         "report" => cmd_report(&args[1..]),
+        "sca-run" => cmd_sca_run(&args[1..], false),
+        "sca-resume" => cmd_sca_run(&args[1..], true),
+        "sca-report" => cmd_sca_report(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -50,12 +55,18 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  campaign run    [--benchmarks a,b] [--setups pa,tsc] [--seeds 1,2,3 | --runs N [--seed-base S]]
-                  [--out FILE] [--workers N] [--shard K/N]
-                  [--stages N] [--moves N] [--grid-bins N] [--verification-bins N]
-                  [--sweep-tsv-budget a,b] [--paper] [--smoke] [--csv PATH]
-  campaign resume --out FILE [--workers N] [--shard K/N] [--csv PATH]
-  campaign report --out FILE [--csv PATH]";
+  campaign run        [--benchmarks a,b] [--setups pa,tsc] [--seeds 1,2,3 | --runs N [--seed-base S]]
+                      [--out FILE] [--workers N] [--shard K/N]
+                      [--stages N] [--moves N] [--grid-bins N] [--verification-bins N]
+                      [--sweep-tsv-budget a,b] [--paper] [--smoke] [--csv PATH]
+  campaign resume     --out FILE [--workers N] [--shard K/N] [--csv PATH]
+  campaign report     --out FILE [--csv PATH]
+  campaign sca-run    [--benchmarks a,b] [--seeds 1,2] [--key-seeds 11,12] [--traces N]
+                      [--noise a,b] [--stages N] [--moves N] [--grid-bins N]
+                      [--verification-bins N] [--paper] [--out FILE] [--workers N]
+                      [--shard K/N] [--smoke] [--report-out PATH]
+  campaign sca-resume --out FILE [--workers N] [--shard K/N] [--report-out PATH]
+  campaign sca-report --out FILE [--report-out PATH]";
 
 /// Parses `--flag value` from an argument list.
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -288,6 +299,194 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let summary = aggregate(&file.records);
     write_csv_if_requested(args, &summary)?;
     print!("{}", render_report(&summary));
+    Ok(())
+}
+
+/// Builds an sca campaign spec from `sca-run` flags.
+///
+/// `--smoke` selects the calibrated CI preset as the *base*; explicit flags still apply
+/// on top (so `--smoke --traces 96` runs the preset at 96 traces rather than silently
+/// ignoring the flag). Without `--smoke`, the base is the full quick (or `--paper`)
+/// TSC-aware flow with the calibrated noise-limited attack regime.
+fn parse_sca_spec(args: &[String]) -> Result<ScaCampaignSpec, String> {
+    let smoke = arg_present(args, "--smoke");
+    let parse_u64_list = |flag: &str| -> Result<Option<Vec<u64>>, String> {
+        match arg_value(args, flag) {
+            None => Ok(None),
+            Some(spec) => spec
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| format!("{flag} expects integers, got '{}'", s.trim()))
+                })
+                .collect::<Result<_, _>>()
+                .map(Some),
+        }
+    };
+
+    let mut spec = if smoke {
+        ScaCampaignSpec::smoke()
+    } else {
+        let mut spec = ScaCampaignSpec::new(vec![Benchmark::N200], vec![1]);
+        spec.attack = tsc3d_sca::AttackConfig::smoke();
+        if arg_present(args, "--paper") {
+            spec.flow = FlowConfig::paper(Setup::TscAware);
+        }
+        spec
+    };
+    if let Some(names) = arg_value(args, "--benchmarks") {
+        spec.benchmarks = names
+            .split(',')
+            .map(|name| {
+                Benchmark::from_name(name.trim())
+                    .ok_or_else(|| format!("unknown benchmark '{}'", name.trim()))
+            })
+            .collect::<Result<_, _>>()?;
+    }
+    if let Some(seeds) = parse_u64_list("--seeds")? {
+        spec.seeds = seeds;
+    }
+    if let Some(key_seeds) = parse_u64_list("--key-seeds")? {
+        spec.key_seeds = key_seeds;
+    }
+    if let Some(stages) = parse_usize(args, "--stages")? {
+        spec.flow.schedule.stages = stages;
+    }
+    if let Some(moves) = parse_usize(args, "--moves")? {
+        spec.flow.schedule.moves_per_stage = moves;
+    }
+    if let Some(bins) = parse_usize(args, "--grid-bins")? {
+        spec.flow.schedule.grid_bins = bins;
+    }
+    if let Some(bins) = parse_usize(args, "--verification-bins")? {
+        spec.flow.verification_bins = bins;
+    }
+    if let Some(traces) = parse_usize(args, "--traces")? {
+        spec.attack.traces = traces;
+        spec.attack.mtd_checkpoints = traces;
+    }
+    if let Some(noise) = arg_value(args, "--noise") {
+        let mut sensors = Vec::new();
+        for sigma in noise.split(',') {
+            let sigma: f64 = sigma
+                .trim()
+                .parse()
+                .map_err(|_| format!("--noise expects numbers, got '{}'", sigma.trim()))?;
+            let mut config = spec.attack.sensors;
+            config.sigma_k = sigma;
+            sensors.push(ScaSensorSet {
+                name: format!("sigma-{sigma}"),
+                config,
+            });
+        }
+        spec.sensors = sensors;
+    } else if !smoke {
+        spec.sensors = vec![ScaSensorSet {
+            name: format!("sigma-{}", spec.attack.sensors.sigma_k),
+            config: spec.attack.sensors,
+        }];
+    }
+    Ok(spec)
+}
+
+fn cmd_sca_run(args: &[String], resume: bool) -> Result<(), String> {
+    let mut options = parse_options(args, resume)?;
+    let outcome = if resume {
+        let path = options
+            .results_path
+            .clone()
+            .ok_or("sca-resume requires --out FILE")?;
+        let shard_override = arg_value(args, "--shard").map(|_| options.shard);
+        let (spec, outcome) = resume_sca_from_file(&path, options.workers, shard_override)
+            .map_err(|e| e.to_string())?;
+        options.shard = outcome.shard;
+        println!(
+            "sca campaign: {} jobs ({} benchmarks × {} seeds × {} keys × {} sensors × {} \
+             mitigations), shard {}, {} workers",
+            spec.job_count(),
+            spec.benchmarks.len(),
+            spec.seeds.len(),
+            spec.key_seeds.len(),
+            spec.sensors.len(),
+            spec.mitigations.len(),
+            options.shard,
+            options.workers,
+        );
+        outcome
+    } else {
+        if arg_present(args, "--smoke") {
+            if options.results_path.is_none() {
+                // Like `run --smoke`: the default results file is disposable so CI can
+                // re-run without manual cleanup; a user-supplied --out is never deleted.
+                options.results_path = Some(PathBuf::from("target/campaign/sca-smoke.jsonl"));
+                if let Some(path) = options.results_path.as_deref() {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+            if parse_usize(args, "--workers")?.is_none() {
+                options.workers = 4;
+            }
+        }
+        let spec = parse_sca_spec(args)?;
+        println!(
+            "sca campaign: {} jobs ({} benchmarks × {} seeds × {} keys × {} sensors × {} \
+             mitigations), shard {}, {} workers",
+            spec.job_count(),
+            spec.benchmarks.len(),
+            spec.seeds.len(),
+            spec.key_seeds.len(),
+            spec.sensors.len(),
+            spec.mitigations.len(),
+            options.shard,
+            options.workers,
+        );
+        run_sca_campaign(&spec, &options).map_err(|e| e.to_string())?
+    };
+
+    println!(
+        "sca campaign: executed {} job(s), resumed {} from file, {} outside this shard",
+        outcome.executed, outcome.resumed, outcome.out_of_shard
+    );
+    if let Some(path) = &options.results_path {
+        println!("results: {}", path.display());
+    }
+    let report = render_sca_report(&aggregate_sca(&outcome.records));
+    write_report_if_requested(args, &report)?;
+    print!("\n{report}");
+    Ok(())
+}
+
+fn cmd_sca_report(args: &[String]) -> Result<(), String> {
+    let path = arg_value(args, "--out").ok_or("sca-report requires --out FILE")?;
+    let file = read_sca_file(PathBuf::from(&path).as_path()).map_err(|e| e.to_string())?;
+    if file.truncated_tail {
+        eprintln!(
+            "note: {path} ends in a truncated line (killed campaign?); resume will rerun that job"
+        );
+    }
+    let report = render_sca_report(&aggregate_sca(&file.records));
+    write_report_if_requested(args, &report)?;
+    print!("{report}");
+    Ok(())
+}
+
+/// Writes the rendered sca report to `--report-out PATH` (if given) alongside stdout —
+/// the CI-artifact path.
+fn write_report_if_requested(args: &[String], report: &str) -> Result<(), String> {
+    let Some(path) = arg_value(args, "--report-out") else {
+        return Ok(());
+    };
+    let path = PathBuf::from(path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("could not create {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(&path, report)
+        .map_err(|e| format!("could not write {}: {e}", path.display()))?;
+    println!("report: {}", path.display());
     Ok(())
 }
 

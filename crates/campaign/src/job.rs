@@ -210,15 +210,16 @@ impl std::fmt::Display for Shard {
 }
 
 /// FNV-1a hash of a name (the same construction the suite generator uses for benchmark
-/// seeds).
-fn fnv1a(name: &str) -> u64 {
+/// seeds). Shared with the sca job model so flow-seed derivation stays identical across
+/// job kinds.
+pub(crate) fn fnv1a(name: &str) -> u64 {
     name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |acc, b| {
         (acc ^ b as u64).wrapping_mul(0x1000_0000_01b3)
     })
 }
 
 /// SplitMix64 finalizer: decorrelates consecutive user seeds.
-fn splitmix64(seed: u64) -> u64 {
+pub(crate) fn splitmix64(seed: u64) -> u64 {
     let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -18,8 +18,12 @@
 //!   summaries — mean/min/max/stddev per metric plus failure counts by
 //!   [`tsc3d::FlowError::kind`] — rendered as a Table-2-style report that is
 //!   byte-identical regardless of worker count, sharding or resume boundaries.
+//! * **Trace-level side-channel jobs** ([`mod@sca`]): an [`ScaCampaignSpec`] expands
+//!   benchmarks × keys × sensor configurations × mitigation on/off into seeded CPA
+//!   evaluations (`tsc3d-sca`) with measurements-to-disclosure aggregated per group and
+//!   an explicit mitigation verdict in the report.
 //! * **CLI**: the `campaign` binary wires it together (`run`, `resume`, `report`,
-//!   `--smoke` for CI).
+//!   `sca-run`, `sca-resume`, `sca-report`, `--smoke` for CI).
 //!
 //! ```no_run
 //! use tsc3d_campaign::{aggregate, render_report, run_campaign, CampaignOptions, CampaignSpec};
@@ -38,6 +42,7 @@ pub mod engine;
 pub mod job;
 pub mod json;
 pub mod record;
+pub mod sca;
 pub mod sink;
 
 pub use aggregate::{aggregate, render_csv, render_report, CampaignSummary, GroupSummary, Stat};
@@ -47,4 +52,9 @@ pub use engine::{
 };
 pub use job::{CampaignJob, CampaignSpec, OverrideSet, Shard};
 pub use record::{JobMetrics, JobOutcome, JobRecord};
+pub use sca::{
+    aggregate_sca, execute_sca_job, read_sca_file, render_sca_report, resume_sca_from_file,
+    run_sca_campaign, run_sca_campaign_on, ScaCampaignOutcome, ScaCampaignSpec, ScaCampaignSummary,
+    ScaGroupSummary, ScaJob, ScaJobMetrics, ScaJobOutcome, ScaJobRecord, ScaSensorSet,
+};
 pub use sink::{read_campaign_file, repair_torn_tail, CampaignFile, ResultSink, SinkError};

@@ -28,9 +28,22 @@ impl ActivitySampler {
     ///
     /// Panics if `relative_sigma` is negative.
     pub fn new(design: &Design, relative_sigma: f64) -> Self {
+        Self::with_means(
+            design.blocks().iter().map(|b| b.power()).collect(),
+            relative_sigma,
+        )
+    }
+
+    /// Creates a sampler around explicit per-module means (e.g. the voltage-scaled powers
+    /// of a finished flow, which `tsc3d-sca` uses as the background-traffic baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `relative_sigma` is negative.
+    pub fn with_means(means: Vec<f64>, relative_sigma: f64) -> Self {
         assert!(relative_sigma >= 0.0, "sigma must be non-negative");
         Self {
-            means: design.blocks().iter().map(|b| b.power()).collect(),
+            means,
             relative_sigma,
         }
     }

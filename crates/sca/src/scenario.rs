@@ -1,0 +1,685 @@
+//! End-to-end trace-level attack scenarios on flow-produced floorplans.
+//!
+//! A scenario takes the outputs of the TSC-aware flow — the floorplan, the
+//! voltage-scaled block powers and the final TSV plan — and evaluates the CPA attack
+//! twice out of the same [`FlowResult`]: once against the unmitigated baseline (signal
+//! TSVs only) and once against the decorrelated floorplan (signal *plus* dummy TSVs),
+//! reporting the [`ScaVerdict`]: did the mitigation raise the attacker's
+//! measurements-to-disclosure?
+
+use crate::cpa::{run_cpa, CpaResult, TraceSet};
+use crate::sensor::SensorConfig;
+use crate::workload::{derive_key, LeakageModel, Workload, WorkloadConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use tsc3d::FlowResult;
+use tsc3d_exec::Pool;
+use tsc3d_floorplan::{plan_signal_tsvs, Floorplan};
+use tsc3d_geometry::{DieId, Grid, GridMap, GridPos};
+use tsc3d_netlist::Design;
+use tsc3d_thermal::{SolveError, ThermalConfig, TransientSolver, TsvField};
+
+/// How the attacked module (the "crypto core") is chosen on the instrumented die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetPolicy {
+    /// The highest-powered block on the sensor die.
+    HighestPower,
+    /// The block nearest the die's power-density hotspot (argmax of the power map).
+    Hotspot,
+    /// The block nearest the flow's correlation-stability argmax — the most *stably*
+    /// leaking location, i.e. the paper's own exploitability criterion (and the spot the
+    /// dummy-TSV defense flattens first). Falls back to [`TargetPolicy::Hotspot`] when
+    /// the flow ran without post-processing (no stability map).
+    MostStable,
+    /// An explicit module index (reproducing a known scenario).
+    Block(usize),
+}
+
+impl TargetPolicy {
+    /// Stable label used in records and submissions (`block:N` for explicit targets).
+    pub fn label(self) -> String {
+        match self {
+            TargetPolicy::HighestPower => "highest-power".into(),
+            TargetPolicy::Hotspot => "hotspot".into(),
+            TargetPolicy::MostStable => "most-stable".into(),
+            TargetPolicy::Block(index) => format!("block:{index}"),
+        }
+    }
+
+    /// Parses [`TargetPolicy::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "highest-power" => Some(TargetPolicy::HighestPower),
+            "hotspot" => Some(TargetPolicy::Hotspot),
+            "most-stable" => Some(TargetPolicy::MostStable),
+            other => other
+                .strip_prefix("block:")
+                .and_then(|index| index.parse().ok())
+                .map(TargetPolicy::Block),
+        }
+    }
+}
+
+/// The full configuration of one trace-level attack evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackConfig {
+    /// Analysis-grid resolution (bins per axis) of the transient simulation.
+    pub grid_bins: usize,
+    /// Number of traces (encryptions) the attacker observes.
+    pub traces: usize,
+    /// How the attacked module is chosen.
+    pub target: TargetPolicy,
+    /// The key-dependent workload.
+    pub workload: WorkloadConfig,
+    /// The attacker's sensor array and acquisition chain.
+    pub sensors: SensorConfig,
+    /// Trace-count checkpoints at which disclosure is evaluated.
+    pub mtd_checkpoints: usize,
+}
+
+impl AttackConfig {
+    /// A fast configuration for tests and demos: a coarse grid, few traces, two key
+    /// bytes.
+    pub fn quick() -> Self {
+        Self {
+            grid_bins: 10,
+            traces: 96,
+            target: TargetPolicy::MostStable,
+            workload: WorkloadConfig {
+                key_bytes: 2,
+                leakage: LeakageModel::HammingWeight,
+                watts_per_hw: 0.08,
+                background_sigma: 0.02,
+            },
+            sensors: SensorConfig {
+                die: 0,
+                sensors_per_axis: 3,
+                samples_per_trace: 2,
+                dwell_s: 0.01,
+                sigma_k: 0.004,
+                quantization_k: 0.002,
+            },
+            mtd_checkpoints: 12,
+        }
+    }
+
+    /// The calibrated smoke configuration used by the campaign/serve sca smokes: a
+    /// noise-limited sensing regime (long dwell into the conductance-dominated response,
+    /// ~0.5 K sensor noise) with per-trace disclosure checkpoints, so the dummy-TSV
+    /// mitigation's SNR reduction is resolvable as a strictly higher MTD.
+    pub fn smoke() -> Self {
+        Self {
+            grid_bins: 10,
+            traces: 192,
+            target: TargetPolicy::MostStable,
+            workload: WorkloadConfig {
+                key_bytes: 2,
+                leakage: LeakageModel::HammingWeight,
+                watts_per_hw: 0.04,
+                background_sigma: 0.02,
+            },
+            sensors: SensorConfig {
+                die: 0,
+                sensors_per_axis: 3,
+                samples_per_trace: 1,
+                dwell_s: 0.08,
+                sigma_k: 0.5,
+                quantization_k: 0.01,
+            },
+            mtd_checkpoints: 192,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScaError::InvalidConfig`] describing the first problem.
+    pub fn validate(&self) -> Result<(), ScaError> {
+        let fail = |reason: String| Err(ScaError::InvalidConfig { reason });
+        if self.grid_bins < 2 {
+            return fail(format!("grid_bins must be >= 2, got {}", self.grid_bins));
+        }
+        if self.traces < 8 {
+            return fail(format!("traces must be >= 8, got {}", self.traces));
+        }
+        if !(1..=16).contains(&self.workload.key_bytes) {
+            return fail(format!(
+                "key_bytes must be in 1..=16, got {}",
+                self.workload.key_bytes
+            ));
+        }
+        if !(self.workload.watts_per_hw > 0.0 && self.workload.watts_per_hw.is_finite()) {
+            return fail(format!(
+                "watts_per_hw must be positive and finite, got {}",
+                self.workload.watts_per_hw
+            ));
+        }
+        if self.workload.background_sigma < 0.0 {
+            return fail("background_sigma must be non-negative".into());
+        }
+        if self.sensors.sensors_per_axis == 0 || self.sensors.samples_per_trace == 0 {
+            return fail("the sensor array and sampling must be non-empty".into());
+        }
+        if !(self.sensors.dwell_s > 0.0 && self.sensors.dwell_s.is_finite()) {
+            return fail(format!(
+                "dwell_s must be positive and finite, got {}",
+                self.sensors.dwell_s
+            ));
+        }
+        if self.sensors.sigma_k < 0.0 || self.sensors.quantization_k < 0.0 {
+            return fail("sensor sigma and quantization must be non-negative".into());
+        }
+        if self.mtd_checkpoints == 0 {
+            return fail("mtd_checkpoints must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Errors of a scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScaError {
+    /// The attack configuration is invalid.
+    InvalidConfig {
+        /// What is wrong.
+        reason: String,
+    },
+    /// The transient engine rejected its inputs.
+    Solve(SolveError),
+    /// The attacker's die hosts no modules (no target to monitor).
+    NoTargetModule {
+        /// The instrumented die.
+        die: usize,
+    },
+}
+
+impl std::fmt::Display for ScaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScaError::InvalidConfig { reason } => write!(f, "invalid sca config: {reason}"),
+            ScaError::Solve(e) => write!(f, "transient setup failed: {e}"),
+            ScaError::NoTargetModule { die } => {
+                write!(f, "no module placed on the instrumented die {die}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScaError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for ScaError {
+    fn from(e: SolveError) -> Self {
+        ScaError::Solve(e)
+    }
+}
+
+impl ScaError {
+    /// Stable variant tag for failure aggregation.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScaError::InvalidConfig { .. } => "sca-invalid-config",
+            ScaError::Solve(_) => "sca-solve",
+            ScaError::NoTargetModule { .. } => "sca-no-target",
+        }
+    }
+}
+
+/// The outcome of one attack evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaOutcome {
+    /// The full CPA result.
+    pub cpa: CpaResult,
+    /// The module the workload keyed (index into the design's blocks).
+    pub target_module: usize,
+    /// Transient grid steps simulated (the hot-loop count behind traces/sec).
+    pub transient_steps: u64,
+}
+
+impl ScaOutcome {
+    /// Recovered key bytes.
+    pub fn recovered_bytes(&self) -> usize {
+        self.cpa.recovered_bytes()
+    }
+
+    /// Attacked key bytes.
+    pub fn key_bytes(&self) -> usize {
+        self.cpa.bytes.len()
+    }
+
+    /// Guessing entropy in bits.
+    pub fn guessing_entropy_bits(&self) -> f64 {
+        self.cpa.guessing_entropy_bits()
+    }
+
+    /// Measurements to full-key disclosure (`None` = key not recovered).
+    pub fn mtd_traces(&self) -> Option<usize> {
+        self.cpa.mtd_traces()
+    }
+
+    /// Best absolute correlation of any guess.
+    pub fn best_correlation(&self) -> f64 {
+        self.cpa.best_correlation()
+    }
+}
+
+/// Whether to evaluate the attack against the mitigated or the unmitigated floorplan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mitigation {
+    /// Signal TSVs only — the floorplan before the decorrelation post-process.
+    Baseline,
+    /// Signal plus the flow's dummy thermal TSVs.
+    DummyTsvs,
+}
+
+impl Mitigation {
+    /// Stable label ("baseline" / "mitigated").
+    pub fn label(self) -> &'static str {
+        match self {
+            Mitigation::Baseline => "baseline",
+            Mitigation::DummyTsvs => "mitigated",
+        }
+    }
+
+    /// Parses [`Mitigation::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "baseline" => Some(Mitigation::Baseline),
+            "mitigated" => Some(Mitigation::DummyTsvs),
+            _ => None,
+        }
+    }
+}
+
+/// The side-by-side evaluation out of one [`FlowResult`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaVerdict {
+    /// The attack against the signal-TSV-only floorplan.
+    pub baseline: ScaOutcome,
+    /// The attack against the dummy-TSV-decorrelated floorplan.
+    pub mitigated: ScaOutcome,
+}
+
+impl ScaVerdict {
+    /// `true` when the mitigation measurably hurt the attacker: strictly higher MTD, or
+    /// the key (or more of it) stays unrecovered.
+    pub fn mitigation_effective(&self) -> bool {
+        match (self.baseline.mtd_traces(), self.mitigated.mtd_traces()) {
+            (Some(base), Some(mitigated)) => mitigated > base,
+            (Some(_), None) => true,
+            (None, None) => self.mitigated.recovered_bytes() < self.baseline.recovered_bytes(),
+            (None, Some(_)) => false,
+        }
+    }
+
+    /// The MTD gain factor (`mitigated / baseline`), `None` when either side lacks a
+    /// finite MTD.
+    pub fn mtd_gain(&self) -> Option<f64> {
+        match (self.baseline.mtd_traces(), self.mitigated.mtd_traces()) {
+            (Some(base), Some(mitigated)) if base > 0 => Some(mitigated as f64 / base as f64),
+            _ => None,
+        }
+    }
+}
+
+/// The TSV fields the attack sees on its own analysis grid: the signal TSVs re-planned
+/// for the grid, plus (for [`Mitigation::DummyTsvs`]) the flow's dummy sites re-splatted
+/// onto it.
+pub fn attack_tsv_fields(
+    design: &Design,
+    flow: &FlowResult,
+    grid: Grid,
+    mitigation: Mitigation,
+) -> Vec<TsvField> {
+    let mut plan = plan_signal_tsvs(design, flow.floorplan(), grid);
+    if mitigation == Mitigation::DummyTsvs {
+        for (interface, field) in flow.final_tsv_plan.dummy().iter().enumerate() {
+            for site in field.sites() {
+                plan.add_dummy(interface, *site);
+            }
+        }
+    }
+    plan.combined()
+}
+
+/// The block on `die` whose centre lies nearest `point` (ties towards the lowest id).
+fn nearest_block_on_die(
+    floorplan: &Floorplan,
+    die: usize,
+    point: tsc3d_geometry::Point,
+) -> Option<usize> {
+    let mut best: Option<(f64, usize)> = None;
+    for placement in floorplan.placements() {
+        if placement.die != DieId(die) {
+            continue;
+        }
+        let index = placement.block.index();
+        let distance = placement.rect.center().distance(point);
+        let better = match best {
+            None => true,
+            Some((best_distance, _)) => distance < best_distance,
+        };
+        if better {
+            best = Some((distance, index));
+        }
+    }
+    best.map(|(_, index)| index)
+}
+
+/// Resolves the attacked module under a [`TargetPolicy`].
+///
+/// `grid` is the attack's analysis grid (hotspot policies), `stability` the flow's
+/// correlation-stability map when available (its own grid may differ from `grid`).
+///
+/// # Errors
+///
+/// Returns [`ScaError::NoTargetModule`] when the die hosts no blocks, or
+/// [`ScaError::InvalidConfig`] for an out-of-range explicit block.
+pub fn resolve_target(
+    policy: TargetPolicy,
+    floorplan: &Floorplan,
+    powers: &[f64],
+    die: usize,
+    grid: Grid,
+    stability: Option<&tsc3d_leakage::StabilityMap>,
+) -> Result<usize, ScaError> {
+    match policy {
+        TargetPolicy::Block(index) => {
+            if index >= powers.len() {
+                return Err(ScaError::InvalidConfig {
+                    reason: format!(
+                        "explicit target block {index} outside the {}-module design",
+                        powers.len()
+                    ),
+                });
+            }
+            Ok(index)
+        }
+        TargetPolicy::HighestPower => {
+            let mut best: Option<(f64, usize)> = None;
+            for placement in floorplan.placements() {
+                if placement.die != DieId(die) {
+                    continue;
+                }
+                let index = placement.block.index();
+                let power = powers[index];
+                let better = match best {
+                    None => true,
+                    Some((best_power, _)) => power > best_power,
+                };
+                if better {
+                    best = Some((power, index));
+                }
+            }
+            best.map(|(_, index)| index)
+                .ok_or(ScaError::NoTargetModule { die })
+        }
+        TargetPolicy::Hotspot => {
+            let map = &floorplan.power_maps(grid, powers)[die];
+            let centre = grid.bin_center(map.argmax());
+            nearest_block_on_die(floorplan, die, centre).ok_or(ScaError::NoTargetModule { die })
+        }
+        TargetPolicy::MostStable => match stability {
+            Some(stability) => {
+                let (pos, _) = stability.most_stable();
+                let centre = stability.map().grid().bin_center(pos);
+                nearest_block_on_die(floorplan, die, centre).ok_or(ScaError::NoTargetModule { die })
+            }
+            None => resolve_target(TargetPolicy::Hotspot, floorplan, powers, die, grid, None),
+        },
+    }
+}
+
+/// The immutable context shared by every trace simulation of one evaluation.
+struct TraceContext {
+    solver: TransientSolver,
+    floorplan: Floorplan,
+    workload: Workload,
+    sensors: SensorConfig,
+    positions: Vec<GridPos>,
+    grid: Grid,
+    seed: u64,
+    sample_dt: f64,
+}
+
+/// One chunk's simulated traces, in trace order.
+struct ChunkTraces {
+    plaintexts: Vec<u8>,
+    samples: Vec<f64>,
+    steps: u64,
+}
+
+impl TraceContext {
+    /// Simulates the traces `range.0..range.1`, each from its own seeded rng, resetting
+    /// the (chunk-reused) state to ambient per trace.
+    fn simulate(&self, range: (usize, usize)) -> ChunkTraces {
+        let (lo, hi) = range;
+        let key_bytes = self.workload.config().key_bytes;
+        let points = self.sensors.points();
+        let mut out = ChunkTraces {
+            plaintexts: Vec::with_capacity((hi - lo) * key_bytes),
+            samples: Vec::with_capacity((hi - lo) * points),
+            steps: 0,
+        };
+        let mut state = self.solver.state();
+        let mut maps: Vec<GridMap> = Vec::new();
+        for trace in lo..hi {
+            let mut rng = ChaCha8Rng::seed_from_u64(trace_seed(self.seed, trace as u64));
+            let activity = self.workload.draw_trace(&mut rng);
+            self.floorplan
+                .power_maps_into(self.grid, &activity.powers, &mut maps);
+            self.solver.reset(&mut state);
+            self.solver
+                .set_power(&mut state, &maps)
+                .expect("power maps are built on the solver grid");
+            for _ in 0..self.sensors.samples_per_trace {
+                out.steps += self.solver.advance(&mut state, self.sample_dt) as u64;
+                for &pos in &self.positions {
+                    let true_t = self.solver.temperature_at(&state, self.sensors.die, pos);
+                    out.samples.push(self.sensors.acquire(true_t, &mut rng));
+                }
+            }
+            out.plaintexts.extend_from_slice(&activity.plaintexts);
+        }
+        out
+    }
+}
+
+/// The per-trace seed: decorrelates consecutive trace indices (SplitMix64 finalizer).
+fn trace_seed(seed: u64, trace: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(trace.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs one attack evaluation against explicit TSV fields.
+///
+/// `nominal_powers` are the per-block baseline powers (voltage-scaled); `stability` is
+/// the flow's correlation-stability map when available (the
+/// [`TargetPolicy::MostStable`] input); `seed` drives the traces (plaintexts, background
+/// traffic, sensor noise) and `key_seed` the secret key. With a pool, trace simulation
+/// fans out over the workers; the per-trace seeding makes the result **bit-identical**
+/// for any worker count (including none).
+///
+/// # Errors
+///
+/// Returns a [`ScaError`] for invalid configurations, mismatched TSV fields, or a die
+/// without modules.
+#[allow(clippy::too_many_arguments)]
+pub fn run_attack(
+    floorplan: &Floorplan,
+    nominal_powers: &[f64],
+    tsv_fields: &[TsvField],
+    stability: Option<&tsc3d_leakage::StabilityMap>,
+    config: &AttackConfig,
+    seed: u64,
+    key_seed: u64,
+    pool: Option<&Pool>,
+) -> Result<ScaOutcome, ScaError> {
+    config.validate()?;
+    if config.sensors.die >= floorplan.stack().dies() {
+        return Err(ScaError::InvalidConfig {
+            reason: format!(
+                "sensor die {} outside the {}-die stack",
+                config.sensors.die,
+                floorplan.stack().dies()
+            ),
+        });
+    }
+    let grid = floorplan.analysis_grid(config.grid_bins);
+    let thermal_config = ThermalConfig::default_for(floorplan.stack());
+    let solver = TransientSolver::new(&thermal_config, grid, tsv_fields)?;
+    let target = resolve_target(
+        config.target,
+        floorplan,
+        nominal_powers,
+        config.sensors.die,
+        grid,
+        stability,
+    )?;
+    let key = derive_key(key_seed, config.workload.key_bytes);
+    let workload = Workload::new(
+        config.workload,
+        key.clone(),
+        nominal_powers.to_vec(),
+        target,
+    );
+    let positions = config.sensors.positions(grid);
+
+    let context = Arc::new(TraceContext {
+        solver,
+        floorplan: floorplan.clone(),
+        workload,
+        sensors: config.sensors,
+        positions,
+        grid,
+        seed,
+        sample_dt: config.sensors.dwell_s / config.sensors.samples_per_trace as f64,
+    });
+
+    // Chunk the traces; the partition only affects scheduling, never values (each trace
+    // owns a seeded rng and starts from a reset state).
+    let workers = pool.map(Pool::threads).unwrap_or(0);
+    let chunk_count = (workers * 3).clamp(1, config.traces);
+    let mut chunks = Vec::with_capacity(chunk_count);
+    for c in 0..chunk_count {
+        let lo = c * config.traces / chunk_count;
+        let hi = (c + 1) * config.traces / chunk_count;
+        if lo < hi {
+            chunks.push((lo, hi));
+        }
+    }
+    let results: Vec<ChunkTraces> = match pool {
+        Some(pool) if pool.threads() > 0 => {
+            let context = Arc::clone(&context);
+            pool.run_batch(chunks, move |_, range| context.simulate(range))
+        }
+        _ => chunks
+            .into_iter()
+            .map(|range| context.simulate(range))
+            .collect(),
+    };
+
+    let points = config.sensors.points();
+    let mut set = TraceSet::new(config.workload.key_bytes, points);
+    let mut transient_steps = 0u64;
+    for chunk in &results {
+        transient_steps += chunk.steps;
+        let traces = chunk.plaintexts.len() / config.workload.key_bytes;
+        for t in 0..traces {
+            set.push_trace(
+                &chunk.plaintexts
+                    [t * config.workload.key_bytes..(t + 1) * config.workload.key_bytes],
+                &chunk.samples[t * points..(t + 1) * points],
+            );
+        }
+    }
+
+    let cpa = run_cpa(&set, &key, config.workload.leakage, config.mtd_checkpoints);
+    Ok(ScaOutcome {
+        cpa,
+        target_module: target,
+        transient_steps,
+    })
+}
+
+/// Runs one attack evaluation out of a [`FlowResult`], against the chosen mitigation
+/// state of the *same* floorplan.
+///
+/// # Errors
+///
+/// See [`run_attack`].
+pub fn run_on_flow(
+    design: &Design,
+    flow: &FlowResult,
+    config: &AttackConfig,
+    seed: u64,
+    key_seed: u64,
+    mitigation: Mitigation,
+    pool: Option<&Pool>,
+) -> Result<ScaOutcome, ScaError> {
+    config.validate()?;
+    let grid = flow.floorplan().analysis_grid(config.grid_bins);
+    let fields = attack_tsv_fields(design, flow, grid, mitigation);
+    run_attack(
+        flow.floorplan(),
+        &flow.scaled_powers,
+        &fields,
+        flow.post_process.as_ref().map(|pp| &pp.stability),
+        config,
+        seed,
+        key_seed,
+        pool,
+    )
+}
+
+/// Evaluates the attack against both mitigation states of one [`FlowResult`] — identical
+/// traces (same seeds), identical sensors, only the dummy TSVs differ — and returns the
+/// [`ScaVerdict`].
+///
+/// # Errors
+///
+/// See [`run_attack`].
+pub fn run_verdict(
+    design: &Design,
+    flow: &FlowResult,
+    config: &AttackConfig,
+    seed: u64,
+    key_seed: u64,
+    pool: Option<&Pool>,
+) -> Result<ScaVerdict, ScaError> {
+    let baseline = run_on_flow(
+        design,
+        flow,
+        config,
+        seed,
+        key_seed,
+        Mitigation::Baseline,
+        pool,
+    )?;
+    let mitigated = run_on_flow(
+        design,
+        flow,
+        config,
+        seed,
+        key_seed,
+        Mitigation::DummyTsvs,
+        pool,
+    )?;
+    Ok(ScaVerdict {
+        baseline,
+        mitigated,
+    })
+}

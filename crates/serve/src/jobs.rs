@@ -16,12 +16,14 @@ use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tsc3d::exec::Pool;
-use tsc3d::TscFlow;
+use tsc3d::{display_chain, TscFlow};
 use tsc3d_campaign::json::Json;
 use tsc3d_campaign::{
     aggregate, render_report, run_campaign_on, CampaignOptions, JobOutcome, JobRecord,
+    ScaJobMetrics,
 };
 use tsc3d_netlist::suite::generate;
+use tsc3d_sca::run_verdict;
 
 /// Lifecycle of one submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +57,7 @@ pub struct JobInfo {
     pub id: u64,
     /// The canonical cache key of the submission.
     pub key: Arc<str>,
-    /// `"flow"` or `"campaign"`.
+    /// `"flow"`, `"campaign"` or `"sca"`.
     pub kind: &'static str,
     /// Lifecycle state.
     pub state: JobState,
@@ -408,6 +410,69 @@ impl JobService {
                     outcome: JobOutcome::from_flow(&result),
                 };
                 Ok(record.to_json_line())
+            }
+            Payload::Sca(submission) => {
+                // One flow run, then both mitigation states attacked out of the same
+                // FlowResult (identical traces; only the dummy TSVs differ) — the
+                // `run_verdict` contract — with the trace simulation fanned out over the
+                // evaluation pool.
+                let spec = &submission.spec;
+                let job = submission
+                    .jobs()
+                    .into_iter()
+                    .next()
+                    .ok_or("sca submission expands to no jobs")?;
+                let started = Instant::now();
+                let design = generate(job.benchmark, job.seed);
+                let flow = TscFlow::new(spec.flow)
+                    .run(&design, job.run_seed())
+                    .map_err(|e| format!("sca flow-{}: {}", e.kind(), display_chain(&e)))?;
+                self.metrics.observe_stages(&flow.stage_timings);
+                self.metrics
+                    .evaluations_total
+                    .fetch_add(flow.sa.evaluations as u64, Ordering::Relaxed);
+                let mut attack = spec.attack;
+                attack.sensors = job.sensor.config;
+                let verdict = run_verdict(
+                    &design,
+                    &flow,
+                    &attack,
+                    job.trace_seed(),
+                    job.key_seed,
+                    Some(&self.pool),
+                )
+                .map_err(|e| format!("sca {}: {e}", e.kind()))?;
+                let runtime_s = started.elapsed().as_secs_f64();
+                let mut members = Vec::new();
+                for (label, outcome) in [
+                    ("baseline", &verdict.baseline),
+                    ("mitigated", &verdict.mitigated),
+                ] {
+                    self.metrics
+                        .trace_sims_total
+                        .fetch_add(outcome.cpa.traces as u64, Ordering::Relaxed);
+                    // runtime_s covers the whole evaluation (flow + both attacks); it is
+                    // recorded identically on both sides.
+                    members.push((
+                        label.to_string(),
+                        ScaJobMetrics::from_outcome(outcome, flow.dummy_tsvs(), runtime_s)
+                            .to_json(),
+                    ));
+                }
+                members.push((
+                    "verdict".into(),
+                    Json::Obj(vec![
+                        (
+                            "mitigation_effective".into(),
+                            Json::Bool(verdict.mitigation_effective()),
+                        ),
+                        (
+                            "mtd_gain".into(),
+                            verdict.mtd_gain().map(Json::Num).unwrap_or(Json::Null),
+                        ),
+                    ]),
+                ));
+                Ok(Json::Obj(members).render())
             }
             Payload::Campaign(spec) => {
                 let options = CampaignOptions::in_memory(0); // pool-provided parallelism

@@ -6,8 +6,10 @@
 //!
 //! * **Hand-rolled HTTP/1.1 API** ([`http`], [`server`]) on [`std::net::TcpListener`] —
 //!   the vendored deps are data-less stand-ins, so no hyper/tokio; a blocking accept loop
-//!   feeds a small set of handler threads. Endpoints: `POST /v1/jobs` (submit a flow run
-//!   or a campaign spec), `GET /v1/jobs/{id}` (status), `GET /v1/jobs/{id}/result`
+//!   feeds a small set of handler threads. Endpoints: `POST /v1/jobs` (submit a flow
+//!   run, a campaign spec, or a trace-level side-channel evaluation — an `"sca"`
+//!   submission runs the flow once, attacks both mitigation states via `tsc3d-sca` and
+//!   returns the MTD verdict), `GET /v1/jobs/{id}` (status), `GET /v1/jobs/{id}/result`
 //!   (result JSON), `GET /healthz`, `GET /metrics` (Prometheus text: queue depth, cache
 //!   hit rate, jobs in flight, per-stage latency histograms), and `POST /v1/shutdown`
 //!   (graceful drain — the signal-free stop path of the `serve` binary).

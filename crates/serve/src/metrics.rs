@@ -68,6 +68,9 @@ pub struct Metrics {
     /// SA loop's count; campaign jobs the sum over their successful flow runs). The
     /// observable form of the hot loop's evaluations/sec throughput in production.
     pub evaluations_total: AtomicU64,
+    /// Thermal trace simulations performed by completed sca jobs (one per observed
+    /// encryption; an sca submission contributes its baseline plus mitigated traces).
+    pub trace_sims_total: AtomicU64,
     /// HTTP requests handled (any endpoint, any status).
     pub http_requests: AtomicU64,
     /// Jobs accepted by `POST /v1/jobs` (including dedups and cache hits).
@@ -101,6 +104,7 @@ impl Default for Metrics {
         Self {
             started: Instant::now(),
             evaluations_total: AtomicU64::new(0),
+            trace_sims_total: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
             jobs_submitted: AtomicU64::new(0),
             jobs_executed: AtomicU64::new(0),
@@ -213,6 +217,12 @@ impl Metrics {
             "tsc3d_serve_evaluations_total",
             "Annealing cost evaluations performed by completed jobs",
             load(&self.evaluations_total),
+        );
+        counter(
+            &mut out,
+            "tsc3d_serve_trace_sims_total",
+            "Thermal trace simulations performed by completed sca jobs",
+            load(&self.trace_sims_total),
         );
         gauge(
             &mut out,

@@ -1,6 +1,7 @@
 //! The job-submission payload: parsing, validation and the canonical cache key.
 //!
-//! A `POST /v1/jobs` body is either a single flow run or a full campaign spec:
+//! A `POST /v1/jobs` body is a single flow run, a full campaign spec, or a trace-level
+//! side-channel (sca) evaluation:
 //!
 //! ```json
 //! {"type": "flow", "benchmark": "n100", "setup": "tsc", "seed": 1,
@@ -11,6 +12,15 @@
 //! {"type": "campaign", "spec": { ...the campaign file-header format... }}
 //! ```
 //!
+//! ```json
+//! {"type": "sca", "benchmark": "n200", "seed": 1, "key_seed": 11,
+//!  "traces": 192, "noise": 0.5}
+//! ```
+//!
+//! An sca submission runs the TSC-aware flow once, then mounts the CPA attack of
+//! `tsc3d-sca` against both mitigation states of the same flow result and returns the
+//! baseline/mitigated metrics plus the MTD verdict.
+//!
 //! The **cache key** is the canonical JSON of the submitted body — objects recursively
 //! key-sorted, rendered without whitespace — so two submissions that differ only in
 //! member order (or insignificant whitespace) dedup onto the same job and cache entry.
@@ -18,8 +28,25 @@
 use tsc3d::{FlowConfig, Setup};
 use tsc3d_campaign::codec::spec_from_json;
 use tsc3d_campaign::json::Json;
-use tsc3d_campaign::{CampaignJob, CampaignSpec};
+use tsc3d_campaign::{CampaignJob, CampaignSpec, ScaCampaignSpec, ScaJob, ScaSensorSet};
 use tsc3d_netlist::suite::Benchmark;
+use tsc3d_sca::Mitigation;
+
+/// A validated sca submission: the flow/attack configuration plus the job identity,
+/// expressed through the campaign sca types so seeds derive exactly like `campaign
+/// sca-run`.
+#[derive(Debug, Clone)]
+pub struct ScaSubmission {
+    /// The spec carrying the flow and attack templates (single benchmark/seed/key).
+    pub spec: ScaCampaignSpec,
+}
+
+impl ScaSubmission {
+    /// The baseline/mitigated job pair of the submission.
+    pub fn jobs(&self) -> Vec<ScaJob> {
+        self.spec.expand()
+    }
+}
 
 /// A validated job submission.
 #[derive(Debug, Clone)]
@@ -28,6 +55,8 @@ pub enum Payload {
     Flow(Box<CampaignJob>),
     /// A campaign over the serve pool.
     Campaign(Box<CampaignSpec>),
+    /// One trace-level side-channel evaluation (baseline + mitigated + verdict).
+    Sca(Box<ScaSubmission>),
 }
 
 impl Payload {
@@ -36,6 +65,7 @@ impl Payload {
         match self {
             Payload::Flow(_) => "flow",
             Payload::Campaign(_) => "campaign",
+            Payload::Sca(_) => "sca",
         }
     }
 }
@@ -110,11 +140,106 @@ pub fn parse_payload(body: &Json) -> Result<Payload, String> {
             }
             Ok(Payload::Campaign(Box::new(spec)))
         }
+        Some("sca") => parse_sca(body).map(|submission| Payload::Sca(Box::new(submission))),
         Some(other) => Err(format!(
-            "unknown job type '{other}' (use \"flow\" or \"campaign\")"
+            "unknown job type '{other}' (use \"flow\", \"campaign\" or \"sca\")"
         )),
         None => Err("the submission needs a string field 'type'".into()),
     }
+}
+
+/// Parses an sca submission: a single benchmark/seed/key evaluation based on the
+/// calibrated smoke templates, with compact overrides for the flow schedule and the
+/// attack scale.
+fn parse_sca(body: &Json) -> Result<ScaSubmission, String> {
+    reject_unknown_keys(
+        body,
+        &[
+            "type",
+            "benchmark",
+            "seed",
+            "key_seed",
+            "traces",
+            "noise",
+            "key_bytes",
+            "attack_grid_bins",
+            "dwell_ms",
+            "stages",
+            "moves",
+            "grid_bins",
+            "verification_bins",
+        ],
+    )?;
+    let benchmark_name = body
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "sca submission needs a string field 'benchmark'".to_string())?;
+    let benchmark = Benchmark::from_name(benchmark_name)
+        .ok_or_else(|| format!("unknown benchmark '{benchmark_name}'"))?;
+    let seed = body
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "sca submission needs an integer field 'seed'".to_string())?;
+    let key_seed = match body.get("key_seed") {
+        None => 11,
+        Some(value) => value
+            .as_u64()
+            .ok_or_else(|| "field 'key_seed' must be a non-negative integer".to_string())?,
+    };
+
+    let mut spec = ScaCampaignSpec::smoke();
+    spec.benchmarks = vec![benchmark];
+    spec.seeds = vec![seed];
+    spec.key_seeds = vec![key_seed];
+    spec.mitigations = vec![Mitigation::Baseline, Mitigation::DummyTsvs];
+    if let Some(traces) = opt_usize(body, "traces")? {
+        if traces < 8 {
+            return Err("'traces' must be at least 8".into());
+        }
+        spec.attack.traces = traces;
+        spec.attack.mtd_checkpoints = traces;
+    }
+    if let Some(bins) = opt_usize(body, "attack_grid_bins")? {
+        spec.attack.grid_bins = bins;
+    }
+    if let Some(bytes) = opt_usize(body, "key_bytes")? {
+        spec.attack.workload.key_bytes = bytes;
+    }
+    if let Some(noise) = body.get("noise") {
+        let sigma = noise
+            .as_f64()
+            .filter(|s| s.is_finite() && *s >= 0.0)
+            .ok_or_else(|| "field 'noise' must be a non-negative number".to_string())?;
+        spec.attack.sensors.sigma_k = sigma;
+    }
+    if let Some(dwell_ms) = body.get("dwell_ms") {
+        let dwell = dwell_ms
+            .as_f64()
+            .filter(|d| d.is_finite() && *d > 0.0)
+            .ok_or_else(|| "field 'dwell_ms' must be a positive number".to_string())?;
+        spec.attack.sensors.dwell_s = dwell / 1e3;
+    }
+    if let Some(stages) = opt_usize(body, "stages")? {
+        spec.flow.schedule.stages = stages;
+    }
+    if let Some(moves) = opt_usize(body, "moves")? {
+        spec.flow.schedule.moves_per_stage = moves;
+    }
+    if let Some(bins) = opt_usize(body, "grid_bins")? {
+        spec.flow.schedule.grid_bins = bins;
+    }
+    if let Some(bins) = opt_usize(body, "verification_bins")? {
+        spec.flow.verification_bins = bins;
+    }
+    // One sensor set named after its noise level keeps records self-describing.
+    spec.sensors = vec![ScaSensorSet {
+        name: format!("sigma-{}", spec.attack.sensors.sigma_k),
+        config: spec.attack.sensors,
+    }];
+    // Reject invalid attack parameters at submission time (400) — otherwise the job
+    // would burn a full flow run before run_verdict's validation fails it.
+    spec.attack.validate().map_err(|e| e.to_string())?;
+    Ok(ScaSubmission { spec })
 }
 
 /// Rejects members outside the whitelist: an unrecognized field is far more likely a

@@ -362,3 +362,55 @@ fn full_queue_rejects_with_429() {
     assert_eq!(status, 429, "{payload}");
     server.shutdown();
 }
+
+#[test]
+fn sca_submissions_report_an_mtd_verdict_and_count_trace_sims() {
+    let server = Server::start(test_config(None)).expect("server boots");
+    let addr = server.local_addr();
+
+    // A tiny sca evaluation: noise-free sensing so the 16-trace budget discloses the
+    // single key byte, with a shrunken flow schedule and attack grid.
+    let body = "{\"type\":\"sca\",\"benchmark\":\"n100\",\"seed\":1,\"key_seed\":7,\
+                \"traces\":16,\"noise\":0,\"key_bytes\":1,\"attack_grid_bins\":8,\
+                \"dwell_ms\":8,\"stages\":4,\"moves\":8,\"grid_bins\":10,\
+                \"verification_bins\":10}";
+    let accepted = submit(addr, body);
+    let id = accepted.get("id").and_then(Json::as_u64).unwrap();
+    wait_done(addr, id);
+
+    let (status, payload) = request(addr, "GET", &format!("/v1/jobs/{id}"), "");
+    assert_eq!(status, 200);
+    let info = Json::parse(&payload).unwrap();
+    assert_eq!(info.get("kind").and_then(Json::as_str), Some("sca"));
+
+    let result = Json::parse(&result_body(addr, id)).expect("sca result is JSON");
+    for side in ["baseline", "mitigated"] {
+        let metrics = result.get(side).unwrap_or_else(|| panic!("{side} missing"));
+        assert_eq!(metrics.get("traces").and_then(Json::as_f64), Some(16.0));
+        assert_eq!(metrics.get("key_bytes").and_then(Json::as_f64), Some(1.0));
+        assert!(metrics.get("mtd_traces").and_then(Json::as_f64).is_some());
+    }
+    let verdict = result.get("verdict").expect("verdict present");
+    assert!(verdict
+        .get("mitigation_effective")
+        .and_then(Json::as_bool)
+        .is_some());
+
+    // /metrics counts the trace simulations (16 baseline + 16 mitigated).
+    let (status, metrics_text) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        metrics_text.contains("tsc3d_serve_trace_sims_total 32"),
+        "trace-sim counter missing: {}",
+        metrics_text
+            .lines()
+            .filter(|l| l.contains("trace_sims"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    // Identical sca submissions dedup/cache like every other job kind.
+    let again = submit(addr, body);
+    assert_eq!(again.get("cached").and_then(Json::as_bool), Some(true));
+    server.shutdown();
+}

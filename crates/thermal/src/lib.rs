@@ -19,7 +19,9 @@
 //!   the layered grid (successive over-relaxation).
 //! * [`fast::PowerBlurring`] is the mask-based estimator used inside optimization loops.
 //! * [`transient`] provides a lumped transient model reproducing the time-scale gap between
-//!   power and temperature (Figure 1 of the paper).
+//!   power and temperature (Figure 1 of the paper), and [`TransientSolver`] — the spatial
+//!   transient engine stepping the full solver grid forward in time, the basis of the
+//!   trace-level side-channel simulations in `tsc3d-sca`.
 //!
 //! # Example
 //!
@@ -48,4 +50,5 @@ mod tsv;
 
 pub use config::{MaterialProperties, StackLayer, StackLayerKind, ThermalConfig};
 pub use solver::{SolveError, SteadyStateSolver, ThermalResult};
+pub use transient::{LumpedTransient, TransientSample, TransientSolver, TransientState};
 pub use tsv::{TsvField, TsvPattern, TsvSite, TsvTechnology};

@@ -307,25 +307,29 @@ impl SteadyStateSolver {
 }
 
 /// Assembled conductance network in structure-of-arrays form for the SOR sweep.
-struct Network {
-    layers: usize,
-    cols: usize,
-    rows: usize,
+///
+/// Also reused by the transient engine ([`crate::transient::TransientSolver`]), which
+/// steps the same conductances forward in time instead of solving for the fixed point.
+#[derive(Debug)]
+pub(crate) struct Network {
+    pub(crate) layers: usize,
+    pub(crate) cols: usize,
+    pub(crate) rows: usize,
     /// Lateral conductance to the +x neighbour, per node.
-    gx: Vec<f64>,
+    pub(crate) gx: Vec<f64>,
     /// Lateral conductance to the +y neighbour, per node.
-    gy: Vec<f64>,
+    pub(crate) gy: Vec<f64>,
     /// Vertical conductance to the node one layer up, per node.
-    gz: Vec<f64>,
+    pub(crate) gz: Vec<f64>,
     /// Conductance to ambient (boundary paths), per node.
-    gb: Vec<f64>,
+    pub(crate) gb: Vec<f64>,
     /// Injected power per node, in watts.
-    power: Vec<f64>,
-    ambient: f64,
+    pub(crate) power: Vec<f64>,
+    pub(crate) ambient: f64,
 }
 
 impl Network {
-    fn build(
+    pub(crate) fn build(
         config: &ThermalConfig,
         grid: Grid,
         power_per_die: &[GridMap],
