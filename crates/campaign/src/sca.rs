@@ -1139,6 +1139,11 @@ pub struct ScaGroupSummary {
     pub transient_steps: crate::aggregate::Stat,
     /// Job runtimes in seconds.
     pub runtime_s: crate::aggregate::Stat,
+    /// Trace-simulation throughput of the group: total simulated traces over total job
+    /// runtime (0 when no successful job recorded runtime). Runtime includes the flow
+    /// for the one job per (benchmark, seed) that computed it, so this is a conservative
+    /// floor on the batched trace engine's rate.
+    pub traces_per_sec: f64,
 }
 
 /// The full sca campaign aggregation, in first-seen job-id group order.
@@ -1192,6 +1197,24 @@ impl ScaCampaignSummary {
     pub fn succeeded(&self) -> usize {
         self.groups.iter().map(|g| g.succeeded).sum()
     }
+
+    /// Campaign-wide trace-simulation throughput: total simulated traces over total
+    /// recorded job runtime (0 without any successful record).
+    pub fn traces_per_sec(&self) -> f64 {
+        let mut traces = 0.0;
+        let mut runtime = 0.0;
+        for group in &self.groups {
+            // Reconstruct the group sums from the stat means (count × mean).
+            let group_runtime = group.runtime_s.mean * group.runtime_s.count as f64;
+            runtime += group_runtime;
+            traces += group.traces_per_sec * group_runtime;
+        }
+        if runtime > 0.0 {
+            traces / runtime
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Aggregates sca records into group summaries (input-order independent: records are
@@ -1244,6 +1267,13 @@ pub fn aggregate_sca(records: &[ScaJobRecord]) -> ScaCampaignSummary {
                 .filter(|m| m.disclosed())
                 .map(|m| m.mtd_traces)
                 .collect();
+            let total_traces: f64 = metrics.iter().map(|m| m.traces).sum();
+            let total_runtime: f64 = metrics.iter().map(|m| m.runtime_s).sum();
+            let traces_per_sec = if total_runtime > 0.0 {
+                total_traces / total_runtime
+            } else {
+                0.0
+            };
             ScaGroupSummary {
                 benchmark,
                 sensor_name,
@@ -1259,6 +1289,7 @@ pub fn aggregate_sca(records: &[ScaJobRecord]) -> ScaCampaignSummary {
                 dummy_tsvs: stat(|m| m.dummy_tsvs),
                 transient_steps: stat(|m| m.transient_steps),
                 runtime_s: stat(|m| m.runtime_s),
+                traces_per_sec,
             }
         })
         .collect();
@@ -1271,10 +1302,11 @@ pub fn render_sca_report(summary: &ScaCampaignSummary) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "sca campaign report — {} jobs, {} ok, {} failed",
+        "sca campaign report — {} jobs, {} ok, {} failed, {:.0} traces/s",
         summary.jobs(),
         summary.succeeded(),
-        summary.jobs() - summary.succeeded()
+        summary.jobs() - summary.succeeded(),
+        summary.traces_per_sec()
     );
 
     let mut blocks: Vec<(Benchmark, String)> = Vec::new();
@@ -1296,7 +1328,8 @@ pub fn render_sca_report(summary: &ScaCampaignSummary) -> String {
             let _ = writeln!(
                 out,
                 "  {:<9} n={:<3} MTD {:>8.1} ±{:.1} traces ({} undisclosed) | \
-                 bytes {:>4.2}  GE {:>5.2} bit  r {:>5.3} | dTSV {:>6.0}  t {:>6.2} s",
+                 bytes {:>4.2}  GE {:>5.2} bit  r {:>5.3} | dTSV {:>6.0}  t {:>6.2} s  \
+                 {:>5.0} tr/s",
                 group.mitigation.label(),
                 group.succeeded,
                 group.mtd.mean,
@@ -1307,6 +1340,7 @@ pub fn render_sca_report(summary: &ScaCampaignSummary) -> String {
                 group.best_correlation.mean,
                 group.dummy_tsvs.mean,
                 group.runtime_s.mean,
+                group.traces_per_sec,
             );
             for (kind, count) in &group.failures {
                 let _ = writeln!(out, "       [FAILED {kind}×{count}]");

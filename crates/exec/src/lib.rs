@@ -371,6 +371,24 @@ impl Pool {
             .collect()
     }
 
+    /// Pops one queued task (injector or a worker deque) and runs it on the calling
+    /// thread; returns whether a task ran.
+    ///
+    /// The building block for callers that must stay responsive while work they
+    /// submitted is outstanding — e.g. a streaming consumer draining results of
+    /// [`Pool::submit`]-dispatched producers from *inside* a pool task: helping instead
+    /// of blocking keeps a fully busy pool from deadlocking on its own sub-tasks (the
+    /// same discipline [`Pool::run_batch`] applies internally).
+    pub fn try_help(&self) -> bool {
+        match self.shared.try_pop_any() {
+            Some(task) => {
+                self.shared.run_task(task);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Gracefully shuts the pool down: refuses further submissions, lets the workers
     /// drain every task already accepted, then joins them. Idempotent; also invoked by
     /// `Drop`.
@@ -457,6 +475,29 @@ where
     let results = pool.run_batch(jobs, f);
     pool.shutdown();
     results
+}
+
+/// Splits `0..total` into at most `parts` contiguous, non-empty `(lo, hi)` ranges whose
+/// sizes differ by at most one — the canonical work partition every parallel fan-out of
+/// the workspace uses (solver sweeps, transient node chunks, trace batches).
+///
+/// The partition is a pure function of `(total, parts)`, so chunked results reassembled
+/// in range order are identical for every worker count. `parts == 0` is treated as 1;
+/// `total == 0` yields no ranges.
+pub fn chunk_ranges(total: usize, parts: usize) -> Vec<(usize, usize)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, total);
+    let mut ranges = Vec::with_capacity(parts);
+    for part in 0..parts {
+        let lo = part * total / parts;
+        let hi = (part + 1) * total / parts;
+        if lo < hi {
+            ranges.push((lo, hi));
+        }
+    }
+    ranges
 }
 
 #[cfg(test)]
@@ -652,5 +693,30 @@ mod tests {
         // The pool survives the panic and stays usable.
         assert_eq!(pool.run_batch(vec![7u64, 9], |_, x| x + 1), vec![8, 10]);
         pool.shutdown();
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for total in [0usize, 1, 2, 7, 64, 193] {
+            for parts in [0usize, 1, 3, 8, 200] {
+                let ranges = chunk_ranges(total, parts);
+                // Contiguous, non-empty, covering exactly 0..total.
+                let mut expected_lo = 0;
+                for &(lo, hi) in &ranges {
+                    assert_eq!(lo, expected_lo, "total {total} parts {parts}");
+                    assert!(lo < hi, "total {total} parts {parts}");
+                    expected_lo = hi;
+                }
+                assert_eq!(expected_lo, total, "total {total} parts {parts}");
+                if total > 0 {
+                    assert!(ranges.len() <= parts.max(1).min(total));
+                    // Balanced: sizes differ by at most one.
+                    let sizes: Vec<usize> = ranges.iter().map(|&(lo, hi)| hi - lo).collect();
+                    let min = sizes.iter().min().unwrap();
+                    let max = sizes.iter().max().unwrap();
+                    assert!(max - min <= 1, "total {total} parts {parts}: {sizes:?}");
+                }
+            }
+        }
     }
 }

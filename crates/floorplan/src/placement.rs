@@ -283,6 +283,102 @@ impl Floorplan {
     pub fn analysis_grid(&self, bins_per_axis: usize) -> Grid {
         Grid::square(self.outline().rect(), bins_per_axis)
     }
+
+    /// Precomputes the rasterization of this floorplan on `grid` as replayable
+    /// [`PowerStamps`], so repeated power-map builds (one per trace in a side-channel
+    /// campaign) skip the per-rect clip arithmetic.
+    pub fn power_stamps(&self, grid: Grid) -> PowerStamps {
+        let mut stamps = Vec::new();
+        let mut die_ends = Vec::with_capacity(self.stack.dies());
+        for die in self.stack.die_ids() {
+            for p in self.placements.iter().filter(|p| p.die == die) {
+                let rect_area = p.rect.area();
+                if rect_area <= 0.0 {
+                    continue;
+                }
+                let block = p.block.index();
+                grid.for_each_overlap(&p.rect, |bin, overlap| {
+                    stamps.push(PowerStamp {
+                        block,
+                        bin,
+                        overlap,
+                        rect_area,
+                    });
+                });
+            }
+            die_ends.push(stamps.len());
+        }
+        PowerStamps {
+            grid,
+            dies: self.stack.dies(),
+            blocks: self.placements.len(),
+            stamps,
+            die_ends,
+        }
+    }
+}
+
+/// One precomputed bin contribution of one placed block: replaying
+/// `power[block] * overlap / rect_area` reproduces the live splat's term exactly.
+#[derive(Debug, Clone, Copy)]
+struct PowerStamp {
+    block: usize,
+    bin: usize,
+    overlap: f64,
+    rect_area: f64,
+}
+
+/// The precomputed rasterization of a [`Floorplan`] on one grid.
+///
+/// [`Floorplan::power_maps_into`] re-clips every placement rectangle against the grid on
+/// every call; in trace-level side-channel simulation that cost repeats per *trace* while
+/// the floorplan never changes. `PowerStamps` performs the clipping once and stores, in
+/// the exact accumulation order of the live splat (die-major, placements in floorplan
+/// order, bins row-major), the `(block, bin, overlap, rect_area)` of every non-zero
+/// contribution. [`PowerStamps::power_maps_into`] then replays
+/// `power[block] * overlap / rect_area` per stamp — the identical operations on the
+/// identical operands, so the maps are **bit-identical** to [`Floorplan::power_maps`].
+#[derive(Debug, Clone)]
+pub struct PowerStamps {
+    grid: Grid,
+    dies: usize,
+    blocks: usize,
+    stamps: Vec<PowerStamp>,
+    /// Exclusive end index into `stamps` per die (stamps are die-major).
+    die_ends: Vec<usize>,
+}
+
+impl PowerStamps {
+    /// The grid the stamps were clipped against.
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Rebuilds the per-die power maps for `block_powers` by replaying the stamps,
+    /// bit-identical to [`Floorplan::power_maps_into`] on the originating floorplan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_powers` does not provide one value per block.
+    pub fn power_maps_into(&self, block_powers: &[f64], out: &mut Vec<GridMap>) {
+        assert_eq!(
+            block_powers.len(),
+            self.blocks,
+            "one power value per block required"
+        );
+        if out.len() != self.dies || out.iter().any(|m| m.grid() != self.grid) {
+            *out = (0..self.dies).map(|_| GridMap::zeros(self.grid)).collect();
+        }
+        let mut start = 0;
+        for (map, &end) in out.iter_mut().zip(&self.die_ends) {
+            let values = map.values_mut();
+            values.fill(0.0);
+            for stamp in &self.stamps[start..end] {
+                values[stamp.bin] += block_powers[stamp.block] * stamp.overlap / stamp.rect_area;
+            }
+            start = end;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -406,6 +502,26 @@ mod tests {
         assert_eq!(maps.len(), 2);
         assert!((maps[0].sum() - 3.0).abs() < 1e-9);
         assert!((maps[1].sum() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_stamps_replay_bit_identically() {
+        let fp = floorplan();
+        for bins in [3usize, 10, 17] {
+            let grid = fp.analysis_grid(bins);
+            let stamps = fp.power_stamps(grid);
+            assert_eq!(stamps.grid(), grid);
+            // Start from deliberately mismatched buffers to exercise the rebuild path.
+            let mut replayed = vec![GridMap::zeros(fp.analysis_grid(2))];
+            for powers in [[1.0, 2.0, 0.5], [0.0, 7.25, 1e-3]] {
+                let live = fp.power_maps(grid, &powers);
+                stamps.power_maps_into(&powers, &mut replayed);
+                assert_eq!(live.len(), replayed.len(), "{bins} bins");
+                for (a, b) in live.iter().zip(&replayed) {
+                    assert_eq!(a.values(), b.values(), "{bins} bins");
+                }
+            }
+        }
     }
 
     #[test]

@@ -165,6 +165,45 @@ impl Grid {
             .flat_map(move |row| (col_lo.min(cols)..col_hi).map(move |col| GridPos::new(col, row)))
     }
 
+    /// Calls `f(flat_index, overlap_area)` for every bin whose rectangle overlaps `rect`,
+    /// in row-major order.
+    ///
+    /// This is the fused clip arithmetic of [`GridMap::splat_power`]'s inner loop (no
+    /// per-bin `Rect` round-trips), factored out so a rasterization can be *precomputed*:
+    /// the overlap areas recorded here, replayed in the same order, accumulate
+    /// bit-identically to a live splat. Portions of `rect` outside the grid region are
+    /// dropped, and bins with zero overlap are skipped, exactly as in the live splat.
+    pub fn for_each_overlap<F: FnMut(usize, f64)>(&self, rect: &Rect, mut f: F) {
+        let region = self.region;
+        let bw = self.bin_width();
+        let bh = self.bin_height();
+        let col_lo = ((((rect.x - region.x) / bw).floor().max(0.0)) as usize).min(self.cols);
+        let row_lo = ((((rect.y - region.y) / bh).floor().max(0.0)) as usize).min(self.rows);
+        let col_hi =
+            (((rect.x + rect.width - region.x) / bw).ceil().max(0.0) as usize).min(self.cols);
+        let row_hi =
+            (((rect.y + rect.height - region.y) / bh).ceil().max(0.0) as usize).min(self.rows);
+        let rect_x1 = rect.x + rect.width;
+        let rect_y1 = rect.y + rect.height;
+        for row in row_lo..row_hi {
+            let bin_y = region.y + row as f64 * bh;
+            let y0 = bin_y.max(rect.y);
+            let y1 = (bin_y + bh).min(rect_y1);
+            if y1 <= y0 {
+                continue;
+            }
+            let base = row * self.cols;
+            for col in col_lo..col_hi {
+                let bin_x = region.x + col as f64 * bw;
+                let x0 = bin_x.max(rect.x);
+                let x1 = (bin_x + bw).min(rect_x1);
+                if x1 > x0 {
+                    f(base + col, (x1 - x0) * (y1 - y0));
+                }
+            }
+        }
+    }
+
     /// The 4-neighbourhood (von Neumann) of a bin, clipped to the grid.
     pub fn neighbors(&self, pos: GridPos) -> Vec<GridPos> {
         let mut out = Vec::with_capacity(4);
@@ -341,40 +380,16 @@ impl GridMap {
         if rect_area <= 0.0 {
             return;
         }
-        // Manually fused variant of `bins_overlapping` + `bin_rect().overlap_area()`:
-        // rasterization is the inner loop of every power-map build, so the per-bin `Rect`
-        // round-trips are flattened into the same clip arithmetic on the same operands
-        // (the accumulated values are bit-identical to the iterator formulation).
+        // [`Grid::for_each_overlap`] is the manually fused variant of `bins_overlapping`
+        // + `bin_rect().overlap_area()`: rasterization is the inner loop of every
+        // power-map build, so the per-bin `Rect` round-trips are flattened into the same
+        // clip arithmetic on the same operands (the accumulated values are bit-identical
+        // to the iterator formulation).
         let grid = self.grid;
-        let region = grid.region();
-        let bw = grid.bin_width();
-        let bh = grid.bin_height();
-        let col_lo = ((((rect.x - region.x) / bw).floor().max(0.0)) as usize).min(grid.cols);
-        let row_lo = ((((rect.y - region.y) / bh).floor().max(0.0)) as usize).min(grid.rows);
-        let col_hi =
-            (((rect.x + rect.width - region.x) / bw).ceil().max(0.0) as usize).min(grid.cols);
-        let row_hi =
-            (((rect.y + rect.height - region.y) / bh).ceil().max(0.0) as usize).min(grid.rows);
-        let rect_x1 = rect.x + rect.width;
-        let rect_y1 = rect.y + rect.height;
-        for row in row_lo..row_hi {
-            let bin_y = region.y + row as f64 * bh;
-            let y0 = bin_y.max(rect.y);
-            let y1 = (bin_y + bh).min(rect_y1);
-            if y1 <= y0 {
-                continue;
-            }
-            let base = row * grid.cols;
-            for col in col_lo..col_hi {
-                let bin_x = region.x + col as f64 * bw;
-                let x0 = bin_x.max(rect.x);
-                let x1 = (bin_x + bw).min(rect_x1);
-                if x1 > x0 {
-                    let overlap = (x1 - x0) * (y1 - y0);
-                    self.values[base + col] += total * overlap / rect_area;
-                }
-            }
-        }
+        let values = &mut self.values;
+        grid.for_each_overlap(rect, |bin, overlap| {
+            values[bin] += total * overlap / rect_area;
+        });
     }
 
     /// Returns a map where each bin holds `f(self[bin])`.

@@ -77,8 +77,8 @@ impl TraceSet {
         self.key_bytes
     }
 
-    fn plaintext(&self, trace: usize, byte: usize) -> u8 {
-        self.plaintexts[trace * self.key_bytes + byte]
+    fn plaintext_row(&self, trace: usize) -> &[u8] {
+        &self.plaintexts[trace * self.key_bytes..(trace + 1) * self.key_bytes]
     }
 
     fn sample_row(&self, trace: usize) -> &[f64] {
@@ -167,11 +167,246 @@ struct ByteAccumulator {
     best_at_checkpoint: Vec<u8>,
 }
 
+/// A sink for simulated traces, delivered one at a time **in trace order**.
+///
+/// The streaming counterpart of assembling a [`TraceSet`]: the batched scenario engine
+/// feeds each trace's plaintexts and samples into a consumer the moment they exist, so
+/// whole trace sets never materialise. [`TraceSet`] implements the trait (materialise
+/// everything) and [`CpaAccumulator`] implements it by folding the trace into the CPA
+/// running sums — memory `O(points)` per trace instead of `O(traces × points)` total.
+pub trait TraceConsumer {
+    /// Consumes the next trace: one plaintext byte per attacked S-box, one sample per
+    /// observation point.
+    fn consume_trace(&mut self, plaintexts: &[u8], samples: &[f64]);
+}
+
+impl TraceConsumer for TraceSet {
+    fn consume_trace(&mut self, plaintexts: &[u8], samples: &[f64]) {
+        self.push_trace(plaintexts, samples);
+    }
+}
+
+/// The streaming form of [`run_cpa`]: CPA running sums folded over traces as they
+/// arrive, producing the **identical** [`CpaResult`] (same loop body, same operand
+/// order) without ever materialising the trace set.
+///
+/// The total trace count is declared up front (it fixes the disclosure checkpoints);
+/// feed exactly that many traces via [`TraceConsumer::consume_trace`] (or
+/// [`CpaAccumulator::push`]), then call [`CpaAccumulator::finish`].
+pub struct CpaAccumulator {
+    key: Vec<u8>,
+    model: LeakageModel,
+    points: usize,
+    traces: usize,
+    marks: Vec<usize>,
+    bytes: Vec<ByteAccumulator>,
+    /// `Σ o` per point.
+    so: Vec<f64>,
+    /// `Σ o²` per point.
+    so2: Vec<f64>,
+    /// Final-checkpoint metric per (byte, guess), filled at the last mark.
+    final_metric: Vec<Vec<f64>>,
+    next_mark: usize,
+    seen: usize,
+}
+
+impl CpaAccumulator {
+    /// Creates the accumulator for an attack of `traces` traces against `key`, with
+    /// `points` observation points per trace and disclosure evaluated at `checkpoints`
+    /// evenly spaced trace counts (the last one being the full set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is empty or any count is zero.
+    pub fn new(
+        key: &[u8],
+        model: LeakageModel,
+        points: usize,
+        traces: usize,
+        checkpoints: usize,
+    ) -> Self {
+        assert!(!key.is_empty(), "at least one key byte required");
+        assert!(points > 0, "at least one observation point required");
+        assert!(traces > 0, "CPA needs at least one trace");
+        assert!(checkpoints > 0, "at least one checkpoint required");
+        // Evenly spaced checkpoint trace counts, deduplicated, ending at the full set.
+        // (Manual ceiling division keeps the crate on the workspace's 1.70 MSRV.)
+        let mut marks: Vec<usize> = (1..=checkpoints)
+            .map(|i| (i * traces + checkpoints - 1) / checkpoints)
+            .collect();
+        marks.dedup();
+        let bytes = (0..key.len())
+            .map(|_| ByteAccumulator {
+                sh: vec![0.0; 256],
+                sh2: vec![0.0; 256],
+                sho: vec![0.0; 256 * points],
+                best_at_checkpoint: Vec::with_capacity(marks.len()),
+            })
+            .collect();
+        Self {
+            key: key.to_vec(),
+            model,
+            points,
+            traces,
+            final_metric: vec![vec![0.0f64; 256]; key.len()],
+            marks,
+            bytes,
+            so: vec![0.0; points],
+            so2: vec![0.0; points],
+            next_mark: 0,
+            seen: 0,
+        }
+    }
+
+    /// Traces consumed so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Folds one trace into the running sums, evaluating a disclosure checkpoint when
+    /// this trace completes one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches or when more than the declared number of traces is
+    /// pushed.
+    pub fn push(&mut self, plaintexts: &[u8], samples: &[f64]) {
+        assert_eq!(
+            plaintexts.len(),
+            self.key.len(),
+            "one plaintext byte per S-box"
+        );
+        assert_eq!(
+            samples.len(),
+            self.points,
+            "one sample per observation point"
+        );
+        assert!(
+            self.seen < self.traces,
+            "more traces pushed than the declared {}",
+            self.traces
+        );
+        let points = self.points;
+        for (p, &o) in samples.iter().enumerate() {
+            self.so[p] += o;
+            self.so2[p] += o * o;
+        }
+        for (acc, &plaintext) in self.bytes.iter_mut().zip(plaintexts) {
+            for guess in 0..256usize {
+                let h = self.model.leakage(plaintext, guess as u8) as f64;
+                acc.sh[guess] += h;
+                acc.sh2[guess] += h * h;
+                let sho = &mut acc.sho[guess * points..(guess + 1) * points];
+                for (p, &o) in samples.iter().enumerate() {
+                    sho[p] += h * o;
+                }
+            }
+        }
+        self.seen += 1;
+
+        if self.next_mark < self.marks.len() && self.seen == self.marks[self.next_mark] {
+            let n = self.seen as f64;
+            let last = self.next_mark + 1 == self.marks.len();
+            for (acc, metrics_row) in self.bytes.iter_mut().zip(self.final_metric.iter_mut()) {
+                let mut best_guess = 0u8;
+                let mut best_metric = f64::NEG_INFINITY;
+                for (guess, slot) in metrics_row.iter_mut().enumerate() {
+                    let metric = best_abs_correlation(n, acc, guess, points, &self.so, &self.so2);
+                    if metric > best_metric {
+                        best_metric = metric;
+                        best_guess = guess as u8;
+                    }
+                    if last {
+                        *slot = metric;
+                    }
+                }
+                acc.best_at_checkpoint.push(best_guess);
+            }
+            self.next_mark += 1;
+        }
+    }
+
+    /// Finalises the attack after every declared trace arrived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer traces were pushed than declared.
+    pub fn finish(self) -> CpaResult {
+        assert_eq!(
+            self.seen, self.traces,
+            "finish called after {} of {} traces",
+            self.seen, self.traces
+        );
+        let marks = self.marks;
+        let results = self
+            .bytes
+            .iter()
+            .enumerate()
+            .map(|(b, acc)| {
+                let true_byte = self.key[b];
+                let metrics = &self.final_metric[b];
+                let true_metric = metrics[true_byte as usize];
+                // Deterministic rank: guesses strictly better, plus equal-metric guesses
+                // with a smaller index (the argmax tie-break).
+                let rank = 1 + metrics
+                    .iter()
+                    .enumerate()
+                    .filter(|&(g, &m)| {
+                        g != true_byte as usize
+                            && (m > true_metric || (m == true_metric && g < true_byte as usize))
+                    })
+                    .count();
+                let (best_guess, best_metric) = metrics.iter().enumerate().fold(
+                    (0usize, f64::NEG_INFINITY),
+                    |(bg, bm), (g, &m)| {
+                        if m > bm {
+                            (g, m)
+                        } else {
+                            (bg, bm)
+                        }
+                    },
+                );
+                // Disclosure: the first checkpoint from which the best guess stays
+                // correct.
+                let stable_from = acc
+                    .best_at_checkpoint
+                    .iter()
+                    .rposition(|&g| g != true_byte)
+                    .map(|wrong| wrong + 1)
+                    .unwrap_or(0);
+                let mtd_traces = (stable_from < marks.len()).then(|| marks[stable_from]);
+                ByteResult {
+                    byte: b,
+                    true_byte,
+                    best_guess: best_guess as u8,
+                    rank,
+                    true_correlation: true_metric.max(0.0),
+                    best_correlation: best_metric.max(0.0),
+                    mtd_traces,
+                }
+            })
+            .collect();
+
+        CpaResult {
+            bytes: results,
+            traces: self.traces,
+            checkpoints: marks,
+        }
+    }
+}
+
+impl TraceConsumer for CpaAccumulator {
+    fn consume_trace(&mut self, plaintexts: &[u8], samples: &[f64]) {
+        self.push(plaintexts, samples);
+    }
+}
+
 /// Runs CPA over a trace set against the known key, evaluating disclosure at
 /// `checkpoints` evenly spaced trace counts (the last one being the full set).
 ///
 /// The accumulation order is the trace order, so the result is a pure function of the
-/// set — independent of how the traces were simulated or scheduled.
+/// set — independent of how the traces were simulated or scheduled. Implemented on top
+/// of [`CpaAccumulator`], so the materialised and the streaming paths are the same code.
 ///
 /// # Panics
 ///
@@ -184,124 +419,11 @@ pub fn run_cpa(set: &TraceSet, key: &[u8], model: LeakageModel, checkpoints: usi
         "one key byte per attacked S-box"
     );
     assert!(set.traces() > 0, "CPA needs at least one trace");
-    assert!(checkpoints > 0, "at least one checkpoint required");
-    let traces = set.traces();
-    let points = set.points();
-
-    // Evenly spaced checkpoint trace counts, deduplicated, ending at the full set.
-    // (Manual ceiling division keeps the crate on the workspace's 1.70 MSRV.)
-    let mut marks: Vec<usize> = (1..=checkpoints)
-        .map(|i| (i * traces + checkpoints - 1) / checkpoints)
-        .collect();
-    marks.dedup();
-
-    let mut bytes: Vec<ByteAccumulator> = (0..set.key_bytes())
-        .map(|_| ByteAccumulator {
-            sh: vec![0.0; 256],
-            sh2: vec![0.0; 256],
-            sho: vec![0.0; 256 * points],
-            best_at_checkpoint: Vec::with_capacity(marks.len()),
-        })
-        .collect();
-    let mut so = vec![0.0; points];
-    let mut so2 = vec![0.0; points];
-    // Final-checkpoint metric per (byte, guess), filled at the last mark.
-    let mut final_metric = vec![vec![0.0f64; 256]; set.key_bytes()];
-
-    let mut next_mark = 0usize;
-    for trace in 0..traces {
-        let row = set.sample_row(trace);
-        for (p, &o) in row.iter().enumerate() {
-            so[p] += o;
-            so2[p] += o * o;
-        }
-        for (b, acc) in bytes.iter_mut().enumerate() {
-            let plaintext = set.plaintext(trace, b);
-            for guess in 0..256usize {
-                let h = model.leakage(plaintext, guess as u8) as f64;
-                acc.sh[guess] += h;
-                acc.sh2[guess] += h * h;
-                let sho = &mut acc.sho[guess * points..(guess + 1) * points];
-                for (p, &o) in row.iter().enumerate() {
-                    sho[p] += h * o;
-                }
-            }
-        }
-
-        if next_mark < marks.len() && trace + 1 == marks[next_mark] {
-            let n = (trace + 1) as f64;
-            let last = next_mark + 1 == marks.len();
-            for (acc, metrics_row) in bytes.iter_mut().zip(final_metric.iter_mut()) {
-                let mut best_guess = 0u8;
-                let mut best_metric = f64::NEG_INFINITY;
-                for (guess, slot) in metrics_row.iter_mut().enumerate() {
-                    let metric = best_abs_correlation(n, acc, guess, points, &so, &so2);
-                    if metric > best_metric {
-                        best_metric = metric;
-                        best_guess = guess as u8;
-                    }
-                    if last {
-                        *slot = metric;
-                    }
-                }
-                acc.best_at_checkpoint.push(best_guess);
-            }
-            next_mark += 1;
-        }
+    let mut acc = CpaAccumulator::new(key, model, set.points(), set.traces(), checkpoints);
+    for trace in 0..set.traces() {
+        acc.push(set.plaintext_row(trace), set.sample_row(trace));
     }
-
-    let results = bytes
-        .iter()
-        .enumerate()
-        .map(|(b, acc)| {
-            let true_byte = key[b];
-            let metrics = &final_metric[b];
-            let true_metric = metrics[true_byte as usize];
-            // Deterministic rank: guesses strictly better, plus equal-metric guesses with
-            // a smaller index (the argmax tie-break).
-            let rank = 1 + metrics
-                .iter()
-                .enumerate()
-                .filter(|&(g, &m)| {
-                    g != true_byte as usize
-                        && (m > true_metric || (m == true_metric && g < true_byte as usize))
-                })
-                .count();
-            let (best_guess, best_metric) = metrics.iter().enumerate().fold(
-                (0usize, f64::NEG_INFINITY),
-                |(bg, bm), (g, &m)| {
-                    if m > bm {
-                        (g, m)
-                    } else {
-                        (bg, bm)
-                    }
-                },
-            );
-            // Disclosure: the first checkpoint from which the best guess stays correct.
-            let stable_from = acc
-                .best_at_checkpoint
-                .iter()
-                .rposition(|&g| g != true_byte)
-                .map(|wrong| wrong + 1)
-                .unwrap_or(0);
-            let mtd_traces = (stable_from < marks.len()).then(|| marks[stable_from]);
-            ByteResult {
-                byte: b,
-                true_byte,
-                best_guess: best_guess as u8,
-                rank,
-                true_correlation: true_metric.max(0.0),
-                best_correlation: best_metric.max(0.0),
-                mtd_traces,
-            }
-        })
-        .collect();
-
-    CpaResult {
-        bytes: results,
-        traces,
-        checkpoints: marks,
-    }
+    acc.finish()
 }
 
 /// The best absolute Pearson correlation of one guess's hypothesis over all points,
@@ -450,5 +572,42 @@ mod tests {
     fn empty_sets_are_rejected() {
         let set = TraceSet::new(1, 1);
         let _ = run_cpa(&set, &[0], LeakageModel::HammingWeight, 4);
+    }
+
+    #[test]
+    fn streaming_accumulator_equals_the_materialised_attack() {
+        let key = derive_key(27, 3);
+        for (noise, checkpoints) in [(0.0, 8), (0.2, 16), (50.0, 5)] {
+            let set = synthetic(&key, 120, 0.05, noise, 11);
+            let materialised = run_cpa(&set, &key, LeakageModel::HammingWeight, checkpoints);
+            let mut acc = CpaAccumulator::new(
+                &key,
+                LeakageModel::HammingWeight,
+                set.points(),
+                set.traces(),
+                checkpoints,
+            );
+            for trace in 0..set.traces() {
+                acc.consume_trace(set.plaintext_row(trace), set.sample_row(trace));
+            }
+            assert_eq!(acc.seen(), set.traces());
+            let streamed = acc.finish();
+            assert_eq!(streamed, materialised, "noise {noise}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more traces pushed")]
+    fn overfeeding_the_accumulator_panics() {
+        let mut acc = CpaAccumulator::new(&[7], LeakageModel::HammingWeight, 1, 1, 1);
+        acc.push(&[1], &[300.0]);
+        acc.push(&[2], &[300.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finish called after")]
+    fn underfeeding_the_accumulator_panics() {
+        let acc = CpaAccumulator::new(&[7], LeakageModel::HammingWeight, 1, 2, 1);
+        let _ = acc.finish();
     }
 }

@@ -58,10 +58,11 @@ pub mod scenario;
 pub mod sensor;
 pub mod workload;
 
-pub use cpa::{run_cpa, ByteResult, CpaResult, TraceSet};
+pub use cpa::{run_cpa, ByteResult, CpaAccumulator, CpaResult, TraceConsumer, TraceSet};
 pub use scenario::{
-    attack_tsv_fields, resolve_target, run_attack, run_on_flow, run_verdict, AttackConfig,
-    Mitigation, ScaError, ScaOutcome, ScaVerdict, TargetPolicy,
+    attack_tsv_fields, resolve_target, run_attack, run_attack_with, run_on_flow, run_on_flow_with,
+    run_verdict, AttackConfig, Mitigation, ScaError, ScaOutcome, ScaVerdict, TargetPolicy,
+    TraceEngine,
 };
 pub use sensor::SensorConfig;
 pub use workload::{derive_key, LeakageModel, TraceActivity, Workload, WorkloadConfig, SBOX};
@@ -156,6 +157,72 @@ mod tests {
             assert_eq!(pooled, serial, "{workers} workers");
             pool.shutdown();
         }
+    }
+
+    #[test]
+    fn batched_engine_is_bit_identical_to_the_reference_engine() {
+        let (design, flow) = flow_fixture();
+        let config = test_config();
+        for mitigation in [Mitigation::Baseline, Mitigation::DummyTsvs] {
+            let reference = run_on_flow_with(
+                design,
+                flow,
+                &config,
+                5,
+                11,
+                mitigation,
+                TraceEngine::Reference,
+                None,
+            )
+            .unwrap();
+            for batch in [1usize, 3, 8] {
+                let engine = TraceEngine::Batched {
+                    batch_traces: batch,
+                };
+                let serial =
+                    run_on_flow_with(design, flow, &config, 5, 11, mitigation, engine, None)
+                        .unwrap();
+                assert_eq!(serial, reference, "batch {batch}, serial, {:?}", mitigation);
+                for workers in [1usize, 4] {
+                    let pool = Pool::new(workers);
+                    let pooled = run_on_flow_with(
+                        design,
+                        flow,
+                        &config,
+                        5,
+                        11,
+                        mitigation,
+                        engine,
+                        Some(&pool),
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        pooled, reference,
+                        "batch {batch}, {workers} workers, {:?}",
+                        mitigation
+                    );
+                    pool.shutdown();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_batch_size_is_rejected_typed() {
+        let (design, flow) = flow_fixture();
+        let config = test_config();
+        let err = run_on_flow_with(
+            design,
+            flow,
+            &config,
+            5,
+            11,
+            Mitigation::Baseline,
+            TraceEngine::Batched { batch_traces: 0 },
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScaError::InvalidConfig { .. }));
     }
 
     #[test]

@@ -7,19 +7,20 @@
 //! reporting the [`ScaVerdict`]: did the mitigation raise the attacker's
 //! measurements-to-disclosure?
 
-use crate::cpa::{run_cpa, CpaResult, TraceSet};
+use crate::cpa::{run_cpa, CpaAccumulator, CpaResult, TraceConsumer, TraceSet};
 use crate::sensor::SensorConfig;
 use crate::workload::{derive_key, LeakageModel, Workload, WorkloadConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
+use std::collections::BTreeMap;
+use std::sync::{mpsc, Arc};
 use tsc3d::FlowResult;
-use tsc3d_exec::Pool;
-use tsc3d_floorplan::{plan_signal_tsvs, Floorplan};
+use tsc3d_exec::{chunk_ranges, Pool};
+use tsc3d_floorplan::{plan_signal_tsvs, Floorplan, PowerStamps};
 use tsc3d_geometry::{DieId, Grid, GridMap, GridPos};
 use tsc3d_netlist::Design;
-use tsc3d_thermal::{SolveError, ThermalConfig, TransientSolver, TsvField};
+use tsc3d_thermal::{BatchTransientSolver, SolveError, ThermalConfig, TransientSolver, TsvField};
 
 /// How the attacked module (the "crypto core") is chosen on the instrumented die.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -439,6 +440,39 @@ pub fn resolve_target(
     }
 }
 
+/// Default number of traces stepped in lockstep by the batched engine: amortises the
+/// per-node stepping overhead well while keeping the SoA field of a smoke-sized grid
+/// inside the L1/L2 working set.
+const DEFAULT_BATCH_TRACES: usize = 8;
+
+/// Which trace-simulation engine evaluates the attack.
+///
+/// Both engines produce **bit-identical** [`ScaOutcome`]s for any batch size and worker
+/// count (equivalence-tested); the batched engine is simply faster, so it is the
+/// default everywhere. The reference engine is retained as the bit-tested baseline and
+/// for the `bench` harness's batched-vs-reference traces/sec comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEngine {
+    /// Lockstep SoA batching: `batch_traces` traces share one conductance network and
+    /// advance through every Jacobi step together, with the CPA sums folded in
+    /// streaming (traces never materialise).
+    Batched {
+        /// Traces per lockstep batch (at least 1).
+        batch_traces: usize,
+    },
+    /// The scalar per-trace path: one [`TransientSolver`] state per trace, traces
+    /// materialised into a [`TraceSet`] before CPA.
+    Reference,
+}
+
+impl Default for TraceEngine {
+    fn default() -> Self {
+        TraceEngine::Batched {
+            batch_traces: DEFAULT_BATCH_TRACES,
+        }
+    }
+}
+
 /// The immutable context shared by every trace simulation of one evaluation.
 struct TraceContext {
     solver: TransientSolver,
@@ -504,6 +538,174 @@ fn trace_seed(seed: u64, trace: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// The immutable context of the lockstep batched engine: one shared
+/// [`BatchTransientSolver`] (network and capacities built once per mitigation state) and
+/// the floorplan's precomputed [`PowerStamps`].
+struct BatchContext {
+    solver: BatchTransientSolver,
+    stamps: PowerStamps,
+    workload: Workload,
+    sensors: SensorConfig,
+    positions: Vec<GridPos>,
+    seed: u64,
+    sample_dt: f64,
+}
+
+impl BatchContext {
+    /// Simulates the traces `range.0..range.1` in lockstep, one lane per trace.
+    ///
+    /// Each lane owns the rng stream of its trace (seeded exactly as the scalar path)
+    /// and is stepped with the scalar per-node operation order, so every lane's samples
+    /// are bit-identical to a scalar simulation of that trace.
+    fn simulate(&self, range: (usize, usize)) -> ChunkTraces {
+        let (lo, hi) = range;
+        let lanes = hi - lo;
+        let key_bytes = self.workload.config().key_bytes;
+        let points = self.sensors.points();
+        let sensor_count = self.positions.len();
+        let mut out = ChunkTraces {
+            plaintexts: Vec::with_capacity(lanes * key_bytes),
+            samples: vec![0.0; lanes * points],
+            steps: 0,
+        };
+        let mut state = self.solver.state(lanes);
+        let mut rngs: Vec<ChaCha8Rng> = Vec::with_capacity(lanes);
+        let mut maps: Vec<GridMap> = Vec::new();
+        for (lane, trace) in (lo..hi).enumerate() {
+            let mut rng = ChaCha8Rng::seed_from_u64(trace_seed(self.seed, trace as u64));
+            let activity = self.workload.draw_trace(&mut rng);
+            self.stamps.power_maps_into(&activity.powers, &mut maps);
+            self.solver
+                .set_power(&mut state, lane, &maps)
+                .expect("power stamps are built on the solver grid");
+            out.plaintexts.extend_from_slice(&activity.plaintexts);
+            rngs.push(rng);
+        }
+        for sample in 0..self.sensors.samples_per_trace {
+            let steps = self.solver.advance(&mut state, self.sample_dt);
+            out.steps += steps as u64 * lanes as u64;
+            for (lane, rng) in rngs.iter_mut().enumerate() {
+                for (s, &pos) in self.positions.iter().enumerate() {
+                    let true_t = self
+                        .solver
+                        .temperature_at(&state, lane, self.sensors.die, pos);
+                    out.samples[lane * points + sample * sensor_count + s] =
+                        self.sensors.acquire(true_t, rng);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Feeds one chunk's traces into the consumer, in trace order.
+fn consume_chunk<C: TraceConsumer + ?Sized>(
+    consumer: &mut C,
+    chunk: &ChunkTraces,
+    key_bytes: usize,
+    points: usize,
+) {
+    let traces = chunk.plaintexts.len() / key_bytes;
+    for t in 0..traces {
+        consumer.consume_trace(
+            &chunk.plaintexts[t * key_bytes..(t + 1) * key_bytes],
+            &chunk.samples[t * points..(t + 1) * points],
+        );
+    }
+}
+
+/// Streams batched trace chunks into `consumer` in strict trace order, returning the
+/// total transient step count.
+///
+/// With a pool, chunks are dispatched as fire-and-forget producer tasks and drained
+/// through a channel; out-of-order completions wait in a reorder buffer, so the consumer
+/// always sees trace `t` before `t + 1` — results are bit-identical for any worker count
+/// while memory stays `O(pending batches × batch × points)` instead of
+/// `O(traces × points)`. The drain loop *helps execute* queued tasks while waiting, so
+/// streaming from inside a pool task (the serve daemon's sca jobs) cannot deadlock.
+fn stream_batches<C: TraceConsumer>(
+    context: Arc<BatchContext>,
+    chunks: Vec<(usize, usize)>,
+    pool: Option<&Pool>,
+    consumer: &mut C,
+    key_bytes: usize,
+    points: usize,
+) -> u64 {
+    let mut steps = 0u64;
+    match pool {
+        Some(pool) if pool.threads() > 0 => {
+            let total = chunks.len();
+            let (tx, rx) = mpsc::channel::<(usize, ChunkTraces)>();
+            // Reorder buffer: chunks complete in any order, the consumer sees them in
+            // trace order.
+            let mut pending: BTreeMap<usize, ChunkTraces> = BTreeMap::new();
+            let mut delivered = 0usize;
+            for (index, range) in chunks.into_iter().enumerate() {
+                let tx = tx.clone();
+                let producer = Arc::clone(&context);
+                let submitted = pool.submit(move || {
+                    // A dropped receiver means the streaming side panicked; nothing
+                    // left to do with the chunk then.
+                    let _ = tx.send((index, producer.simulate(range)));
+                });
+                if submitted.is_err() {
+                    // Draining pool: refuse-new-work mode. The chunk must still be
+                    // simulated — run it inline, parked in the reorder buffer so
+                    // ordering against still-in-flight earlier chunks is preserved.
+                    pending.insert(index, context.simulate(range));
+                    delivered += 1;
+                }
+            }
+            drop(tx);
+            let mut next = 0usize;
+            while delivered < total {
+                let message = match rx.try_recv() {
+                    Ok(message) => Some(message),
+                    // Help the pool along instead of blocking: keeps a fully busy pool
+                    // from deadlocking on its own sub-tasks (streaming from inside a
+                    // pool task) and puts the waiting thread to work.
+                    Err(mpsc::TryRecvError::Empty) if pool.try_help() => None,
+                    Err(mpsc::TryRecvError::Empty) => {
+                        match rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                            Ok(message) => Some(message),
+                            Err(mpsc::RecvTimeoutError::Timeout) => None,
+                            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                                panic!("a trace batch producer died before delivering")
+                            }
+                        }
+                    }
+                    Err(mpsc::TryRecvError::Disconnected) => {
+                        panic!("a trace batch producer died before delivering")
+                    }
+                };
+                if let Some((index, chunk)) = message {
+                    delivered += 1;
+                    pending.insert(index, chunk);
+                }
+                while let Some(chunk) = pending.remove(&next) {
+                    steps += chunk.steps;
+                    consume_chunk(consumer, &chunk, key_bytes, points);
+                    next += 1;
+                }
+            }
+            while let Some(chunk) = pending.remove(&next) {
+                steps += chunk.steps;
+                consume_chunk(consumer, &chunk, key_bytes, points);
+                next += 1;
+            }
+            assert_eq!(next, total, "every chunk consumed exactly once");
+        }
+        _ => {
+            // Serial: simulate and fold one batch at a time — memory O(batch × points).
+            for chunk in chunks.into_iter().map(|range| context.simulate(range)) {
+                steps += chunk.steps;
+                consume_chunk(consumer, &chunk, key_bytes, points);
+            }
+        }
+    }
+    steps
+}
+
 /// Runs one attack evaluation against explicit TSV fields.
 ///
 /// `nominal_powers` are the per-block baseline powers (voltage-scaled); `stability` is
@@ -528,6 +730,41 @@ pub fn run_attack(
     key_seed: u64,
     pool: Option<&Pool>,
 ) -> Result<ScaOutcome, ScaError> {
+    run_attack_with(
+        floorplan,
+        nominal_powers,
+        tsv_fields,
+        stability,
+        config,
+        seed,
+        key_seed,
+        TraceEngine::default(),
+        pool,
+    )
+}
+
+/// The validated, target-resolved inputs shared by both trace engines.
+struct AttackSetup {
+    grid: Grid,
+    solver: TransientSolver,
+    target: usize,
+    key: Vec<u8>,
+    workload: Workload,
+    positions: Vec<GridPos>,
+    sample_dt: f64,
+}
+
+/// Validates the configuration and resolves everything both engines share: the grid,
+/// the (expensive, once-per-mitigation-state) transient network, the attacked module,
+/// the key and the sensor positions.
+fn prepare_attack(
+    floorplan: &Floorplan,
+    nominal_powers: &[f64],
+    tsv_fields: &[TsvField],
+    stability: Option<&tsc3d_leakage::StabilityMap>,
+    config: &AttackConfig,
+    key_seed: u64,
+) -> Result<AttackSetup, ScaError> {
     config.validate()?;
     if config.sensors.die >= floorplan.stack().dies() {
         return Err(ScaError::InvalidConfig {
@@ -557,62 +794,138 @@ pub fn run_attack(
         target,
     );
     let positions = config.sensors.positions(grid);
-
-    let context = Arc::new(TraceContext {
-        solver,
-        floorplan: floorplan.clone(),
-        workload,
-        sensors: config.sensors,
-        positions,
+    Ok(AttackSetup {
         grid,
-        seed,
+        solver,
+        target,
+        key,
+        workload,
+        positions,
         sample_dt: config.sensors.dwell_s / config.sensors.samples_per_trace as f64,
-    });
-
-    // Chunk the traces; the partition only affects scheduling, never values (each trace
-    // owns a seeded rng and starts from a reset state).
-    let workers = pool.map(Pool::threads).unwrap_or(0);
-    let chunk_count = (workers * 3).clamp(1, config.traces);
-    let mut chunks = Vec::with_capacity(chunk_count);
-    for c in 0..chunk_count {
-        let lo = c * config.traces / chunk_count;
-        let hi = (c + 1) * config.traces / chunk_count;
-        if lo < hi {
-            chunks.push((lo, hi));
-        }
-    }
-    let results: Vec<ChunkTraces> = match pool {
-        Some(pool) if pool.threads() > 0 => {
-            let context = Arc::clone(&context);
-            pool.run_batch(chunks, move |_, range| context.simulate(range))
-        }
-        _ => chunks
-            .into_iter()
-            .map(|range| context.simulate(range))
-            .collect(),
-    };
-
-    let points = config.sensors.points();
-    let mut set = TraceSet::new(config.workload.key_bytes, points);
-    let mut transient_steps = 0u64;
-    for chunk in &results {
-        transient_steps += chunk.steps;
-        let traces = chunk.plaintexts.len() / config.workload.key_bytes;
-        for t in 0..traces {
-            set.push_trace(
-                &chunk.plaintexts
-                    [t * config.workload.key_bytes..(t + 1) * config.workload.key_bytes],
-                &chunk.samples[t * points..(t + 1) * points],
-            );
-        }
-    }
-
-    let cpa = run_cpa(&set, &key, config.workload.leakage, config.mtd_checkpoints);
-    Ok(ScaOutcome {
-        cpa,
-        target_module: target,
-        transient_steps,
     })
+}
+
+/// [`run_attack`] with an explicit [`TraceEngine`] — the extension point the bench
+/// harness and the equivalence tests use to pin batch sizes or select the scalar
+/// reference path. Both engines are bit-identical for any batch size and worker count.
+///
+/// # Errors
+///
+/// See [`run_attack`]; additionally rejects a zero batch size.
+#[allow(clippy::too_many_arguments)]
+pub fn run_attack_with(
+    floorplan: &Floorplan,
+    nominal_powers: &[f64],
+    tsv_fields: &[TsvField],
+    stability: Option<&tsc3d_leakage::StabilityMap>,
+    config: &AttackConfig,
+    seed: u64,
+    key_seed: u64,
+    engine: TraceEngine,
+    pool: Option<&Pool>,
+) -> Result<ScaOutcome, ScaError> {
+    if let TraceEngine::Batched { batch_traces: 0 } = engine {
+        return Err(ScaError::InvalidConfig {
+            reason: "batch_traces must be >= 1".into(),
+        });
+    }
+    let setup = prepare_attack(
+        floorplan,
+        nominal_powers,
+        tsv_fields,
+        stability,
+        config,
+        key_seed,
+    )?;
+    let points = config.sensors.points();
+    match engine {
+        TraceEngine::Batched { batch_traces } => {
+            let context = Arc::new(BatchContext {
+                stamps: floorplan.power_stamps(setup.grid),
+                solver: BatchTransientSolver::new(Arc::new(setup.solver)),
+                workload: setup.workload,
+                sensors: config.sensors,
+                positions: setup.positions,
+                seed,
+                sample_dt: setup.sample_dt,
+            });
+            // Fixed-size lockstep batches (the last one may be short); the batch
+            // boundary only affects scheduling and SoA lane width, never values.
+            // (Manual ceiling division keeps the crate on the workspace's MSRV.)
+            let mut chunks = Vec::with_capacity((config.traces + batch_traces - 1) / batch_traces);
+            let mut lo = 0;
+            while lo < config.traces {
+                let hi = (lo + batch_traces).min(config.traces);
+                chunks.push((lo, hi));
+                lo = hi;
+            }
+            let mut cpa_sums = CpaAccumulator::new(
+                &setup.key,
+                config.workload.leakage,
+                points,
+                config.traces,
+                config.mtd_checkpoints,
+            );
+            let transient_steps = stream_batches(
+                context,
+                chunks,
+                pool,
+                &mut cpa_sums,
+                config.workload.key_bytes,
+                points,
+            );
+            Ok(ScaOutcome {
+                cpa: cpa_sums.finish(),
+                target_module: setup.target,
+                transient_steps,
+            })
+        }
+        TraceEngine::Reference => {
+            let context = Arc::new(TraceContext {
+                solver: setup.solver,
+                floorplan: floorplan.clone(),
+                workload: setup.workload,
+                sensors: config.sensors,
+                positions: setup.positions,
+                grid: setup.grid,
+                seed,
+                sample_dt: setup.sample_dt,
+            });
+            // Chunk the traces; the partition only affects scheduling, never values
+            // (each trace owns a seeded rng and starts from a reset state).
+            let workers = pool.map(Pool::threads).unwrap_or(0);
+            let chunks = chunk_ranges(config.traces, (workers * 3).max(1));
+            let results: Vec<ChunkTraces> = match pool {
+                Some(pool) if pool.threads() > 0 => {
+                    let context = Arc::clone(&context);
+                    pool.run_batch(chunks, move |_, range| context.simulate(range))
+                }
+                _ => chunks
+                    .into_iter()
+                    .map(|range| context.simulate(range))
+                    .collect(),
+            };
+
+            let mut set = TraceSet::new(config.workload.key_bytes, points);
+            let mut transient_steps = 0u64;
+            for chunk in &results {
+                transient_steps += chunk.steps;
+                consume_chunk(&mut set, chunk, config.workload.key_bytes, points);
+            }
+
+            let cpa = run_cpa(
+                &set,
+                &setup.key,
+                config.workload.leakage,
+                config.mtd_checkpoints,
+            );
+            Ok(ScaOutcome {
+                cpa,
+                target_module: setup.target,
+                transient_steps,
+            })
+        }
+    }
 }
 
 /// Runs one attack evaluation out of a [`FlowResult`], against the chosen mitigation
@@ -630,10 +943,38 @@ pub fn run_on_flow(
     mitigation: Mitigation,
     pool: Option<&Pool>,
 ) -> Result<ScaOutcome, ScaError> {
+    run_on_flow_with(
+        design,
+        flow,
+        config,
+        seed,
+        key_seed,
+        mitigation,
+        TraceEngine::default(),
+        pool,
+    )
+}
+
+/// [`run_on_flow`] with an explicit [`TraceEngine`] (see [`run_attack_with`]).
+///
+/// # Errors
+///
+/// See [`run_attack`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_on_flow_with(
+    design: &Design,
+    flow: &FlowResult,
+    config: &AttackConfig,
+    seed: u64,
+    key_seed: u64,
+    mitigation: Mitigation,
+    engine: TraceEngine,
+    pool: Option<&Pool>,
+) -> Result<ScaOutcome, ScaError> {
     config.validate()?;
     let grid = flow.floorplan().analysis_grid(config.grid_bins);
     let fields = attack_tsv_fields(design, flow, grid, mitigation);
-    run_attack(
+    run_attack_with(
         flow.floorplan(),
         &flow.scaled_powers,
         &fields,
@@ -641,6 +982,7 @@ pub fn run_on_flow(
         config,
         seed,
         key_seed,
+        engine,
         pool,
     )
 }

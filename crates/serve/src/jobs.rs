@@ -433,6 +433,7 @@ impl JobService {
                     .fetch_add(flow.sa.evaluations as u64, Ordering::Relaxed);
                 let mut attack = spec.attack;
                 attack.sensors = job.sensor.config;
+                let attack_started = Instant::now();
                 let verdict = run_verdict(
                     &design,
                     &flow,
@@ -442,15 +443,19 @@ impl JobService {
                     Some(&self.pool),
                 )
                 .map_err(|e| format!("sca {}: {e}", e.kind()))?;
+                let attack_s = attack_started.elapsed().as_secs_f64();
                 let runtime_s = started.elapsed().as_secs_f64();
+                // Attack time (flow excluded) feeds the traces/sec gauge; both mitigation
+                // sides ran inside it.
+                self.metrics.observe_attack(
+                    (verdict.baseline.cpa.traces + verdict.mitigated.cpa.traces) as u64,
+                    attack_s,
+                );
                 let mut members = Vec::new();
                 for (label, outcome) in [
                     ("baseline", &verdict.baseline),
                     ("mitigated", &verdict.mitigated),
                 ] {
-                    self.metrics
-                        .trace_sims_total
-                        .fetch_add(outcome.cpa.traces as u64, Ordering::Relaxed);
                     // runtime_s covers the whole evaluation (flow + both attacks); it is
                     // recorded identically on both sides.
                     members.push((

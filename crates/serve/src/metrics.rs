@@ -71,6 +71,9 @@ pub struct Metrics {
     /// Thermal trace simulations performed by completed sca jobs (one per observed
     /// encryption; an sca submission contributes its baseline plus mitigated traces).
     pub trace_sims_total: AtomicU64,
+    /// Wall-clock microseconds spent inside sca attacks (trace simulation + CPA, flow
+    /// excluded). Divides `trace_sims_total` into the traces/sec gauge.
+    pub trace_attack_micros: AtomicU64,
     /// HTTP requests handled (any endpoint, any status).
     pub http_requests: AtomicU64,
     /// Jobs accepted by `POST /v1/jobs` (including dedups and cache hits).
@@ -105,6 +108,7 @@ impl Default for Metrics {
             started: Instant::now(),
             evaluations_total: AtomicU64::new(0),
             trace_sims_total: AtomicU64::new(0),
+            trace_attack_micros: AtomicU64::new(0),
             http_requests: AtomicU64::new(0),
             jobs_submitted: AtomicU64::new(0),
             jobs_executed: AtomicU64::new(0),
@@ -135,6 +139,26 @@ impl Metrics {
             return 0.0;
         }
         self.evaluations_total.load(Ordering::Relaxed) as f64 / uptime
+    }
+
+    /// Trace simulations per second of attack wall-clock time (0 before the first sca
+    /// job). Unlike [`Self::evaluations_per_sec`] this is busy-time throughput, not a
+    /// lifetime average: idle periods do not decay it, so it tracks the batched trace
+    /// engine's sustained rate directly.
+    pub fn traces_per_sec(&self) -> f64 {
+        let busy_s = self.trace_attack_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        if busy_s <= 0.0 {
+            return 0.0;
+        }
+        self.trace_sims_total.load(Ordering::Relaxed) as f64 / busy_s
+    }
+
+    /// Records one completed sca attack: `traces` simulated encryptions over `seconds`
+    /// of attack wall-clock (flow time excluded by the caller).
+    pub fn observe_attack(&self, traces: u64, seconds: f64) {
+        self.trace_sims_total.fetch_add(traces, Ordering::Relaxed);
+        self.trace_attack_micros
+            .fetch_add((seconds.max(0.0) * 1e6) as u64, Ordering::Relaxed);
     }
 
     /// Records the per-stage wall-clock breakdown of one completed flow run.
@@ -223,6 +247,12 @@ impl Metrics {
             "tsc3d_serve_trace_sims_total",
             "Thermal trace simulations performed by completed sca jobs",
             load(&self.trace_sims_total),
+        );
+        gauge(
+            &mut out,
+            "tsc3d_serve_traces_per_sec",
+            "Trace simulations per second of sca attack wall-clock (busy-time throughput of the batched trace engine)",
+            self.traces_per_sec(),
         );
         gauge(
             &mut out,
@@ -320,6 +350,19 @@ mod tests {
         let text = metrics.render(0, 0, 0);
         assert!(text.contains("tsc3d_serve_evaluations_total 1200"));
         assert!(text.contains("tsc3d_serve_evaluations_per_sec"));
+    }
+
+    #[test]
+    fn trace_throughput_is_busy_time_not_uptime() {
+        let metrics = Metrics::default();
+        assert_eq!(metrics.traces_per_sec(), 0.0);
+        metrics.observe_attack(512, 2.0);
+        metrics.observe_attack(512, 2.0);
+        // 1024 traces over 4 s of attack time: 256/s, regardless of daemon uptime.
+        assert!((metrics.traces_per_sec() - 256.0).abs() < 1e-9);
+        let text = metrics.render(0, 0, 0);
+        assert!(text.contains("tsc3d_serve_trace_sims_total 1024"));
+        assert!(text.contains("tsc3d_serve_traces_per_sec 256"));
     }
 
     #[test]

@@ -42,12 +42,14 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 mod config;
 pub mod fast;
 mod solver;
 pub mod transient;
 mod tsv;
 
+pub use batch::{BatchTransientSolver, BatchTransientState};
 pub use config::{MaterialProperties, StackLayer, StackLayerKind, ThermalConfig};
 pub use solver::{SolveError, SteadyStateSolver, ThermalResult};
 pub use transient::{LumpedTransient, TransientSample, TransientSolver, TransientState};

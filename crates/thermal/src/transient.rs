@@ -239,11 +239,11 @@ impl TransientState {
 #[derive(Debug)]
 pub struct TransientSolver {
     grid: Grid,
-    network: Network,
+    pub(crate) network: Network,
     /// Heat capacity per node in J/K.
-    cap: Vec<f64>,
+    pub(crate) cap: Vec<f64>,
     /// Layer index of each die's active layer (node extraction for sensors).
-    active_layers: Vec<usize>,
+    pub(crate) active_layers: Vec<usize>,
     dies: usize,
     /// Largest stable explicit-Euler step in seconds (min over nodes of C / ΣG).
     max_stable_dt: f64,
@@ -511,15 +511,7 @@ impl TransientSolver {
             return self.step(state, dt);
         }
         let n = self.node_count();
-        let chunk_count = (pool.threads() * 3).clamp(1, n);
-        let mut chunks = Vec::with_capacity(chunk_count);
-        for c in 0..chunk_count {
-            let lo = c * n / chunk_count;
-            let hi = (c + 1) * n / chunk_count;
-            if lo < hi {
-                chunks.push((lo, hi));
-            }
-        }
+        let chunks = tsc3d_exec::chunk_ranges(n, pool.threads() * 3);
         let snapshot = Arc::clone(&state.temps);
         let power = std::mem::take(&mut state.power);
         let power = Arc::new(power);
