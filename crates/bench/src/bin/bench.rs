@@ -663,7 +663,7 @@ fn write_doc(path: &str, doc: &Json) {
         let _ = std::fs::create_dir_all(parent);
     }
     if let Err(err) = std::fs::write(path, format!("{}\n", doc.render())) {
-        eprintln!("bench: could not write {path}: {err}");
+        tsc3d_obs::log_error!("bench", "could not write {path}: {err}");
         std::process::exit(1);
     }
 }

@@ -130,7 +130,7 @@ fn main() {
         match std::fs::write(&json_path, format!("{}\n", doc.render())) {
             Ok(()) => println!("JSON written to {json_path}"),
             Err(err) => {
-                eprintln!("error: could not write {json_path}: {err}");
+                tsc3d_obs::log_error!("bench", "could not write {json_path}: {err}");
                 std::process::exit(1);
             }
         }

@@ -218,7 +218,10 @@ fn main() -> ExitCode {
     // partial averages should not exit 0 silently.
     let failures = summary.failures();
     if !failures.is_empty() {
-        eprintln!("warning: {failures:?} job failure(s); the averages above cover the successful runs only");
+        tsc3d_obs::log_warn!(
+            "bench",
+            "{failures:?} job failure(s); the averages above cover the successful runs only"
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

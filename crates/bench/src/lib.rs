@@ -36,7 +36,7 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> PathBuf {
                 let _ = writeln!(file, "{row}");
             }
         }
-        Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+        Err(err) => tsc3d_obs::log_warn!("bench", "could not write {}: {err}", path.display()),
     }
     path
 }

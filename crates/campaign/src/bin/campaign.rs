@@ -25,6 +25,7 @@ use tsc3d_campaign::{
 };
 use tsc3d_floorplan::SaSchedule;
 use tsc3d_netlist::suite::Benchmark;
+use tsc3d_obs::{log_error, log_info, log_warn};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +33,13 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `--trace-out PATH` turns on structured tracing for the whole run; the collected
+    // spans are written as JSONL on the way out (success or failure — a failed run's
+    // partial trace is exactly what one wants to look at).
+    let trace_out = arg_value(&args, "--trace-out").map(PathBuf::from);
+    if trace_out.is_some() {
+        tsc3d_obs::set_tracing(true);
+    }
     let result = match command {
         "run" => cmd_run(&args[1..], false),
         "resume" => cmd_run(&args[1..], true),
@@ -45,6 +53,9 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     };
+    if let Some(path) = &trace_out {
+        write_trace(path);
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -54,18 +65,44 @@ fn main() -> ExitCode {
     }
 }
 
+/// Drains the span collector to `path` as JSONL; render with `obs report PATH`.
+fn write_trace(path: &PathBuf) {
+    let spans = tsc3d_obs::drain_spans();
+    let dropped = tsc3d_obs::dropped_spans();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(path, tsc3d_obs::spans_to_jsonl(&spans)) {
+        Ok(()) => log_info!(
+            "campaign",
+            "wrote {} spans to {} ({dropped} dropped); render with `obs report`",
+            spans.len(),
+            path.display()
+        ),
+        Err(e) => log_error!(
+            "campaign",
+            "could not write trace to {}: {e}",
+            path.display()
+        ),
+    }
+}
+
 const USAGE: &str = "usage:
   campaign run        [--benchmarks a,b] [--setups pa,tsc] [--seeds 1,2,3 | --runs N [--seed-base S]]
                       [--out FILE] [--workers N] [--shard K/N]
                       [--stages N] [--moves N] [--grid-bins N] [--verification-bins N]
                       [--sweep-tsv-budget a,b] [--paper] [--smoke] [--csv PATH]
-  campaign resume     --out FILE [--workers N] [--shard K/N] [--csv PATH]
+                      [--trace-out PATH]
+  campaign resume     --out FILE [--workers N] [--shard K/N] [--csv PATH] [--trace-out PATH]
   campaign report     --out FILE [--csv PATH]
   campaign sca-run    [--benchmarks a,b] [--seeds 1,2] [--key-seeds 11,12] [--traces N]
                       [--noise a,b] [--stages N] [--moves N] [--grid-bins N]
                       [--verification-bins N] [--paper] [--out FILE] [--workers N]
-                      [--shard K/N] [--smoke] [--report-out PATH]
+                      [--shard K/N] [--smoke] [--report-out PATH] [--trace-out PATH]
   campaign sca-resume --out FILE [--workers N] [--shard K/N] [--report-out PATH]
+                      [--trace-out PATH]
   campaign sca-report --out FILE [--report-out PATH]";
 
 /// Parses `--flag value` from an argument list.
@@ -227,8 +264,9 @@ fn smoke_spec() -> CampaignSpec {
 }
 
 fn print_spec(spec: &CampaignSpec, options: &CampaignOptions) {
-    println!(
-        "campaign: {} jobs ({} benchmarks × {} setups × {} seeds × {} overrides), shard {}, {} workers",
+    log_info!(
+        "campaign",
+        "{} jobs ({} benchmarks × {} setups × {} seeds × {} overrides), shard {}, {} workers",
         spec.job_count(),
         spec.benchmarks.len(),
         spec.setups.len(),
@@ -275,12 +313,15 @@ fn cmd_run(args: &[String], resume: bool) -> Result<(), String> {
         run_campaign(&spec, &options).map_err(|e| e.to_string())?
     };
 
-    println!(
-        "campaign: executed {} job(s), resumed {} from file, {} outside this shard",
-        outcome.executed, outcome.resumed, outcome.out_of_shard
+    log_info!(
+        "campaign",
+        "executed {} job(s), resumed {} from file, {} outside this shard",
+        outcome.executed,
+        outcome.resumed,
+        outcome.out_of_shard
     );
     if let Some(path) = &options.results_path {
-        println!("results: {}", path.display());
+        log_info!("campaign", "results: {}", path.display());
     }
     let summary = aggregate(&outcome.records);
     write_csv_if_requested(args, &summary)?;
@@ -292,8 +333,9 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     let path = arg_value(args, "--out").ok_or("report requires --out FILE")?;
     let file = read_campaign_file(PathBuf::from(&path).as_path()).map_err(|e| e.to_string())?;
     if file.truncated_tail {
-        eprintln!(
-            "note: {path} ends in a truncated line (killed campaign?); resume will rerun that job"
+        log_warn!(
+            "campaign",
+            "{path} ends in a truncated line (killed campaign?); resume will rerun that job"
         );
     }
     let summary = aggregate(&file.records);
@@ -401,8 +443,9 @@ fn cmd_sca_run(args: &[String], resume: bool) -> Result<(), String> {
         let (spec, outcome) = resume_sca_from_file(&path, options.workers, shard_override)
             .map_err(|e| e.to_string())?;
         options.shard = outcome.shard;
-        println!(
-            "sca campaign: {} jobs ({} benchmarks × {} seeds × {} keys × {} sensors × {} \
+        log_info!(
+            "campaign",
+            "sca: {} jobs ({} benchmarks × {} seeds × {} keys × {} sensors × {} \
              mitigations), shard {}, {} workers",
             spec.job_count(),
             spec.benchmarks.len(),
@@ -429,8 +472,9 @@ fn cmd_sca_run(args: &[String], resume: bool) -> Result<(), String> {
             }
         }
         let spec = parse_sca_spec(args)?;
-        println!(
-            "sca campaign: {} jobs ({} benchmarks × {} seeds × {} keys × {} sensors × {} \
+        log_info!(
+            "campaign",
+            "sca: {} jobs ({} benchmarks × {} seeds × {} keys × {} sensors × {} \
              mitigations), shard {}, {} workers",
             spec.job_count(),
             spec.benchmarks.len(),
@@ -444,12 +488,15 @@ fn cmd_sca_run(args: &[String], resume: bool) -> Result<(), String> {
         run_sca_campaign(&spec, &options).map_err(|e| e.to_string())?
     };
 
-    println!(
-        "sca campaign: executed {} job(s), resumed {} from file, {} outside this shard",
-        outcome.executed, outcome.resumed, outcome.out_of_shard
+    log_info!(
+        "campaign",
+        "sca: executed {} job(s), resumed {} from file, {} outside this shard",
+        outcome.executed,
+        outcome.resumed,
+        outcome.out_of_shard
     );
     if let Some(path) = &options.results_path {
-        println!("results: {}", path.display());
+        log_info!("campaign", "results: {}", path.display());
     }
     let report = render_sca_report(&aggregate_sca(&outcome.records));
     write_report_if_requested(args, &report)?;
@@ -461,8 +508,9 @@ fn cmd_sca_report(args: &[String]) -> Result<(), String> {
     let path = arg_value(args, "--out").ok_or("sca-report requires --out FILE")?;
     let file = read_sca_file(PathBuf::from(&path).as_path()).map_err(|e| e.to_string())?;
     if file.truncated_tail {
-        eprintln!(
-            "note: {path} ends in a truncated line (killed campaign?); resume will rerun that job"
+        log_warn!(
+            "campaign",
+            "{path} ends in a truncated line (killed campaign?); resume will rerun that job"
         );
     }
     let report = render_sca_report(&aggregate_sca(&file.records));
@@ -486,7 +534,7 @@ fn write_report_if_requested(args: &[String], report: &str) -> Result<(), String
     }
     std::fs::write(&path, report)
         .map_err(|e| format!("could not write {}: {e}", path.display()))?;
-    println!("report: {}", path.display());
+    log_info!("campaign", "report: {}", path.display());
     Ok(())
 }
 
@@ -504,6 +552,6 @@ fn write_csv_if_requested(args: &[String], summary: &CampaignSummary) -> Result<
     }
     std::fs::write(&path, render_csv(summary))
         .map_err(|e| format!("could not write {}: {e}", path.display()))?;
-    println!("csv: {}", path.display());
+    log_info!("campaign", "csv: {}", path.display());
     Ok(())
 }

@@ -108,15 +108,24 @@ impl From<SinkError> for CampaignError {
 
 /// Executes one job: generates the design instance and runs the flow.
 pub fn execute_job(job: &CampaignJob) -> JobRecord {
+    let _span = tsc3d_obs::span!("campaign_job");
+    let metrics = crate::obs_metrics::get();
+    metrics.running.add(1.0);
     let design = generate(job.benchmark, job.seed);
     let result = TscFlow::new(job.config).run(&design, job.run_seed());
+    metrics.running.add(-1.0);
+    metrics.done.inc();
+    let outcome = JobOutcome::from_flow(&result);
+    if let JobOutcome::Failure { kind, .. } = &outcome {
+        crate::obs_metrics::record_failure(kind);
+    }
     JobRecord {
         job_id: job.id,
         benchmark: job.benchmark,
         setup: job.setup,
         override_name: job.override_name.clone(),
         seed: job.seed,
-        outcome: JobOutcome::from_flow(&result),
+        outcome,
     }
 }
 
@@ -275,6 +284,8 @@ fn run_with_prior(
     let sink_error: Arc<Mutex<Option<SinkError>>> = Arc::new(Mutex::new(None));
     let abort = Arc::new(AtomicBool::new(false));
     let executed = pending.len();
+    crate::obs_metrics::get().queued.add(executed as u64);
+    crate::obs_metrics::get().resumed.add(prior.len() as u64);
     let new_records = {
         let sink = Arc::clone(&sink);
         let sink_error = Arc::clone(&sink_error);

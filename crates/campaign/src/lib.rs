@@ -45,6 +45,57 @@ pub mod record;
 pub mod sca;
 pub mod sink;
 
+/// Cached handles into the global registry for the `tsc3d_campaign_*` metric families
+/// (job lifecycle: queued → running → done, plus per-kind failures).
+pub(crate) mod obs_metrics {
+    pub(crate) struct CampaignMetrics {
+        /// Jobs enqueued for execution (resumed records do not count).
+        pub queued: tsc3d_obs::Counter,
+        /// Jobs currently executing a flow or attack.
+        pub running: tsc3d_obs::Gauge,
+        /// Jobs that ran to completion (success or typed failure).
+        pub done: tsc3d_obs::Counter,
+        /// Jobs skipped on resume because the results file already had their record.
+        pub resumed: tsc3d_obs::Counter,
+    }
+
+    pub(crate) fn get() -> &'static CampaignMetrics {
+        static METRICS: std::sync::OnceLock<CampaignMetrics> = std::sync::OnceLock::new();
+        METRICS.get_or_init(|| {
+            let registry = tsc3d_obs::global();
+            CampaignMetrics {
+                queued: registry.counter(
+                    "tsc3d_campaign_jobs_queued_total",
+                    "Campaign jobs enqueued for execution",
+                ),
+                running: registry.gauge(
+                    "tsc3d_campaign_jobs_running",
+                    "Campaign jobs currently executing",
+                ),
+                done: registry.counter(
+                    "tsc3d_campaign_jobs_done_total",
+                    "Campaign jobs that ran to completion (success or typed failure)",
+                ),
+                resumed: registry.counter(
+                    "tsc3d_campaign_jobs_resumed_total",
+                    "Campaign jobs skipped on resume (record already on disk)",
+                ),
+            }
+        })
+    }
+
+    /// Bumps the per-kind failure family (`tsc3d_campaign_job_failures_total{kind=...}`).
+    pub(crate) fn record_failure(kind: &str) {
+        tsc3d_obs::global()
+            .counter_with(
+                "tsc3d_campaign_job_failures_total",
+                "Campaign job failures by FlowError/ScaError kind",
+                &[("kind", kind)],
+            )
+            .inc();
+    }
+}
+
 pub use aggregate::{aggregate, render_csv, render_report, CampaignSummary, GroupSummary, Stat};
 pub use engine::{
     execute_job, resume_from_file, run_campaign, run_campaign_on, CampaignError, CampaignOptions,

@@ -681,6 +681,9 @@ pub fn execute_sca_job(spec: &ScaCampaignSpec, job: &ScaJob) -> ScaJobRecord {
 }
 
 fn execute_with_flows(spec: &ScaCampaignSpec, job: &ScaJob, flows: &FlowCache) -> ScaJobRecord {
+    let _span = tsc3d_obs::span!("campaign_sca_job");
+    let metrics = crate::obs_metrics::get();
+    metrics.running.add(1.0);
     let started = std::time::Instant::now();
     let product = flows.get(spec, job);
     let outcome = match &product.flow {
@@ -712,6 +715,11 @@ fn execute_with_flows(spec: &ScaCampaignSpec, job: &ScaJob, flows: &FlowCache) -
             }
         }
     };
+    metrics.running.add(-1.0);
+    metrics.done.inc();
+    if let ScaJobOutcome::Failure { kind, .. } = &outcome {
+        crate::obs_metrics::record_failure(kind);
+    }
     ScaJobRecord {
         job_id: job.id,
         benchmark: job.benchmark,
@@ -1062,6 +1070,8 @@ fn run_sca_with_prior(
     let sink_error: Arc<Mutex<Option<SinkError>>> = Arc::new(Mutex::new(None));
     let abort = Arc::new(AtomicBool::new(false));
     let executed = pending.len();
+    crate::obs_metrics::get().queued.add(executed as u64);
+    crate::obs_metrics::get().resumed.add(prior.len() as u64);
     let spec_for_jobs = Arc::new(spec.clone());
     let flows = Arc::new(FlowCache::default());
     let new_records = {

@@ -18,7 +18,49 @@ use tsc3d_netlist::Design;
 use tsc3d_power::VoltageAssignment;
 use tsc3d_thermal::{SolveError, SteadyStateSolver, ThermalConfig};
 
+use tsc3d_obs as obs;
+
 use crate::error::{FlowError, FlowStage, RetryPolicy, SolveQuality, SolverSettings, StageTimings};
+
+/// Stage-latency bucket bounds, in seconds (shared with serve's histograms).
+const STAGE_BOUNDS_S: [f64; 10] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0];
+
+/// Cached handles into the global registry for the `tsc3d_flow_*` families, so
+/// the per-run cost is atomic bumps rather than registry lookups.
+struct FlowMetrics {
+    runs: obs::Counter,
+    evaluations: obs::Counter,
+    stage_floorplan: obs::Histogram,
+    stage_assign: obs::Histogram,
+    stage_verify: obs::Histogram,
+    stage_post_process: obs::Histogram,
+}
+
+fn flow_metrics() -> &'static FlowMetrics {
+    static METRICS: std::sync::OnceLock<FlowMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = obs::global();
+        let stage = |name: &str| {
+            registry.histogram_with(
+                "tsc3d_flow_stage_seconds",
+                "Flow-stage wall-clock latency",
+                &STAGE_BOUNDS_S,
+                &[("stage", name)],
+            )
+        };
+        FlowMetrics {
+            runs: registry.counter("tsc3d_flow_runs_total", "Flow pipeline runs started"),
+            evaluations: registry.counter(
+                "tsc3d_flow_evaluations_total",
+                "SA cost evaluations performed by successful flow runs",
+            ),
+            stage_floorplan: stage("floorplan"),
+            stage_assign: stage("assign"),
+            stage_verify: stage("verify"),
+            stage_post_process: stage("post_process"),
+        }
+    })
+}
 use crate::postprocess::{DummyTsvInserter, PostProcessConfig, PostProcessResult};
 use crate::verification::{default_solver, verify, VerificationReport};
 
@@ -335,26 +377,66 @@ impl TscFlow {
     /// solve fails after exhausting the configured [`RetryPolicy`]. A failed final
     /// sign-off is never papered over with the pre-insertion verification.
     pub fn run(&self, design: &Design, seed: u64) -> Result<FlowResult, FlowError> {
+        let _span = obs::span!("flow");
+        let metrics = flow_metrics();
+        metrics.runs.inc();
+        let result = self.run_stages(design, seed);
+        match &result {
+            Ok(flow) => {
+                metrics.evaluations.add(flow.sa.evaluations as u64);
+                obs::add_to_span("evaluations", flow.sa.evaluations as u64);
+            }
+            Err(error) => {
+                obs::global()
+                    .counter_with(
+                        "tsc3d_flow_failures_total",
+                        "Flow runs that returned a FlowError, by error kind",
+                        &[("kind", error.kind())],
+                    )
+                    .inc();
+            }
+        }
+        result
+    }
+
+    /// The stage pipeline behind [`TscFlow::run`] (which adds the span/metric shell).
+    fn run_stages(&self, design: &Design, seed: u64) -> Result<FlowResult, FlowError> {
         self.config.validate()?;
+        let metrics = flow_metrics();
         let start = std::time::Instant::now();
         let mut timings = StageTimings::default();
 
         let stage_start = std::time::Instant::now();
-        let floorplanned = self.stage_floorplan(design, seed)?;
+        let floorplanned = {
+            let _span = obs::span!("floorplan");
+            self.stage_floorplan(design, seed)?
+        };
         timings.floorplan_s = stage_start.elapsed().as_secs_f64();
+        metrics.stage_floorplan.observe(timings.floorplan_s);
 
         let stage_start = std::time::Instant::now();
-        let assigned = self.stage_assign(design, &floorplanned);
+        let assigned = {
+            let _span = obs::span!("assign");
+            self.stage_assign(design, &floorplanned)
+        };
         timings.assign_s = stage_start.elapsed().as_secs_f64();
+        metrics.stage_assign.observe(timings.assign_s);
 
         let stage_start = std::time::Instant::now();
-        let verified = self.stage_verify(design, &floorplanned, &assigned)?;
+        let verified = {
+            let _span = obs::span!("verify");
+            self.stage_verify(design, &floorplanned, &assigned)?
+        };
         timings.verify_s = stage_start.elapsed().as_secs_f64();
+        metrics.stage_verify.observe(timings.verify_s);
 
         let stage_start = std::time::Instant::now();
-        let processed =
-            self.stage_post_process(design, &floorplanned, &assigned, &verified, seed)?;
+        let processed = {
+            let _span = obs::span!("post_process");
+            self.stage_post_process(design, &floorplanned, &assigned, &verified, seed)?
+        };
         timings.post_process_s = stage_start.elapsed().as_secs_f64();
+        metrics.stage_post_process.observe(timings.post_process_s);
 
         Ok(FlowResult {
             setup: self.config.setup,

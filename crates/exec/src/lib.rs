@@ -30,6 +30,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// How many extra tasks a worker moves from the shared injector into its own deque at
 /// once.
@@ -75,6 +76,23 @@ struct Shared {
     /// is recorded here, for batch tasks it is additionally re-raised at the batch call
     /// site).
     panicked: AtomicU64,
+    /// Scheduler-internal counters, snapshotted by [`Pool::stats`].
+    stats: Stats,
+}
+
+/// Scheduler-internal counters (all relaxed; exact totals, approximate ordering).
+struct Stats {
+    /// Successful steals from a peer's deque (by workers and batch helpers).
+    steals: AtomicU64,
+    /// Times a worker parked on the condvar because no work was visible.
+    parks: AtomicU64,
+    /// Times a parked worker woke up.
+    unparks: AtomicU64,
+    /// Tasks executed to completion (including contained panics).
+    executed: AtomicU64,
+    /// Busy nanoseconds per worker; the extra last slot aggregates non-worker
+    /// threads (batch helpers, `try_help` callers, drain).
+    busy_ns: Vec<AtomicU64>,
 }
 
 impl Shared {
@@ -104,6 +122,7 @@ impl Shared {
             }
 
             if let Some(task) = self.try_steal(Some(me)) {
+                self.stats.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(task);
             }
 
@@ -118,10 +137,12 @@ impl Shared {
             if injector.draining {
                 return None;
             }
+            self.stats.parks.fetch_add(1, Ordering::Relaxed);
             let _unused = self
                 .work_available
                 .wait(injector)
                 .expect("injector poisoned");
+            self.stats.unparks.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -151,18 +172,31 @@ impl Shared {
         if let Some(task) = self.injector.lock().expect("injector").queue.pop_front() {
             return Some(task);
         }
-        self.try_steal(None)
+        let task = self.try_steal(None);
+        if task.is_some() {
+            self.stats.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        task
+    }
+
+    /// The `busy_ns` slot of non-worker threads (batch helpers, `try_help`, drain).
+    fn helper_slot(&self) -> usize {
+        self.locals.len()
     }
 
     /// Runs one task, containing a panic so a misbehaving job cannot take down a
     /// long-lived worker (batch tasks additionally capture the payload and re-raise it at
-    /// the batch call site).
-    fn run_task(&self, task: Task) {
+    /// the batch call site). `slot` attributes the busy time: the worker's index, or
+    /// [`Shared::helper_slot`] for non-worker threads.
+    fn run_task(&self, slot: usize, task: Task) {
+        let start = Instant::now();
         self.active.fetch_add(1, Ordering::Relaxed);
         if catch_unwind(AssertUnwindSafe(task)).is_err() {
             self.panicked.fetch_add(1, Ordering::Relaxed);
         }
         self.active.fetch_sub(1, Ordering::Relaxed);
+        self.stats.executed.fetch_add(1, Ordering::Relaxed);
+        self.stats.busy_ns[slot].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -207,13 +241,20 @@ impl Pool {
             locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             active: AtomicUsize::new(0),
             panicked: AtomicU64::new(0),
+            stats: Stats {
+                steals: AtomicU64::new(0),
+                parks: AtomicU64::new(0),
+                unparks: AtomicU64::new(0),
+                executed: AtomicU64::new(0),
+                busy_ns: (0..=threads).map(|_| AtomicU64::new(0)).collect(),
+            },
         });
         let handles = (0..threads)
             .map(|me| {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
                     while let Some(task) = shared.next_task(me) {
-                        shared.run_task(task);
+                        shared.run_task(me, task);
                     }
                 })
             })
@@ -346,7 +387,7 @@ impl Pool {
             if let Some(task) = self.shared.try_pop_any() {
                 // Any task helps: either it is one of ours, or it unblocks a worker that
                 // holds one of ours.
-                self.shared.run_task(task);
+                self.shared.run_task(self.shared.helper_slot(), task);
                 continue;
             }
             let mut remaining = batch.remaining.lock().expect("batch remaining");
@@ -382,7 +423,7 @@ impl Pool {
     pub fn try_help(&self) -> bool {
         match self.shared.try_pop_any() {
             Some(task) => {
-                self.shared.run_task(task);
+                self.shared.run_task(self.shared.helper_slot(), task);
                 true
             }
             None => false,
@@ -406,7 +447,28 @@ impl Pool {
         // 0-thread pool), `submit`'s accepted-means-executed contract still holds: the
         // shutdown caller drains whatever was queued.
         while let Some(task) = self.shared.try_pop_any() {
-            self.shared.run_task(task);
+            self.shared.run_task(self.shared.helper_slot(), task);
+        }
+    }
+
+    /// A consistent-enough snapshot of the scheduler's internal counters (each value
+    /// is exact; values are read independently, so cross-counter invariants may be
+    /// momentarily off by in-flight tasks).
+    pub fn stats(&self) -> PoolStats {
+        let stats = &self.shared.stats;
+        PoolStats {
+            threads: self.threads(),
+            queued: self.queued(),
+            active: self.active(),
+            steals: stats.steals.load(Ordering::Relaxed),
+            parks: stats.parks.load(Ordering::Relaxed),
+            unparks: stats.unparks.load(Ordering::Relaxed),
+            executed: stats.executed.load(Ordering::Relaxed),
+            busy_ns: stats
+                .busy_ns
+                .iter()
+                .map(|ns| ns.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -414,6 +476,37 @@ impl Pool {
 impl Drop for Pool {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// A snapshot of a [`Pool`]'s scheduler counters, taken by [`Pool::stats`]. The
+/// observable form of the pool's internals: the serve daemon samples this into
+/// its `/metrics` gauges (`tsc3d_pool_*`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Tasks queued but not yet started (injector plus worker deques).
+    pub queued: usize,
+    /// Tasks currently executing.
+    pub active: usize,
+    /// Successful steals from a peer worker's deque.
+    pub steals: u64,
+    /// Times a worker parked because no work was visible.
+    pub parks: u64,
+    /// Times a parked worker woke up (at most one behind `parks` per thread).
+    pub unparks: u64,
+    /// Tasks executed to completion (including contained panics).
+    pub executed: u64,
+    /// Busy nanoseconds per worker, plus one final slot aggregating non-worker
+    /// threads (batch helpers, [`Pool::try_help`] callers, the shutdown drain).
+    pub busy_ns: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Total busy nanoseconds across workers and helpers.
+    pub fn busy_ns_total(&self) -> u64 {
+        self.busy_ns.iter().sum()
     }
 }
 
@@ -693,6 +786,30 @@ mod tests {
         // The pool survives the panic and stays usable.
         assert_eq!(pool.run_batch(vec![7u64, 9], |_, x| x + 1), vec![8, 10]);
         pool.shutdown();
+    }
+
+    #[test]
+    fn stats_count_executed_tasks_and_busy_time() {
+        let pool = Pool::new(2);
+        let results = pool.run_batch((0..16u64).collect(), |_, x| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            x * 2
+        });
+        assert_eq!(results.len(), 16);
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 2);
+        // `executed` is bumped after a task's body returns, so the batch owner may
+        // observe the last task's completion slot before its counter increment.
+        assert!(stats.executed >= 15, "executed {}", stats.executed);
+        // 2 worker slots plus the helper slot; the batch ran real work somewhere.
+        assert_eq!(stats.busy_ns.len(), 3);
+        assert!(stats.busy_ns_total() > 0);
+        assert!(stats.unparks <= stats.parks + stats.threads as u64);
+        pool.shutdown();
+        // After the join the counters are settled and nothing is left queued.
+        let after = pool.stats();
+        assert_eq!(after.queued, 0);
+        assert_eq!(after.executed, 16);
     }
 
     #[test]

@@ -131,6 +131,7 @@ impl SimulatedAnnealing {
         weights: &ObjectiveWeights,
         seed: u64,
     ) -> SaResult {
+        let _span = tsc3d_obs::span!("sa");
         let start = std::time::Instant::now();
         let evaluator =
             Evaluator::new(design, stack, *weights).with_grid_bins(self.schedule.grid_bins);
@@ -176,6 +177,9 @@ impl SimulatedAnnealing {
             -mean_uphill / self.schedule.initial_acceptance.clamp(0.05, 0.99).ln();
 
         for _stage in 0..self.schedule.stages {
+            let _epoch = tsc3d_obs::span!("sa_epoch");
+            let epoch_evaluations = evaluations;
+            let epoch_accepted = accepted;
             for _ in 0..self.schedule.moves_per_stage {
                 let undo = current.perturb_undoable(design, &mut rng);
                 current.pack_with(design, &mut pack_scratch, &mut floorplan);
@@ -200,6 +204,8 @@ impl SimulatedAnnealing {
             }
             temperature *= self.schedule.cooling;
             history.push(best_cost);
+            tsc3d_obs::add_to_span("evaluations", (evaluations - epoch_evaluations) as u64);
+            tsc3d_obs::add_to_span("accepted", (accepted - epoch_accepted) as u64);
         }
 
         SaResult {

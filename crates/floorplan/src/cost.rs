@@ -523,6 +523,7 @@ impl<'d> Evaluator<'d> {
         floorplan: &Floorplan,
         scratch: &mut EvalScratch,
     ) -> GeometricCost {
+        tsc3d_obs::add_to_span("tier_geometric", 1);
         let placements = floorplan.placements();
         assert_eq!(
             placements.len(),
@@ -784,6 +785,7 @@ impl<'d> Evaluator<'d> {
         geometry: &GeometricCost,
         scratch: &mut EvalScratch,
     ) -> CostBreakdown {
+        tsc3d_obs::add_to_span("tier_analysis", 1);
         // Nominal-timing slacks drive the voltage assignment.
         self.timing_graph.analyze_with(
             &self.nominal_delays,

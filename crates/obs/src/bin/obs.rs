@@ -1,0 +1,62 @@
+//! `obs` — render observability artifacts.
+//!
+//! ```text
+//! obs report PATH    # aggregate a --trace-out JSONL span export into a
+//!                    # self/total-time tree, hottest self time first
+//! ```
+//!
+//! The input is the JSONL file written by `campaign ... --trace-out PATH`,
+//! `serve --trace-out PATH`, or a saved `GET /v1/trace` response.
+
+use std::process::ExitCode;
+
+use tsc3d_obs as obs;
+
+const USAGE: &str = "usage: obs report PATH\n\n\
+    Render the span tree of a --trace-out JSONL export (campaign/serve binaries)\n\
+    or a saved GET /v1/trace response. Columns: total time, self time (total\n\
+    minus direct children), span count; children sorted by self time.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            report(path)
+        }
+        Some("--help" | "-h") | None => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("obs: unknown command '{other}'\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn report(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("obs: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spans = match obs::parse_jsonl(&text) {
+        Ok(spans) => spans,
+        Err(e) => {
+            eprintln!("obs: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if spans.is_empty() {
+        println!("{path}: no spans (was tracing enabled?)");
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", obs::render_tree(&obs::aggregate(&spans)));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,204 @@
+//! The leveled stderr logger behind the `log_error!`/`log_warn!`/`log_info!`/
+//! `log_debug!` macros.
+//!
+//! Lines go to stderr as `<UTC timestamp> <LEVEL> <target>: <message>` so report
+//! and table output on stdout stays byte-identical and pipeable. The maximum
+//! level comes from the `TSC3D_LOG` environment variable (`off`, `error`,
+//! `warn`, `info`, `debug`; default `info`), parsed once on first use;
+//! [`set_log_filter`] overrides it programmatically (tests, `--quiet` flags).
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The operation failed; the line explains what was lost.
+    Error = 1,
+    /// Something recoverable went wrong (a torn line skipped, a write retried).
+    Warn = 2,
+    /// Lifecycle progress (job counts, listen addresses, drain notices).
+    Info = 3,
+    /// High-volume diagnostics, off by default.
+    Debug = 4,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+/// 0 = logging off, 1..=4 = maximum enabled level, `UNSET` = parse `TSC3D_LOG`.
+const UNSET: u8 = u8::MAX;
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+fn parse_filter(value: &str) -> Option<u8> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => Some(0),
+        "error" | "1" => Some(Level::Error as u8),
+        "warn" | "warning" | "2" => Some(Level::Warn as u8),
+        "info" | "3" => Some(Level::Info as u8),
+        "debug" | "4" => Some(Level::Debug as u8),
+        _ => None,
+    }
+}
+
+fn max_level() -> u8 {
+    let level = MAX_LEVEL.load(Ordering::Relaxed);
+    if level != UNSET {
+        return level;
+    }
+    let parsed = std::env::var("TSC3D_LOG")
+        .ok()
+        .and_then(|v| parse_filter(&v))
+        .unwrap_or(Level::Info as u8);
+    MAX_LEVEL.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Override the `TSC3D_LOG` filter: `Some(level)` enables up to `level`,
+/// `None` silences logging entirely.
+pub fn set_log_filter(filter: Option<Level>) {
+    MAX_LEVEL.store(filter.map_or(0, |l| l as u8), Ordering::Relaxed);
+}
+
+/// Whether a line at `level` would currently be written.
+#[inline]
+pub fn log_enabled(level: Level) -> bool {
+    (level as u8) <= max_level()
+}
+
+/// Write one log line. Prefer the `log_*!` macros, which skip formatting cost
+/// when the level is filtered out.
+pub fn write(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    if !log_enabled(level) {
+        return;
+    }
+    let stderr = std::io::stderr();
+    let mut lock = stderr.lock();
+    let _ = writeln!(
+        lock,
+        "{} {:5} {target}: {args}",
+        timestamp_utc(),
+        level.as_str()
+    );
+}
+
+/// The current wall-clock time as `YYYY-MM-DDTHH:MM:SS.mmmZ` (UTC).
+fn timestamp_utc() -> String {
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    let secs = now.as_secs();
+    let millis = now.subsec_millis();
+    let days = (secs / 86_400) as i64;
+    let (year, month, day) = civil_from_days(days);
+    let rem = secs % 86_400;
+    format!(
+        "{year:04}-{month:02}-{day:02}T{:02}:{:02}:{:02}.{millis:03}Z",
+        rem / 3600,
+        (rem / 60) % 60,
+        rem % 60
+    )
+}
+
+/// Days-since-1970-01-01 to civil (year, month, day) — Howard Hinnant's
+/// `civil_from_days` algorithm, exact for the proleptic Gregorian calendar.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Log at [`Level::Error`]: `log_error!("target", "lost {}", what)`.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::Level::Error) {
+            $crate::log::write($crate::Level::Error, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Warn`]: `log_warn!("target", "skipped {}", what)`.
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::Level::Warn) {
+            $crate::log::write($crate::Level::Warn, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Info`]: `log_info!("target", "executed {} jobs", n)`.
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::Level::Info) {
+            $crate::log::write($crate::Level::Info, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Debug`]: `log_debug!("target", "probe {}", detail)`.
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::log::log_enabled($crate::Level::Debug) {
+            $crate::log::write($crate::Level::Debug, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parses_names_and_numbers() {
+        assert_eq!(parse_filter("off"), Some(0));
+        assert_eq!(parse_filter("ERROR"), Some(1));
+        assert_eq!(parse_filter(" warn "), Some(2));
+        assert_eq!(parse_filter("info"), Some(3));
+        assert_eq!(parse_filter("debug"), Some(4));
+        assert_eq!(parse_filter("4"), Some(4));
+        assert_eq!(parse_filter("verbose"), None);
+    }
+
+    #[test]
+    fn civil_dates_are_exact() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1)); // leap year
+        assert_eq!(civil_from_days(19_723 + 59), (2024, 2, 29));
+        assert_eq!(civil_from_days(19_723 + 60), (2024, 3, 1));
+        assert_eq!(civil_from_days(20_673), (2026, 8, 8));
+    }
+
+    #[test]
+    fn filter_override_wins() {
+        set_log_filter(Some(Level::Error));
+        assert!(log_enabled(Level::Error));
+        assert!(!log_enabled(Level::Warn));
+        set_log_filter(Some(Level::Debug));
+        assert!(log_enabled(Level::Debug));
+        set_log_filter(None);
+        assert!(!log_enabled(Level::Error));
+        // Restore the default for other tests in this binary.
+        set_log_filter(Some(Level::Info));
+    }
+}

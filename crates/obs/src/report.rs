@@ -1,0 +1,449 @@
+//! Span-tree reporting: JSONL export/import of [`SpanRecord`]s and an aggregated
+//! self/total-time tree renderer (the `obs report` command).
+//!
+//! The JSONL format is one flat object per line:
+//!
+//! ```json
+//! {"id":7,"parent":3,"thread":1,"name":"sa_epoch","start_ns":1200,"dur_ns":880,"counters":{"evaluations":4800}}
+//! ```
+//!
+//! [`aggregate`] folds the records into a tree keyed by name *path* (root span
+//! name, then child name, …): each node carries the number of spans on that path,
+//! their total wall-clock time, the *self* time (total minus the direct
+//! children's total), and the summed span counters. [`render_tree`] prints it
+//! flamegraph-style, children sorted by self time, so the hottest leaf of a
+//! campaign or sca run is the first deeply indented line you read.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::trace::SpanRecord;
+
+/// Encode spans as JSONL (one object per line, trailing newline).
+pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"parent\":{},\"thread\":{},\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{}",
+            span.id,
+            span.parent,
+            span.thread,
+            escape_json(&span.name),
+            span.start_ns,
+            span.dur_ns
+        );
+        out.push_str(",\"counters\":{");
+        for (i, (key, value)) in span.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", escape_json(key), value);
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse a JSONL span export back into records. Unknown keys are ignored;
+/// malformed lines abort with a message naming the line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut spans = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let span = parse_span(line).map_err(|e| format!("line {}: {e}", index + 1))?;
+        spans.push(span);
+    }
+    Ok(spans)
+}
+
+/// A minimal recursive-descent parser for the flat span-object schema above.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_span(line: &str) -> Result<SpanRecord, String> {
+    let mut parser = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let mut span = SpanRecord {
+        id: 0,
+        parent: 0,
+        thread: 0,
+        name: String::new(),
+        start_ns: 0,
+        dur_ns: 0,
+        counters: Vec::new(),
+    };
+    parser.expect(b'{')?;
+    loop {
+        parser.skip_ws();
+        if parser.eat(b'}') {
+            break;
+        }
+        let key = parser.string()?;
+        parser.skip_ws();
+        parser.expect(b':')?;
+        parser.skip_ws();
+        match key.as_str() {
+            "id" => span.id = parser.number()?,
+            "parent" => span.parent = parser.number()?,
+            "thread" => span.thread = parser.number()?,
+            "start_ns" => span.start_ns = parser.number()?,
+            "dur_ns" => span.dur_ns = parser.number()?,
+            "name" => span.name = parser.string()?,
+            "counters" => {
+                parser.expect(b'{')?;
+                loop {
+                    parser.skip_ws();
+                    if parser.eat(b'}') {
+                        break;
+                    }
+                    let counter = parser.string()?;
+                    parser.skip_ws();
+                    parser.expect(b':')?;
+                    parser.skip_ws();
+                    let value = parser.number()?;
+                    span.counters.push((counter, value));
+                    parser.skip_ws();
+                    if !parser.eat(b',') {
+                        parser.expect(b'}')?;
+                        break;
+                    }
+                }
+            }
+            other => return Err(format!("unknown key '{other}'")),
+        }
+        parser.skip_ws();
+        if !parser.eat(b',') {
+            parser.expect(b'}')?;
+            break;
+        }
+    }
+    if span.id == 0 {
+        return Err("span object has no id".to_string());
+    }
+    Ok(span)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.eat(byte) {
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".to_string()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input came from a &str).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8")?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// One node of the aggregated span tree (all spans sharing a name path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeNode {
+    /// Span name at this path position.
+    pub name: String,
+    /// Number of spans aggregated into this node.
+    pub count: u64,
+    /// Summed wall-clock duration of those spans, in nanoseconds.
+    pub total_ns: u64,
+    /// Total minus the direct children's total (clamped at 0), in nanoseconds.
+    pub self_ns: u64,
+    /// Summed span counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Child nodes, sorted by descending self time.
+    pub children: Vec<TreeNode>,
+}
+
+/// Aggregate finished spans into name-path trees. Spans whose parent id is
+/// absent from the input (cross-thread work, still-open parents) become roots.
+/// Roots are returned sorted by descending self time.
+pub fn aggregate(spans: &[SpanRecord]) -> Vec<TreeNode> {
+    let known: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut children_of: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (index, span) in spans.iter().enumerate() {
+        if span.parent != 0 && known.contains(&span.parent) {
+            children_of.entry(span.parent).or_default().push(index);
+        } else {
+            roots.push(index);
+        }
+    }
+    build_level(spans, &children_of, &roots)
+}
+
+fn build_level(
+    spans: &[SpanRecord],
+    children_of: &BTreeMap<u64, Vec<usize>>,
+    members: &[usize],
+) -> Vec<TreeNode> {
+    let mut groups: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for &index in members {
+        groups.entry(&spans[index].name).or_default().push(index);
+    }
+    let mut nodes: Vec<TreeNode> = groups
+        .into_iter()
+        .map(|(name, group)| {
+            let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+            let mut total_ns = 0u64;
+            let mut child_members: Vec<usize> = Vec::new();
+            for &index in &group {
+                let span = &spans[index];
+                total_ns += span.dur_ns;
+                for (key, value) in &span.counters {
+                    *counters.entry(key.clone()).or_insert(0) += value;
+                }
+                if let Some(kids) = children_of.get(&span.id) {
+                    child_members.extend_from_slice(kids);
+                }
+            }
+            let children = build_level(spans, children_of, &child_members);
+            let child_total: u64 = children.iter().map(|c| c.total_ns).sum();
+            TreeNode {
+                name: name.to_string(),
+                count: group.len() as u64,
+                total_ns,
+                self_ns: total_ns.saturating_sub(child_total),
+                counters,
+                children,
+            }
+        })
+        .collect();
+    sort_by_self(&mut nodes);
+    nodes
+}
+
+fn sort_by_self(nodes: &mut [TreeNode]) {
+    nodes.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(&b.name)));
+}
+
+/// Format nanoseconds with a human-readable unit (`ns`, `µs`, `ms`, `s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3}s", ns as f64 / 1e9)
+    }
+}
+
+/// Render the aggregated tree as the `obs report` table: one line per node with
+/// total time, self time, span count, and the indented name plus its counters.
+pub fn render_tree(roots: &[TreeNode]) -> String {
+    let mut out = String::new();
+    let total: u64 = roots.iter().map(|r| r.total_ns).sum();
+    let count: u64 = roots.iter().map(count_spans).sum();
+    let _ = writeln!(out, "{count} spans, {} total", fmt_ns(total));
+    let _ = writeln!(out, "{:>10}  {:>10}  {:>7}  span", "TOTAL", "SELF", "COUNT");
+    for root in roots {
+        render_node(&mut out, root, 0);
+    }
+    out
+}
+
+fn count_spans(node: &TreeNode) -> u64 {
+    node.count + node.children.iter().map(count_spans).sum::<u64>()
+}
+
+fn render_node(out: &mut String, node: &TreeNode, depth: usize) {
+    let mut label = format!("{}{}", "  ".repeat(depth), node.name);
+    if !node.counters.is_empty() {
+        let counters: Vec<String> = node
+            .counters
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        let _ = write!(label, " [{}]", counters.join(", "));
+    }
+    let _ = writeln!(
+        out,
+        "{:>10}  {:>10}  {:>7}  {label}",
+        fmt_ns(node.total_ns),
+        fmt_ns(node.self_ns),
+        node.count
+    );
+    for child in &node.children {
+        render_node(out, child, depth + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, name: &str, start_ns: u64, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            thread: 1,
+            name: name.to_string(),
+            start_ns,
+            dur_ns,
+            counters: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut a = span(1, 0, "flow", 10, 500);
+        a.counters.push(("evaluations".to_string(), 4800));
+        let b = span(2, 1, "weird \"name\"\n\\", 20, 30);
+        let text = spans_to_jsonl(&[a.clone(), b.clone()]);
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, vec![a, b]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_number() {
+        let err = parse_jsonl("{\"id\":1,\"name\":\"x\"}\nnot json\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn aggregate_computes_self_time_and_sorts() {
+        // flow(1000) -> [sa(600), verify(100)], plus a second flow(500) -> sa(200).
+        let spans = vec![
+            span(1, 0, "flow", 0, 1000),
+            span(2, 1, "sa", 10, 600),
+            span(3, 1, "verify", 700, 100),
+            span(4, 0, "flow", 2000, 500),
+            span(5, 4, "sa", 2010, 200),
+        ];
+        let roots = aggregate(&spans);
+        assert_eq!(roots.len(), 1);
+        let flow = &roots[0];
+        assert_eq!(
+            (flow.name.as_str(), flow.count, flow.total_ns),
+            ("flow", 2, 1500)
+        );
+        assert_eq!(flow.self_ns, 1500 - 800 - 100);
+        assert_eq!(flow.children[0].name, "sa"); // 800 self > verify's 100
+        assert_eq!(flow.children[0].count, 2);
+        assert_eq!(flow.children[1].name, "verify");
+    }
+
+    #[test]
+    fn orphan_spans_become_roots() {
+        // Parent id 99 is not in the set (e.g. recorded on another thread).
+        let spans = vec![span(1, 99, "trace_window", 0, 100)];
+        let roots = aggregate(&spans);
+        assert_eq!(roots.len(), 1);
+        assert_eq!(roots[0].name, "trace_window");
+    }
+
+    #[test]
+    fn render_is_indented_and_counts() {
+        let spans = vec![
+            span(1, 0, "flow", 0, 2_000_000),
+            span(2, 1, "sa", 0, 1_500_000),
+        ];
+        let text = render_tree(&aggregate(&spans));
+        assert!(text.contains("2 spans"), "{text}");
+        assert!(text.contains("flow"), "{text}");
+        assert!(text.contains("  sa"), "{text}");
+    }
+}

@@ -1,0 +1,243 @@
+//! The structured-tracing core: thread-local span stacks, RAII guards, and a
+//! sharded global collector.
+//!
+//! Tracing is **off by default**. Every instrumentation site ([`SpanGuard::enter`],
+//! [`add_to_span`]) starts with a single relaxed atomic load of the global enable
+//! flag, so disabled tracing costs one predictable branch in hot loops. The
+//! `tracing` cargo feature (default on) compiles the sites out entirely when
+//! disabled at build time.
+//!
+//! When enabled, each thread keeps a stack of active span frames; a guard pushes a
+//! frame on construction and, on drop, pops it and appends a finished
+//! [`SpanRecord`] to one of [`SHARDS`] mutex-protected vectors (sharded by thread,
+//! so unrelated threads never contend). Timestamps are nanoseconds since a
+//! process-wide epoch taken from a monotonic clock. Each shard is capped; spans
+//! past the cap are counted in [`dropped_spans`] instead of growing without bound
+//! in a long-lived server.
+
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Number of collector shards. Threads map onto shards by their obs-local id.
+pub const SHARDS: usize = 16;
+
+/// Per-shard finished-span cap; beyond it spans are dropped (and counted).
+const SHARD_CAP: usize = 1 << 16;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// One finished span, as recorded by the collector (or parsed back from JSONL).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique span id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, or 0 for a root span.
+    pub parent: u64,
+    /// Obs-local id of the thread the span ran on (assigned on first use).
+    pub thread: u64,
+    /// Span name, as passed to [`SpanGuard::enter`].
+    pub name: String,
+    /// Start time in nanoseconds since the process-wide tracing epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Counters attached via [`add_to_span`], in first-touch order.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// An in-flight span frame on a thread's stack.
+struct Frame {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+    counters: Vec<(&'static str, u64)>,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The process-wide monotonic epoch all span timestamps are relative to.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn collector() -> &'static Vec<Mutex<Vec<SpanRecord>>> {
+    static COLLECTOR: OnceLock<Vec<Mutex<Vec<SpanRecord>>>> = OnceLock::new();
+    COLLECTOR.get_or_init(|| (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect())
+}
+
+/// The obs-local id of the calling thread (assigned monotonically on first use).
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|cell| {
+        let mut id = cell.get();
+        if id == 0 {
+            id = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+            cell.set(id);
+        }
+        id
+    })
+}
+
+/// Turn runtime tracing on or off. Spans opened while enabled still record on
+/// close even if tracing was disabled in between (stack discipline is preserved).
+pub fn set_tracing(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently recording. Compiled to `false` without the
+/// `tracing` cargo feature; otherwise a single relaxed atomic load.
+#[inline(always)]
+pub fn tracing_enabled() -> bool {
+    cfg!(feature = "tracing") && ENABLED.load(Ordering::Relaxed)
+}
+
+/// Number of finished spans dropped because a collector shard hit its cap.
+pub fn dropped_spans() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// An RAII guard for one span: entering pushes a frame on the calling thread's
+/// span stack, dropping pops it and records the finished [`SpanRecord`].
+///
+/// Guards are strictly nested per thread (the type is `!Send`), so spans opened
+/// inside a task that a worker — or a caller inside `Pool::try_help` — executes
+/// inline nest under whatever span that thread currently has open.
+#[must_use = "a span guard records its span when dropped; binding it to `_` closes it immediately"]
+pub struct SpanGuard {
+    armed: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl SpanGuard {
+    /// Open a span named `name`. When tracing is disabled this returns an inert
+    /// guard and costs one branch.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !tracing_enabled() {
+            return SpanGuard {
+                armed: false,
+                _not_send: PhantomData,
+            };
+        }
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let start_ns = now_ns();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().map_or(0, |f| f.id);
+            stack.push(Frame {
+                id,
+                parent,
+                name,
+                start_ns,
+                counters: Vec::new(),
+            });
+        });
+        SpanGuard {
+            armed: true,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let Some(frame) = STACK.with(|stack| stack.borrow_mut().pop()) else {
+            return;
+        };
+        let record = SpanRecord {
+            id: frame.id,
+            parent: frame.parent,
+            thread: thread_id(),
+            name: frame.name.to_string(),
+            start_ns: frame.start_ns,
+            dur_ns: now_ns().saturating_sub(frame.start_ns),
+            counters: frame
+                .counters
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        };
+        let shard = (record.thread as usize) % SHARDS;
+        let mut spans = collector()[shard].lock().unwrap();
+        if spans.len() < SHARD_CAP {
+            spans.push(record);
+        } else {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Add `n` to counter `name` on the innermost active span of the calling thread.
+///
+/// No-op (one branch) when tracing is disabled or no span is open. Counters are
+/// meant for per-epoch / per-batch totals — call this once per chunk of work, not
+/// once per element.
+#[inline]
+pub fn add_to_span(name: &'static str, n: u64) {
+    if !tracing_enabled() {
+        return;
+    }
+    STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let Some(frame) = stack.last_mut() else {
+            return;
+        };
+        match frame.counters.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => *v += n,
+            None => frame.counters.push((name, n)),
+        }
+    });
+}
+
+/// Remove and return all finished spans collected so far, ordered by start time.
+pub fn drain_spans() -> Vec<SpanRecord> {
+    let mut all = Vec::new();
+    for shard in collector() {
+        all.append(&mut shard.lock().unwrap());
+    }
+    all.sort_by_key(|s| (s.start_ns, s.id));
+    all
+}
+
+/// Clone all finished spans collected so far (ordered by start time) without
+/// clearing the collector. This is what `GET /v1/trace` serves.
+pub fn snapshot_spans() -> Vec<SpanRecord> {
+    let mut all = Vec::new();
+    for shard in collector() {
+        all.extend(shard.lock().unwrap().iter().cloned());
+    }
+    all.sort_by_key(|s| (s.start_ns, s.id));
+    all
+}
+
+/// Open a named span for the enclosing scope.
+///
+/// ```
+/// let _span = tsc3d_obs::span!("pack");
+/// ```
+///
+/// Expands to [`SpanGuard::enter`]; bind the guard to a named `_span` variable so
+/// it lives to the end of the scope (binding to `_` drops it immediately).
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::trace::SpanGuard::enter($name)
+    };
+}

@@ -1,0 +1,144 @@
+//! Registry correctness under contention plus exposition-format guarantees:
+//! concurrent updates from N threads sum exactly, and the Prometheus text
+//! output is stable-ordered and correctly escaped.
+
+use tsc3d_obs::Registry;
+
+#[test]
+fn concurrent_counter_updates_sum_exactly() {
+    const THREADS: usize = 8;
+    const INCS: u64 = 10_000;
+    let registry = Registry::new();
+    let counter = registry.counter("tsc3d_test_total", "concurrent increments");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = counter.clone();
+            scope.spawn(move || {
+                for _ in 0..INCS {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * INCS);
+    assert!(registry
+        .render()
+        .contains(&format!("tsc3d_test_total {}", THREADS as u64 * INCS)));
+}
+
+#[test]
+fn concurrent_histogram_updates_sum_exactly() {
+    const THREADS: usize = 8;
+    const OBS: u64 = 5_000;
+    let registry = Registry::new();
+    let histogram = registry.histogram(
+        "tsc3d_test_seconds",
+        "concurrent observations",
+        &[1.0, 10.0],
+    );
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let histogram = histogram.clone();
+            scope.spawn(move || {
+                for _ in 0..OBS {
+                    // Exactly representable values so the CAS-summed f64 total is exact.
+                    histogram.observe(if t % 2 == 0 { 0.5 } else { 4.0 });
+                }
+            });
+        }
+    });
+    assert_eq!(histogram.count(), THREADS as u64 * OBS);
+    let expected =
+        (THREADS as u64 / 2 * OBS) as f64 * 0.5 + (THREADS as u64 / 2 * OBS) as f64 * 4.0;
+    assert_eq!(histogram.sum(), expected);
+    let text = registry.render();
+    // 0.5 observations land in le="1", all observations in le="+Inf" (cumulative).
+    assert!(text.contains(&format!(
+        "tsc3d_test_seconds_bucket{{le=\"1\"}} {}",
+        THREADS as u64 / 2 * OBS
+    )));
+    assert!(text.contains(&format!(
+        "tsc3d_test_seconds_bucket{{le=\"+Inf\"}} {}",
+        THREADS as u64 * OBS
+    )));
+}
+
+#[test]
+fn gauge_add_is_atomic_under_contention() {
+    let registry = Registry::new();
+    let gauge = registry.gauge("tsc3d_test_gauge", "concurrent adds");
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let gauge = gauge.clone();
+            scope.spawn(move || {
+                for _ in 0..1_000 {
+                    gauge.add(0.25);
+                }
+            });
+        }
+    });
+    assert_eq!(gauge.get(), 8.0 * 1_000.0 * 0.25);
+}
+
+#[test]
+fn render_is_stable_ordered() {
+    let registry = Registry::new();
+    // Register deliberately out of name order and out of label order.
+    registry.counter("tsc3d_zebra_total", "last family");
+    registry.counter_with("tsc3d_alpha_total", "first family", &[("kind", "timeout")]);
+    registry.counter_with("tsc3d_alpha_total", "first family", &[("kind", "assign")]);
+    registry.gauge("tsc3d_middle", "middle family").set(2.5);
+    let first = registry.render();
+    // Families sorted by name, series sorted by label set, idempotent re-render.
+    let alpha = first.find("tsc3d_alpha_total").unwrap();
+    let middle = first.find("tsc3d_middle").unwrap();
+    let zebra = first.find("tsc3d_zebra_total").unwrap();
+    assert!(alpha < middle && middle < zebra, "{first}");
+    assert!(
+        first.find("kind=\"assign\"").unwrap() < first.find("kind=\"timeout\"").unwrap(),
+        "{first}"
+    );
+    assert_eq!(first, registry.render());
+    assert!(first.contains("tsc3d_middle 2.5"));
+}
+
+#[test]
+fn label_values_and_help_are_escaped() {
+    let registry = Registry::new();
+    registry
+        .counter_with(
+            "tsc3d_escape_total",
+            "help with \\ backslash\nand newline",
+            &[("path", "a\\b \"quoted\"\nline")],
+        )
+        .inc();
+    let text = registry.render();
+    assert!(text.contains("# HELP tsc3d_escape_total help with \\\\ backslash\\nand newline"));
+    assert!(text.contains("path=\"a\\\\b \\\"quoted\\\"\\nline\""));
+    // Every rendered line is still single-line (no raw newline leaked through).
+    assert_eq!(text.lines().count(), 3);
+}
+
+#[test]
+fn labels_are_sorted_with_le_semantics_preserved() {
+    let registry = Registry::new();
+    let histogram = registry.histogram_with(
+        "tsc3d_labeled_seconds",
+        "labeled histogram",
+        &[0.1],
+        &[("stage", "verify")],
+    );
+    histogram.observe(0.05);
+    let text = registry.render();
+    // Non-`le` labels come first; `le` stays last on bucket lines.
+    assert!(text.contains("tsc3d_labeled_seconds_bucket{stage=\"verify\",le=\"0.1\"} 1"));
+    assert!(text.contains("tsc3d_labeled_seconds_count{stage=\"verify\"} 1"));
+}
+
+#[test]
+#[should_panic(expected = "already registered")]
+fn kind_mismatch_panics() {
+    let registry = Registry::new();
+    registry.counter("tsc3d_kind_total", "a counter");
+    registry.gauge("tsc3d_kind_total", "now a gauge?");
+}

@@ -323,6 +323,8 @@ impl CpaAccumulator {
                 acc.best_at_checkpoint.push(best_guess);
             }
             self.next_mark += 1;
+            tsc3d_obs::add_to_span("cpa_checkpoints", 1);
+            crate::obs_metrics::get().cpa_checkpoints.inc();
         }
     }
 
@@ -332,6 +334,7 @@ impl CpaAccumulator {
     ///
     /// Panics if fewer traces were pushed than declared.
     pub fn finish(self) -> CpaResult {
+        let _span = tsc3d_obs::span!("cpa_finish");
         assert_eq!(
             self.seen, self.traces,
             "finish called after {} of {} traces",

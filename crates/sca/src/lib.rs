@@ -58,6 +58,46 @@ pub mod scenario;
 pub mod sensor;
 pub mod workload;
 
+/// Cached handles into the global registry for the `tsc3d_sca_*` metric family
+/// (shared by the scenario engine and the CPA accumulator).
+pub(crate) mod obs_metrics {
+    pub(crate) struct ScaMetrics {
+        /// Attack evaluations completed (one per mitigation state).
+        pub attacks: tsc3d_obs::Counter,
+        /// Simulated traces (observed encryptions) across all attacks.
+        pub traces: tsc3d_obs::Counter,
+        /// Explicit-Euler transient steps across all attacks.
+        pub transient_steps: tsc3d_obs::Counter,
+        /// CPA disclosure checkpoints evaluated.
+        pub cpa_checkpoints: tsc3d_obs::Counter,
+    }
+
+    pub(crate) fn get() -> &'static ScaMetrics {
+        static METRICS: std::sync::OnceLock<ScaMetrics> = std::sync::OnceLock::new();
+        METRICS.get_or_init(|| {
+            let registry = tsc3d_obs::global();
+            ScaMetrics {
+                attacks: registry.counter(
+                    "tsc3d_sca_attacks_total",
+                    "Trace-level attack evaluations completed",
+                ),
+                traces: registry.counter(
+                    "tsc3d_sca_traces_total",
+                    "Thermal traces simulated (one per observed encryption)",
+                ),
+                transient_steps: registry.counter(
+                    "tsc3d_sca_transient_steps_total",
+                    "Explicit-Euler transient steps performed by trace simulations",
+                ),
+                cpa_checkpoints: registry.counter(
+                    "tsc3d_sca_cpa_checkpoints_total",
+                    "CPA disclosure checkpoints evaluated",
+                ),
+            }
+        })
+    }
+}
+
 pub use cpa::{run_cpa, ByteResult, CpaAccumulator, CpaResult, TraceConsumer, TraceSet};
 pub use scenario::{
     attack_tsv_fields, resolve_target, run_attack, run_attack_with, run_on_flow, run_on_flow_with,

@@ -496,6 +496,7 @@ impl TraceContext {
     /// Simulates the traces `range.0..range.1`, each from its own seeded rng, resetting
     /// the (chunk-reused) state to ambient per trace.
     fn simulate(&self, range: (usize, usize)) -> ChunkTraces {
+        let _span = tsc3d_obs::span!("trace_window");
         let (lo, hi) = range;
         let key_bytes = self.workload.config().key_bytes;
         let points = self.sensors.points();
@@ -524,6 +525,8 @@ impl TraceContext {
             }
             out.plaintexts.extend_from_slice(&activity.plaintexts);
         }
+        tsc3d_obs::add_to_span("traces", (hi - lo) as u64);
+        tsc3d_obs::add_to_span("transient_steps", out.steps);
         out
     }
 }
@@ -558,6 +561,7 @@ impl BatchContext {
     /// and is stepped with the scalar per-node operation order, so every lane's samples
     /// are bit-identical to a scalar simulation of that trace.
     fn simulate(&self, range: (usize, usize)) -> ChunkTraces {
+        let _span = tsc3d_obs::span!("trace_window");
         let (lo, hi) = range;
         let lanes = hi - lo;
         let key_bytes = self.workload.config().key_bytes;
@@ -594,6 +598,8 @@ impl BatchContext {
                 }
             }
         }
+        tsc3d_obs::add_to_span("traces", lanes as u64);
+        tsc3d_obs::add_to_span("transient_steps", out.steps);
         out
     }
 }
@@ -824,6 +830,7 @@ pub fn run_attack_with(
     engine: TraceEngine,
     pool: Option<&Pool>,
 ) -> Result<ScaOutcome, ScaError> {
+    let _span = tsc3d_obs::span!("sca_attack");
     if let TraceEngine::Batched { batch_traces: 0 } = engine {
         return Err(ScaError::InvalidConfig {
             reason: "batch_traces must be >= 1".into(),
@@ -838,7 +845,7 @@ pub fn run_attack_with(
         key_seed,
     )?;
     let points = config.sensors.points();
-    match engine {
+    let result = match engine {
         TraceEngine::Batched { batch_traces } => {
             let context = Arc::new(BatchContext {
                 stamps: floorplan.power_stamps(setup.grid),
@@ -925,7 +932,16 @@ pub fn run_attack_with(
                 transient_steps,
             })
         }
+    };
+    if let Ok(outcome) = &result {
+        let metrics = crate::obs_metrics::get();
+        metrics.attacks.inc();
+        metrics.traces.add(config.traces as u64);
+        metrics.transient_steps.add(outcome.transient_steps);
+        tsc3d_obs::add_to_span("traces", config.traces as u64);
+        tsc3d_obs::add_to_span("transient_steps", outcome.transient_steps);
     }
+    result
 }
 
 /// Runs one attack evaluation out of a [`FlowResult`], against the chosen mitigation

@@ -2,20 +2,26 @@
 //!
 //! ```text
 //! serve [--addr 127.0.0.1:7878] [--workers N] [--state-dir DIR]
-//!       [--cache-cap N] [--queue-cap N]
+//!       [--cache-cap N] [--queue-cap N] [--trace-out PATH]
 //! ```
 //!
 //! With `--state-dir`, completed results persist to `DIR/results.jsonl` and a restarted
 //! server serves them without re-running (see the crate docs and the README's "Serving
 //! evaluations" section). `POST /v1/shutdown` stops the daemon gracefully: accepted jobs
 //! drain and persist before the process exits.
+//!
+//! `--trace-out PATH` enables structured tracing ([`tsc3d_obs`]) for the server's
+//! lifetime and writes the collected spans as JSONL to `PATH` on shutdown; render the
+//! tree with `obs report PATH`. The live collector is also available at `GET /v1/trace`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use tsc3d_obs::{log_error, log_info};
 use tsc3d_serve::{Server, ServerConfig};
 
 const USAGE: &str = "usage:
-  serve [--addr HOST:PORT] [--workers N] [--state-dir DIR] [--cache-cap N] [--queue-cap N]";
+  serve [--addr HOST:PORT] [--workers N] [--state-dir DIR] [--cache-cap N] [--queue-cap N]
+        [--trace-out PATH]";
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -50,6 +56,21 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
     Ok(config)
 }
 
+/// Drains the span collector to `path` as JSONL (one span object per line).
+fn write_trace(path: &PathBuf) {
+    let spans = tsc3d_obs::drain_spans();
+    let dropped = tsc3d_obs::dropped_spans();
+    match std::fs::write(path, tsc3d_obs::spans_to_jsonl(&spans)) {
+        Ok(()) => log_info!(
+            "serve",
+            "wrote {} spans to {} ({dropped} dropped); render with `obs report`",
+            spans.len(),
+            path.display()
+        ),
+        Err(e) => log_error!("serve", "could not write trace to {}: {e}", path.display()),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -63,6 +84,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let trace_out = arg_value(&args, "--trace-out").map(PathBuf::from);
+    if trace_out.is_some() {
+        tsc3d_obs::set_tracing(true);
+    }
     let state_note = match &config.state_dir {
         Some(dir) => format!("state in {}", dir.display()),
         None => "in-memory only (no --state-dir)".to_string(),
@@ -71,17 +96,21 @@ fn main() -> ExitCode {
     let cache_cap = config.cache_cap;
     match Server::start(config) {
         Ok(server) => {
-            println!(
-                "serve: listening on http://{} ({workers} workers, cache cap {cache_cap}, {state_note})",
+            log_info!(
+                "serve",
+                "listening on http://{} ({workers} workers, cache cap {cache_cap}, {state_note})",
                 server.local_addr()
             );
             // Run until a client POSTs /v1/shutdown (the graceful path: accepted jobs
             // drain and persist before exit). A hard kill is also safe — per-line
             // flushing means completed results are served after restart.
             server.wait_shutdown_requested();
-            println!("serve: shutdown requested, draining");
+            log_info!("serve", "shutdown requested, draining");
             server.shutdown();
-            println!("serve: drained");
+            log_info!("serve", "drained");
+            if let Some(path) = &trace_out {
+                write_trace(path);
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

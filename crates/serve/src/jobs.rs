@@ -12,7 +12,6 @@ use crate::metrics::Metrics;
 use crate::payload::Payload;
 use crate::state::StateFile;
 use std::collections::HashMap;
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use tsc3d::exec::Pool;
@@ -218,8 +217,8 @@ impl JobService {
         let mut table = self.table.lock().expect("job table");
 
         if let Some(&id) = table.in_flight.get(&key) {
-            metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-            metrics.dedup_hits.fetch_add(1, Ordering::Relaxed);
+            metrics.jobs_submitted.inc();
+            metrics.dedup_hits.inc();
             return Ok((id, Admission::Deduped));
         }
         // The cache/disk check must happen under the table lock *after* the in-flight
@@ -244,12 +243,12 @@ impl JobService {
                 },
             );
             table.prune_settled(self.jobs_retained);
-            metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-            metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            metrics.jobs_submitted.inc();
+            metrics.cache_hits.inc();
             return Ok((id, Admission::CacheHit));
         }
         if table.pending >= self.queue_cap {
-            metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            metrics.rejected_busy.inc();
             return Err(Refusal::Busy {
                 queue_cap: self.queue_cap,
             });
@@ -293,7 +292,7 @@ impl JobService {
             let _ = closed;
             return Err(Refusal::Draining);
         }
-        metrics.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        metrics.jobs_submitted.inc();
         Ok((id, Admission::Enqueued))
     }
 
@@ -313,11 +312,14 @@ impl JobService {
                 Some(entry.result)
             }
             Ok(_) => {
-                eprintln!("serve: disk index entry at {offset} holds a different key; ignoring");
+                tsc3d_obs::log_warn!(
+                    "serve",
+                    "disk index entry at {offset} holds a different key; ignoring"
+                );
                 None
             }
             Err(e) => {
-                eprintln!("serve: could not re-read persisted result: {e}");
+                tsc3d_obs::log_error!("serve", "could not re-read persisted result: {e}");
                 None
             }
         }
@@ -336,8 +338,10 @@ impl JobService {
         self.metrics.queue_wait.observe(queued_for.as_secs_f64());
 
         let started = Instant::now();
-        let outcome =
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_payload(&payload)));
+        let outcome = {
+            let _span = tsc3d_obs::span!("serve_job");
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_payload(&payload)))
+        };
         self.metrics
             .job_latency
             .observe(started.elapsed().as_secs_f64());
@@ -358,7 +362,7 @@ impl JobService {
                                 .expect("disk index")
                                 .insert(Arc::clone(&key), offset);
                         }
-                        Err(e) => eprintln!("serve: could not persist job {id}: {e}"),
+                        Err(e) => tsc3d_obs::log_error!("serve", "could not persist job {id}: {e}"),
                     }
                 }
                 self.cache.insert(Arc::clone(&key), Arc::clone(&result));
@@ -367,21 +371,21 @@ impl JobService {
                     job.state = JobState::Done;
                     job.result = Some(result);
                 }
-                self.metrics.jobs_executed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.jobs_executed.inc();
             }
             Ok(Err(message)) => {
                 if let Some(job) = table.jobs.get_mut(&id) {
                     job.state = JobState::Failed;
                     job.error = Some(message);
                 }
-                self.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.jobs_failed.inc();
             }
             Err(_panic) => {
                 if let Some(job) = table.jobs.get_mut(&id) {
                     job.state = JobState::Failed;
                     job.error = Some("job panicked".to_string());
                 }
-                self.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.jobs_failed.inc();
             }
         }
         table.in_flight.remove(&key);
@@ -399,7 +403,7 @@ impl JobService {
                     self.metrics.observe_stages(&flow.stage_timings);
                     self.metrics
                         .evaluations_total
-                        .fetch_add(flow.sa.evaluations as u64, Ordering::Relaxed);
+                        .add(flow.sa.evaluations as u64);
                 }
                 let record = JobRecord {
                     job_id: job.id,
@@ -430,7 +434,7 @@ impl JobService {
                 self.metrics.observe_stages(&flow.stage_timings);
                 self.metrics
                     .evaluations_total
-                    .fetch_add(flow.sa.evaluations as u64, Ordering::Relaxed);
+                    .add(flow.sa.evaluations as u64);
                 let mut attack = spec.attack;
                 attack.sensors = job.sensor.config;
                 let attack_started = Instant::now();
@@ -491,9 +495,7 @@ impl JobService {
                         JobOutcome::Failure { .. } => None,
                     })
                     .sum();
-                self.metrics
-                    .evaluations_total
-                    .fetch_add(evaluations as u64, Ordering::Relaxed);
+                self.metrics.evaluations_total.add(evaluations as u64);
                 let records: Result<Vec<Json>, String> = outcome
                     .records
                     .iter()

@@ -1,127 +1,192 @@
 //! Service counters and latency histograms, rendered in Prometheus text format.
+//!
+//! A thin adapter over the unified [`tsc3d_obs`] registry: every serve-local
+//! metric lives in a **per-instance** [`Registry`] (so several servers in one
+//! process — e.g. the smoke tests — never share counters), while `/metrics`
+//! renders that instance registry *plus* the process-wide [`tsc3d_obs::global`]
+//! registry, picking up the `tsc3d_flow_*`, `tsc3d_thermal_*`, `tsc3d_sca_*`
+//! and `tsc3d_campaign_*` families the library crates record into. Pool
+//! internals ([`PoolStats`]) are sampled into `tsc3d_pool_*` gauges at render
+//! time.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+use tsc3d::exec::PoolStats;
 use tsc3d::StageTimings;
+use tsc3d_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Histogram bucket upper bounds, in seconds (an `+Inf` bucket is implicit).
 const BOUNDS_S: [f64; 10] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0];
 
-/// A fixed-bucket latency histogram (lock-free; Prometheus `histogram` semantics:
-/// cumulative buckets plus `_sum` and `_count`).
-#[derive(Debug, Default)]
-pub struct Histogram {
-    buckets: [AtomicU64; BOUNDS_S.len() + 1],
-    sum_micros: AtomicU64,
-    count: AtomicU64,
-}
-
-impl Histogram {
-    /// Records one observation.
-    pub fn observe(&self, seconds: f64) {
-        let index = BOUNDS_S
-            .iter()
-            .position(|&bound| seconds <= bound)
-            .unwrap_or(BOUNDS_S.len());
-        self.buckets[index].fetch_add(1, Ordering::Relaxed);
-        self.sum_micros
-            .fetch_add((seconds.max(0.0) * 1e6) as u64, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Number of observations.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    fn render(&self, out: &mut String, name: &str, labels: &str) {
-        let mut cumulative = 0u64;
-        for (i, bound) in BOUNDS_S.iter().enumerate() {
-            cumulative += self.buckets[i].load(Ordering::Relaxed);
-            let sep = if labels.is_empty() { "" } else { "," };
-            out.push_str(&format!(
-                "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}\n"
-            ));
-        }
-        cumulative += self.buckets[BOUNDS_S.len()].load(Ordering::Relaxed);
-        let sep = if labels.is_empty() { "" } else { "," };
-        out.push_str(&format!(
-            "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {cumulative}\n"
-        ));
-        out.push_str(&format!(
-            "{name}_sum{{{labels}}} {}\n",
-            self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
-        ));
-        out.push_str(&format!(
-            "{name}_count{{{labels}}} {}\n",
-            self.count.load(Ordering::Relaxed)
-        ));
-    }
-}
-
-/// All counters of the serve daemon.
+/// All counters of the serve daemon, backed by a per-instance [`Registry`].
 #[derive(Debug)]
 pub struct Metrics {
+    /// The instance-local registry every handle below is registered in.
+    registry: Registry,
     /// When the daemon's metrics came up (anchor of the evaluations/sec rate).
     started: Instant,
+    /// Wall-clock microseconds spent inside sca attacks (trace simulation + CPA, flow
+    /// excluded). Divides `trace_sims_total` into the traces/sec gauge; not exported
+    /// on its own.
+    trace_attack_micros: AtomicU64,
+    /// HTTP requests handled (any endpoint, any status).
+    pub http_requests: Counter,
+    /// Jobs accepted by `POST /v1/jobs` (including dedups and cache hits).
+    pub jobs_submitted: Counter,
+    /// Jobs that actually executed a flow or campaign.
+    pub jobs_executed: Counter,
+    /// Jobs that failed internally (panic in the job closure).
+    pub jobs_failed: Counter,
+    /// Submissions joined onto an identical in-flight job.
+    pub dedup_hits: Counter,
+    /// Submissions answered from the result cache.
+    pub cache_hits: Counter,
+    /// Submissions refused with `429` (queue full).
+    pub rejected_busy: Counter,
     /// Annealing cost evaluations performed by completed jobs (flow jobs contribute their
     /// SA loop's count; campaign jobs the sum over their successful flow runs). The
     /// observable form of the hot loop's evaluations/sec throughput in production.
-    pub evaluations_total: AtomicU64,
+    pub evaluations_total: Counter,
     /// Thermal trace simulations performed by completed sca jobs (one per observed
     /// encryption; an sca submission contributes its baseline plus mitigated traces).
-    pub trace_sims_total: AtomicU64,
-    /// Wall-clock microseconds spent inside sca attacks (trace simulation + CPA, flow
-    /// excluded). Divides `trace_sims_total` into the traces/sec gauge.
-    pub trace_attack_micros: AtomicU64,
-    /// HTTP requests handled (any endpoint, any status).
-    pub http_requests: AtomicU64,
-    /// Jobs accepted by `POST /v1/jobs` (including dedups and cache hits).
-    pub jobs_submitted: AtomicU64,
-    /// Jobs that actually executed a flow or campaign.
-    pub jobs_executed: AtomicU64,
-    /// Jobs that failed internally (panic in the job closure).
-    pub jobs_failed: AtomicU64,
-    /// Submissions joined onto an identical in-flight job.
-    pub dedup_hits: AtomicU64,
-    /// Submissions answered from the result cache.
-    pub cache_hits: AtomicU64,
-    /// Submissions refused with `429` (queue full).
-    pub rejected_busy: AtomicU64,
+    pub trace_sims_total: Counter,
     /// Time from submission to execution start.
     pub queue_wait: Histogram,
     /// Total job execution time (flow or campaign).
     pub job_latency: Histogram,
     /// Floorplanning-stage latency of completed flow jobs.
-    pub stage_floorplan: Histogram,
+    stage_floorplan: Histogram,
     /// Voltage-assignment-stage latency.
-    pub stage_assign: Histogram,
+    stage_assign: Histogram,
     /// Detailed-verification-stage latency.
-    pub stage_verify: Histogram,
+    stage_verify: Histogram,
     /// Post-processing-stage latency.
-    pub stage_post_process: Histogram,
+    stage_post_process: Histogram,
+    // Gauges sampled at render time.
+    traces_per_sec_gauge: Gauge,
+    evaluations_per_sec_gauge: Gauge,
+    queue_depth_gauge: Gauge,
+    jobs_in_flight_gauge: Gauge,
+    cache_entries_gauge: Gauge,
+    cache_hit_rate_gauge: Gauge,
+    pool_queue_depth: Gauge,
+    pool_active_workers: Gauge,
+    pool_steals: Gauge,
+    pool_parks: Gauge,
+    pool_tasks: Gauge,
+    pool_busy_seconds: Gauge,
 }
 
 impl Default for Metrics {
     fn default() -> Self {
+        let registry = Registry::new();
+        let stage = |registry: &Registry, name: &str| {
+            registry.histogram_with(
+                "tsc3d_serve_stage_seconds",
+                "Flow-stage latencies of completed flow jobs",
+                &BOUNDS_S,
+                &[("stage", name)],
+            )
+        };
+        let latency = |registry: &Registry, phase: &str| {
+            registry.histogram_with(
+                "tsc3d_serve_latency_seconds",
+                "Job latencies by phase",
+                &BOUNDS_S,
+                &[("phase", phase)],
+            )
+        };
         Self {
             started: Instant::now(),
-            evaluations_total: AtomicU64::new(0),
-            trace_sims_total: AtomicU64::new(0),
             trace_attack_micros: AtomicU64::new(0),
-            http_requests: AtomicU64::new(0),
-            jobs_submitted: AtomicU64::new(0),
-            jobs_executed: AtomicU64::new(0),
-            jobs_failed: AtomicU64::new(0),
-            dedup_hits: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            rejected_busy: AtomicU64::new(0),
-            queue_wait: Histogram::default(),
-            job_latency: Histogram::default(),
-            stage_floorplan: Histogram::default(),
-            stage_assign: Histogram::default(),
-            stage_verify: Histogram::default(),
-            stage_post_process: Histogram::default(),
+            http_requests: registry.counter("tsc3d_serve_http_requests_total", "HTTP requests handled"),
+            jobs_submitted: registry.counter(
+                "tsc3d_serve_jobs_submitted_total",
+                "Job submissions accepted",
+            ),
+            jobs_executed: registry.counter(
+                "tsc3d_serve_jobs_executed_total",
+                "Jobs that executed (not deduped or cached)",
+            ),
+            jobs_failed: registry.counter(
+                "tsc3d_serve_jobs_failed_total",
+                "Jobs that failed internally",
+            ),
+            dedup_hits: registry.counter(
+                "tsc3d_serve_dedup_hits_total",
+                "Submissions joined onto an in-flight identical job",
+            ),
+            cache_hits: registry.counter(
+                "tsc3d_serve_cache_hits_total",
+                "Submissions served from the result cache",
+            ),
+            rejected_busy: registry.counter(
+                "tsc3d_serve_rejected_busy_total",
+                "Submissions refused with 429",
+            ),
+            evaluations_total: registry.counter(
+                "tsc3d_serve_evaluations_total",
+                "Annealing cost evaluations performed by completed jobs",
+            ),
+            trace_sims_total: registry.counter(
+                "tsc3d_serve_trace_sims_total",
+                "Thermal trace simulations performed by completed sca jobs",
+            ),
+            queue_wait: latency(&registry, "queue_wait"),
+            job_latency: latency(&registry, "job_total"),
+            stage_floorplan: stage(&registry, "floorplan"),
+            stage_assign: stage(&registry, "assign"),
+            stage_verify: stage(&registry, "verify"),
+            stage_post_process: stage(&registry, "post_process"),
+            traces_per_sec_gauge: registry.gauge(
+                "tsc3d_serve_traces_per_sec",
+                "Trace simulations per second of sca attack wall-clock (busy-time throughput of the batched trace engine)",
+            ),
+            evaluations_per_sec_gauge: registry.gauge(
+                "tsc3d_serve_evaluations_per_sec",
+                "Evaluations per second averaged since daemon start (prefer rate() over the counter for windowed throughput)",
+            ),
+            queue_depth_gauge: registry.gauge(
+                "tsc3d_serve_queue_depth",
+                "Tasks queued on the worker pool",
+            ),
+            jobs_in_flight_gauge: registry.gauge(
+                "tsc3d_serve_jobs_in_flight",
+                "Jobs queued or running",
+            ),
+            cache_entries_gauge: registry.gauge(
+                "tsc3d_serve_cache_entries",
+                "Results held in the cache",
+            ),
+            cache_hit_rate_gauge: registry.gauge(
+                "tsc3d_serve_cache_hit_rate",
+                "Cache hits per submission",
+            ),
+            pool_queue_depth: registry.gauge(
+                "tsc3d_pool_queue_depth",
+                "Tasks queued on the shared work-stealing pool (injector plus worker deques)",
+            ),
+            pool_active_workers: registry.gauge(
+                "tsc3d_pool_active_workers",
+                "Pool tasks currently executing",
+            ),
+            pool_steals: registry.gauge(
+                "tsc3d_pool_steals_total",
+                "Successful steals from a peer worker's deque (sampled)",
+            ),
+            pool_parks: registry.gauge(
+                "tsc3d_pool_parks_total",
+                "Times a pool worker parked with no visible work (sampled)",
+            ),
+            pool_tasks: registry.gauge(
+                "tsc3d_pool_tasks_total",
+                "Pool tasks executed to completion (sampled)",
+            ),
+            pool_busy_seconds: registry.gauge(
+                "tsc3d_pool_busy_seconds_total",
+                "Busy seconds across pool workers and batch helpers (sampled)",
+            ),
+            registry,
         }
     }
 }
@@ -138,7 +203,7 @@ impl Metrics {
         if uptime <= 0.0 {
             return 0.0;
         }
-        self.evaluations_total.load(Ordering::Relaxed) as f64 / uptime
+        self.evaluations_total.get() as f64 / uptime
     }
 
     /// Trace simulations per second of attack wall-clock time (0 before the first sca
@@ -150,13 +215,13 @@ impl Metrics {
         if busy_s <= 0.0 {
             return 0.0;
         }
-        self.trace_sims_total.load(Ordering::Relaxed) as f64 / busy_s
+        self.trace_sims_total.get() as f64 / busy_s
     }
 
     /// Records one completed sca attack: `traces` simulated encryptions over `seconds`
     /// of attack wall-clock (flow time excluded by the caller).
     pub fn observe_attack(&self, traces: u64, seconds: f64) {
-        self.trace_sims_total.fetch_add(traces, Ordering::Relaxed);
+        self.trace_sims_total.add(traces);
         self.trace_attack_micros
             .fetch_add((seconds.max(0.0) * 1e6) as u64, Ordering::Relaxed);
     }
@@ -171,151 +236,34 @@ impl Metrics {
 
     /// The cache hit rate over all submissions (0 when nothing was submitted).
     pub fn cache_hit_rate(&self) -> f64 {
-        let submitted = self.jobs_submitted.load(Ordering::Relaxed);
+        let submitted = self.jobs_submitted.get();
         if submitted == 0 {
             return 0.0;
         }
-        self.cache_hits.load(Ordering::Relaxed) as f64 / submitted as f64
+        self.cache_hits.get() as f64 / submitted as f64
     }
 
-    /// Renders the Prometheus exposition text. `queue_depth`, `jobs_in_flight` and
-    /// `cache_len` are sampled by the caller (they live in the pool/cache, not here).
-    pub fn render(&self, queue_depth: usize, jobs_in_flight: usize, cache_len: usize) -> String {
-        let mut out = String::new();
-        let counter = |out: &mut String, name: &str, help: &str, value: u64| {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
-            ));
-        };
-        let gauge = |out: &mut String, name: &str, help: &str, value: f64| {
-            out.push_str(&format!(
-                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
-            ));
-        };
-        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
-
-        counter(
-            &mut out,
-            "tsc3d_serve_http_requests_total",
-            "HTTP requests handled",
-            load(&self.http_requests),
-        );
-        counter(
-            &mut out,
-            "tsc3d_serve_jobs_submitted_total",
-            "Job submissions accepted",
-            load(&self.jobs_submitted),
-        );
-        counter(
-            &mut out,
-            "tsc3d_serve_jobs_executed_total",
-            "Jobs that executed (not deduped or cached)",
-            load(&self.jobs_executed),
-        );
-        counter(
-            &mut out,
-            "tsc3d_serve_jobs_failed_total",
-            "Jobs that failed internally",
-            load(&self.jobs_failed),
-        );
-        counter(
-            &mut out,
-            "tsc3d_serve_dedup_hits_total",
-            "Submissions joined onto an in-flight identical job",
-            load(&self.dedup_hits),
-        );
-        counter(
-            &mut out,
-            "tsc3d_serve_cache_hits_total",
-            "Submissions served from the result cache",
-            load(&self.cache_hits),
-        );
-        counter(
-            &mut out,
-            "tsc3d_serve_rejected_busy_total",
-            "Submissions refused with 429",
-            load(&self.rejected_busy),
-        );
-        counter(
-            &mut out,
-            "tsc3d_serve_evaluations_total",
-            "Annealing cost evaluations performed by completed jobs",
-            load(&self.evaluations_total),
-        );
-        counter(
-            &mut out,
-            "tsc3d_serve_trace_sims_total",
-            "Thermal trace simulations performed by completed sca jobs",
-            load(&self.trace_sims_total),
-        );
-        gauge(
-            &mut out,
-            "tsc3d_serve_traces_per_sec",
-            "Trace simulations per second of sca attack wall-clock (busy-time throughput of the batched trace engine)",
-            self.traces_per_sec(),
-        );
-        gauge(
-            &mut out,
-            "tsc3d_serve_evaluations_per_sec",
-            "Evaluations per second averaged since daemon start (prefer rate() over the counter for windowed throughput)",
-            self.evaluations_per_sec(),
-        );
-        gauge(
-            &mut out,
-            "tsc3d_serve_queue_depth",
-            "Tasks queued on the worker pool",
-            queue_depth as f64,
-        );
-        gauge(
-            &mut out,
-            "tsc3d_serve_jobs_in_flight",
-            "Jobs queued or running",
-            jobs_in_flight as f64,
-        );
-        gauge(
-            &mut out,
-            "tsc3d_serve_cache_entries",
-            "Results held in the cache",
-            cache_len as f64,
-        );
-        gauge(
-            &mut out,
-            "tsc3d_serve_cache_hit_rate",
-            "Cache hits per submission",
-            self.cache_hit_rate(),
-        );
-
-        out.push_str(
-            "# HELP tsc3d_serve_latency_seconds Job latencies by phase\n\
-             # TYPE tsc3d_serve_latency_seconds histogram\n",
-        );
-        self.queue_wait.render(
-            &mut out,
-            "tsc3d_serve_latency_seconds",
-            "phase=\"queue_wait\"",
-        );
-        self.job_latency.render(
-            &mut out,
-            "tsc3d_serve_latency_seconds",
-            "phase=\"job_total\"",
-        );
-
-        out.push_str(
-            "# HELP tsc3d_serve_stage_seconds Flow-stage latencies of completed flow jobs\n\
-             # TYPE tsc3d_serve_stage_seconds histogram\n",
-        );
-        for (stage, histogram) in [
-            ("floorplan", &self.stage_floorplan),
-            ("assign", &self.stage_assign),
-            ("verify", &self.stage_verify),
-            ("post_process", &self.stage_post_process),
-        ] {
-            histogram.render(
-                &mut out,
-                "tsc3d_serve_stage_seconds",
-                &format!("stage=\"{stage}\""),
-            );
-        }
+    /// Renders the Prometheus exposition text: this instance's families followed by the
+    /// process-wide [`tsc3d_obs::global`] registry (flow/thermal/sca/campaign families).
+    /// `pool`, `jobs_in_flight` and `cache_len` are sampled by the caller (they live in
+    /// the pool/cache, not here).
+    pub fn render(&self, pool: &PoolStats, jobs_in_flight: usize, cache_len: usize) -> String {
+        self.queue_depth_gauge.set(pool.queued as f64);
+        self.jobs_in_flight_gauge.set(jobs_in_flight as f64);
+        self.cache_entries_gauge.set(cache_len as f64);
+        self.cache_hit_rate_gauge.set(self.cache_hit_rate());
+        self.evaluations_per_sec_gauge
+            .set(self.evaluations_per_sec());
+        self.traces_per_sec_gauge.set(self.traces_per_sec());
+        self.pool_queue_depth.set(pool.queued as f64);
+        self.pool_active_workers.set(pool.active as f64);
+        self.pool_steals.set(pool.steals as f64);
+        self.pool_parks.set(pool.parks as f64);
+        self.pool_tasks.set(pool.executed as f64);
+        self.pool_busy_seconds
+            .set(pool.busy_ns_total() as f64 / 1e9);
+        let mut out = self.registry.render();
+        tsc3d_obs::global().render_into(&mut out);
         out
     }
 }
@@ -324,6 +272,19 @@ impl Metrics {
 mod tests {
     use super::*;
 
+    fn idle_pool() -> PoolStats {
+        PoolStats {
+            threads: 0,
+            queued: 0,
+            active: 0,
+            steals: 0,
+            parks: 0,
+            unparks: 0,
+            executed: 0,
+            busy_ns: vec![0],
+        }
+    }
+
     #[test]
     fn histograms_are_cumulative_and_render() {
         let metrics = Metrics::default();
@@ -331,8 +292,11 @@ mod tests {
         metrics.job_latency.observe(0.07);
         metrics.job_latency.observe(1000.0);
         assert_eq!(metrics.job_latency.count(), 3);
-        let text = metrics.render(2, 1, 4);
+        let mut pool = idle_pool();
+        pool.queued = 2;
+        let text = metrics.render(&pool, 1, 4);
         assert!(text.contains("tsc3d_serve_queue_depth 2"));
+        assert!(text.contains("tsc3d_pool_queue_depth 2"));
         assert!(text.contains("tsc3d_serve_jobs_in_flight 1"));
         assert!(text.contains("phase=\"job_total\",le=\"+Inf\"} 3"));
         // 0.003 and 0.07 are both <= 0.1: the cumulative bucket holds 2.
@@ -344,10 +308,10 @@ mod tests {
     fn evaluation_throughput_is_exported() {
         let metrics = Metrics::default();
         assert_eq!(metrics.evaluations_per_sec(), 0.0);
-        metrics.evaluations_total.store(1200, Ordering::Relaxed);
+        metrics.evaluations_total.add(1200);
         std::thread::sleep(std::time::Duration::from_millis(5));
         assert!(metrics.evaluations_per_sec() > 0.0);
-        let text = metrics.render(0, 0, 0);
+        let text = metrics.render(&idle_pool(), 0, 0);
         assert!(text.contains("tsc3d_serve_evaluations_total 1200"));
         assert!(text.contains("tsc3d_serve_evaluations_per_sec"));
     }
@@ -360,7 +324,7 @@ mod tests {
         metrics.observe_attack(512, 2.0);
         // 1024 traces over 4 s of attack time: 256/s, regardless of daemon uptime.
         assert!((metrics.traces_per_sec() - 256.0).abs() < 1e-9);
-        let text = metrics.render(0, 0, 0);
+        let text = metrics.render(&idle_pool(), 0, 0);
         assert!(text.contains("tsc3d_serve_trace_sims_total 1024"));
         assert!(text.contains("tsc3d_serve_traces_per_sec 256"));
     }
@@ -369,8 +333,38 @@ mod tests {
     fn cache_hit_rate_is_hits_over_submissions() {
         let metrics = Metrics::default();
         assert_eq!(metrics.cache_hit_rate(), 0.0);
-        metrics.jobs_submitted.store(4, Ordering::Relaxed);
-        metrics.cache_hits.store(1, Ordering::Relaxed);
+        metrics.jobs_submitted.add(4);
+        metrics.cache_hits.add(1);
         assert_eq!(metrics.cache_hit_rate(), 0.25);
+    }
+
+    #[test]
+    fn instances_do_not_share_counters() {
+        let a = Metrics::default();
+        let b = Metrics::default();
+        a.jobs_executed.inc();
+        assert_eq!(a.jobs_executed.get(), 1);
+        assert_eq!(b.jobs_executed.get(), 0);
+    }
+
+    #[test]
+    fn render_includes_pool_sample() {
+        let metrics = Metrics::default();
+        let pool = PoolStats {
+            threads: 2,
+            queued: 3,
+            active: 1,
+            steals: 7,
+            parks: 5,
+            unparks: 5,
+            executed: 42,
+            busy_ns: vec![1_500_000_000, 500_000_000, 0],
+        };
+        let text = metrics.render(&pool, 0, 0);
+        assert!(text.contains("tsc3d_pool_queue_depth 3"));
+        assert!(text.contains("tsc3d_pool_active_workers 1"));
+        assert!(text.contains("tsc3d_pool_steals_total 7"));
+        assert!(text.contains("tsc3d_pool_tasks_total 42"));
+        assert!(text.contains("tsc3d_pool_busy_seconds_total 2"));
     }
 }

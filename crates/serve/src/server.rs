@@ -184,7 +184,7 @@ impl Server {
                                 return;
                             }
                         }
-                        Err(e) => eprintln!("serve: accept error: {e}"),
+                        Err(e) => tsc3d_obs::log_warn!("serve", "accept error: {e}"),
                     }
                 }
             })
@@ -243,7 +243,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let response = match read_request(&mut stream, shared.max_body_bytes) {
         Ok(request) => {
-            shared.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.http_requests.inc();
             route(shared, &request)
         }
         // A read that tripped the per-read socket timeout is a stalled client, not a dead
@@ -272,7 +272,7 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         }
     };
     if let Err(e) = write_response(&mut stream, &response) {
-        eprintln!("serve: write error: {e}");
+        tsc3d_obs::log_warn!("serve", "write error: {e}");
     }
 }
 
@@ -301,15 +301,20 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("GET", "/metrics") => Response::text(
             200,
             shared.metrics.render(
-                shared.jobs.pool().queued(),
+                &shared.jobs.pool().stats(),
                 shared.jobs.in_flight(),
                 shared.jobs.cache().len(),
             ),
         ),
+        // The span collector so far, one JSON object per line (empty unless tracing is
+        // enabled — see `tsc3d_obs::set_tracing` and the serve binary's `--trace-out`).
+        ("GET", "/v1/trace") => {
+            Response::text(200, tsc3d_obs::spans_to_jsonl(&tsc3d_obs::snapshot_spans()))
+        }
         ("POST", "/v1/jobs") => submit(shared, request),
         ("POST", "/v1/shutdown") => request_shutdown(shared),
         ("GET", _) if path.starts_with("/v1/jobs/") => job_route(shared, path),
-        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown") => {
+        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown" | "/v1/trace") => {
             Response::error(405, &format!("method {} not allowed here", request.method))
         }
         (_, _) if path.starts_with("/v1/jobs/") => {

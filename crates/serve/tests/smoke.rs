@@ -104,6 +104,161 @@ fn test_config(state_dir: Option<PathBuf>) -> ServerConfig {
     }
 }
 
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*` — the exposition-format metric-name grammar.
+fn is_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Validates one `{...}` label body: `key="value"` pairs, comma-separated, values
+/// quoted with backslash escapes.
+fn validate_labels(labels: &str, n: usize, line: &str) {
+    let mut chars = labels.chars().peekable();
+    loop {
+        let mut key = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+            chars.next();
+        }
+        assert!(
+            !key.is_empty() && key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "line {n}: bad label key '{key}': {line}"
+        );
+        assert_eq!(chars.next(), Some('='), "line {n}: missing '=': {line}");
+        assert_eq!(chars.next(), Some('"'), "line {n}: unquoted value: {line}");
+        loop {
+            match chars.next() {
+                Some('\\') => {
+                    chars.next();
+                }
+                Some('"') => break,
+                Some(_) => {}
+                None => panic!("line {n}: unterminated label value: {line}"),
+            }
+        }
+        match chars.next() {
+            None => return,
+            Some(',') => continue,
+            Some(c) => panic!("line {n}: unexpected '{c}' after a label: {line}"),
+        }
+    }
+}
+
+/// Asserts every line of `text` parses as the Prometheus text exposition format and
+/// every sample belongs to a family announced by a `# TYPE` header.
+fn validate_prometheus(text: &str) {
+    let mut types = std::collections::HashMap::new();
+    for (number, line) in text.lines().enumerate() {
+        let n = number + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            assert!(
+                keyword == "HELP" || keyword == "TYPE",
+                "line {n}: unknown comment keyword: {line}"
+            );
+            assert!(is_metric_name(name), "line {n}: bad metric name: {line}");
+            if keyword == "TYPE" {
+                let kind = parts.next().unwrap_or("");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "line {n}: bad TYPE: {line}"
+                );
+                types.insert(name.to_string(), kind.to_string());
+            }
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("line {n}: sample without a value: {line}"));
+        assert!(
+            value.parse::<f64>().is_ok() || matches!(value, "NaN" | "+Inf" | "-Inf"),
+            "line {n}: bad sample value '{value}': {line}"
+        );
+        let name = match series.split_once('{') {
+            None => series,
+            Some((name, rest)) => {
+                let labels = rest
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("line {n}: unterminated label set: {line}"));
+                validate_labels(labels, n, line);
+                name
+            }
+        };
+        assert!(is_metric_name(name), "line {n}: bad sample name: {line}");
+        // A histogram family's samples carry the _bucket/_sum/_count suffixes.
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|f| types.get(*f).map(String::as_str) == Some("histogram"))
+            .unwrap_or(name);
+        assert!(
+            types.contains_key(family),
+            "line {n}: sample without a TYPE header: {line}"
+        );
+    }
+}
+
+#[test]
+fn metrics_are_valid_prometheus_and_trace_endpoint_serves_spans() {
+    tsc3d_obs::set_tracing(true);
+    let server = Server::start(test_config(None)).expect("server boots");
+    let addr = server.local_addr();
+
+    let first = submit(addr, FLOW_BODY);
+    let first_id = first.get("id").and_then(Json::as_u64).expect("job id");
+    wait_done(addr, first_id);
+
+    let (status, text) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    validate_prometheus(&text);
+    // Serve-local, pool, and library (global-registry) families are all exposed.
+    for family in [
+        "tsc3d_serve_jobs_executed_total",
+        "tsc3d_serve_latency_seconds",
+        "tsc3d_serve_stage_seconds",
+        "tsc3d_pool_queue_depth",
+        "tsc3d_pool_active_workers",
+        "tsc3d_pool_steals_total",
+        "tsc3d_flow_runs_total",
+        "tsc3d_flow_evaluations_total",
+        "tsc3d_flow_stage_seconds",
+        "tsc3d_thermal_solves_total",
+        "tsc3d_thermal_sweeps_total",
+    ] {
+        assert!(
+            text.contains(&format!("# TYPE {family} ")),
+            "family {family} missing from /metrics:\n{text}"
+        );
+    }
+
+    // The trace endpoint serves the collector as parseable JSONL covering the flow's
+    // span tree (tracing was enabled before the job ran).
+    let (status, jsonl) = request(addr, "GET", "/v1/trace", "");
+    assert_eq!(status, 200);
+    let spans = tsc3d_obs::parse_jsonl(&jsonl).expect("trace endpoint serves valid JSONL");
+    for name in ["flow", "floorplan", "sa", "sa_epoch", "thermal_solve"] {
+        assert!(
+            spans.iter().any(|s| s.name == name),
+            "span '{name}' missing from /v1/trace ({} spans)",
+            spans.len()
+        );
+    }
+    server.shutdown();
+}
+
 #[test]
 fn identical_submissions_execute_once_and_restart_serves_from_disk() {
     let state_dir = temp_state_dir("dedup");
@@ -396,9 +551,22 @@ fn sca_submissions_report_an_mtd_verdict_and_count_trace_sims() {
         .and_then(Json::as_bool)
         .is_some());
 
-    // /metrics counts the trace simulations (16 baseline + 16 mitigated).
+    // /metrics counts the trace simulations (16 baseline + 16 mitigated), stays valid
+    // exposition format, and now includes the sca library's global families.
     let (status, metrics_text) = request(addr, "GET", "/metrics", "");
     assert_eq!(status, 200);
+    validate_prometheus(&metrics_text);
+    for family in [
+        "tsc3d_sca_attacks_total",
+        "tsc3d_sca_traces_total",
+        "tsc3d_sca_transient_steps_total",
+        "tsc3d_sca_cpa_checkpoints_total",
+    ] {
+        assert!(
+            metrics_text.contains(&format!("# TYPE {family} counter")),
+            "family {family} missing from /metrics"
+        );
+    }
     assert!(
         metrics_text.contains("tsc3d_serve_trace_sims_total 32"),
         "trace-sim counter missing: {}",

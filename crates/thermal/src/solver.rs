@@ -262,6 +262,7 @@ impl SteadyStateSolver {
             return Err(SolveError::GridMismatch);
         }
 
+        let _span = tsc3d_obs::span!("thermal_solve");
         let network = Network::build(&self.config, grid, power_per_die, tsv_per_interface);
         let (temps, iterations, residual) = match pool {
             Some(pool) if pool.threads() > 0 => Arc::new(network).solve_sor_parallel(
@@ -272,6 +273,9 @@ impl SteadyStateSolver {
             ),
             _ => network.solve_sor(self.relaxation, self.max_iterations, self.tolerance),
         };
+        tsc3d_obs::add_to_span("solver_sweeps", iterations as u64);
+        solver_metrics().solves.inc();
+        solver_metrics().sweeps.add(iterations as u64);
         if residual > self.tolerance {
             return Err(SolveError::NotConverged {
                 residual,
@@ -304,6 +308,27 @@ impl SteadyStateSolver {
             residual,
         })
     }
+}
+
+/// Cached handles for the `tsc3d_thermal_*` global-metric family (bumped once per
+/// detailed solve; the per-sweep hot loop stays untouched).
+struct SolverMetrics {
+    solves: tsc3d_obs::Counter,
+    sweeps: tsc3d_obs::Counter,
+}
+
+fn solver_metrics() -> &'static SolverMetrics {
+    static METRICS: std::sync::OnceLock<SolverMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| SolverMetrics {
+        solves: tsc3d_obs::global().counter(
+            "tsc3d_thermal_solves_total",
+            "Detailed steady-state thermal solves completed",
+        ),
+        sweeps: tsc3d_obs::global().counter(
+            "tsc3d_thermal_sweeps_total",
+            "Red-black SOR iterations performed by detailed solves",
+        ),
+    })
 }
 
 /// Assembled conductance network in structure-of-arrays form for the SOR sweep.

@@ -6,6 +6,7 @@ pub use tsc3d_floorplan as floorplan;
 pub use tsc3d_geometry as geometry;
 pub use tsc3d_leakage as leakage;
 pub use tsc3d_netlist as netlist;
+pub use tsc3d_obs as obs;
 pub use tsc3d_power as power;
 pub use tsc3d_sca as sca;
 pub use tsc3d_thermal as thermal;
