@@ -40,6 +40,13 @@ fn main() -> ExitCode {
     if trace_out.is_some() {
         tsc3d_obs::set_tracing(true);
     }
+    // `--progress` renders a live one-line status on stderr; `--events-out PATH` captures
+    // the full event stream as JSONL. Both consume the event bus read-only, so stdout
+    // (reports, records) stays byte-identical with or without them.
+    let progress = arg_present(&args, "--progress");
+    let events_out = arg_value(&args, "--events-out").map(PathBuf::from);
+    let monitor = (progress || events_out.is_some())
+        .then(|| tsc3d_campaign::progress::EventMonitor::start(progress, events_out));
     let result = match command {
         "run" => cmd_run(&args[1..], false),
         "resume" => cmd_run(&args[1..], true),
@@ -53,6 +60,9 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown subcommand '{other}'\n{USAGE}")),
     };
+    if let Some(monitor) = monitor {
+        monitor.finish();
+    }
     if let Some(path) = &trace_out {
         write_trace(path);
     }
@@ -94,16 +104,21 @@ const USAGE: &str = "usage:
                       [--out FILE] [--workers N] [--shard K/N]
                       [--stages N] [--moves N] [--grid-bins N] [--verification-bins N]
                       [--sweep-tsv-budget a,b] [--paper] [--smoke] [--csv PATH]
-                      [--trace-out PATH]
+                      [--trace-out PATH] [--progress] [--events-out PATH]
   campaign resume     --out FILE [--workers N] [--shard K/N] [--csv PATH] [--trace-out PATH]
+                      [--progress] [--events-out PATH]
   campaign report     --out FILE [--csv PATH]
   campaign sca-run    [--benchmarks a,b] [--seeds 1,2] [--key-seeds 11,12] [--traces N]
                       [--noise a,b] [--stages N] [--moves N] [--grid-bins N]
                       [--verification-bins N] [--paper] [--out FILE] [--workers N]
                       [--shard K/N] [--smoke] [--report-out PATH] [--trace-out PATH]
+                      [--progress] [--events-out PATH]
   campaign sca-resume --out FILE [--workers N] [--shard K/N] [--report-out PATH]
-                      [--trace-out PATH]
-  campaign sca-report --out FILE [--report-out PATH]";
+                      [--trace-out PATH] [--progress] [--events-out PATH]
+  campaign sca-report --out FILE [--report-out PATH]
+
+  --progress renders a live one-line status on stderr; --events-out PATH writes the
+  full progress-event stream (job/stage/progress/checkpoint/eta) as JSONL.";
 
 /// Parses `--flag value` from an argument list.
 fn arg_value(args: &[String], flag: &str) -> Option<String> {

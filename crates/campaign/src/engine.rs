@@ -286,15 +286,23 @@ fn run_with_prior(
     let executed = pending.len();
     crate::obs_metrics::get().queued.add(executed as u64);
     crate::obs_metrics::get().resumed.add(prior.len() as u64);
+    let eta = Arc::new(crate::progress::EtaTracker::new(executed, pool.threads()));
     let new_records = {
         let sink = Arc::clone(&sink);
         let sink_error = Arc::clone(&sink_error);
         let abort = Arc::clone(&abort);
+        let eta = Arc::clone(&eta);
         pool.run_batch(pending, move |_, job| {
             if abort.load(Ordering::Relaxed) {
                 return None;
             }
-            let record = execute_job(&job);
+            let record = crate::progress::run_job_instrumented(
+                job.id,
+                "flow",
+                &eta,
+                || execute_job(&job),
+                |record| matches!(record.outcome, JobOutcome::Failure { .. }),
+            );
             if let Some(sink) = sink.as_ref() {
                 if let Err(e) = sink.append(&record) {
                     sink_error.lock().expect("sink error slot").get_or_insert(e);

@@ -41,6 +41,7 @@ pub mod codec;
 pub mod engine;
 pub mod job;
 pub mod json;
+pub mod progress;
 pub mod record;
 pub mod sca;
 pub mod sink;

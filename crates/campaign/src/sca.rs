@@ -1074,17 +1074,25 @@ fn run_sca_with_prior(
     crate::obs_metrics::get().resumed.add(prior.len() as u64);
     let spec_for_jobs = Arc::new(spec.clone());
     let flows = Arc::new(FlowCache::default());
+    let eta = Arc::new(crate::progress::EtaTracker::new(executed, pool.threads()));
     let new_records = {
         let sink = Arc::clone(&sink);
         let sink_error = Arc::clone(&sink_error);
         let abort = Arc::clone(&abort);
         let spec = Arc::clone(&spec_for_jobs);
         let flows = Arc::clone(&flows);
+        let eta = Arc::clone(&eta);
         pool.run_batch(pending, move |_, job| {
             if abort.load(Ordering::Relaxed) {
                 return None;
             }
-            let record = execute_with_flows(&spec, &job, &flows);
+            let record = crate::progress::run_job_instrumented(
+                job.id,
+                "sca",
+                &eta,
+                || execute_with_flows(&spec, &job, &flows),
+                |record| matches!(record.outcome, ScaJobOutcome::Failure { .. }),
+            );
             if let Some(sink) = sink.as_ref() {
                 if let Err(e) = sink.append(&record) {
                     sink_error

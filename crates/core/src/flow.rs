@@ -409,6 +409,7 @@ impl TscFlow {
         let stage_start = std::time::Instant::now();
         let floorplanned = {
             let _span = obs::span!("floorplan");
+            let _stage = obs::stage_scope("floorplan");
             self.stage_floorplan(design, seed)?
         };
         timings.floorplan_s = stage_start.elapsed().as_secs_f64();
@@ -417,6 +418,7 @@ impl TscFlow {
         let stage_start = std::time::Instant::now();
         let assigned = {
             let _span = obs::span!("assign");
+            let _stage = obs::stage_scope("assign");
             self.stage_assign(design, &floorplanned)
         };
         timings.assign_s = stage_start.elapsed().as_secs_f64();
@@ -425,6 +427,7 @@ impl TscFlow {
         let stage_start = std::time::Instant::now();
         let verified = {
             let _span = obs::span!("verify");
+            let _stage = obs::stage_scope("verify");
             self.stage_verify(design, &floorplanned, &assigned)?
         };
         timings.verify_s = stage_start.elapsed().as_secs_f64();
@@ -433,6 +436,7 @@ impl TscFlow {
         let stage_start = std::time::Instant::now();
         let processed = {
             let _span = obs::span!("post_process");
+            let _stage = obs::stage_scope("post_process");
             self.stage_post_process(design, &floorplanned, &assigned, &verified, seed)?
         };
         timings.post_process_s = stage_start.elapsed().as_secs_f64();

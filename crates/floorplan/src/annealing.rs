@@ -176,7 +176,7 @@ impl SimulatedAnnealing {
         let mut temperature =
             -mean_uphill / self.schedule.initial_acceptance.clamp(0.05, 0.99).ln();
 
-        for _stage in 0..self.schedule.stages {
+        for stage in 0..self.schedule.stages {
             let _epoch = tsc3d_obs::span!("sa_epoch");
             let epoch_evaluations = evaluations;
             let epoch_accepted = accepted;
@@ -206,6 +206,11 @@ impl SimulatedAnnealing {
             history.push(best_cost);
             tsc3d_obs::add_to_span("evaluations", (evaluations - epoch_evaluations) as u64);
             tsc3d_obs::add_to_span("accepted", (accepted - epoch_accepted) as u64);
+            tsc3d_obs::emit(|| tsc3d_obs::EventKind::Progress {
+                phase: "sa",
+                done: (stage + 1) as u64,
+                total: self.schedule.stages as u64,
+            });
         }
 
         SaResult {

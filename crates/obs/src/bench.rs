@@ -1,0 +1,554 @@
+//! Bench-trajectory analytics: parse `BENCH_flow.json` and render
+//! label-over-label throughput deltas with regression flagging.
+//!
+//! The workspace records its benchmark history in a single JSON file (schema
+//! `tsc3d-bench-flow/v1`): an `entries` array with one object per PR label,
+//! each holding sections (`sa`, `packs`, `solver`, `transient`, `traces`, …)
+//! of measurement rows. This module is deliberately *schema-light*: any entry
+//! field whose value is an array of objects is a section, any row field ending
+//! in `_per_sec` is a rate, and every other primitive row field becomes part
+//! of the row's identity key (`benchmark=N100 seed=3`). New sections and new
+//! rate columns therefore show up in diffs without code changes — and because
+//! seeded costs are identity fields, a bit-identity break surfaces as a
+//! removed+added row instead of being silently averaged over.
+//!
+//! Two renderings back `obs bench-diff`:
+//!
+//! * [`render_diff`] — one OLD→NEW table between two labels (default: the last
+//!   two entries), each rate with its signed percentage delta; drops beyond
+//!   the threshold are flagged `REGRESSION`.
+//! * [`render_trajectory`] — every label in file order, each rate with its
+//!   delta against the *previous* label, the full performance story of the
+//!   repo in one table.
+//!
+//! `tsc3d-obs` has no dependencies, so this module carries its own minimal
+//! recursive-descent JSON parser ([`JsonValue::parse`]); the campaign crate's
+//! richer codec sits higher in the dependency graph and cannot be used here.
+
+use std::fmt::Write as _;
+
+// --- Minimal JSON ------------------------------------------------------------------
+
+/// A parsed JSON value (just enough for the bench file: no number fidelity
+/// beyond `f64`, object keys kept in file order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, keys in file order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses one JSON document (trailing whitespace allowed, nothing else).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message with the byte offset of the first syntax error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// The member `name` of an object, or `None`.
+    pub fn get(&self, name: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string content, or `None`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, or `None`.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\r' | b'\n') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = match parse_value(bytes, pos)? {
+                    JsonValue::Str(key) => key,
+                    _ => return Err(format!("object key is not a string at byte {pos}")),
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                members.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(members));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|_| format!("invalid number at byte {start}"))?;
+            text.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => {
+                return String::from_utf8(out).map_err(|_| "invalid UTF-8 in string".to_string())
+            }
+            b'\\' => {
+                let escape = bytes
+                    .get(*pos)
+                    .ok_or_else(|| "unterminated escape".to_string())?;
+                *pos += 1;
+                match escape {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0C),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| "invalid \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("invalid \\u escape '{hex}'"))?;
+                        *pos += 4;
+                        // Surrogate pairs are not worth the code here: bench
+                        // labels and notes are ASCII. Map them to U+FFFD.
+                        let c = char::from_u32(code).unwrap_or('\u{FFFD}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("unknown escape '\\{}'", *other as char)),
+                }
+            }
+            other => out.push(other),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+// --- Bench model -------------------------------------------------------------------
+
+/// One measurement row: an identity key and its rate columns.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Identity, built from the row's non-rate primitive fields in file order
+    /// (e.g. `"benchmark=N100 seed=3"`).
+    pub key: String,
+    /// `(_per_sec field name, value)` pairs, file order.
+    pub rates: Vec<(String, f64)>,
+}
+
+/// One labeled bench entry (typically one PR).
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// The entry label (e.g. `"pr6"`).
+    pub label: String,
+    /// Sections in file order: `(name, rows)`.
+    pub sections: Vec<(String, Vec<BenchRow>)>,
+}
+
+/// The parsed bench file.
+#[derive(Debug, Clone)]
+pub struct BenchFile {
+    /// The self-declared schema string.
+    pub schema: String,
+    /// Entries in file order (oldest label first, by convention).
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchFile {
+    /// The entry with `label`, or `None`.
+    pub fn entry(&self, label: &str) -> Option<&BenchEntry> {
+        self.entries.iter().find(|e| e.label == label)
+    }
+}
+
+/// Parses a bench file. Any entry field holding an array of objects is treated
+/// as a section; within a row, `*_per_sec` numbers are rates and every other
+/// primitive field joins the identity key.
+///
+/// # Errors
+///
+/// Returns a message on JSON syntax errors or a missing/empty `entries` array.
+pub fn parse_bench(text: &str) -> Result<BenchFile, String> {
+    let root = JsonValue::parse(text)?;
+    let schema = root
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("(unknown)")
+        .to_string();
+    let Some(JsonValue::Arr(raw_entries)) = root.get("entries") else {
+        return Err("no 'entries' array at the top level".into());
+    };
+    let mut entries = Vec::with_capacity(raw_entries.len());
+    for raw in raw_entries {
+        let JsonValue::Obj(members) = raw else {
+            return Err("an entry is not an object".into());
+        };
+        let label = raw
+            .get("label")
+            .and_then(JsonValue::as_str)
+            .ok_or("an entry has no 'label'")?
+            .to_string();
+        let mut sections = Vec::new();
+        for (name, value) in members {
+            let JsonValue::Arr(items) = value else {
+                continue;
+            };
+            if !items.iter().all(|i| matches!(i, JsonValue::Obj(_))) {
+                continue;
+            }
+            let rows = items.iter().map(parse_row).collect();
+            sections.push((name.clone(), rows));
+        }
+        entries.push(BenchEntry { label, sections });
+    }
+    if entries.is_empty() {
+        return Err("the bench file has no entries".into());
+    }
+    Ok(BenchFile { schema, entries })
+}
+
+fn parse_row(item: &JsonValue) -> BenchRow {
+    let JsonValue::Obj(members) = item else {
+        unreachable!("caller checked every item is an object");
+    };
+    let mut key = String::new();
+    let mut rates = Vec::new();
+    for (name, value) in members {
+        match value {
+            JsonValue::Num(n) if name.ends_with("_per_sec") => {
+                rates.push((name.clone(), *n));
+            }
+            JsonValue::Num(n) => {
+                let _ = write!(key, "{}{name}={n}", if key.is_empty() { "" } else { " " });
+            }
+            JsonValue::Str(s) => {
+                let _ = write!(key, "{}{name}={s}", if key.is_empty() { "" } else { " " });
+            }
+            JsonValue::Bool(b) => {
+                let _ = write!(key, "{}{name}={b}", if key.is_empty() { "" } else { " " });
+            }
+            _ => {}
+        }
+    }
+    BenchRow { key, rates }
+}
+
+// --- Rendering ---------------------------------------------------------------------
+
+/// The outcome of a diff: the rendered table plus whether any rate dropped
+/// beyond the threshold (the `--gate` exit-code hook).
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// The rendered table.
+    pub text: String,
+    /// `true` when at least one rate regressed beyond the threshold.
+    pub regressed: bool,
+}
+
+/// Renders the OLD→NEW delta table between two labeled entries. `threshold`
+/// is the drop (in percent, positive) beyond which a rate is flagged
+/// `REGRESSION`.
+///
+/// # Errors
+///
+/// Returns a message when either label is missing from the file.
+pub fn render_diff(
+    file: &BenchFile,
+    from: &str,
+    to: &str,
+    threshold: f64,
+) -> Result<DiffReport, String> {
+    let old = file
+        .entry(from)
+        .ok_or_else(|| format!("no entry labeled '{from}'"))?;
+    let new = file
+        .entry(to)
+        .ok_or_else(|| format!("no entry labeled '{to}'"))?;
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "bench delta {from} -> {to}  (flagging drops beyond {threshold:.0}%)\n"
+    );
+    let _ = writeln!(
+        text,
+        "{:<10} {:<28} {:<26} {:>12} {:>12} {:>9}",
+        "SECTION", "ROW", "METRIC", from, to, "DELTA"
+    );
+    let mut regressed = false;
+    for (section, new_rows) in &new.sections {
+        let old_rows = old
+            .sections
+            .iter()
+            .find(|(name, _)| name == section)
+            .map(|(_, rows)| rows.as_slice());
+        for row in new_rows {
+            let old_row = old_rows.and_then(|rows| rows.iter().find(|r| r.key == row.key));
+            for (metric, value) in &row.rates {
+                let old_value = old_row.and_then(|r| {
+                    r.rates
+                        .iter()
+                        .find(|(name, _)| name == metric)
+                        .map(|(_, v)| *v)
+                });
+                match old_value {
+                    None => {
+                        let _ = writeln!(
+                            text,
+                            "{:<10} {:<28} {:<26} {:>12} {:>12} {:>9}",
+                            section,
+                            row.key,
+                            metric,
+                            "-",
+                            fmt_rate(*value),
+                            "new"
+                        );
+                    }
+                    Some(old_value) => {
+                        let delta = percent_delta(old_value, *value);
+                        let flagged = delta < -threshold;
+                        regressed |= flagged;
+                        let _ = writeln!(
+                            text,
+                            "{:<10} {:<28} {:<26} {:>12} {:>12} {:>+8.1}%{}",
+                            section,
+                            row.key,
+                            metric,
+                            fmt_rate(old_value),
+                            fmt_rate(*value),
+                            delta,
+                            if flagged { "  REGRESSION" } else { "" }
+                        );
+                    }
+                }
+            }
+        }
+        // Rows the new entry lost (a changed identity field — e.g. a seeded
+        // cost — lands here as removed+added, which is exactly the alarm).
+        if let Some(old_rows) = old_rows {
+            for row in old_rows {
+                if !new_rows.iter().any(|r| r.key == row.key) {
+                    let _ = writeln!(
+                        text,
+                        "{:<10} {:<28} {:<26} {:>12} {:>12} {:>9}",
+                        section, row.key, "(row)", "present", "-", "removed"
+                    );
+                }
+            }
+        }
+    }
+    for (section, _) in &old.sections {
+        if !new.sections.iter().any(|(name, _)| name == section) {
+            let _ = writeln!(text, "{section:<10} (section absent in {to})");
+        }
+    }
+    Ok(DiffReport { text, regressed })
+}
+
+/// Renders every entry in file order, each rate with its delta against the
+/// previous label — the full label-over-label trajectory.
+pub fn render_trajectory(file: &BenchFile, threshold: f64) -> DiffReport {
+    let mut text = String::new();
+    let labels: Vec<&str> = file.entries.iter().map(|e| e.label.as_str()).collect();
+    let _ = writeln!(
+        text,
+        "bench trajectory ({}), flagging drops beyond {threshold:.0}%\n",
+        labels.join(" -> ")
+    );
+    let mut regressed = false;
+    for pair in file.entries.windows(2) {
+        let report = render_diff(file, &pair[0].label, &pair[1].label, threshold)
+            .expect("labels come from the file itself");
+        regressed |= report.regressed;
+        text.push_str(&report.text);
+        text.push('\n');
+    }
+    if file.entries.len() < 2 {
+        let _ = writeln!(text, "(only one entry; nothing to compare)");
+    }
+    DiffReport { text, regressed }
+}
+
+fn percent_delta(old: f64, new: f64) -> f64 {
+    if old == 0.0 {
+        return 0.0;
+    }
+    (new - old) / old * 100.0
+}
+
+fn fmt_rate(value: f64) -> String {
+    if value >= 1000.0 {
+        format!("{value:.0}")
+    } else {
+        format!("{value:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"schema":"tsc3d-bench-flow/v1","entries":[
+      {"label":"a","sa":[{"benchmark":"N100","seed":3,"evals_per_sec":1000.0,"cost":8.5}],
+       "solver":[{"grid":32,"sweeps_per_sec":500.0}]},
+      {"label":"b","sa":[{"benchmark":"N100","seed":3,"evals_per_sec":700.0,"cost":8.5}],
+       "solver":[{"grid":32,"sweeps_per_sec":510.0}],
+       "traces":[{"grid":8,"traces_per_sec":42.0}]}
+    ]}"#;
+
+    #[test]
+    fn parses_sections_rates_and_keys() {
+        let file = parse_bench(SAMPLE).unwrap();
+        assert_eq!(file.schema, "tsc3d-bench-flow/v1");
+        assert_eq!(file.entries.len(), 2);
+        let sa = &file.entries[0].sections[0];
+        assert_eq!(sa.0, "sa");
+        assert_eq!(sa.1[0].key, "benchmark=N100 seed=3 cost=8.5");
+        assert_eq!(sa.1[0].rates, vec![("evals_per_sec".to_string(), 1000.0)]);
+    }
+
+    #[test]
+    fn diff_flags_regressions_and_new_sections() {
+        let file = parse_bench(SAMPLE).unwrap();
+        let report = render_diff(&file, "a", "b", 25.0).unwrap();
+        assert!(report.regressed, "a 30% drop beyond a 25% threshold flags");
+        assert!(report.text.contains("REGRESSION"));
+        assert!(report.text.contains("traces"));
+        assert!(report.text.contains("new"));
+        // The solver gain is within threshold and not flagged.
+        let solver_line = report
+            .text
+            .lines()
+            .find(|l| l.starts_with("solver"))
+            .unwrap();
+        assert!(!solver_line.contains("REGRESSION"));
+    }
+
+    #[test]
+    fn trajectory_covers_every_consecutive_pair() {
+        let file = parse_bench(SAMPLE).unwrap();
+        let report = render_trajectory(&file, 50.0);
+        assert!(!report.regressed, "30% drop is inside a 50% threshold");
+        assert!(report.text.contains("a -> b"));
+    }
+
+    #[test]
+    fn parses_escapes_and_rejects_trailing_garbage() {
+        assert_eq!(
+            JsonValue::parse(r#""a\n\"b\"""#).unwrap(),
+            JsonValue::Str("a\n\"b\"".into())
+        );
+        assert!(JsonValue::parse("{} garbage").is_err());
+        assert!(JsonValue::parse("[1, 2e3, -0.5]").is_ok());
+    }
+
+    #[test]
+    fn missing_label_is_an_error() {
+        let file = parse_bench(SAMPLE).unwrap();
+        assert!(render_diff(&file, "a", "nope", 25.0).is_err());
+    }
+}

@@ -1,21 +1,31 @@
 //! `obs` — render observability artifacts.
 //!
 //! ```text
-//! obs report PATH    # aggregate a --trace-out JSONL span export into a
-//!                    # self/total-time tree, hottest self time first
+//! obs report PATH        # aggregate a --trace-out JSONL span export into a
+//!                        # self/total-time tree + per-span latency quantiles
+//! obs bench-diff PATH    # label-over-label throughput deltas of a
+//!                        # BENCH_flow.json history, regressions flagged
 //! ```
 //!
-//! The input is the JSONL file written by `campaign ... --trace-out PATH`,
-//! `serve --trace-out PATH`, or a saved `GET /v1/trace` response.
+//! `report` reads the JSONL file written by `campaign ... --trace-out PATH`,
+//! `serve --trace-out PATH`, or a saved `GET /v1/trace` response. `bench-diff`
+//! reads the repo's benchmark history (schema `tsc3d-bench-flow/v1`).
 
 use std::process::ExitCode;
 
 use tsc3d_obs as obs;
 
-const USAGE: &str = "usage: obs report PATH\n\n\
-    Render the span tree of a --trace-out JSONL export (campaign/serve binaries)\n\
-    or a saved GET /v1/trace response. Columns: total time, self time (total\n\
-    minus direct children), span count; children sorted by self time.";
+const USAGE: &str = "usage:
+  obs report PATH
+      Render the span tree of a --trace-out JSONL export (campaign/serve
+      binaries) or a saved GET /v1/trace response: total time, self time,
+      span count, then per-span-name P50/P95/P99 latency quantiles.
+  obs bench-diff PATH [--from LABEL --to LABEL] [--threshold PCT]
+                      [--trajectory] [--gate]
+      Compare labeled entries of a BENCH_flow.json history. Defaults to the
+      last two entries; --trajectory walks every consecutive pair. Rates
+      dropping more than PCT percent (default 25) are flagged REGRESSION;
+      with --gate such a drop also sets a failing exit code.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +36,13 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             };
             report(path)
+        }
+        Some("bench-diff") => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            bench_diff(path, &args[2..])
         }
         Some("--help" | "-h") | None => {
             println!("{USAGE}");
@@ -58,5 +75,80 @@ fn report(path: &str) -> ExitCode {
         return ExitCode::SUCCESS;
     }
     print!("{}", obs::render_tree(&obs::aggregate(&spans)));
+    println!();
+    print!("{}", obs::render_quantiles(&spans));
     ExitCode::SUCCESS
+}
+
+fn arg_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn bench_diff(path: &str, args: &[String]) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("obs: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let file = match obs::bench::parse_bench(&text) {
+        Ok(file) => file,
+        Err(e) => {
+            eprintln!("obs: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let threshold: f64 = match arg_value(args, "--threshold") {
+        None => 25.0,
+        Some(raw) => match raw.parse() {
+            Ok(value) => value,
+            Err(_) => {
+                eprintln!("obs: --threshold expects a number, got '{raw}'");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let gate = args.iter().any(|a| a == "--gate");
+
+    let report = if args.iter().any(|a| a == "--trajectory") {
+        Ok(obs::bench::render_trajectory(&file, threshold))
+    } else {
+        // Default: the last two entries — "what did the newest label change?".
+        let from = arg_value(args, "--from");
+        let to = arg_value(args, "--to");
+        let (from, to) = match (from, to) {
+            (Some(from), Some(to)) => (from, to),
+            (None, None) if file.entries.len() >= 2 => (
+                file.entries[file.entries.len() - 2].label.as_str(),
+                file.entries[file.entries.len() - 1].label.as_str(),
+            ),
+            (None, None) => {
+                eprintln!("obs: {path} has fewer than two entries; nothing to diff");
+                return ExitCode::from(2);
+            }
+            _ => {
+                eprintln!("obs: --from and --to must be given together");
+                return ExitCode::from(2);
+            }
+        };
+        obs::bench::render_diff(&file, from, to, threshold)
+    };
+    match report {
+        Ok(report) => {
+            print!("{}", report.text);
+            if report.regressed && gate {
+                eprintln!("obs: at least one rate regressed beyond {threshold}%");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("obs: {e}");
+            ExitCode::from(2)
+        }
+    }
 }

@@ -13,6 +13,12 @@
 //!   do this for `--trace-out PATH`), export with [`drain_spans`] +
 //!   [`spans_to_jsonl`], and render the aggregated self/total-time tree with
 //!   `obs report PATH` (or [`aggregate`] + [`render_tree`] in code).
+//! * **Events** ([`event`]): a bounded flight-recorder event bus for *live*
+//!   progress — typed job/stage/progress/checkpoint records with dense
+//!   sequence numbers in a lock-sharded ring, read by cursor-based
+//!   [`Subscriber`]s. Off by default with the same one-relaxed-load
+//!   discipline; enable with [`set_events`]`(true)` (serve does this at
+//!   startup for its SSE endpoints, campaign for `--progress`/`--events-out`).
 //! * **Metrics** ([`metrics`]): counters, gauges, fixed-bucket histograms and
 //!   labeled families in a [`Registry`] with a Prometheus-text encoder.
 //!   Library crates record into the process-wide [`metrics::global`] registry;
@@ -47,14 +53,22 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
+pub mod event;
 pub mod log;
 pub mod metrics;
 pub mod report;
 pub mod trace;
 
+pub use event::{
+    dropped_events, emit, emit_for_job, events_enabled, set_events, stage_scope, subscribe,
+    subscribe_from, Event, EventKind, EventPoll, JobScope, JobState, StageScope, Subscriber,
+};
 pub use log::{log_enabled, set_log_filter, Level};
 pub use metrics::{global, Counter, Gauge, Histogram, Registry};
-pub use report::{aggregate, fmt_ns, parse_jsonl, render_tree, spans_to_jsonl, TreeNode};
+pub use report::{
+    aggregate, fmt_ns, parse_jsonl, render_quantiles, render_tree, spans_to_jsonl, TreeNode,
+};
 pub use trace::{
     add_to_span, drain_spans, dropped_spans, set_tracing, snapshot_spans, tracing_enabled,
     SpanGuard, SpanRecord,

@@ -138,6 +138,46 @@ impl Histogram {
         f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
     }
 
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`, clamped) from the bucket
+    /// counts, interpolating linearly within the bucket that holds the target
+    /// rank — the same estimate Prometheus's `histogram_quantile` computes.
+    ///
+    /// The lower edge of the first bucket is taken as 0 when its upper bound
+    /// is positive (the usual latency case), else as the bound itself. A rank
+    /// landing in the `+Inf` overflow bucket returns the highest finite bound.
+    /// Returns `NaN` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let core = &*self.0;
+        let count = self.count();
+        if count == 0 {
+            return f64::NAN;
+        }
+        let rank = (q.clamp(0.0, 1.0) * count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, &bound) in core.bounds.iter().enumerate() {
+            let in_bucket = core.buckets[i].load(Ordering::Relaxed);
+            if (cumulative + in_bucket) as f64 >= rank {
+                let lower = if i == 0 {
+                    if bound > 0.0 {
+                        0.0
+                    } else {
+                        bound
+                    }
+                } else {
+                    core.bounds[i - 1]
+                };
+                if in_bucket == 0 {
+                    return bound;
+                }
+                let into = (rank - cumulative as f64) / in_bucket as f64;
+                return lower + (bound - lower) * into;
+            }
+            cumulative += in_bucket;
+        }
+        // Target rank lives in the +Inf overflow bucket.
+        core.bounds.last().copied().unwrap_or(f64::NAN)
+    }
+
     fn render(&self, out: &mut String, name: &str, label_key: &str) {
         let core = &*self.0;
         let sep = if label_key.is_empty() { "" } else { "," };
@@ -395,4 +435,36 @@ pub fn fmt_f64(v: f64) -> String {
 pub fn global() -> &'static Registry {
     static GLOBAL: Registry = Registry::new();
     &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::with_bounds(&[1.0, 2.0, 4.0]);
+        for v in [0.5, 0.5, 1.5, 1.5, 3.0, 3.0, 3.0, 3.0] {
+            h.observe(v);
+        }
+        // 8 observations: ranks 1-2 in (0,1], 3-4 in (1,2], 5-8 in (2,4].
+        assert_eq!(h.quantile(0.25), 1.0);
+        assert_eq!(h.quantile(0.5), 2.0);
+        // rank 6 of 8 → halfway through the (2,4] bucket's 4 observations.
+        assert_eq!(h.quantile(0.75), 3.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+        assert_eq!(h.quantile(0.0), 0.5, "rank clamps to the first observation");
+    }
+
+    #[test]
+    fn quantile_overflow_and_empty_cases() {
+        let h = Histogram::with_bounds(&[1.0, 2.0]);
+        assert!(h.quantile(0.5).is_nan(), "empty histogram has no quantile");
+        h.observe(10.0); // lands in +Inf
+        assert_eq!(
+            h.quantile(0.99),
+            2.0,
+            "overflow ranks report the highest finite bound"
+        );
+    }
 }

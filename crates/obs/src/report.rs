@@ -45,7 +45,7 @@ pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
     out
 }
 
-fn escape_json(s: &str) -> String {
+pub(crate) fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -369,6 +369,51 @@ fn render_node(out: &mut String, node: &TreeNode, depth: usize) {
     for child in &node.children {
         render_node(out, child, depth + 1);
     }
+}
+
+/// Render a per-span-name latency summary: count, p50/p95/p99 duration
+/// quantiles (estimated via [`crate::metrics::Histogram::quantile`] over
+/// power-of-two nanosecond buckets), and the max observed duration. Names are
+/// sorted by descending p99. This is the second table `obs report` prints.
+pub fn render_quantiles(spans: &[SpanRecord]) -> String {
+    // Power-of-two bounds from 1µs to ~1100s: quantiles resolve to within a
+    // factor of two, which is plenty for a "where is the tail" summary.
+    let bounds: Vec<f64> = (0..31).map(|i| 1e3 * f64::from(1u32 << i)).collect();
+    let mut stats: BTreeMap<&str, (crate::metrics::Histogram, u64)> = BTreeMap::new();
+    for span in spans {
+        let (histogram, max_ns) = stats
+            .entry(&span.name)
+            .or_insert_with(|| (crate::metrics::Histogram::with_bounds(&bounds), 0));
+        histogram.observe(span.dur_ns as f64);
+        *max_ns = (*max_ns).max(span.dur_ns);
+    }
+    let mut rows: Vec<(&str, &(crate::metrics::Histogram, u64))> =
+        stats.iter().map(|(name, stat)| (*name, stat)).collect();
+    rows.sort_by(|a, b| {
+        b.1 .0
+            .quantile(0.99)
+            .total_cmp(&a.1 .0.quantile(0.99))
+            .then(a.0.cmp(b.0))
+    });
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>7}  {:>10}  {:>10}  {:>10}  {:>10}  span",
+        "COUNT", "P50", "P95", "P99", "MAX"
+    );
+    for (name, (histogram, max_ns)) in rows {
+        let q = |q: f64| fmt_ns(histogram.quantile(q) as u64);
+        let _ = writeln!(
+            out,
+            "{:>7}  {:>10}  {:>10}  {:>10}  {:>10}  {name}",
+            histogram.count(),
+            q(0.50),
+            q(0.95),
+            q(0.99),
+            fmt_ns(*max_ns)
+        );
+    }
+    out
 }
 
 #[cfg(test)]

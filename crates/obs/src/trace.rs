@@ -30,7 +30,18 @@ const SHARD_CAP: usize = 1 << 16;
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
-static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// The counter behind [`dropped_spans`], registered in the global metrics
+/// registry so collector overflow is visible on `/metrics`.
+fn dropped_counter() -> &'static crate::metrics::Counter {
+    static DROPPED: OnceLock<crate::metrics::Counter> = OnceLock::new();
+    DROPPED.get_or_init(|| {
+        crate::metrics::global().counter(
+            "tsc3d_obs_dropped_spans_total",
+            "Finished spans dropped because a collector shard hit its cap",
+        )
+    })
+}
 
 /// One finished span, as recorded by the collector (or parsed back from JSONL).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,7 +82,7 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(Instant::now)
 }
 
-fn now_ns() -> u64 {
+pub(crate) fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
 }
 
@@ -106,8 +117,10 @@ pub fn tracing_enabled() -> bool {
 }
 
 /// Number of finished spans dropped because a collector shard hit its cap.
+/// Also exported as the `tsc3d_obs_dropped_spans_total` counter in
+/// [`crate::metrics::global`].
 pub fn dropped_spans() -> u64 {
-    DROPPED.load(Ordering::Relaxed)
+    dropped_counter().get()
 }
 
 /// An RAII guard for one span: entering pushes a frame on the calling thread's
@@ -179,7 +192,8 @@ impl Drop for SpanGuard {
         if spans.len() < SHARD_CAP {
             spans.push(record);
         } else {
-            DROPPED.fetch_add(1, Ordering::Relaxed);
+            drop(spans);
+            dropped_counter().inc();
         }
     }
 }

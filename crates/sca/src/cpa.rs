@@ -325,6 +325,11 @@ impl CpaAccumulator {
             self.next_mark += 1;
             tsc3d_obs::add_to_span("cpa_checkpoints", 1);
             crate::obs_metrics::get().cpa_checkpoints.inc();
+            let seen = self.seen as u64;
+            tsc3d_obs::emit(|| tsc3d_obs::EventKind::Checkpoint {
+                name: "cpa_traces",
+                value: seen,
+            });
         }
     }
 

@@ -271,6 +271,11 @@ impl JobService {
         table.in_flight.insert(Arc::clone(&key), id);
         table.pending += 1;
         drop(table);
+        let kind = payload.kind();
+        tsc3d_obs::emit_for_job(id, || tsc3d_obs::EventKind::Job {
+            state: tsc3d_obs::JobState::Queued,
+            label: kind.to_string(),
+        });
 
         let service = Arc::clone(self);
         let task_key = Arc::clone(&key);
@@ -327,6 +332,15 @@ impl JobService {
 
     /// Runs one job on a pool worker and publishes its result.
     fn execute(self: Arc<Self>, id: u64, key: Arc<str>, payload: Payload) {
+        // Scope the worker thread to this job id: stage/progress events emitted
+        // anywhere inside the flow run land on `GET /v1/jobs/{id}/events`.
+        // (Work the payload fans out to other pool workers stays on job 0.)
+        let _scope = tsc3d_obs::JobScope::enter(id);
+        let kind = payload.kind();
+        tsc3d_obs::emit(|| tsc3d_obs::EventKind::Job {
+            state: tsc3d_obs::JobState::Started,
+            label: kind.to_string(),
+        });
         let queued_for = {
             let mut table = self.table.lock().expect("job table");
             let Some(job) = table.jobs.get_mut(&id) else {
@@ -345,6 +359,18 @@ impl JobService {
         self.metrics
             .job_latency
             .observe(started.elapsed().as_secs_f64());
+        // The terminal event must land *before* the table settles: an SSE job
+        // stream disconnects `"complete"` once the table shows done/failed and
+        // its poll comes back empty, which must imply this event was delivered.
+        let succeeded = matches!(&outcome, Ok(Ok(_)));
+        tsc3d_obs::emit(|| tsc3d_obs::EventKind::Job {
+            state: if succeeded {
+                tsc3d_obs::JobState::Finished
+            } else {
+                tsc3d_obs::JobState::Failed
+            },
+            label: kind.to_string(),
+        });
 
         let mut table = self.table.lock().expect("job table");
         match outcome {

@@ -50,6 +50,7 @@ pub mod jobs;
 pub mod metrics;
 pub mod payload;
 pub mod server;
+pub mod sse;
 pub mod state;
 
 pub use cache::ResultCache;

@@ -123,6 +123,10 @@ impl Server {
     /// Returns [`ServeError`] when the address cannot be bound or the state directory
     /// cannot be recovered (I/O failure or an interior-corrupt results file).
     pub fn start(config: ServerConfig) -> Result<Self, ServeError> {
+        // The daemon always records live events: the SSE endpoints are part of
+        // its API surface, and emission costs one relaxed load per site plus a
+        // sharded ring write — noise next to any evaluation it serves.
+        tsc3d_obs::set_events(true);
         let listener = TcpListener::bind(&config.addr).map_err(ServeError::Bind)?;
         let local_addr = listener.local_addr().map_err(ServeError::Bind)?;
 
@@ -237,13 +241,42 @@ impl Server {
     }
 }
 
-/// Handles one connection: one request, one response, close.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+/// Handles one connection: one request, one response, close — except the SSE
+/// routes, which take the stream over on a dedicated thread (a long-lived
+/// watcher must not pin one of the few handler threads).
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
     let response = match read_request(&mut stream, shared.max_body_bytes) {
         Ok(request) => {
             shared.metrics.http_requests.inc();
+            if let Some(target) = crate::sse::sse_target(&request) {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || {
+                    // `draining` covers both shutdown paths: `POST /v1/shutdown`
+                    // sets it directly and `Server::shutdown` sets it alongside
+                    // `stop_accepting` — watchers disconnect as soon as either
+                    // begins.
+                    let shutting_down = {
+                        let shared = Arc::clone(&shared);
+                        move || shared.draining.load(Ordering::SeqCst)
+                    };
+                    let job_phase = {
+                        let shared = Arc::clone(&shared);
+                        move |id: u64| match shared.jobs.job(id) {
+                            None => crate::sse::JobPhase::Missing,
+                            Some(job) => match job.state {
+                                JobState::Done | JobState::Failed => crate::sse::JobPhase::Settled,
+                                JobState::Queued | JobState::Running => {
+                                    crate::sse::JobPhase::Active
+                                }
+                            },
+                        }
+                    };
+                    crate::sse::stream_events(stream, &request, target, shutting_down, job_phase);
+                });
+                return;
+            }
             route(shared, &request)
         }
         // A read that tripped the per-read socket timeout is a stalled client, not a dead
@@ -314,7 +347,7 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("POST", "/v1/jobs") => submit(shared, request),
         ("POST", "/v1/shutdown") => request_shutdown(shared),
         ("GET", _) if path.starts_with("/v1/jobs/") => job_route(shared, path),
-        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown" | "/v1/trace") => {
+        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown" | "/v1/trace" | "/v1/events") => {
             Response::error(405, &format!("method {} not allowed here", request.method))
         }
         (_, _) if path.starts_with("/v1/jobs/") => {

@@ -531,6 +531,15 @@ impl Network {
                 }
             }
             iterations = iter + 1;
+            // Live sweep progress, thinned so a long solve cannot flood the event ring;
+            // with events disabled the cost is one relaxed load per 64 sweeps.
+            if iterations % 64 == 0 {
+                tsc3d_obs::emit(|| tsc3d_obs::EventKind::Progress {
+                    phase: "solver_sweeps",
+                    done: iterations as u64,
+                    total: max_iterations as u64,
+                });
+            }
             if residual < tolerance {
                 break;
             }
@@ -612,6 +621,14 @@ impl Network {
                 }
             }
             iterations = iter + 1;
+            // Same thinned live progress as the serial sweep (see `solve_sor`).
+            if iterations % 64 == 0 {
+                tsc3d_obs::emit(|| tsc3d_obs::EventKind::Progress {
+                    phase: "solver_sweeps",
+                    done: iterations as u64,
+                    total: max_iterations as u64,
+                });
+            }
             if residual < tolerance {
                 break;
             }
