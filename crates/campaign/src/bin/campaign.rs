@@ -20,8 +20,8 @@ use tsc3d::{FlowConfig, Setup};
 use tsc3d_campaign::{
     aggregate, aggregate_sca, read_campaign_file, read_sca_file, render_csv, render_report,
     render_sca_report, resume_from_file, resume_sca_from_file, run_campaign, run_sca_campaign,
-    CampaignOptions, CampaignSpec, CampaignSummary, OverrideSet, ScaCampaignSpec, ScaSensorSet,
-    Shard,
+    CampaignOptions, CampaignSpec, CampaignSummary, JobRetryPolicy, OverrideSet, ScaCampaignSpec,
+    ScaSensorSet, Shard,
 };
 use tsc3d_floorplan::SaSchedule;
 use tsc3d_netlist::suite::Benchmark;
@@ -45,8 +45,29 @@ fn main() -> ExitCode {
     // (reports, records) stays byte-identical with or without them.
     let progress = arg_present(&args, "--progress");
     let events_out = arg_value(&args, "--events-out").map(PathBuf::from);
-    let monitor = (progress || events_out.is_some())
-        .then(|| tsc3d_campaign::progress::EventMonitor::start(progress, events_out));
+    let monitor = (progress || events_out.is_some()).then(|| {
+        tsc3d_campaign::progress::EventMonitor::start_with(
+            progress,
+            events_out,
+            arg_present(&args, "--fsync"),
+        )
+    });
+    // `--fault-plan SPEC` arms the deterministic fault-injection harness for the whole
+    // run (chaos testing: `site:hit:action` entries, e.g. `sa-epoch:3:panic`);
+    // `--fault-log PATH` writes the fired faults as JSONL on the way out.
+    let fault_log = arg_value(&args, "--fault-log").map(PathBuf::from);
+    if let Some(plan) = arg_value(&args, "--fault-plan") {
+        match tsc3d_exec::fault::FaultPlan::parse(&plan) {
+            Ok(plan) => {
+                log_info!("campaign", "fault plan armed: {plan}");
+                tsc3d_exec::fault::arm(plan);
+            }
+            Err(message) => {
+                eprintln!("error: --fault-plan: {message}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let result = match command {
         "run" => cmd_run(&args[1..], false),
         "resume" => cmd_run(&args[1..], true),
@@ -63,6 +84,13 @@ fn main() -> ExitCode {
     if let Some(monitor) = monitor {
         monitor.finish();
     }
+    if tsc3d_exec::fault::is_armed() {
+        let fired = tsc3d_exec::fault::disarm();
+        log_info!("campaign", "fault harness: {} fault(s) fired", fired.len());
+        if let Some(path) = &fault_log {
+            write_fault_log(path, &fired);
+        }
+    }
     if let Some(path) = &trace_out {
         write_trace(path);
     }
@@ -72,6 +100,37 @@ fn main() -> ExitCode {
             eprintln!("error: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Writes the fired-fault log as JSONL (one `{site, hit, action}` object per line) —
+/// the CI chaos-smoke artifact. Always written when requested, even if empty: an empty
+/// log proves the plan did not fire.
+fn write_fault_log(path: &PathBuf, fired: &[tsc3d_exec::fault::FaultRecord]) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    let mut lines = String::new();
+    for record in fired {
+        lines.push_str(&format!(
+            "{{\"site\":\"{}\",\"hit\":{},\"action\":\"{}\"}}\n",
+            record.site, record.hit, record.action
+        ));
+    }
+    match std::fs::write(path, lines) {
+        Ok(()) => log_info!(
+            "campaign",
+            "wrote {} fired fault(s) to {}",
+            fired.len(),
+            path.display()
+        ),
+        Err(e) => log_error!(
+            "campaign",
+            "could not write fault log to {}: {e}",
+            path.display()
+        ),
     }
 }
 
@@ -104,6 +163,8 @@ const USAGE: &str = "usage:
                       [--out FILE] [--workers N] [--shard K/N]
                       [--stages N] [--moves N] [--grid-bins N] [--verification-bins N]
                       [--sweep-tsv-budget a,b] [--paper] [--smoke] [--csv PATH]
+                      [--retries N] [--retry-on kinds] [--job-deadline-ms MS] [--fsync]
+                      [--fault-plan SPEC] [--fault-log PATH]
                       [--trace-out PATH] [--progress] [--events-out PATH]
   campaign resume     --out FILE [--workers N] [--shard K/N] [--csv PATH] [--trace-out PATH]
                       [--progress] [--events-out PATH]
@@ -111,14 +172,23 @@ const USAGE: &str = "usage:
   campaign sca-run    [--benchmarks a,b] [--seeds 1,2] [--key-seeds 11,12] [--traces N]
                       [--noise a,b] [--stages N] [--moves N] [--grid-bins N]
                       [--verification-bins N] [--paper] [--out FILE] [--workers N]
-                      [--shard K/N] [--smoke] [--report-out PATH] [--trace-out PATH]
+                      [--shard K/N] [--smoke] [--report-out PATH]
+                      [--retries N] [--retry-on kinds] [--job-deadline-ms MS] [--fsync]
+                      [--fault-plan SPEC] [--fault-log PATH] [--trace-out PATH]
                       [--progress] [--events-out PATH]
   campaign sca-resume --out FILE [--workers N] [--shard K/N] [--report-out PATH]
                       [--trace-out PATH] [--progress] [--events-out PATH]
   campaign sca-report --out FILE [--report-out PATH]
 
   --progress renders a live one-line status on stderr; --events-out PATH writes the
-  full progress-event stream (job/stage/progress/checkpoint/eta) as JSONL.";
+  full progress-event stream (job/stage/progress/checkpoint/eta) as JSONL.
+
+  fault tolerance: --retries N bounds attempts per job (default 3); --retry-on lists
+  the failure kinds worth re-running (default panic,fault-injected,deadline);
+  --job-deadline-ms bounds each attempt's wall clock; --fsync syncs every record line
+  to disk. chaos testing: --fault-plan takes comma-separated site:hit:action entries
+  (action: panic | error | delay:<ms>; sites: flow-stage, sa-epoch, solver-sweep,
+  sca-batch, exec-worker) and --fault-log PATH writes the fired faults as JSONL.";
 
 /// Parses `--flag value` from an argument list.
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -148,12 +218,30 @@ fn parse_options(args: &[String], resume: bool) -> Result<CampaignOptions, Strin
         Some(text) => Shard::parse(&text)
             .ok_or_else(|| format!("--shard expects K/N with K < N, got '{text}'"))?,
     };
-    Ok(CampaignOptions {
-        workers,
-        shard,
-        results_path: arg_value(args, "--out").map(PathBuf::from),
-        resume,
-    })
+    let mut retry = JobRetryPolicy::default();
+    if let Some(attempts) = parse_usize(args, "--retries")? {
+        if attempts == 0 {
+            return Err("--retries expects at least 1 attempt".into());
+        }
+        retry.max_attempts = attempts as u32;
+    }
+    if let Some(kinds) = arg_value(args, "--retry-on") {
+        retry.retry_on = kinds
+            .split(',')
+            .map(|k| k.trim().to_string())
+            .filter(|k| !k.is_empty())
+            .collect();
+    }
+    if let Some(ms) = parse_usize(args, "--job-deadline-ms")? {
+        retry.attempt_deadline_ms = Some(ms as u64);
+    }
+    let mut options = CampaignOptions::in_memory(workers);
+    options.shard = shard;
+    options.results_path = arg_value(args, "--out").map(PathBuf::from);
+    options.resume = resume;
+    options.retry = retry;
+    options.fsync = arg_present(args, "--fsync");
+    Ok(options)
 }
 
 /// Builds the campaign spec from `run` flags.

@@ -4,12 +4,13 @@
 
 use crate::job::{CampaignJob, CampaignSpec, Shard};
 use crate::record::{JobOutcome, JobRecord};
+use crate::retry::{is_cancellation_kind, JobRetryPolicy};
 use crate::sink::{read_campaign_file, repair_torn_tail, CampaignFile, ResultSink, SinkError};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use tsc3d::exec::Pool;
+use tsc3d::exec::{CancelToken, Pool};
 use tsc3d::TscFlow;
 use tsc3d_netlist::suite::generate;
 
@@ -25,16 +26,29 @@ pub struct CampaignOptions {
     /// Resume mode: load the results file and skip jobs that already completed. Without
     /// resume, an existing results file is an error (refusing to silently mix campaigns).
     pub resume: bool,
+    /// Per-job retry/backoff/quarantine policy (see [`JobRetryPolicy`]).
+    pub retry: JobRetryPolicy,
+    /// Campaign-wide cancel token: once it fires, queued jobs are skipped (left
+    /// record-less, so a resume re-runs them) and in-flight jobs stop at their next
+    /// checkpoint.
+    pub cancel: CancelToken,
+    /// Sync every appended record line to disk (`fsync`) instead of just flushing to the
+    /// OS — per-line crash durability at a per-job I/O cost.
+    pub fsync: bool,
 }
 
 impl CampaignOptions {
-    /// In-memory execution on `workers` threads (no results file, full shard).
+    /// In-memory execution on `workers` threads (no results file, full shard, default
+    /// retry policy, no cancellation, no fsync).
     pub fn in_memory(workers: usize) -> Self {
         Self {
             workers,
             shard: Shard::full(),
             results_path: None,
             resume: false,
+            retry: JobRetryPolicy::default(),
+            cancel: CancelToken::new(),
+            fsync: false,
         }
     }
 }
@@ -108,12 +122,19 @@ impl From<SinkError> for CampaignError {
 
 /// Executes one job: generates the design instance and runs the flow.
 pub fn execute_job(job: &CampaignJob) -> JobRecord {
+    execute_job_with_cancel(job, &CancelToken::new())
+}
+
+/// [`execute_job`] polling `cancel` at the flow's stage/epoch/sweep checkpoints; an
+/// interrupt lands as a typed [`JobOutcome::Failure`] (kind `cancelled`, `shutdown`,
+/// `deadline` or `fault-injected`).
+pub fn execute_job_with_cancel(job: &CampaignJob, cancel: &CancelToken) -> JobRecord {
     let _span = tsc3d_obs::span!("campaign_job");
     let metrics = crate::obs_metrics::get();
-    metrics.running.add(1.0);
+    let running = crate::obs_metrics::RunningGuard::enter();
     let design = generate(job.benchmark, job.seed);
-    let result = TscFlow::new(job.config).run(&design, job.run_seed());
-    metrics.running.add(-1.0);
+    let result = TscFlow::new(job.config).run_with_cancel(&design, job.run_seed(), cancel);
+    drop(running);
     metrics.done.inc();
     let outcome = JobOutcome::from_flow(&result);
     if let JobOutcome::Failure { kind, .. } = &outcome {
@@ -127,6 +148,44 @@ pub fn execute_job(job: &CampaignJob) -> JobRecord {
         seed: job.seed,
         outcome,
     }
+}
+
+/// Executes one job under a [`JobRetryPolicy`]: panics are contained as typed `panic`
+/// failures, retryable kinds re-run with seeded backoff, and a job that exhausts its
+/// attempts is quarantined — its typed failure returned while the campaign continues.
+///
+/// A retried-then-succeeded job re-runs the identical seeded computation, so its record
+/// is indistinguishable from a first-try success.
+pub fn execute_job_with_retry(
+    job: &CampaignJob,
+    policy: &JobRetryPolicy,
+    cancel: &CancelToken,
+) -> JobRecord {
+    let (record, _attempts) = crate::retry::run_attempts(
+        policy,
+        job.run_seed(),
+        cancel,
+        |token| execute_job_with_cancel(job, token),
+        |record| match &record.outcome {
+            JobOutcome::Failure { kind, .. } => Some(kind.clone()),
+            JobOutcome::Success(_) => None,
+        },
+        |message| {
+            crate::obs_metrics::record_failure("panic");
+            JobRecord {
+                job_id: job.id,
+                benchmark: job.benchmark,
+                setup: job.setup,
+                override_name: job.override_name.clone(),
+                seed: job.seed,
+                outcome: JobOutcome::Failure {
+                    kind: "panic".to_string(),
+                    message,
+                },
+            }
+        },
+    );
+    record
 }
 
 /// Checks that a record loaded from disk matches the job the spec expands to under the
@@ -221,10 +280,10 @@ pub fn resume_from_file(
     // other shards' jobs (those belong to the other machines' files).
     let shard = shard_override.or(file.shard).unwrap_or_else(Shard::full);
     let options = CampaignOptions {
-        workers,
         shard,
         results_path: Some(path.to_path_buf()),
         resume: true,
+        ..CampaignOptions::in_memory(workers)
     };
     let pool = Pool::with_batch_workers(workers);
     let outcome = run_with_prior(&pool, &spec, &options, Some(file));
@@ -267,13 +326,13 @@ fn run_with_prior(
     let sink: Arc<Option<ResultSink>> = Arc::new(match options.results_path.as_deref() {
         None => None,
         Some(path) => Some(if prior_file.is_some() {
-            ResultSink::append_to(path)?
+            ResultSink::append_to_with(path, options.fsync)?
         } else if path.exists() {
             return Err(CampaignError::WouldOverwrite {
                 path: path.to_path_buf(),
             });
         } else {
-            ResultSink::create(path, spec, options.shard)?
+            ResultSink::create_with(path, spec, options.shard, options.fsync)?
         }),
     });
 
@@ -292,17 +351,29 @@ fn run_with_prior(
         let sink_error = Arc::clone(&sink_error);
         let abort = Arc::clone(&abort);
         let eta = Arc::clone(&eta);
+        let retry = options.retry.clone();
+        let cancel = options.cancel.clone();
         pool.run_batch(pending, move |_, job| {
-            if abort.load(Ordering::Relaxed) {
+            // A fired campaign token drops queued jobs without a record, so a later
+            // resume re-runs them — same contract as a killed process.
+            if abort.load(Ordering::Relaxed) || cancel.is_cancelled().is_some() {
                 return None;
             }
             let record = crate::progress::run_job_instrumented(
                 job.id,
                 "flow",
                 &eta,
-                || execute_job(&job),
+                || execute_job_with_retry(&job, &retry, &cancel),
                 |record| matches!(record.outcome, JobOutcome::Failure { .. }),
             );
+            // An in-flight job interrupted by the campaign token is also left
+            // record-less: persisting its `cancelled` failure would make the resume
+            // skip it forever.
+            if let JobOutcome::Failure { kind, .. } = &record.outcome {
+                if cancel.is_cancelled().is_some() && is_cancellation_kind(kind) {
+                    return None;
+                }
+            }
             if let Some(sink) = sink.as_ref() {
                 if let Err(e) = sink.append(&record) {
                     sink_error.lock().expect("sink error slot").get_or_insert(e);

@@ -43,6 +43,7 @@ pub mod job;
 pub mod json;
 pub mod progress;
 pub mod record;
+pub mod retry;
 pub mod sca;
 pub mod sink;
 
@@ -58,6 +59,27 @@ pub(crate) mod obs_metrics {
         pub done: tsc3d_obs::Counter,
         /// Jobs skipped on resume because the results file already had their record.
         pub resumed: tsc3d_obs::Counter,
+        /// Job attempts re-executed after a retryable failure.
+        pub retries: tsc3d_obs::Counter,
+        /// Jobs that exhausted their retry budget and were recorded as typed failures.
+        pub quarantined: tsc3d_obs::Counter,
+    }
+
+    /// RAII guard of the `tsc3d_campaign_jobs_running` gauge: decrements on drop, so a
+    /// panicking job attempt cannot leak a permanently "running" job.
+    pub(crate) struct RunningGuard;
+
+    impl RunningGuard {
+        pub(crate) fn enter() -> RunningGuard {
+            get().running.add(1.0);
+            RunningGuard
+        }
+    }
+
+    impl Drop for RunningGuard {
+        fn drop(&mut self) {
+            get().running.add(-1.0);
+        }
     }
 
     pub(crate) fn get() -> &'static CampaignMetrics {
@@ -81,6 +103,14 @@ pub(crate) mod obs_metrics {
                     "tsc3d_campaign_jobs_resumed_total",
                     "Campaign jobs skipped on resume (record already on disk)",
                 ),
+                retries: registry.counter(
+                    "tsc3d_campaign_job_retries_total",
+                    "Campaign job attempts re-executed after a retryable failure",
+                ),
+                quarantined: registry.counter(
+                    "tsc3d_campaign_jobs_quarantined_total",
+                    "Campaign jobs recorded as typed failures after exhausting retries",
+                ),
             }
         })
     }
@@ -99,11 +129,12 @@ pub(crate) mod obs_metrics {
 
 pub use aggregate::{aggregate, render_csv, render_report, CampaignSummary, GroupSummary, Stat};
 pub use engine::{
-    execute_job, resume_from_file, run_campaign, run_campaign_on, CampaignError, CampaignOptions,
-    CampaignOutcome,
+    execute_job, execute_job_with_cancel, execute_job_with_retry, resume_from_file, run_campaign,
+    run_campaign_on, CampaignError, CampaignOptions, CampaignOutcome,
 };
 pub use job::{CampaignJob, CampaignSpec, OverrideSet, Shard};
 pub use record::{JobMetrics, JobOutcome, JobRecord};
+pub use retry::JobRetryPolicy;
 pub use sca::{
     aggregate_sca, execute_sca_job, read_sca_file, render_sca_report, resume_sca_from_file,
     run_sca_campaign, run_sca_campaign_on, ScaCampaignOutcome, ScaCampaignSpec, ScaCampaignSummary,

@@ -136,10 +136,17 @@ impl EventMonitor {
     /// Enables event emission and spawns the monitor thread. `progress`
     /// selects the stderr line, `events_out` the JSONL sink; either may be off.
     pub fn start(progress: bool, events_out: Option<PathBuf>) -> EventMonitor {
+        Self::start_with(progress, events_out, false)
+    }
+
+    /// [`EventMonitor::start`] with optional crash durability: when `fsync` is set,
+    /// every poll batch written to the events file is synced to disk.
+    pub fn start_with(progress: bool, events_out: Option<PathBuf>, fsync: bool) -> EventMonitor {
         tsc3d_obs::set_events(true);
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::spawn(move || monitor_loop(progress, events_out, &thread_stop));
+        let handle =
+            std::thread::spawn(move || monitor_loop(progress, events_out, fsync, &thread_stop));
         EventMonitor {
             stop,
             handle: Some(handle),
@@ -165,7 +172,7 @@ impl Drop for EventMonitor {
     }
 }
 
-fn monitor_loop(progress: bool, events_out: Option<PathBuf>, stop: &AtomicBool) {
+fn monitor_loop(progress: bool, events_out: Option<PathBuf>, fsync: bool, stop: &AtomicBool) {
     // From 0, not `subscribe()`: emission was just enabled, so sequence 0 is
     // the first event of this run and nothing historical can precede it.
     let mut subscriber = tsc3d_obs::subscribe_from(0);
@@ -199,8 +206,15 @@ fn monitor_loop(progress: bool, events_out: Option<PathBuf>, stop: &AtomicBool) 
                 line.observe(event);
             }
         }
-        if progress && !poll.events.is_empty() {
-            line.render();
+        if !poll.events.is_empty() {
+            if fsync {
+                if let Some(sink) = sink.as_mut() {
+                    let _ = sink.flush().and_then(|()| sink.get_ref().sync_data());
+                }
+            }
+            if progress {
+                line.render();
+            }
         }
         if poll.events.is_empty() {
             if stopping {

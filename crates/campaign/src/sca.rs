@@ -16,6 +16,7 @@ use crate::codec::{flow_config_from_json, flow_config_to_json, DecodeError};
 use crate::engine::{CampaignError, CampaignOptions};
 use crate::job::{fnv1a, splitmix64, Shard};
 use crate::json::Json;
+use crate::retry::{is_cancellation_kind, JobRetryPolicy};
 use crate::sink::{repair_torn_tail, SinkError};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -24,12 +25,12 @@ use std::io::{BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use tsc3d::exec::Pool;
+use tsc3d::exec::{CancelToken, Pool};
 use tsc3d::{display_chain, FlowConfig, Setup, TscFlow};
 use tsc3d_netlist::suite::Benchmark;
 use tsc3d_sca::{
-    run_on_flow, AttackConfig, LeakageModel, Mitigation, ScaOutcome, SensorConfig, TargetPolicy,
-    WorkloadConfig,
+    run_on_flow_with_cancel, AttackConfig, LeakageModel, Mitigation, ScaOutcome, SensorConfig,
+    TargetPolicy, WorkloadConfig,
 };
 
 /// A named sensor configuration — one value of the spec's sensor axis.
@@ -646,7 +647,7 @@ struct FlowProduct {
 type FlowSlot = Arc<Mutex<Option<Arc<FlowProduct>>>>;
 
 #[derive(Default)]
-struct FlowCache {
+pub(crate) struct FlowCache {
     slots: Mutex<std::collections::HashMap<(Benchmark, u64), FlowSlot>>,
 }
 
@@ -677,14 +678,22 @@ impl FlowCache {
 /// job's mitigation state. `runtime_s` covers the work this job actually performed — the
 /// flow is included only for the job that computed it.
 pub fn execute_sca_job(spec: &ScaCampaignSpec, job: &ScaJob) -> ScaJobRecord {
-    execute_with_flows(spec, job, &FlowCache::default())
+    execute_with_flows(spec, job, &FlowCache::default(), &CancelToken::new())
 }
 
-fn execute_with_flows(spec: &ScaCampaignSpec, job: &ScaJob, flows: &FlowCache) -> ScaJobRecord {
+fn execute_with_flows(
+    spec: &ScaCampaignSpec,
+    job: &ScaJob,
+    flows: &FlowCache,
+    cancel: &CancelToken,
+) -> ScaJobRecord {
     let _span = tsc3d_obs::span!("campaign_sca_job");
     let metrics = crate::obs_metrics::get();
-    metrics.running.add(1.0);
+    let running = crate::obs_metrics::RunningGuard::enter();
     let started = std::time::Instant::now();
+    // The memoized flow is a shared product (other jobs of the same (benchmark, seed)
+    // group attack it), so it runs uncancellable; only this job's own attack polls the
+    // token at the `sca-batch` checkpoint.
     let product = flows.get(spec, job);
     let outcome = match &product.flow {
         Err((kind, message)) => ScaJobOutcome::Failure {
@@ -694,7 +703,7 @@ fn execute_with_flows(spec: &ScaCampaignSpec, job: &ScaJob, flows: &FlowCache) -
         Ok(flow) => {
             let mut attack = spec.attack;
             attack.sensors = job.sensor.config;
-            match run_on_flow(
+            match run_on_flow_with_cancel(
                 &product.design,
                 flow,
                 &attack,
@@ -702,6 +711,7 @@ fn execute_with_flows(spec: &ScaCampaignSpec, job: &ScaJob, flows: &FlowCache) -
                 job.key_seed,
                 job.mitigation,
                 None,
+                cancel,
             ) {
                 Err(error) => ScaJobOutcome::Failure {
                     kind: error.kind().to_string(),
@@ -715,7 +725,7 @@ fn execute_with_flows(spec: &ScaCampaignSpec, job: &ScaJob, flows: &FlowCache) -
             }
         }
     };
-    metrics.running.add(-1.0);
+    drop(running);
     metrics.done.inc();
     if let ScaJobOutcome::Failure { kind, .. } = &outcome {
         crate::obs_metrics::record_failure(kind);
@@ -729,6 +739,44 @@ fn execute_with_flows(spec: &ScaCampaignSpec, job: &ScaJob, flows: &FlowCache) -
         mitigation: job.mitigation,
         outcome,
     }
+}
+
+/// [`execute_sca_job`] under a [`JobRetryPolicy`]: panics are contained as typed `panic`
+/// failures, retryable kinds re-run with seeded backoff, and the final record is returned
+/// once the job succeeds or exhausts its attempts (quarantine).
+pub(crate) fn execute_sca_with_retry(
+    spec: &ScaCampaignSpec,
+    job: &ScaJob,
+    flows: &FlowCache,
+    policy: &JobRetryPolicy,
+    cancel: &CancelToken,
+) -> ScaJobRecord {
+    let (record, _attempts) = crate::retry::run_attempts(
+        policy,
+        job.run_seed(),
+        cancel,
+        |token| execute_with_flows(spec, job, flows, token),
+        |record| match &record.outcome {
+            ScaJobOutcome::Failure { kind, .. } => Some(kind.clone()),
+            ScaJobOutcome::Success(_) => None,
+        },
+        |message| {
+            crate::obs_metrics::record_failure("panic");
+            ScaJobRecord {
+                job_id: job.id,
+                benchmark: job.benchmark,
+                seed: job.seed,
+                key_seed: job.key_seed,
+                sensor_name: job.sensor.name.clone(),
+                mitigation: job.mitigation,
+                outcome: ScaJobOutcome::Failure {
+                    kind: "panic".to_string(),
+                    message,
+                },
+            }
+        },
+    );
+    record
 }
 
 // --- Results file -----------------------------------------------------------------
@@ -828,38 +876,39 @@ pub fn read_sca_file(path: &Path) -> Result<ScaCampaignFile, SinkError> {
 pub struct ScaResultSink {
     path: PathBuf,
     writer: Mutex<BufWriter<File>>,
+    fsync: bool,
 }
 
 impl ScaResultSink {
-    /// Creates (truncates) the file and writes the `sca_campaign` header line.
+    /// Creates the file and writes the `sca_campaign` header line. The header is
+    /// installed atomically (temp file + fsync + rename), so a crash during creation
+    /// cannot leave a torn header behind.
     ///
     /// # Errors
     ///
     /// Returns [`SinkError`] on I/O failure.
     pub fn create(path: &Path, spec: &ScaCampaignSpec, shard: Shard) -> Result<Self, SinkError> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).map_err(|e| SinkError::Io {
-                    path: path.to_path_buf(),
-                    source: e,
-                })?;
-            }
-        }
-        let file = File::create(path).map_err(|e| SinkError::Io {
-            path: path.to_path_buf(),
-            source: e,
-        })?;
-        let sink = Self {
-            path: path.to_path_buf(),
-            writer: Mutex::new(BufWriter::new(file)),
-        };
+        Self::create_with(path, spec, shard, false)
+    }
+
+    /// [`ScaResultSink::create`] with optional per-line fsync durability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkError`] on I/O failure.
+    pub fn create_with(
+        path: &Path,
+        spec: &ScaCampaignSpec,
+        shard: Shard,
+        fsync: bool,
+    ) -> Result<Self, SinkError> {
         let header = Json::Obj(vec![
             ("sca_campaign".into(), sca_spec_to_json(spec)),
             ("shard".into(), Json::Str(shard.to_string())),
         ])
         .render();
-        sink.append_line(&header)?;
-        Ok(sink)
+        crate::sink::write_header_atomically(path, &header)?;
+        Self::append_to_with(path, fsync)
     }
 
     /// Opens an existing file for appending (the resume path).
@@ -868,6 +917,15 @@ impl ScaResultSink {
     ///
     /// Returns [`SinkError`] on I/O failure.
     pub fn append_to(path: &Path) -> Result<Self, SinkError> {
+        Self::append_to_with(path, false)
+    }
+
+    /// [`ScaResultSink::append_to`] with optional per-line fsync durability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkError`] on I/O failure.
+    pub fn append_to_with(path: &Path, fsync: bool) -> Result<Self, SinkError> {
         let file = OpenOptions::new()
             .append(true)
             .open(path)
@@ -878,10 +936,11 @@ impl ScaResultSink {
         Ok(Self {
             path: path.to_path_buf(),
             writer: Mutex::new(BufWriter::new(file)),
+            fsync,
         })
     }
 
-    /// Appends one record and flushes.
+    /// Appends one record and flushes (plus fsyncs, when enabled).
     ///
     /// # Errors
     ///
@@ -894,6 +953,13 @@ impl ScaResultSink {
         let mut writer = self.writer.lock().expect("sca sink writer poisoned");
         writeln!(writer, "{line}")
             .and_then(|()| writer.flush())
+            .and_then(|()| {
+                if self.fsync {
+                    writer.get_ref().sync_data()
+                } else {
+                    Ok(())
+                }
+            })
             .map_err(|e| SinkError::Io {
                 path: self.path.clone(),
                 source: e,
@@ -979,10 +1045,10 @@ pub fn resume_sca_from_file(
         })?;
     let shard = shard_override.or(file.shard).unwrap_or_else(Shard::full);
     let options = CampaignOptions {
-        workers,
         shard,
         results_path: Some(path.to_path_buf()),
         resume: true,
+        ..CampaignOptions::in_memory(workers)
     };
     let pool = Pool::with_batch_workers(workers);
     let outcome = run_sca_with_prior(&pool, &spec, &options, Some(file));
@@ -1057,13 +1123,13 @@ fn run_sca_with_prior(
     let sink: Arc<Option<ScaResultSink>> = Arc::new(match options.results_path.as_deref() {
         None => None,
         Some(path) => Some(if prior_file.is_some() {
-            ScaResultSink::append_to(path)?
+            ScaResultSink::append_to_with(path, options.fsync)?
         } else if path.exists() {
             return Err(CampaignError::WouldOverwrite {
                 path: path.to_path_buf(),
             });
         } else {
-            ScaResultSink::create(path, spec, options.shard)?
+            ScaResultSink::create_with(path, spec, options.shard, options.fsync)?
         }),
     });
 
@@ -1082,17 +1148,29 @@ fn run_sca_with_prior(
         let spec = Arc::clone(&spec_for_jobs);
         let flows = Arc::clone(&flows);
         let eta = Arc::clone(&eta);
+        let retry = options.retry.clone();
+        let cancel = options.cancel.clone();
         pool.run_batch(pending, move |_, job| {
-            if abort.load(Ordering::Relaxed) {
+            // A fired campaign token drops queued jobs without a record, so a later
+            // resume re-runs them — same contract as a killed process.
+            if abort.load(Ordering::Relaxed) || cancel.is_cancelled().is_some() {
                 return None;
             }
             let record = crate::progress::run_job_instrumented(
                 job.id,
                 "sca",
                 &eta,
-                || execute_with_flows(&spec, &job, &flows),
+                || execute_sca_with_retry(&spec, &job, &flows, &retry, &cancel),
                 |record| matches!(record.outcome, ScaJobOutcome::Failure { .. }),
             );
+            // An in-flight job interrupted by the campaign token is also left
+            // record-less: persisting its `cancelled` failure would make the resume
+            // skip it forever.
+            if let ScaJobOutcome::Failure { kind, .. } = &record.outcome {
+                if cancel.is_cancelled().is_some() && is_cancellation_kind(kind) {
+                    return None;
+                }
+            }
             if let Some(sink) = sink.as_ref() {
                 if let Err(e) = sink.append(&record) {
                     sink_error

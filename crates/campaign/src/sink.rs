@@ -187,38 +187,67 @@ pub fn repair_torn_tail(path: &Path) -> Result<bool, SinkError> {
     Ok(true)
 }
 
+/// Atomically installs a single-line header file at `path`: the content is written to a
+/// sibling temp file, fsynced, and renamed into place, so a crash mid-creation never
+/// leaves a half-written header — `path` either does not exist or starts with a complete
+/// header line. Shared by the flow and sca result sinks.
+pub(crate) fn write_header_atomically(path: &Path, header: &str) -> Result<(), SinkError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| io_error(path, e))?;
+        }
+    }
+    let mut temp = path.as_os_str().to_os_string();
+    temp.push(".tmp");
+    let temp = PathBuf::from(temp);
+    let mut file = File::create(&temp).map_err(|e| io_error(&temp, e))?;
+    writeln!(file, "{header}")
+        .and_then(|()| file.sync_all())
+        .map_err(|e| io_error(&temp, e))?;
+    drop(file);
+    std::fs::rename(&temp, path).map_err(|e| io_error(path, e))
+}
+
 /// A thread-safe appending writer of the results file.
 #[derive(Debug)]
 pub struct ResultSink {
     path: PathBuf,
     writer: Mutex<BufWriter<File>>,
+    fsync: bool,
 }
 
 impl ResultSink {
-    /// Creates (truncates) a results file and writes the header line: the spec plus the
-    /// shard this file's campaign runs.
+    /// Creates a results file and writes the header line: the spec plus the shard this
+    /// file's campaign runs. The header is installed atomically (temp file + fsync +
+    /// rename), so a crash during creation cannot leave a torn header behind.
     pub fn create(path: &Path, spec: &CampaignSpec, shard: Shard) -> Result<Self, SinkError> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).map_err(|e| io_error(path, e))?;
-            }
-        }
-        let file = File::create(path).map_err(|e| io_error(path, e))?;
-        let sink = Self {
-            path: path.to_path_buf(),
-            writer: Mutex::new(BufWriter::new(file)),
-        };
+        Self::create_with(path, spec, shard, false)
+    }
+
+    /// [`ResultSink::create`] with per-line durability: when `fsync` is set, every
+    /// appended record is synced to disk before [`ResultSink::append`] returns.
+    pub fn create_with(
+        path: &Path,
+        spec: &CampaignSpec,
+        shard: Shard,
+        fsync: bool,
+    ) -> Result<Self, SinkError> {
         let header = Json::Obj(vec![
             ("campaign".into(), spec_to_json(spec)),
             ("shard".into(), Json::Str(shard.to_string())),
         ])
         .render();
-        sink.append_line(&header)?;
-        Ok(sink)
+        write_header_atomically(path, &header)?;
+        Self::append_to_with(path, fsync)
     }
 
     /// Opens an existing results file for appending (the resume path).
     pub fn append_to(path: &Path) -> Result<Self, SinkError> {
+        Self::append_to_with(path, false)
+    }
+
+    /// [`ResultSink::append_to`] with optional per-line fsync durability.
+    pub fn append_to_with(path: &Path, fsync: bool) -> Result<Self, SinkError> {
         let file = OpenOptions::new()
             .append(true)
             .open(path)
@@ -226,10 +255,12 @@ impl ResultSink {
         Ok(Self {
             path: path.to_path_buf(),
             writer: Mutex::new(BufWriter::new(file)),
+            fsync,
         })
     }
 
-    /// Appends one record and flushes, so the line survives a subsequent crash.
+    /// Appends one record and flushes (plus fsyncs, when enabled), so the line survives
+    /// a subsequent crash.
     pub fn append(&self, record: &JobRecord) -> Result<(), SinkError> {
         self.append_line(&record.to_json_line())
     }
@@ -238,6 +269,13 @@ impl ResultSink {
         let mut writer = self.writer.lock().expect("sink writer poisoned");
         writeln!(writer, "{line}")
             .and_then(|()| writer.flush())
+            .and_then(|()| {
+                if self.fsync {
+                    writer.get_ref().sync_data()
+                } else {
+                    Ok(())
+                }
+            })
             .map_err(|e| io_error(&self.path, e))
     }
 }

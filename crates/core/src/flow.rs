@@ -62,7 +62,7 @@ fn flow_metrics() -> &'static FlowMetrics {
     })
 }
 use crate::postprocess::{DummyTsvInserter, PostProcessConfig, PostProcessResult};
-use crate::verification::{default_solver, verify, VerificationReport};
+use crate::verification::{default_solver, verify_cancellable, VerificationReport};
 
 /// The two floorplanning setups compared throughout the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -377,10 +377,31 @@ impl TscFlow {
     /// solve fails after exhausting the configured [`RetryPolicy`]. A failed final
     /// sign-off is never papered over with the pre-insertion verification.
     pub fn run(&self, design: &Design, seed: u64) -> Result<FlowResult, FlowError> {
+        self.run_with_cancel(design, seed, &tsc3d_exec::CancelToken::new())
+    }
+
+    /// [`TscFlow::run`] polling `cancel` cooperatively: between stages (checkpoint site
+    /// `flow-stage`), at every SA epoch (`sa-epoch`), and at every detailed-solver sweep
+    /// window (`solver-sweep`).
+    ///
+    /// A run that completes is byte-identical to an uncancelled [`TscFlow::run`] — the
+    /// checkpoints never touch the seeded random streams. An interrupted run returns
+    /// [`FlowError::Cancelled`] / [`FlowError::DeadlineExceeded`] carrying the wall-clock
+    /// of the stages that did complete.
+    ///
+    /// # Errors
+    ///
+    /// The [`TscFlow::run`] errors, plus the cancellation/deadline/fault variants.
+    pub fn run_with_cancel(
+        &self,
+        design: &Design,
+        seed: u64,
+        cancel: &tsc3d_exec::CancelToken,
+    ) -> Result<FlowResult, FlowError> {
         let _span = obs::span!("flow");
         let metrics = flow_metrics();
         metrics.runs.inc();
-        let result = self.run_stages(design, seed);
+        let result = self.run_stages(design, seed, cancel);
         match &result {
             Ok(flow) => {
                 metrics.evaluations.add(flow.sa.evaluations as u64);
@@ -400,21 +421,37 @@ impl TscFlow {
     }
 
     /// The stage pipeline behind [`TscFlow::run`] (which adds the span/metric shell).
-    fn run_stages(&self, design: &Design, seed: u64) -> Result<FlowResult, FlowError> {
+    ///
+    /// Each stage boundary is a `flow-stage` checkpoint, and every stage error (including
+    /// cancellations surfacing from inside a stage) is patched with the timings of the
+    /// stages that completed before it, so partial progress is never lost on an abort.
+    fn run_stages(
+        &self,
+        design: &Design,
+        seed: u64,
+        cancel: &tsc3d_exec::CancelToken,
+    ) -> Result<FlowResult, FlowError> {
         self.config.validate()?;
         let metrics = flow_metrics();
         let start = std::time::Instant::now();
         let mut timings = StageTimings::default();
+        let boundary = |stage: FlowStage, timings: &StageTimings| {
+            tsc3d_exec::checkpoint("flow-stage", cancel)
+                .map_err(|i| FlowError::from_interrupt(i, stage, *timings))
+        };
 
+        boundary(FlowStage::Floorplan, &timings)?;
         let stage_start = std::time::Instant::now();
         let floorplanned = {
             let _span = obs::span!("floorplan");
             let _stage = obs::stage_scope("floorplan");
-            self.stage_floorplan(design, seed)?
+            self.stage_floorplan(design, seed, cancel)
         };
         timings.floorplan_s = stage_start.elapsed().as_secs_f64();
+        let floorplanned = floorplanned.map_err(|e| e.with_timings(timings))?;
         metrics.stage_floorplan.observe(timings.floorplan_s);
 
+        boundary(FlowStage::Assign, &timings)?;
         let stage_start = std::time::Instant::now();
         let assigned = {
             let _span = obs::span!("assign");
@@ -424,22 +461,26 @@ impl TscFlow {
         timings.assign_s = stage_start.elapsed().as_secs_f64();
         metrics.stage_assign.observe(timings.assign_s);
 
+        boundary(FlowStage::Verify, &timings)?;
         let stage_start = std::time::Instant::now();
         let verified = {
             let _span = obs::span!("verify");
             let _stage = obs::stage_scope("verify");
-            self.stage_verify(design, &floorplanned, &assigned)?
+            self.stage_verify(design, &floorplanned, &assigned, cancel)
         };
         timings.verify_s = stage_start.elapsed().as_secs_f64();
+        let verified = verified.map_err(|e| e.with_timings(timings))?;
         metrics.stage_verify.observe(timings.verify_s);
 
+        boundary(FlowStage::PostProcess, &timings)?;
         let stage_start = std::time::Instant::now();
         let processed = {
             let _span = obs::span!("post_process");
             let _stage = obs::stage_scope("post_process");
-            self.stage_post_process(design, &floorplanned, &assigned, &verified, seed)?
+            self.stage_post_process(design, &floorplanned, &assigned, &verified, seed, cancel)
         };
         timings.post_process_s = stage_start.elapsed().as_secs_f64();
+        let processed = processed.map_err(|e| e.with_timings(timings))?;
         metrics.stage_post_process.observe(timings.post_process_s);
 
         Ok(FlowResult {
@@ -471,11 +512,21 @@ impl TscFlow {
     /// typed or runs the explicit repair pass: fresh re-annealing rounds with the packing
     /// weight escalated fourfold per round (seeded deterministically from `seed` and the
     /// round index), recorded in the result so repairs are never silent.
-    fn stage_floorplan(&self, design: &Design, seed: u64) -> Result<FloorplanStage, FlowError> {
+    fn stage_floorplan(
+        &self,
+        design: &Design,
+        seed: u64,
+        cancel: &tsc3d_exec::CancelToken,
+    ) -> Result<FloorplanStage, FlowError> {
+        let interrupted = |i: tsc3d_exec::Interrupt| {
+            FlowError::from_interrupt(i, FlowStage::Floorplan, StageTimings::default())
+        };
         let stack = Stack::two_die(design.outline());
         let weights = self.config.effective_weights();
         let annealer = SimulatedAnnealing::new(self.config.schedule);
-        let sa = annealer.optimize_on(design, stack, &weights, seed);
+        let sa = annealer
+            .optimize_on_cancellable(design, stack, &weights, seed, cancel)
+            .map_err(interrupted)?;
         let packing_before = sa.breakdown.packing;
         if packing_before <= 1.0 + OUTLINE_TOLERANCE {
             return Ok(FloorplanStage {
@@ -499,12 +550,15 @@ impl TscFlow {
             let mut repair_schedule = self.config.schedule;
             repair_schedule.stages *= 1 << round;
             repair_schedule.moves_per_stage *= 1 << round;
-            let repaired = SimulatedAnnealing::new(repair_schedule).optimize_on(
-                design,
-                stack,
-                &repair_weights,
-                seed ^ (0x0C7_1189 + round as u64),
-            );
+            let repaired = SimulatedAnnealing::new(repair_schedule)
+                .optimize_on_cancellable(
+                    design,
+                    stack,
+                    &repair_weights,
+                    seed ^ (0x0C7_1189 + round as u64),
+                    cancel,
+                )
+                .map_err(interrupted)?;
             let packing = repaired.breakdown.packing;
             if packing <= 1.0 + OUTLINE_TOLERANCE {
                 return Ok(FloorplanStage {
@@ -547,6 +601,7 @@ impl TscFlow {
         design: &Design,
         floorplanned: &FloorplanStage,
         assigned: &AssignStage,
+        cancel: &tsc3d_exec::CancelToken,
     ) -> Result<VerifyStage, FlowError> {
         let floorplan = &floorplanned.sa.floorplan;
         let grid = floorplan.analysis_grid(self.config.verification_bins);
@@ -557,6 +612,7 @@ impl TscFlow {
             &assigned.scaled_powers,
             &tsv_plan,
             grid,
+            cancel,
         )?;
 
         // Spatial entropies of the verified power maps (S1, S2 in the paper's tables).
@@ -585,6 +641,7 @@ impl TscFlow {
         assigned: &AssignStage,
         verified: &VerifyStage,
         seed: u64,
+        cancel: &tsc3d_exec::CancelToken,
     ) -> Result<PostProcessStage, FlowError> {
         let Some(pp_config) = self.config.post_process else {
             return Ok(PostProcessStage {
@@ -617,6 +674,7 @@ impl TscFlow {
             &assigned.scaled_powers,
             &result.tsv_plan,
             verified.grid,
+            cancel,
         )?;
 
         Ok(PostProcessStage {
@@ -634,7 +692,9 @@ impl TscFlow {
     ///
     /// Only [`SolveError::NotConverged`] is retried: structural errors (wrong map counts,
     /// grid mismatches) cannot be fixed by relaxing the solver and surface immediately
-    /// with the nominal attempt's error.
+    /// with the nominal attempt's error. An interrupted solve
+    /// ([`SolveError::Interrupted`]) is never retried either — the caller asked out, so
+    /// it maps straight to the typed cancellation/deadline/fault error.
     fn verify_with_retry(
         &self,
         stage: FlowStage,
@@ -642,27 +702,50 @@ impl TscFlow {
         block_powers: &[f64],
         tsv_plan: &TsvPlan,
         grid: Grid,
+        cancel: &tsc3d_exec::CancelToken,
     ) -> Result<(VerificationReport, SolveQuality), FlowError> {
+        let interrupted = |error: &SolveError| match error {
+            SolveError::Interrupted { interrupt, .. } => Some(FlowError::from_interrupt(
+                *interrupt,
+                stage,
+                StageTimings::default(),
+            )),
+            _ => None,
+        };
         let nominal = solver_for(floorplan, self.config.solver);
-        match verify(floorplan, block_powers, tsv_plan, grid, &nominal) {
+        match verify_cancellable(floorplan, block_powers, tsv_plan, grid, &nominal, cancel) {
             Ok(report) => Ok((report, SolveQuality::Nominal)),
-            Err(nominal_error) => match (self.config.retry, &nominal_error) {
-                (RetryPolicy::Relaxed(settings), SolveError::NotConverged { .. }) => {
-                    let relaxed = solver_for(floorplan, settings);
-                    verify(floorplan, block_powers, tsv_plan, grid, &relaxed)
-                        .map(|report| (report, SolveQuality::Relaxed))
-                        .map_err(|source| FlowError::Solve {
-                            stage,
-                            attempts: 2,
-                            source,
-                        })
+            Err(nominal_error) => {
+                if let Some(flow_error) = interrupted(&nominal_error) {
+                    return Err(flow_error);
                 }
-                _ => Err(FlowError::Solve {
-                    stage,
-                    attempts: 1,
-                    source: nominal_error,
-                }),
-            },
+                match (self.config.retry, &nominal_error) {
+                    (RetryPolicy::Relaxed(settings), SolveError::NotConverged { .. }) => {
+                        let relaxed = solver_for(floorplan, settings);
+                        verify_cancellable(
+                            floorplan,
+                            block_powers,
+                            tsv_plan,
+                            grid,
+                            &relaxed,
+                            cancel,
+                        )
+                        .map(|report| (report, SolveQuality::Relaxed))
+                        .map_err(|source| {
+                            interrupted(&source).unwrap_or(FlowError::Solve {
+                                stage,
+                                attempts: 2,
+                                source,
+                            })
+                        })
+                    }
+                    _ => Err(FlowError::Solve {
+                        stage,
+                        attempts: 1,
+                        source: nominal_error,
+                    }),
+                }
+            }
         }
     }
 }

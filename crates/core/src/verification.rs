@@ -52,8 +52,33 @@ pub fn verify(
     grid: Grid,
     solver: &SteadyStateSolver,
 ) -> Result<VerificationReport, SolveError> {
+    verify_cancellable(
+        floorplan,
+        block_powers,
+        tsv_plan,
+        grid,
+        solver,
+        &tsc3d_exec::CancelToken::new(),
+    )
+}
+
+/// [`verify`] polling `cancel` at the solver's sweep-window checkpoints.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the detailed solver, including
+/// [`SolveError::Interrupted`] when the token fires mid-solve.
+pub fn verify_cancellable(
+    floorplan: &Floorplan,
+    block_powers: &[f64],
+    tsv_plan: &TsvPlan,
+    grid: Grid,
+    solver: &SteadyStateSolver,
+    cancel: &tsc3d_exec::CancelToken,
+) -> Result<VerificationReport, SolveError> {
     let power_maps = floorplan.power_maps(grid, block_powers);
-    let result: ThermalResult = solver.solve(&power_maps, &tsv_plan.combined())?;
+    let result: ThermalResult =
+        solver.solve_cancellable(&power_maps, &tsv_plan.combined(), cancel)?;
     let thermal_maps: Vec<GridMap> = result.die_temperatures().to_vec();
     let correlations = power_maps
         .iter()

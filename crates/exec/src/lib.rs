@@ -22,15 +22,51 @@
 //! Batch results are written into per-job slots, so the returned vector is in job order
 //! regardless of worker count or steal interleaving — callers observe bit-identical
 //! results for 1 and N workers.
+//!
+//! PR 9 adds the fault-tolerance layer: cooperative cancellation ([`CancelToken`],
+//! [`checkpoint`]), worker **supervision** (a panic that unwinds a worker loop is counted
+//! in `tsc3d_exec_panics_total` and the worker is respawned in place, so the pool never
+//! degrades), and the deterministic fault-injection harness ([`fault`], [`fault_point!`]).
 
 #![warn(missing_docs)]
+
+pub mod cancel;
+pub mod fault;
+
+pub use cancel::{checkpoint, CancelReason, CancelToken, Interrupt};
+pub use fault::{FaultAction, FaultPlan, FaultRecord, FaultSpec, InjectedFault};
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// The raw fault-injection hook: `fault_point!("site")` expands to
+/// [`fault::check`]`("site")` and returns its `Result<(), InjectedFault>`.
+///
+/// Prefer [`checkpoint`] where a [`CancelToken`] is in scope — it runs the
+/// fault hook *and* the cancellation check in the documented order. The bare
+/// macro is for sites that have no token (e.g. inside the pool itself).
+#[macro_export]
+macro_rules! fault_point {
+    ($site:literal) => {
+        $crate::fault::check($site)
+    };
+}
+
+/// The workspace-wide panic counter (`tsc3d_exec_panics_total`): contained
+/// task panics plus supervised worker-loop panics.
+fn panics_total() -> &'static tsc3d_obs::Counter {
+    static COUNTER: OnceLock<tsc3d_obs::Counter> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        tsc3d_obs::global().counter(
+            "tsc3d_exec_panics_total",
+            "Pool task panics contained (and worker-loop panics survived by respawn)",
+        )
+    })
+}
 
 /// How many extra tasks a worker moves from the shared injector into its own deque at
 /// once.
@@ -74,8 +110,11 @@ struct Shared {
     active: AtomicUsize,
     /// Tasks whose closure panicked (the panic is contained; for fire-and-forget tasks it
     /// is recorded here, for batch tasks it is additionally re-raised at the batch call
-    /// site).
+    /// site). Worker-loop panics survived by a supervised respawn count here too.
     panicked: AtomicU64,
+    /// Worker thread handles. Lives in the shared state (not the [`Pool`] handle) so a
+    /// supervised respawn can register its replacement thread for the shutdown join.
+    handles: Mutex<Vec<JoinHandle<()>>>,
     /// Scheduler-internal counters, snapshotted by [`Pool::stats`].
     stats: Stats,
 }
@@ -193,6 +232,7 @@ impl Shared {
         self.active.fetch_add(1, Ordering::Relaxed);
         if catch_unwind(AssertUnwindSafe(task)).is_err() {
             self.panicked.fetch_add(1, Ordering::Relaxed);
+            panics_total().inc();
         }
         self.active.fetch_sub(1, Ordering::Relaxed);
         self.stats.executed.fetch_add(1, Ordering::Relaxed);
@@ -217,7 +257,6 @@ struct BatchState<R> {
 /// with at least one thread.
 pub struct Pool {
     shared: Arc<Shared>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Pool {
@@ -241,6 +280,7 @@ impl Pool {
             locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             active: AtomicUsize::new(0),
             panicked: AtomicU64::new(0),
+            handles: Mutex::new(Vec::with_capacity(threads)),
             stats: Stats {
                 steals: AtomicU64::new(0),
                 parks: AtomicU64::new(0),
@@ -249,20 +289,10 @@ impl Pool {
                 busy_ns: (0..=threads).map(|_| AtomicU64::new(0)).collect(),
             },
         });
-        let handles = (0..threads)
-            .map(|me| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || {
-                    while let Some(task) = shared.next_task(me) {
-                        shared.run_task(me, task);
-                    }
-                })
-            })
-            .collect();
-        Self {
-            shared,
-            handles: Mutex::new(handles),
+        for me in 0..threads {
+            spawn_worker(&shared, me);
         }
+        Self { shared }
     }
 
     /// A pool sized so that `workers` threads execute a batch: `workers - 1` pool threads
@@ -293,8 +323,9 @@ impl Pool {
         self.shared.active.load(Ordering::Relaxed)
     }
 
-    /// Fire-and-forget tasks whose closure panicked (contained, see [`Pool::submit`];
-    /// batch-job panics are not counted here — they re-raise at the batch call site).
+    /// Fire-and-forget tasks whose closure panicked, plus worker-loop panics survived
+    /// by a supervised respawn (batch-job panics are not counted here — they re-raise
+    /// at the batch call site; the `tsc3d_exec_panics_total` metric counts all three).
     pub fn panicked(&self) -> u64 {
         self.shared.panicked.load(Ordering::Relaxed)
     }
@@ -439,9 +470,18 @@ impl Pool {
             injector.draining = true;
         }
         self.shared.work_available.notify_all();
-        let handles = std::mem::take(&mut *self.handles.lock().expect("pool handles"));
-        for handle in handles {
-            let _ = handle.join();
+        // Join in rounds: a worker that panics while draining registers its supervised
+        // replacement *before* it exits, so the replacement's handle is visible here by
+        // the time the old handle's join returns — the loop terminates once a whole
+        // round of workers exited cleanly.
+        loop {
+            let handles = std::mem::take(&mut *self.shared.handles.lock().expect("pool handles"));
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
         }
         // With worker threads, the join above implies an empty queue. Without any (a
         // 0-thread pool), `submit`'s accepted-means-executed contract still holds: the
@@ -510,6 +550,60 @@ impl PoolStats {
     }
 }
 
+/// Spawns (or respawns) the worker for deque slot `me` and registers its handle for the
+/// shutdown join.
+fn spawn_worker(shared: &Arc<Shared>, me: usize) {
+    let worker = Arc::clone(shared);
+    let handle = std::thread::spawn(move || worker_main(worker, me));
+    // `into_inner` on poison: a respawn runs while its thread is unwinding, so a mutex
+    // poisoned by an unrelated panic must not abort the process via a double panic.
+    match shared.handles.lock() {
+        Ok(mut handles) => handles.push(handle),
+        Err(poisoned) => poisoned.into_inner().push(handle),
+    }
+}
+
+/// The supervised worker loop. Task panics are contained inside
+/// [`Shared::run_task`]; anything that unwinds the loop itself (an injected
+/// `exec-worker` fault, a poisoned internal lock) trips the [`Supervisor`]
+/// guard, which counts the panic and respawns the worker on the same deque
+/// slot — so the pool keeps its full width no matter what.
+fn worker_main(shared: Arc<Shared>, me: usize) {
+    let _supervisor = Supervisor {
+        shared: Arc::clone(&shared),
+        slot: me,
+    };
+    loop {
+        // The injection point sits *between* tasks — before the next task is claimed —
+        // so an injected worker panic never holds (and therefore never loses) a task:
+        // the replacement worker drains the same deque. Only the panic action is
+        // meaningful here; an injected `error` at this site is ignored.
+        let _ = fault_point!("exec-worker");
+        let Some(task) = shared.next_task(me) else {
+            break;
+        };
+        shared.run_task(me, task);
+    }
+}
+
+/// Respawn guard living on the worker's stack: acts only when [`worker_main`]
+/// unwinds (a clean exit drops it silently).
+struct Supervisor {
+    shared: Arc<Shared>,
+    slot: usize,
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        self.shared.panicked.fetch_add(1, Ordering::Relaxed);
+        panics_total().inc();
+        spawn_worker(&self.shared, self.slot);
+    }
+}
+
 /// Wraps one batch job into a pool task: run, store the result (or capture the panic),
 /// then decrement the batch counter and wake the batch owner on completion.
 fn batch_task<J, R, F>(batch: Arc<BatchState<R>>, f: Arc<F>, index: usize, job: J) -> Task
@@ -524,6 +618,7 @@ where
                 *batch.slots[index].lock().expect("batch slot") = Some(result);
             }
             Err(payload) => {
+                panics_total().inc();
                 batch
                     .panic
                     .lock()

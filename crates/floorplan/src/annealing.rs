@@ -3,6 +3,7 @@
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use tsc3d_exec::{CancelToken, Interrupt};
 use tsc3d_geometry::Stack;
 use tsc3d_netlist::Design;
 
@@ -131,6 +132,35 @@ impl SimulatedAnnealing {
         weights: &ObjectiveWeights,
         seed: u64,
     ) -> SaResult {
+        self.optimize_on_cancellable(design, stack, weights, seed, &CancelToken::new())
+            .unwrap_or_else(|interrupt| {
+                // A fresh token never fires; only an armed fault plan targeting
+                // `sa-epoch` can interrupt this entry point, and it has no error
+                // channel — surface the injection as the panic it is.
+                panic!("injected fault reached the non-cancellable SA entry point: {interrupt}")
+            })
+    }
+
+    /// [`SimulatedAnnealing::optimize_on`] polling `cancel` at every epoch
+    /// boundary (checkpoint site `sa-epoch`).
+    ///
+    /// The checkpoint sits outside the move loop and never touches the random
+    /// stream, so a run that completes is bit-identical to the plain entry
+    /// point (and to [`SimulatedAnnealing::optimize_on_reference`]); an
+    /// interrupted run abandons the epoch in progress and returns typed.
+    ///
+    /// # Errors
+    ///
+    /// The [`Interrupt`] when the token fires (user cancellation, deadline,
+    /// shutdown) or the fault harness injects an error at `sa-epoch`.
+    pub fn optimize_on_cancellable(
+        &self,
+        design: &Design,
+        stack: Stack,
+        weights: &ObjectiveWeights,
+        seed: u64,
+        cancel: &CancelToken,
+    ) -> Result<SaResult, Interrupt> {
         let _span = tsc3d_obs::span!("sa");
         let start = std::time::Instant::now();
         let evaluator =
@@ -177,6 +207,7 @@ impl SimulatedAnnealing {
             -mean_uphill / self.schedule.initial_acceptance.clamp(0.05, 0.99).ln();
 
         for stage in 0..self.schedule.stages {
+            tsc3d_exec::checkpoint("sa-epoch", cancel)?;
             let _epoch = tsc3d_obs::span!("sa_epoch");
             let epoch_evaluations = evaluations;
             let epoch_accepted = accepted;
@@ -213,7 +244,7 @@ impl SimulatedAnnealing {
             });
         }
 
-        SaResult {
+        Ok(SaResult {
             floorplan: best.pack(design),
             breakdown: best_breakdown,
             cost: best_cost,
@@ -222,7 +253,7 @@ impl SimulatedAnnealing {
             accepted,
             history,
             runtime_seconds: start.elapsed().as_secs_f64(),
-        }
+        })
     }
 
     /// The original clone-per-move annealing loop over the from-scratch evaluation path,

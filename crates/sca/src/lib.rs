@@ -101,8 +101,8 @@ pub(crate) mod obs_metrics {
 pub use cpa::{run_cpa, ByteResult, CpaAccumulator, CpaResult, TraceConsumer, TraceSet};
 pub use scenario::{
     attack_tsv_fields, resolve_target, run_attack, run_attack_with, run_on_flow, run_on_flow_with,
-    run_verdict, AttackConfig, Mitigation, ScaError, ScaOutcome, ScaVerdict, TargetPolicy,
-    TraceEngine,
+    run_on_flow_with_cancel, run_verdict, run_verdict_with_cancel, AttackConfig, Mitigation,
+    ScaError, ScaOutcome, ScaVerdict, TargetPolicy, TraceEngine,
 };
 pub use sensor::SensorConfig;
 pub use workload::{derive_key, LeakageModel, TraceActivity, Workload, WorkloadConfig, SBOX};
@@ -298,5 +298,28 @@ mod tests {
         let err =
             run_on_flow(design, flow, &config, 5, 11, Mitigation::Baseline, None).unwrap_err();
         assert!(matches!(err, ScaError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn cancelled_and_expired_tokens_interrupt_the_attack_typed() {
+        let (design, flow) = flow_fixture();
+        let config = test_config();
+
+        let cancel = tsc3d_exec::CancelToken::new();
+        cancel.cancel(tsc3d_exec::CancelReason::User);
+        let err = run_verdict_with_cancel(design, flow, &config, 5, 11, None, &cancel).unwrap_err();
+        assert!(matches!(
+            err,
+            ScaError::Cancelled {
+                reason: tsc3d_exec::CancelReason::User
+            }
+        ));
+        assert_eq!(err.kind(), "cancelled");
+
+        let expired = tsc3d_exec::CancelToken::new().with_deadline(std::time::Duration::ZERO);
+        let err =
+            run_verdict_with_cancel(design, flow, &config, 5, 11, None, &expired).unwrap_err();
+        assert!(matches!(err, ScaError::DeadlineExceeded));
+        assert_eq!(err.kind(), "deadline");
     }
 }

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::{mpsc, Arc};
 use tsc3d::FlowResult;
-use tsc3d_exec::{chunk_ranges, Pool};
+use tsc3d_exec::{chunk_ranges, CancelToken, Interrupt, Pool};
 use tsc3d_floorplan::{plan_signal_tsvs, Floorplan, PowerStamps};
 use tsc3d_geometry::{DieId, Grid, GridMap, GridPos};
 use tsc3d_netlist::Design;
@@ -195,6 +195,18 @@ pub enum ScaError {
         /// The instrumented die.
         die: usize,
     },
+    /// The attack was cancelled at a trace-batch checkpoint.
+    Cancelled {
+        /// Why the token fired.
+        reason: tsc3d_exec::CancelReason,
+    },
+    /// The attack's deadline expired at a trace-batch checkpoint.
+    DeadlineExceeded,
+    /// A fault-injection hook fired at a checkpoint (chaos testing only).
+    Fault {
+        /// The fault site that fired.
+        site: &'static str,
+    },
 }
 
 impl std::fmt::Display for ScaError {
@@ -205,6 +217,9 @@ impl std::fmt::Display for ScaError {
             ScaError::NoTargetModule { die } => {
                 write!(f, "no module placed on the instrumented die {die}")
             }
+            ScaError::Cancelled { reason } => write!(f, "sca attack cancelled ({reason})"),
+            ScaError::DeadlineExceeded => write!(f, "sca attack deadline exceeded"),
+            ScaError::Fault { site } => write!(f, "injected fault at {site}"),
         }
     }
 }
@@ -220,17 +235,36 @@ impl std::error::Error for ScaError {
 
 impl From<SolveError> for ScaError {
     fn from(e: SolveError) -> Self {
-        ScaError::Solve(e)
+        match e {
+            SolveError::Interrupted { interrupt, .. } => ScaError::from_interrupt(interrupt),
+            other => ScaError::Solve(other),
+        }
     }
 }
 
 impl ScaError {
     /// Stable variant tag for failure aggregation.
+    ///
+    /// Cancellation kinds match the flow's: `cancelled`, `shutdown`, `deadline`,
+    /// `fault-injected`.
     pub fn kind(&self) -> &'static str {
         match self {
             ScaError::InvalidConfig { .. } => "sca-invalid-config",
             ScaError::Solve(_) => "sca-solve",
             ScaError::NoTargetModule { .. } => "sca-no-target",
+            ScaError::Cancelled { reason } => reason.kind(),
+            ScaError::DeadlineExceeded => "deadline",
+            ScaError::Fault { .. } => "fault-injected",
+        }
+    }
+
+    /// Maps a checkpoint [`Interrupt`] to the matching typed variant (deadline
+    /// cancellations become [`ScaError::DeadlineExceeded`]).
+    pub fn from_interrupt(interrupt: Interrupt) -> ScaError {
+        match interrupt {
+            Interrupt::Cancelled(tsc3d_exec::CancelReason::Deadline) => ScaError::DeadlineExceeded,
+            Interrupt::Cancelled(reason) => ScaError::Cancelled { reason },
+            Interrupt::Fault(fault) => ScaError::Fault { site: fault.site },
         }
     }
 }
@@ -629,6 +663,11 @@ fn consume_chunk<C: TraceConsumer + ?Sized>(
 /// while memory stays `O(pending batches × batch × points)` instead of
 /// `O(traces × points)`. The drain loop *helps execute* queued tasks while waiting, so
 /// streaming from inside a pool task (the serve daemon's sca jobs) cannot deadlock.
+///
+/// `cancel` is polled at the `sca-batch` checkpoint once per consumed chunk — the hit
+/// count of that fault site is therefore deterministic (exactly the chunk count on a
+/// fault-free run) regardless of pool scheduling. An interrupt abandons the remaining
+/// chunks; in-flight producers finish into a dropped channel and are discarded.
 fn stream_batches<C: TraceConsumer>(
     context: Arc<BatchContext>,
     chunks: Vec<(usize, usize)>,
@@ -636,7 +675,8 @@ fn stream_batches<C: TraceConsumer>(
     consumer: &mut C,
     key_bytes: usize,
     points: usize,
-) -> u64 {
+    cancel: &CancelToken,
+) -> Result<u64, ScaError> {
     let mut steps = 0u64;
     match pool {
         Some(pool) if pool.threads() > 0 => {
@@ -689,12 +729,15 @@ fn stream_batches<C: TraceConsumer>(
                     pending.insert(index, chunk);
                 }
                 while let Some(chunk) = pending.remove(&next) {
+                    tsc3d_exec::checkpoint("sca-batch", cancel)
+                        .map_err(ScaError::from_interrupt)?;
                     steps += chunk.steps;
                     consume_chunk(consumer, &chunk, key_bytes, points);
                     next += 1;
                 }
             }
             while let Some(chunk) = pending.remove(&next) {
+                tsc3d_exec::checkpoint("sca-batch", cancel).map_err(ScaError::from_interrupt)?;
                 steps += chunk.steps;
                 consume_chunk(consumer, &chunk, key_bytes, points);
                 next += 1;
@@ -703,13 +746,15 @@ fn stream_batches<C: TraceConsumer>(
         }
         _ => {
             // Serial: simulate and fold one batch at a time — memory O(batch × points).
-            for chunk in chunks.into_iter().map(|range| context.simulate(range)) {
+            for range in chunks {
+                tsc3d_exec::checkpoint("sca-batch", cancel).map_err(ScaError::from_interrupt)?;
+                let chunk = context.simulate(range);
                 steps += chunk.steps;
                 consume_chunk(consumer, &chunk, key_bytes, points);
             }
         }
     }
-    steps
+    Ok(steps)
 }
 
 /// Runs one attack evaluation against explicit TSV fields.
@@ -830,6 +875,35 @@ pub fn run_attack_with(
     engine: TraceEngine,
     pool: Option<&Pool>,
 ) -> Result<ScaOutcome, ScaError> {
+    run_attack_impl(
+        floorplan,
+        nominal_powers,
+        tsv_fields,
+        stability,
+        config,
+        seed,
+        key_seed,
+        engine,
+        pool,
+        &CancelToken::new(),
+    )
+}
+
+/// The cancellable core behind every attack entry point: polls `cancel` at the
+/// `sca-batch` checkpoint once per consumed trace chunk.
+#[allow(clippy::too_many_arguments)]
+fn run_attack_impl(
+    floorplan: &Floorplan,
+    nominal_powers: &[f64],
+    tsv_fields: &[TsvField],
+    stability: Option<&tsc3d_leakage::StabilityMap>,
+    config: &AttackConfig,
+    seed: u64,
+    key_seed: u64,
+    engine: TraceEngine,
+    pool: Option<&Pool>,
+    cancel: &CancelToken,
+) -> Result<ScaOutcome, ScaError> {
     let _span = tsc3d_obs::span!("sca_attack");
     if let TraceEngine::Batched { batch_traces: 0 } = engine {
         return Err(ScaError::InvalidConfig {
@@ -880,7 +954,8 @@ pub fn run_attack_with(
                 &mut cpa_sums,
                 config.workload.key_bytes,
                 points,
-            );
+                cancel,
+            )?;
             Ok(ScaOutcome {
                 cpa: cpa_sums.finish(),
                 target_module: setup.target,
@@ -916,6 +991,7 @@ pub fn run_attack_with(
             let mut set = TraceSet::new(config.workload.key_bytes, points);
             let mut transient_steps = 0u64;
             for chunk in &results {
+                tsc3d_exec::checkpoint("sca-batch", cancel).map_err(ScaError::from_interrupt)?;
                 transient_steps += chunk.steps;
                 consume_chunk(&mut set, chunk, config.workload.key_bytes, points);
             }
@@ -987,10 +1063,68 @@ pub fn run_on_flow_with(
     engine: TraceEngine,
     pool: Option<&Pool>,
 ) -> Result<ScaOutcome, ScaError> {
+    run_on_flow_impl(
+        design,
+        flow,
+        config,
+        seed,
+        key_seed,
+        mitigation,
+        engine,
+        pool,
+        &CancelToken::new(),
+    )
+}
+
+/// [`run_on_flow`] polling `cancel` at the `sca-batch` checkpoint (once per consumed
+/// trace chunk), so a running attack can be stopped — or bounded by a deadline — within
+/// one chunk's worth of work. A run that completes is bit-identical to an uncancelled
+/// [`run_on_flow`].
+///
+/// # Errors
+///
+/// See [`run_attack`], plus [`ScaError::Cancelled`]/[`ScaError::DeadlineExceeded`] when
+/// the token fires mid-attack.
+#[allow(clippy::too_many_arguments)]
+pub fn run_on_flow_with_cancel(
+    design: &Design,
+    flow: &FlowResult,
+    config: &AttackConfig,
+    seed: u64,
+    key_seed: u64,
+    mitigation: Mitigation,
+    pool: Option<&Pool>,
+    cancel: &CancelToken,
+) -> Result<ScaOutcome, ScaError> {
+    run_on_flow_impl(
+        design,
+        flow,
+        config,
+        seed,
+        key_seed,
+        mitigation,
+        TraceEngine::default(),
+        pool,
+        cancel,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_on_flow_impl(
+    design: &Design,
+    flow: &FlowResult,
+    config: &AttackConfig,
+    seed: u64,
+    key_seed: u64,
+    mitigation: Mitigation,
+    engine: TraceEngine,
+    pool: Option<&Pool>,
+    cancel: &CancelToken,
+) -> Result<ScaOutcome, ScaError> {
     config.validate()?;
     let grid = flow.floorplan().analysis_grid(config.grid_bins);
     let fields = attack_tsv_fields(design, flow, grid, mitigation);
-    run_attack_with(
+    run_attack_impl(
         flow.floorplan(),
         &flow.scaled_powers,
         &fields,
@@ -1000,6 +1134,7 @@ pub fn run_on_flow_with(
         key_seed,
         engine,
         pool,
+        cancel,
     )
 }
 
@@ -1018,23 +1153,59 @@ pub fn run_verdict(
     key_seed: u64,
     pool: Option<&Pool>,
 ) -> Result<ScaVerdict, ScaError> {
-    let baseline = run_on_flow(
+    run_verdict_with_cancel(
+        design,
+        flow,
+        config,
+        seed,
+        key_seed,
+        pool,
+        &CancelToken::new(),
+    )
+}
+
+/// [`run_verdict`] polling `cancel` at the `sca-batch` checkpoint (once per consumed
+/// trace chunk of either mitigation state) — the serve daemon's cancellation and
+/// deadline path.
+///
+/// A run that completes is bit-identical to an uncancelled [`run_verdict`]: the token is
+/// only *read* at checkpoints and never touches the seeded trace streams.
+///
+/// # Errors
+///
+/// See [`run_attack`]; additionally [`ScaError::Cancelled`],
+/// [`ScaError::DeadlineExceeded`] or [`ScaError::Fault`] when the token (or an armed
+/// fault plan) fires mid-attack.
+pub fn run_verdict_with_cancel(
+    design: &Design,
+    flow: &FlowResult,
+    config: &AttackConfig,
+    seed: u64,
+    key_seed: u64,
+    pool: Option<&Pool>,
+    cancel: &CancelToken,
+) -> Result<ScaVerdict, ScaError> {
+    let baseline = run_on_flow_impl(
         design,
         flow,
         config,
         seed,
         key_seed,
         Mitigation::Baseline,
+        TraceEngine::default(),
         pool,
+        cancel,
     )?;
-    let mitigated = run_on_flow(
+    let mitigated = run_on_flow_impl(
         design,
         flow,
         config,
         seed,
         key_seed,
         Mitigation::DummyTsvs,
+        TraceEngine::default(),
         pool,
+        cancel,
     )?;
     Ok(ScaVerdict {
         baseline,

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! serve [--addr 127.0.0.1:7878] [--workers N] [--state-dir DIR]
-//!       [--cache-cap N] [--queue-cap N] [--trace-out PATH]
+//!       [--cache-cap N] [--queue-cap N] [--drain-timeout-s N] [--trace-out PATH]
 //! ```
 //!
 //! With `--state-dir`, completed results persist to `DIR/results.jsonl` and a restarted
@@ -21,7 +21,7 @@ use tsc3d_serve::{Server, ServerConfig};
 
 const USAGE: &str = "usage:
   serve [--addr HOST:PORT] [--workers N] [--state-dir DIR] [--cache-cap N] [--queue-cap N]
-        [--trace-out PATH]";
+        [--drain-timeout-s N] [--trace-out PATH]";
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -51,6 +51,9 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
     }
     if let Some(cap) = parse_usize(args, "--queue-cap")? {
         config.queue_cap = cap;
+    }
+    if let Some(seconds) = parse_usize(args, "--drain-timeout-s")? {
+        config.drain_timeout = std::time::Duration::from_secs(seconds as u64);
     }
     config.state_dir = arg_value(args, "--state-dir").map(PathBuf::from);
     Ok(config)

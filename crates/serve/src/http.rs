@@ -227,6 +227,8 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` value.
     pub content_type: &'static str,
+    /// Extra header fields emitted after `Content-Type` (e.g. `Retry-After` on `429`).
+    pub headers: Vec<(&'static str, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -237,6 +239,7 @@ impl Response {
         Self {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: value.render().into_bytes(),
         }
     }
@@ -247,6 +250,7 @@ impl Response {
         Self {
             status,
             content_type: "application/json",
+            headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         }
     }
@@ -256,6 +260,7 @@ impl Response {
         Self {
             status,
             content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -266,6 +271,12 @@ impl Response {
             status,
             &Json::Obj(vec![("error".into(), Json::Str(message.to_string()))]),
         )
+    }
+
+    /// Adds an extra header field (builder-style).
+    pub fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.headers.push((name, value));
+        self
     }
 }
 
@@ -294,13 +305,20 @@ fn reason(status: u16) -> &'static str {
 ///
 /// Returns the socket error, which the connection handler logs and drops.
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
         response.status,
         reason(response.status),
         response.content_type,
         response.body.len(),
     );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&response.body)?;
     stream.flush()
@@ -335,5 +353,11 @@ mod tests {
         let response = Response::error(404, "nope");
         assert_eq!(response.status, 404);
         assert_eq!(response.body, b"{\"error\":\"nope\"}");
+    }
+
+    #[test]
+    fn extra_headers_attach() {
+        let response = Response::error(429, "busy").with_header("retry-after", "1".into());
+        assert_eq!(response.headers, vec![("retry-after", "1".to_string())]);
     }
 }

@@ -13,8 +13,8 @@ use crate::payload::Payload;
 use crate::state::StateFile;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
-use tsc3d::exec::Pool;
+use std::time::{Duration, Instant};
+use tsc3d::exec::{CancelReason, CancelToken, Pool};
 use tsc3d::{display_chain, TscFlow};
 use tsc3d_campaign::json::Json;
 use tsc3d_campaign::{
@@ -22,7 +22,7 @@ use tsc3d_campaign::{
     ScaJobMetrics,
 };
 use tsc3d_netlist::suite::generate;
-use tsc3d_sca::run_verdict;
+use tsc3d_sca::run_verdict_with_cancel;
 
 /// Lifecycle of one submitted job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +35,11 @@ pub enum JobState {
     Done,
     /// Failed internally (panic or engine error); `error` holds the reason.
     Failed,
+    /// Interrupted before completion — `DELETE /v1/jobs/{id}`, a submission
+    /// `deadline_ms`, or the drain watchdog; `error` holds which. Never cached or
+    /// persisted: an interrupted evaluation is partial, and a later identical
+    /// submission must re-run it.
+    Cancelled,
 }
 
 impl JobState {
@@ -45,6 +50,7 @@ impl JobState {
             JobState::Running => "running",
             JobState::Done => "done",
             JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
         }
     }
 }
@@ -64,10 +70,17 @@ pub struct JobInfo {
     pub cached: bool,
     /// The rendered result body (when `Done`).
     pub result: Option<Arc<String>>,
-    /// The failure reason (when `Failed`).
+    /// The failure reason (when `Failed` or `Cancelled`).
     pub error: Option<String>,
     /// When the job was accepted (queue-wait metric anchor).
     pub submitted_at: Instant,
+    /// The job's cancel flag. [`CancelToken`] clones share state, so a table snapshot
+    /// can cancel the live job; the executing worker layers the submission deadline on
+    /// top with [`CancelToken::with_deadline`] when the job actually starts.
+    pub cancel: CancelToken,
+    /// The execution deadline requested at submission (`deadline_ms`), measured from
+    /// execution start — queue wait does not consume the budget.
+    pub deadline: Option<Duration>,
 }
 
 /// The mutable core of the registry (one lock: dedup decisions are atomic).
@@ -91,15 +104,21 @@ impl Table {
         self.next_id
     }
 
-    /// Evicts the oldest settled (done/failed) jobs beyond `retained`. In-flight jobs are
-    /// never pruned, and results stay reachable through the cache and the disk index —
-    /// only the id-addressed status entry expires (a later `GET /v1/jobs/{id}` gets 404).
+    /// Evicts the oldest settled (done/failed/cancelled) jobs beyond `retained`.
+    /// In-flight jobs are never pruned, and results stay reachable through the cache and
+    /// the disk index — only the id-addressed status entry expires (a later
+    /// `GET /v1/jobs/{id}` gets 404).
     fn prune_settled(&mut self, retained: usize) {
         while self.jobs.len() - self.pending > retained {
             let oldest_settled = self
                 .jobs
                 .iter()
-                .find(|(_, job)| matches!(job.state, JobState::Done | JobState::Failed))
+                .find(|(_, job)| {
+                    matches!(
+                        job.state,
+                        JobState::Done | JobState::Failed | JobState::Cancelled
+                    )
+                })
                 .map(|(&id, _)| id);
             match oldest_settled {
                 Some(id) => self.jobs.remove(&id),
@@ -130,6 +149,49 @@ pub enum Refusal {
     },
     /// The server is draining (`503`).
     Draining,
+}
+
+/// How a `DELETE /v1/jobs/{id}` cancellation request was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelOutcome {
+    /// The job was queued or running; its token fired and the job will settle
+    /// `Cancelled` at its next cooperative checkpoint (`202`).
+    Accepted,
+    /// The job already settled in the given state — nothing to cancel (`409`).
+    AlreadySettled(&'static str),
+    /// No such job (`404`).
+    NotFound,
+}
+
+/// Why a payload run produced no result body.
+///
+/// The split decides cacheability: an [`RunError::Interrupted`] run stopped at a
+/// cooperative checkpoint with work left undone, so its (nonexistent) output must never
+/// enter the result cache or the state file, while a [`RunError::Failed`] run is a
+/// terminal error whose message is the result.
+enum RunError {
+    /// The job's token fired (cancellation, deadline or shutdown); `kind` is the
+    /// [`CancelReason`] kind label the failure metric is recorded under.
+    Interrupted {
+        /// `"cancelled"`, `"shutdown"` or `"deadline"`.
+        kind: &'static str,
+        /// Human-readable description for the job's `error` field.
+        message: String,
+    },
+    /// The payload failed for real (bad expansion, engine error).
+    Failed(String),
+}
+
+impl From<String> for RunError {
+    fn from(message: String) -> Self {
+        RunError::Failed(message)
+    }
+}
+
+impl From<&str> for RunError {
+    fn from(message: &str) -> Self {
+        RunError::Failed(message.to_string())
+    }
 }
 
 /// The job subsystem: table + cache + persistence + pool.
@@ -201,8 +263,43 @@ impl JobService {
         self.table.lock().expect("job table").jobs.get(&id).cloned()
     }
 
+    /// Requests cancellation of one job (`DELETE /v1/jobs/{id}`). Firing the token is
+    /// all this does — the job itself settles `Cancelled` when its worker observes the
+    /// flag at the next cooperative checkpoint (stage boundary, SA epoch, solver sweep
+    /// or sca trace batch), so the table stays consistent with what actually ran.
+    pub fn cancel(&self, id: u64) -> CancelOutcome {
+        let table = self.table.lock().expect("job table");
+        match table.jobs.get(&id) {
+            None => CancelOutcome::NotFound,
+            Some(job) => match job.state {
+                JobState::Queued | JobState::Running => {
+                    job.cancel.cancel(CancelReason::User);
+                    CancelOutcome::Accepted
+                }
+                settled => CancelOutcome::AlreadySettled(settled.label()),
+            },
+        }
+    }
+
+    /// Fires every queued or running job's token with `reason` (the drain watchdog's
+    /// lever: a bounded shutdown cancels stragglers instead of waiting forever).
+    /// Returns how many tokens fired.
+    pub fn cancel_in_flight(&self, reason: CancelReason) -> usize {
+        let table = self.table.lock().expect("job table");
+        let mut fired = 0;
+        for job in table.jobs.values() {
+            if matches!(job.state, JobState::Queued | JobState::Running) {
+                job.cancel.cancel(reason);
+                fired += 1;
+            }
+        }
+        fired
+    }
+
     /// Submits a payload under its canonical key. Returns the job id and how the
-    /// submission was admitted, or a typed refusal (backpressure).
+    /// submission was admitted, or a typed refusal (backpressure). `deadline` bounds the
+    /// job's *execution* wall clock (queue wait excluded); a job that overruns it settles
+    /// [`JobState::Cancelled`] at its next cooperative checkpoint.
     ///
     /// # Errors
     ///
@@ -212,6 +309,7 @@ impl JobService {
         self: &Arc<Self>,
         key: Arc<str>,
         payload: Payload,
+        deadline: Option<Duration>,
     ) -> Result<(u64, Admission), Refusal> {
         let metrics = &self.metrics;
         let mut table = self.table.lock().expect("job table");
@@ -240,6 +338,8 @@ impl JobService {
                     result: Some(result),
                     error: None,
                     submitted_at: Instant::now(),
+                    cancel: CancelToken::new(),
+                    deadline: None,
                 },
             );
             table.prune_settled(self.jobs_retained);
@@ -249,6 +349,7 @@ impl JobService {
         }
         if table.pending >= self.queue_cap {
             metrics.rejected_busy.inc();
+            metrics.record_rejected("busy");
             return Err(Refusal::Busy {
                 queue_cap: self.queue_cap,
             });
@@ -266,6 +367,8 @@ impl JobService {
                 result: None,
                 error: None,
                 submitted_at: Instant::now(),
+                cancel: CancelToken::new(),
+                deadline,
             },
         );
         table.in_flight.insert(Arc::clone(&key), id);
@@ -295,6 +398,7 @@ impl JobService {
             table.in_flight.remove(&key);
             table.pending -= 1;
             let _ = closed;
+            metrics.record_rejected("draining");
             return Err(Refusal::Draining);
         }
         metrics.jobs_submitted.inc();
@@ -341,20 +445,28 @@ impl JobService {
             state: tsc3d_obs::JobState::Started,
             label: kind.to_string(),
         });
-        let queued_for = {
+        let (queued_for, cancel) = {
             let mut table = self.table.lock().expect("job table");
             let Some(job) = table.jobs.get_mut(&id) else {
                 return;
             };
             job.state = JobState::Running;
-            job.submitted_at.elapsed()
+            // The deadline budget starts here: queue wait is the server's fault, not
+            // the client's, so it never consumes the submission's `deadline_ms`.
+            let cancel = match job.deadline {
+                Some(budget) => job.cancel.with_deadline(budget),
+                None => job.cancel.clone(),
+            };
+            (job.submitted_at.elapsed(), cancel)
         };
         self.metrics.queue_wait.observe(queued_for.as_secs_f64());
 
         let started = Instant::now();
         let outcome = {
             let _span = tsc3d_obs::span!("serve_job");
-            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_payload(&payload)))
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.run_payload(&payload, &cancel)
+            }))
         };
         self.metrics
             .job_latency
@@ -399,12 +511,23 @@ impl JobService {
                 }
                 self.metrics.jobs_executed.inc();
             }
-            Ok(Err(message)) => {
+            Ok(Err(RunError::Interrupted { kind, message })) => {
+                // Interrupted runs are partial: never persisted, never cached — a later
+                // identical submission re-executes from scratch.
+                if let Some(job) = table.jobs.get_mut(&id) {
+                    job.state = JobState::Cancelled;
+                    job.error = Some(message);
+                }
+                self.metrics.jobs_failed.inc();
+                self.metrics.record_job_failure(kind);
+            }
+            Ok(Err(RunError::Failed(message))) => {
                 if let Some(job) = table.jobs.get_mut(&id) {
                     job.state = JobState::Failed;
                     job.error = Some(message);
                 }
                 self.metrics.jobs_failed.inc();
+                self.metrics.record_job_failure("error");
             }
             Err(_panic) => {
                 if let Some(job) = table.jobs.get_mut(&id) {
@@ -412,6 +535,7 @@ impl JobService {
                     job.error = Some("job panicked".to_string());
                 }
                 self.metrics.jobs_failed.inc();
+                self.metrics.record_job_failure("panic");
             }
         }
         table.in_flight.remove(&key);
@@ -420,11 +544,40 @@ impl JobService {
     }
 
     /// Executes the payload, returning the rendered result body.
-    fn run_payload(&self, payload: &Payload) -> Result<String, String> {
+    ///
+    /// `cancel` is polled at every cooperative checkpoint of the underlying engines
+    /// (flow stage boundaries, SA epochs, solver sweeps, sca trace batches); when it
+    /// fires the run returns [`RunError::Interrupted`] instead of a body.
+    fn run_payload(&self, payload: &Payload, cancel: &CancelToken) -> Result<String, RunError> {
+        // A cancel that lands while the job is still queued settles it here without
+        // running anything.
+        if let Some(reason) = cancel.is_cancelled() {
+            return Err(RunError::Interrupted {
+                kind: reason.kind(),
+                message: format!("job cancelled before it started ({})", reason.kind()),
+            });
+        }
         match payload {
             Payload::Flow(job) => {
                 let design = generate(job.benchmark, job.seed);
-                let result = TscFlow::new(job.config).run(&design, job.run_seed());
+                let result =
+                    TscFlow::new(job.config).run_with_cancel(&design, job.run_seed(), cancel);
+                // Interrupts abort the job (no cacheable partial output); every other
+                // flow failure is a *result* — the typed failure record is data a client
+                // asked for, exactly as in campaign files.
+                if let Err(e) = &result {
+                    let kind = e.kind();
+                    if matches!(kind, "cancelled" | "shutdown" | "deadline") {
+                        return Err(RunError::Interrupted {
+                            kind,
+                            message: display_chain(e),
+                        });
+                    }
+                    if kind == "fault-injected" {
+                        // Harness-made, non-deterministic: never cache it as a record.
+                        return Err(RunError::Failed(display_chain(e)));
+                    }
+                }
                 if let Ok(flow) = &result {
                     self.metrics.observe_stages(&flow.stage_timings);
                     self.metrics
@@ -455,8 +608,16 @@ impl JobService {
                 let started = Instant::now();
                 let design = generate(job.benchmark, job.seed);
                 let flow = TscFlow::new(spec.flow)
-                    .run(&design, job.run_seed())
-                    .map_err(|e| format!("sca flow-{}: {}", e.kind(), display_chain(&e)))?;
+                    .run_with_cancel(&design, job.run_seed(), cancel)
+                    .map_err(|e| match e.kind() {
+                        kind if matches!(kind, "cancelled" | "shutdown" | "deadline") => {
+                            RunError::Interrupted {
+                                kind,
+                                message: format!("sca flow: {}", display_chain(&e)),
+                            }
+                        }
+                        kind => RunError::Failed(format!("sca flow-{kind}: {}", display_chain(&e))),
+                    })?;
                 self.metrics.observe_stages(&flow.stage_timings);
                 self.metrics
                     .evaluations_total
@@ -464,15 +625,24 @@ impl JobService {
                 let mut attack = spec.attack;
                 attack.sensors = job.sensor.config;
                 let attack_started = Instant::now();
-                let verdict = run_verdict(
+                let verdict = run_verdict_with_cancel(
                     &design,
                     &flow,
                     &attack,
                     job.trace_seed(),
                     job.key_seed,
                     Some(&self.pool),
+                    cancel,
                 )
-                .map_err(|e| format!("sca {}: {e}", e.kind()))?;
+                .map_err(|e| match e.kind() {
+                    kind if matches!(kind, "cancelled" | "shutdown" | "deadline") => {
+                        RunError::Interrupted {
+                            kind,
+                            message: format!("sca attack: {e}"),
+                        }
+                    }
+                    kind => RunError::Failed(format!("sca {kind}: {e}")),
+                })?;
                 let attack_s = attack_started.elapsed().as_secs_f64();
                 let runtime_s = started.elapsed().as_secs_f64();
                 // Attack time (flow excluded) feeds the traces/sec gauge; both mitigation
@@ -510,9 +680,25 @@ impl JobService {
                 Ok(Json::Obj(members).render())
             }
             Payload::Campaign(spec) => {
-                let options = CampaignOptions::in_memory(0); // pool-provided parallelism
+                let mut options = CampaignOptions::in_memory(0); // pool-provided parallelism
+                                                                 // The campaign engine observes the job's token between member jobs (and
+                                                                 // inside each flow via its own checkpoints): a fired token skips the
+                                                                 // remaining jobs without recording them.
+                options.cancel = cancel.clone();
                 let outcome =
                     run_campaign_on(&self.pool, spec, &options).map_err(|e| e.to_string())?;
+                // A fired token means the outcome is partial — refuse to cache it.
+                if let Some(reason) = cancel.is_cancelled() {
+                    return Err(RunError::Interrupted {
+                        kind: reason.kind(),
+                        message: format!(
+                            "campaign interrupted ({}) after {} of {} jobs",
+                            reason.kind(),
+                            outcome.records.len(),
+                            spec.job_count()
+                        ),
+                    });
+                }
                 let evaluations: f64 = outcome
                     .records
                     .iter()

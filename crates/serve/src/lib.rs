@@ -10,7 +10,8 @@
 //!   run, a campaign spec, or a trace-level side-channel evaluation — an `"sca"`
 //!   submission runs the flow once, attacks both mitigation states via `tsc3d-sca` and
 //!   returns the MTD verdict), `GET /v1/jobs/{id}` (status), `GET /v1/jobs/{id}/result`
-//!   (result JSON), `GET /healthz`, `GET /metrics` (Prometheus text: queue depth, cache
+//!   (result JSON), `DELETE /v1/jobs/{id}` (cancel a queued or running job),
+//!   `GET /healthz`, `GET /metrics` (Prometheus text: queue depth, cache
 //!   hit rate, jobs in flight, per-stage latency histograms), and `POST /v1/shutdown`
 //!   (graceful drain — the signal-free stop path of the `serve` binary).
 //! * **Persistent executor** ([`jobs`]): submissions run on the long-lived work-stealing
@@ -31,6 +32,14 @@
 //!   and body size limits (`431`/`413`), a whole-request read deadline against slow-loris
 //!   clients (`408`), a cap on how many flow runs one campaign submission may expand to
 //!   (`400`), a bounded status table (old settled jobs expire), and `503` while draining.
+//! * **Cancellation and deadlines** ([`jobs`]): every job carries a clonable
+//!   [`tsc3d::exec::CancelToken`]; `DELETE /v1/jobs/{id}` fires it and the job settles
+//!   with the typed `"cancelled"` status at its next cooperative checkpoint (flow stage
+//!   boundary, SA epoch, solver sweep, sca trace batch). An optional `deadline_ms`
+//!   submission field bounds execution wall-clock the same way, and graceful shutdown is
+//!   itself bounded: a drain watchdog cancels stragglers after
+//!   [`ServerConfig::drain_timeout`]. Interrupted runs are never cached or persisted —
+//!   resubmitting the spec re-runs it from scratch.
 //!
 //! ```no_run
 //! use tsc3d_serve::{Server, ServerConfig};
@@ -54,7 +63,7 @@ pub mod sse;
 pub mod state;
 
 pub use cache::ResultCache;
-pub use jobs::{Admission, JobService, JobState, Refusal};
+pub use jobs::{Admission, CancelOutcome, JobService, JobState, Refusal};
 pub use metrics::Metrics;
 pub use payload::{canonical_key, key_hash, parse_payload, Payload};
 pub use server::{ServeError, Server, ServerConfig};

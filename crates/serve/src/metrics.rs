@@ -226,6 +226,33 @@ impl Metrics {
             .fetch_add((seconds.max(0.0) * 1e6) as u64, Ordering::Relaxed);
     }
 
+    /// Bumps the `tsc3d_serve_rejected_total{reason}` family: one series per refusal
+    /// reason (`"busy"` for the 429 queue-full path, `"draining"` for 503s during
+    /// shutdown). The unlabelled `tsc3d_serve_rejected_busy_total` counter is kept for
+    /// dashboard back-compat; this family is the forward-looking breakdown.
+    pub fn record_rejected(&self, reason: &str) {
+        self.registry
+            .counter_with(
+                "tsc3d_serve_rejected_total",
+                "Submissions refused, by reason",
+                &[("reason", reason)],
+            )
+            .inc();
+    }
+
+    /// Bumps the `tsc3d_serve_job_failures_total{kind}` family: one series per terminal
+    /// failure kind (`"cancelled"`, `"shutdown"`, `"deadline"`, `"panic"`, `"error"`),
+    /// so operators can tell an operator-driven cancellation from a crash at a glance.
+    pub fn record_job_failure(&self, kind: &str) {
+        self.registry
+            .counter_with(
+                "tsc3d_serve_job_failures_total",
+                "Jobs that settled without a result, by failure kind",
+                &[("kind", kind)],
+            )
+            .inc();
+    }
+
     /// Records the per-stage wall-clock breakdown of one completed flow run.
     pub fn observe_stages(&self, timings: &StageTimings) {
         self.stage_floorplan.observe(timings.floorplan_s);

@@ -130,7 +130,10 @@ pub fn parse_payload(body: &Json) -> Result<Payload, String> {
     match body.get("type").and_then(Json::as_str) {
         Some("flow") => parse_flow(body).map(|job| Payload::Flow(Box::new(job))),
         Some("campaign") => {
-            reject_unknown_keys(body, &["type", "spec"])?;
+            // `deadline_ms` is consumed by the server, not the spec — but it stays on
+            // the allow-list (and thus inside the canonical cache key: a bounded run
+            // and an unbounded run are different requests).
+            reject_unknown_keys(body, &["type", "spec", "deadline_ms"])?;
             let spec = body
                 .get("spec")
                 .ok_or_else(|| "campaign submission is missing 'spec'".to_string())?;
@@ -168,6 +171,7 @@ fn parse_sca(body: &Json) -> Result<ScaSubmission, String> {
             "moves",
             "grid_bins",
             "verification_bins",
+            "deadline_ms",
         ],
     )?;
     let benchmark_name = body
@@ -278,6 +282,7 @@ fn parse_flow(body: &Json) -> Result<CampaignJob, String> {
             "verification_bins",
             "activity_samples",
             "tsv_budget",
+            "deadline_ms",
         ],
     )?;
     let benchmark_name = body

@@ -43,6 +43,11 @@ pub struct ServerConfig {
     /// request counts as one queue slot, so its expansion must be bounded or the queue
     /// cap would not bound the actual work.
     pub max_campaign_jobs: usize,
+    /// How long [`Server::shutdown`] lets the evaluation pool drain before the watchdog
+    /// cancels the remaining jobs ([`tsc3d::exec::CancelReason::Shutdown`]) so the
+    /// process can exit. Completed jobs are already persisted; cancelled ones re-run on
+    /// resubmission.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +62,7 @@ impl Default for ServerConfig {
             http_threads: 4,
             jobs_retained: 4096,
             max_campaign_jobs: 10_000,
+            drain_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -100,6 +106,8 @@ struct Shared {
     stop_accepting: AtomicBool,
     max_body_bytes: usize,
     max_campaign_jobs: usize,
+    /// Bound on the graceful drain ([`ServerConfig::drain_timeout`]).
+    drain_timeout: Duration,
     /// Set by `POST /v1/shutdown`; [`Server::wait_shutdown_requested`] parks on it so the
     /// binary can run the graceful drain path without OS signal handling.
     shutdown_requested: (Mutex<bool>, Condvar),
@@ -155,6 +163,7 @@ impl Server {
             stop_accepting: AtomicBool::new(false),
             max_body_bytes: config.max_body_bytes,
             max_campaign_jobs: config.max_campaign_jobs,
+            drain_timeout: config.drain_timeout,
             shutdown_requested: (Mutex::new(false), Condvar::new()),
         });
 
@@ -237,7 +246,32 @@ impl Server {
         for handle in self.http_threads.drain(..) {
             let _ = handle.join();
         }
+        // The drain is bounded: a watchdog cancels whatever is still in flight once
+        // `drain_timeout` passes, so a wedged or very long evaluation cannot hold the
+        // process hostage. The cancelled jobs settle through their cooperative
+        // checkpoints; completed ones were already persisted line-by-line.
+        let (drained_tx, drained_rx) = mpsc::channel::<()>();
+        let watchdog = {
+            let shared = Arc::clone(&self.shared);
+            let timeout = self.shared.drain_timeout;
+            std::thread::spawn(move || {
+                if drained_rx.recv_timeout(timeout).is_err() {
+                    let fired = shared
+                        .jobs
+                        .cancel_in_flight(tsc3d::exec::CancelReason::Shutdown);
+                    if fired > 0 {
+                        tsc3d_obs::log_warn!(
+                            "serve",
+                            "drain exceeded {}s; cancelled {fired} in-flight job(s)",
+                            timeout.as_secs()
+                        );
+                    }
+                }
+            })
+        };
         self.shared.jobs.shutdown();
+        let _ = drained_tx.send(());
+        let _ = watchdog.join();
     }
 }
 
@@ -266,7 +300,9 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                         move |id: u64| match shared.jobs.job(id) {
                             None => crate::sse::JobPhase::Missing,
                             Some(job) => match job.state {
-                                JobState::Done | JobState::Failed => crate::sse::JobPhase::Settled,
+                                JobState::Done | JobState::Failed | JobState::Cancelled => {
+                                    crate::sse::JobPhase::Settled
+                                }
                                 JobState::Queued | JobState::Running => {
                                     crate::sse::JobPhase::Active
                                 }
@@ -347,6 +383,7 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("POST", "/v1/jobs") => submit(shared, request),
         ("POST", "/v1/shutdown") => request_shutdown(shared),
         ("GET", _) if path.starts_with("/v1/jobs/") => job_route(shared, path),
+        ("DELETE", _) if path.starts_with("/v1/jobs/") => cancel_route(shared, path),
         (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown" | "/v1/trace" | "/v1/events") => {
             Response::error(405, &format!("method {} not allowed here", request.method))
         }
@@ -402,6 +439,7 @@ fn request_shutdown(shared: &Shared) -> Response {
 
 fn submit(shared: &Shared, request: &Request) -> Response {
     if shared.draining.load(Ordering::SeqCst) {
+        shared.metrics.record_rejected("draining");
         return Response::error(503, "the server is draining");
     }
     let body = match std::str::from_utf8(&request.body) {
@@ -415,6 +453,16 @@ fn submit(shared: &Shared, request: &Request) -> Response {
     let payload = match parse_payload(&parsed) {
         Ok(payload) => payload,
         Err(reason) => return Response::error(400, &reason),
+    };
+    // Optional execution deadline, accepted on every job type. It stays part of the
+    // body (and thus the canonical cache key) — a bounded and an unbounded run of the
+    // same spec are different requests.
+    let deadline = match parsed.get("deadline_ms") {
+        None => None,
+        Some(value) => match value.as_u64().filter(|ms| *ms > 0) {
+            Some(ms) => Some(Duration::from_millis(ms)),
+            None => return Response::error(400, "field 'deadline_ms' must be a positive integer"),
+        },
     };
     // One submission occupies one queue slot, so a campaign's expansion must be bounded
     // for the queue cap to bound actual work.
@@ -434,7 +482,7 @@ fn submit(shared: &Shared, request: &Request) -> Response {
     let key: Arc<str> = Arc::from(canonical_key(&parsed));
     let hash = key_hash(&key);
 
-    match shared.jobs.submit(key, payload) {
+    match shared.jobs.submit(key, payload, deadline) {
         Ok((id, admission)) => {
             let (status, state) = match admission {
                 Admission::CacheHit => (200, "done"),
@@ -460,8 +508,36 @@ fn submit(shared: &Shared, request: &Request) -> Response {
         Err(Refusal::Busy { queue_cap }) => Response::error(
             429,
             &format!("{queue_cap} jobs already in flight; retry later"),
-        ),
+        )
+        .with_header("retry-after", "1".to_string()),
         Err(Refusal::Draining) => Response::error(503, "the server is draining"),
+    }
+}
+
+/// `DELETE /v1/jobs/{id}`: fires the job's cancel token. The job settles `"cancelled"`
+/// at its next cooperative checkpoint — `202` means the request was accepted, not that
+/// the job already stopped; poll `GET /v1/jobs/{id}` for the settled state.
+fn cancel_route(shared: &Shared, path: &str) -> Response {
+    let id_text = &path["/v1/jobs/".len()..];
+    if id_text.ends_with("/result") || id_text.ends_with("/events") {
+        return Response::error(405, "method DELETE not allowed here");
+    }
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Response::error(400, &format!("bad job id '{id_text}'"));
+    };
+    match shared.jobs.cancel(id) {
+        crate::jobs::CancelOutcome::Accepted => Response::json(
+            202,
+            &Json::Obj(vec![
+                ("id".into(), Json::UInt(id)),
+                ("status".into(), Json::Str("cancelling".into())),
+            ]),
+        ),
+        crate::jobs::CancelOutcome::AlreadySettled(label) => Response::error(
+            409,
+            &format!("job {id} already settled ({label}); nothing to cancel"),
+        ),
+        crate::jobs::CancelOutcome::NotFound => Response::error(404, &format!("no job {id}")),
     }
 }
 
@@ -485,6 +561,13 @@ fn job_route(shared: &Shared, path: &str) -> Response {
             (JobState::Failed, _) => {
                 Response::error(500, job.error.as_deref().unwrap_or("job failed"))
             }
+            (JobState::Cancelled, _) => Response::error(
+                409,
+                &format!(
+                    "job {id} was cancelled ({}); no result",
+                    job.error.as_deref().unwrap_or("no detail")
+                ),
+            ),
             _ => Response::error(
                 409,
                 &format!("job {id} is {}; result not ready", job.state.label()),

@@ -394,7 +394,11 @@ fn api_failures_are_typed() {
     assert_eq!(status, 404);
     let (status, _) = request(addr, "GET", "/v1/jobs/not-a-number", "");
     assert_eq!(status, 400);
+    // DELETE is the cancellation endpoint now; on a job that never existed it's a 404,
+    // and only unsupported verbs (e.g. PUT) get the 405.
     let (status, _) = request(addr, "DELETE", "/v1/jobs/1", "");
+    assert_eq!(status, 404);
+    let (status, _) = request(addr, "PUT", "/v1/jobs/1", "");
     assert_eq!(status, 405);
     let (status, _) = request(addr, "GET", "/nope", "");
     assert_eq!(status, 404);

@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
 use std::sync::Arc;
-use tsc3d_exec::Pool;
+use tsc3d_exec::{CancelToken, Interrupt, Pool};
 use tsc3d_geometry::{Grid, GridMap};
 
 /// Errors raised by [`SteadyStateSolver::solve`].
@@ -52,6 +52,16 @@ pub enum SolveError {
         /// Number of iterations performed.
         iterations: usize,
     },
+    /// The solve was abandoned at a sweep-window checkpoint (site `solver-sweep`):
+    /// the caller's [`tsc3d_exec::CancelToken`] fired or the fault harness injected
+    /// an error. Never retried by callers — unlike [`SolveError::NotConverged`],
+    /// the solver state is fine; the *caller* asked out.
+    Interrupted {
+        /// Why the checkpoint fired.
+        interrupt: tsc3d_exec::Interrupt,
+        /// SOR sweeps completed before the interrupt.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for SolveError {
@@ -73,6 +83,13 @@ impl fmt::Display for SolveError {
             } => write!(
                 f,
                 "solver did not converge after {iterations} iterations (residual {residual:.2e} K)"
+            ),
+            SolveError::Interrupted {
+                interrupt,
+                iterations,
+            } => write!(
+                f,
+                "solve interrupted after {iterations} sweeps: {interrupt}"
             ),
         }
     }
@@ -209,7 +226,26 @@ impl SteadyStateSolver {
         power_per_die: &[GridMap],
         tsv_per_interface: &[TsvField],
     ) -> Result<ThermalResult, SolveError> {
-        self.solve_impl(power_per_die, tsv_per_interface, None)
+        self.solve_impl(power_per_die, tsv_per_interface, None, &CancelToken::new())
+    }
+
+    /// [`SteadyStateSolver::solve`] polling `cancel` once per SOR sweep (the
+    /// checkpoint site is `solver-sweep`).
+    ///
+    /// Between checkpoints the solve is exactly the deterministic iteration it
+    /// always was; a solve that completes is bit-identical to [`SteadyStateSolver::solve`].
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Interrupted`] when the token fires or the fault harness
+    /// injects an error, in addition to the [`SteadyStateSolver::solve`] errors.
+    pub fn solve_cancellable(
+        &self,
+        power_per_die: &[GridMap],
+        tsv_per_interface: &[TsvField],
+        cancel: &CancelToken,
+    ) -> Result<ThermalResult, SolveError> {
+        self.solve_impl(power_per_die, tsv_per_interface, None, cancel)
     }
 
     /// [`SteadyStateSolver::solve`] with the red-black half-sweeps distributed over a
@@ -232,7 +268,29 @@ impl SteadyStateSolver {
         power_per_die: &[GridMap],
         tsv_per_interface: &[TsvField],
     ) -> Result<ThermalResult, SolveError> {
-        self.solve_impl(power_per_die, tsv_per_interface, Some(pool))
+        self.solve_impl(
+            power_per_die,
+            tsv_per_interface,
+            Some(pool),
+            &CancelToken::new(),
+        )
+    }
+
+    /// [`SteadyStateSolver::solve_on`] polling `cancel` once per SOR sweep —
+    /// the pooled counterpart of [`SteadyStateSolver::solve_cancellable`].
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Interrupted`] when the token fires or the fault harness
+    /// injects an error, in addition to the [`SteadyStateSolver::solve_on`] errors.
+    pub fn solve_on_cancellable(
+        &self,
+        pool: &Pool,
+        power_per_die: &[GridMap],
+        tsv_per_interface: &[TsvField],
+        cancel: &CancelToken,
+    ) -> Result<ThermalResult, SolveError> {
+        self.solve_impl(power_per_die, tsv_per_interface, Some(pool), cancel)
     }
 
     fn solve_impl(
@@ -240,6 +298,7 @@ impl SteadyStateSolver {
         power_per_die: &[GridMap],
         tsv_per_interface: &[TsvField],
         pool: Option<&Pool>,
+        cancel: &CancelToken,
     ) -> Result<ThermalResult, SolveError> {
         let dies = self.config.stack.dies();
         if power_per_die.len() != dies {
@@ -264,14 +323,25 @@ impl SteadyStateSolver {
 
         let _span = tsc3d_obs::span!("thermal_solve");
         let network = Network::build(&self.config, grid, power_per_die, tsv_per_interface);
-        let (temps, iterations, residual) = match pool {
+        let swept = match pool {
             Some(pool) if pool.threads() > 0 => Arc::new(network).solve_sor_parallel(
                 pool,
                 self.relaxation,
                 self.max_iterations,
                 self.tolerance,
+                cancel,
             ),
-            _ => network.solve_sor(self.relaxation, self.max_iterations, self.tolerance),
+            _ => network.solve_sor(self.relaxation, self.max_iterations, self.tolerance, cancel),
+        };
+        let (temps, iterations, residual) = match swept {
+            Ok(done) => done,
+            Err((interrupt, iterations)) => {
+                tsc3d_obs::add_to_span("solver_sweeps", iterations as u64);
+                return Err(SolveError::Interrupted {
+                    interrupt,
+                    iterations,
+                });
+            }
         };
         tsc3d_obs::add_to_span("solver_sweeps", iterations as u64);
         solver_metrics().solves.inc();
@@ -502,13 +572,15 @@ impl Network {
         }
     }
 
-    /// One serial red-black SOR solve; returns (temperatures, iterations, final residual).
+    /// One serial red-black SOR solve; returns (temperatures, iterations, final residual),
+    /// or the interrupt plus the sweeps completed when the per-sweep checkpoint fires.
     fn solve_sor(
         &self,
         omega: f64,
         max_iterations: usize,
         tolerance: f64,
-    ) -> (Vec<f64>, usize, f64) {
+        cancel: &CancelToken,
+    ) -> Result<(Vec<f64>, usize, f64), (Interrupt, usize)> {
         let bins = self.cols * self.rows;
         let n = self.layers * bins;
         let mut t = vec![self.ambient; n];
@@ -516,6 +588,8 @@ impl Network {
         let mut iterations = 0;
 
         for iter in 0..max_iterations {
+            // One full-grid sweep dwarfs the checkpoint's two relaxed loads.
+            tsc3d_exec::checkpoint("solver-sweep", cancel).map_err(|i| (i, iterations))?;
             residual = 0.0;
             for color in 0..2usize {
                 for l in 0..self.layers {
@@ -544,7 +618,7 @@ impl Network {
                 break;
             }
         }
-        (t, iterations, residual)
+        Ok((t, iterations, residual))
     }
 
     /// The parallel red-black SOR solve: each half-sweep fans the `(layer, row)` pairs out
@@ -560,7 +634,8 @@ impl Network {
         omega: f64,
         max_iterations: usize,
         tolerance: f64,
-    ) -> (Vec<f64>, usize, f64) {
+        cancel: &CancelToken,
+    ) -> Result<(Vec<f64>, usize, f64), (Interrupt, usize)> {
         let bins = self.cols * self.rows;
         let n = self.layers * bins;
         let rows = self.rows;
@@ -584,6 +659,9 @@ impl Network {
         let mut iterations = 0;
 
         for iter in 0..max_iterations {
+            // Same per-sweep checkpoint as the serial solve, so interruption points
+            // (and fault-site hit counts) agree across worker counts.
+            tsc3d_exec::checkpoint("solver-sweep", cancel).map_err(|i| (i, iterations))?;
             residual = 0.0;
             for color in 0..2usize {
                 let network = Arc::clone(&self);
@@ -634,7 +712,7 @@ impl Network {
             }
         }
         let temps = Arc::try_unwrap(t).unwrap_or_else(|shared| (*shared).clone());
-        (temps, iterations, residual)
+        Ok((temps, iterations, residual))
     }
 }
 
@@ -669,6 +747,35 @@ mod tests {
         let r = solver.solve(&power, &tsvs).unwrap();
         assert!((r.peak_temperature() - 293.0).abs() < 1e-6);
         assert!(r.peak_rise().abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_the_solve_typed() {
+        let (cfg, grid) = setup(8);
+        let solver = SteadyStateSolver::new(cfg);
+        let power = vec![uniform_power(grid, 2.0), uniform_power(grid, 2.0)];
+        let tsvs = vec![TsvField::uniform(grid, 0.05)];
+        let cancel = CancelToken::new();
+        cancel.cancel(tsc3d_exec::CancelReason::User);
+        match solver.solve_cancellable(&power, &tsvs, &cancel) {
+            Err(SolveError::Interrupted {
+                interrupt,
+                iterations,
+            }) => {
+                assert_eq!(
+                    interrupt,
+                    Interrupt::Cancelled(tsc3d_exec::CancelReason::User)
+                );
+                assert_eq!(iterations, 0, "the first sweep-window checkpoint fires");
+            }
+            other => panic!("expected an interrupted solve, got {other:?}"),
+        }
+        // A live token solves identically to the plain entry point.
+        let clean = solver.solve(&power, &tsvs).unwrap();
+        let live = solver
+            .solve_cancellable(&power, &tsvs, &CancelToken::new())
+            .unwrap();
+        assert_eq!(clean, live);
     }
 
     #[test]
