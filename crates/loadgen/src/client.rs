@@ -1,0 +1,155 @@
+//! A minimal blocking HTTP/1.1 client over `std::net::TcpStream`.
+//!
+//! One request per connection (`Connection: close`), which keeps the client
+//! honest about connection-setup cost and matches how the serve daemon's
+//! accept-to-last-byte latency histogram frames a request. Two read modes:
+//! full-body (normal requests) and head-only (SSE watchers, which would
+//! otherwise block on an endless stream — we time to the response head and
+//! drop the socket).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// How much of the response a request waits for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Read until the server closes the connection (full response).
+    FullBody,
+    /// Read only through the end of the response headers, then drop. Used for
+    /// SSE streams, whose bodies never end.
+    HeadOnly,
+}
+
+/// Outcome of one request attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A parsed HTTP status line (any status, including 4xx/5xx).
+    Status(u16),
+    /// Connect, write, read, or parse failure — the server never answered.
+    IoError,
+}
+
+impl Outcome {
+    /// True for 5xx statuses (server-side failures).
+    pub fn is_server_error(&self) -> bool {
+        matches!(self, Outcome::Status(status) if (500..600).contains(status))
+    }
+}
+
+/// Issues one HTTP request and returns the outcome. All socket operations are
+/// bounded by `timeout`; any failure maps to [`Outcome::IoError`].
+pub fn issue(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    mode: ReadMode,
+    timeout: Duration,
+) -> Outcome {
+    match issue_inner(addr, method, path, body, mode, timeout) {
+        Some(status) => Outcome::Status(status),
+        None => Outcome::IoError,
+    }
+}
+
+fn issue_inner(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    mode: ReadMode,
+    timeout: Duration,
+) -> Option<u16> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    stream.set_write_timeout(Some(timeout)).ok()?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes()).ok()?;
+    let mut response = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                response.extend_from_slice(&chunk[..n]);
+                if mode == ReadMode::HeadOnly && find_header_end(&response).is_some() {
+                    break;
+                }
+                // Backstop against unbounded bodies in full-body mode: the
+                // serve daemon caps payloads well below this.
+                if response.len() > 8 << 20 {
+                    break;
+                }
+            }
+            Err(_) => return parse_status(&response),
+        }
+    }
+    parse_status(&response)
+}
+
+fn find_header_end(bytes: &[u8]) -> Option<usize> {
+    bytes.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses the status code out of an HTTP/1.x status line.
+fn parse_status(response: &[u8]) -> Option<u16> {
+    let line_end = response.iter().position(|&b| b == b'\r')?;
+    let line = std::str::from_utf8(&response[..line_end]).ok()?;
+    let code = line.strip_prefix("HTTP/1.")?.get(2..5)?;
+    code.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_lines() {
+        assert_eq!(parse_status(b"HTTP/1.1 200 OK\r\n\r\n"), Some(200));
+        assert_eq!(
+            parse_status(b"HTTP/1.0 404 Not Found\r\nX: y\r\n\r\n"),
+            Some(404)
+        );
+        assert_eq!(parse_status(b"garbage"), None);
+        assert_eq!(parse_status(b""), None);
+    }
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(
+            find_header_end(b"HTTP/1.1 200 OK\r\nA: b\r\n\r\nbody"),
+            Some(21)
+        );
+        assert_eq!(find_header_end(b"HTTP/1.1 200 OK\r\nA: b\r\n"), None);
+    }
+
+    #[test]
+    fn connect_failure_is_io_error() {
+        // A port nothing listens on (reserved port 1 on localhost).
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let outcome = issue(
+            addr,
+            "GET",
+            "/healthz",
+            "",
+            ReadMode::FullBody,
+            Duration::from_millis(200),
+        );
+        assert_eq!(outcome, Outcome::IoError);
+        assert!(!outcome.is_server_error());
+    }
+
+    #[test]
+    fn server_error_classification() {
+        assert!(Outcome::Status(500).is_server_error());
+        assert!(Outcome::Status(503).is_server_error());
+        assert!(!Outcome::Status(200).is_server_error());
+        assert!(!Outcome::Status(404).is_server_error());
+        assert!(!Outcome::IoError.is_server_error());
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic HTTP load generation for the `tsc3d-serve` daemon.
+//!
+//! The crate answers one question reproducibly: *what latency does the serve
+//! API deliver under a known workload?* It does so in three strictly separated
+//! stages, so the expensive part (issuing requests) never contaminates the
+//! reproducible part (deciding what to issue):
+//!
+//! 1. **[`mix`]** — a named, weighted palette of API operations (submissions,
+//!    dedup-triggering repeats, status polls, stats/metrics scrapes, SSE
+//!    watches).
+//! 2. **[`schedule`]** — a seeded ChaCha8 draw materializes the mix into a
+//!    concrete request list with integer-jittered arrival offsets. Pure
+//!    integer arithmetic: the same `(seed, mix, count, interval)` produces a
+//!    byte-identical schedule on every platform, provable via
+//!    [`schedule::schedule_dump`].
+//! 3. **[`run`]** — `tsc3d-exec` pool workers share the schedule through an
+//!    atomic cursor and issue it over blocking [`client`] sockets, in
+//!    closed-loop (fixed concurrency) or open-loop mode. Open-loop latency is
+//!    measured from each request's *intended* send time, which makes the
+//!    numbers immune to coordinated omission: a stalled server pays for every
+//!    request scheduled during its stall, not just the first.
+//!
+//! Per-endpoint latency lands in `tsc3d-obs` HDR histograms and [`report`]
+//! renders the run as a `tsc3d-bench-serve/v1` entry for `BENCH_serve.json`,
+//! where `obs bench-diff --gate` treats `p50/p95/p99/max_ms` and `errors`
+//! columns as lower-is-better and flags label-over-label regressions.
+//!
+//! The `loadgen` binary ties the stages together and can boot a private
+//! in-process server (`--self-serve`) so CI needs no external daemon.
+
+pub mod client;
+pub mod mix;
+pub mod report;
+pub mod run;
+pub mod schedule;
+
+pub use client::{Outcome, ReadMode};
+pub use mix::{Mix, OpKind};
+pub use run::{EndpointRecord, Mode, RunConfig, RunResult};
+pub use schedule::{generate, schedule_dump, ScheduledRequest};

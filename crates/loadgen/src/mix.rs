@@ -1,0 +1,146 @@
+//! Workload mixes: the weighted operation palette a schedule is drawn from.
+//!
+//! Each operation kind maps to one API interaction of the serve daemon; a
+//! [`Mix`] assigns integer weights. The named presets keep submission weights
+//! low on purpose — flow and sca jobs cost hundreds of milliseconds of pool
+//! time each, and a load test whose arrival rate outruns a 2-worker pool only
+//! measures its own queue. Repeats and status polls dominate instead, which is
+//! also what exercises the dedup, cache, and status fast paths the HTTP-layer
+//! metrics were built to see.
+
+/// One kind of request the generator can issue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `POST /v1/jobs` with a small flow spec (a few distinct seeds cycle).
+    SubmitFlow,
+    /// `POST /v1/jobs` with a small sca spec.
+    SubmitSca,
+    /// `POST /v1/jobs` re-submitting the first flow body verbatim — lands as a
+    /// dedup join while the job runs and a cache hit afterwards.
+    SubmitRepeat,
+    /// `GET /v1/jobs/{id}` over a small id window (early ids 404 until the
+    /// first submissions allocate them — a 4xx outcome, not a failure).
+    PollStatus,
+    /// `GET /v1/stats`.
+    Stats,
+    /// `GET /metrics`.
+    Metrics,
+    /// `GET /v1/events`: open the SSE stream, time to the response head, drop.
+    Watch,
+}
+
+impl OpKind {
+    /// The endpoint identity this op reports under in BENCH_serve.json rows.
+    /// Submission variants are split — a dedup-triggering repeat and a fresh
+    /// flow submission have very different latency truths.
+    pub fn endpoint(self) -> &'static str {
+        match self {
+            OpKind::SubmitFlow => "/v1/jobs:flow",
+            OpKind::SubmitSca => "/v1/jobs:sca",
+            OpKind::SubmitRepeat => "/v1/jobs:repeat",
+            OpKind::PollStatus => "/v1/jobs/{id}",
+            OpKind::Stats => "/v1/stats",
+            OpKind::Metrics => "/metrics",
+            OpKind::Watch => "/v1/events",
+        }
+    }
+}
+
+/// A weighted operation mix.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    /// The preset name (row identity in BENCH_serve.json).
+    pub name: &'static str,
+    /// `(op, weight)` pairs; weights are relative draw frequencies.
+    pub weights: Vec<(OpKind, u32)>,
+}
+
+impl Mix {
+    /// Looks a preset up by name: `mixed` (every op kind, read-heavy),
+    /// `reads` (polls/stats/metrics only — no submissions at all), or
+    /// `submits` (submission-heavy, exercising dedup and backpressure).
+    pub fn preset(name: &str) -> Option<Mix> {
+        let weights = match name {
+            "mixed" => vec![
+                (OpKind::SubmitFlow, 6),
+                (OpKind::SubmitSca, 2),
+                (OpKind::SubmitRepeat, 10),
+                (OpKind::PollStatus, 40),
+                (OpKind::Stats, 14),
+                (OpKind::Metrics, 14),
+                (OpKind::Watch, 4),
+            ],
+            "reads" => vec![
+                (OpKind::PollStatus, 60),
+                (OpKind::Stats, 20),
+                (OpKind::Metrics, 20),
+            ],
+            "submits" => vec![
+                (OpKind::SubmitFlow, 25),
+                (OpKind::SubmitRepeat, 50),
+                (OpKind::PollStatus, 25),
+            ],
+            _ => return None,
+        };
+        Some(Mix {
+            name: match name {
+                "mixed" => "mixed",
+                "reads" => "reads",
+                _ => "submits",
+            },
+            weights,
+        })
+    }
+
+    /// Sum of the weights (the modulus of the weighted draw).
+    pub fn total_weight(&self) -> u64 {
+        self.weights.iter().map(|(_, w)| u64::from(*w)).sum()
+    }
+
+    /// The op at weighted position `ticket` (`ticket < total_weight()`).
+    pub fn pick(&self, ticket: u64) -> OpKind {
+        let mut remaining = ticket;
+        for (op, weight) in &self.weights {
+            let weight = u64::from(*weight);
+            if remaining < weight {
+                return *op;
+            }
+            remaining -= weight;
+        }
+        // ticket out of range: clamp to the last op rather than panic.
+        self.weights.last().expect("non-empty mix").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_exist_and_unknown_is_none() {
+        for name in ["mixed", "reads", "submits"] {
+            let mix = Mix::preset(name).expect(name);
+            assert!(mix.total_weight() > 0);
+            assert_eq!(mix.name, name);
+        }
+        assert!(Mix::preset("nope").is_none());
+    }
+
+    #[test]
+    fn pick_walks_the_weight_table() {
+        let mix = Mix::preset("reads").unwrap();
+        assert_eq!(mix.pick(0), OpKind::PollStatus);
+        assert_eq!(mix.pick(59), OpKind::PollStatus);
+        assert_eq!(mix.pick(60), OpKind::Stats);
+        assert_eq!(mix.pick(99), OpKind::Metrics);
+    }
+
+    #[test]
+    fn reads_mix_never_submits() {
+        let mix = Mix::preset("reads").unwrap();
+        assert!(mix.weights.iter().all(|(op, _)| !matches!(
+            op,
+            OpKind::SubmitFlow | OpKind::SubmitSca | OpKind::SubmitRepeat
+        )));
+    }
+}

@@ -1,0 +1,197 @@
+//! Seeded request schedules.
+//!
+//! A schedule is the full, materialized list of requests a run will issue:
+//! operation order, bodies, and (for open-loop pacing) intended send offsets.
+//! It is a pure function of `(seed, mix, count, mean interval)` — generation
+//! uses only integer arithmetic on a ChaCha8 stream, never floats or the wall
+//! clock, so the same inputs produce byte-identical schedules on every
+//! platform and across any worker count. [`schedule_dump`] renders that
+//! identity in a stable text form the determinism tests (and `--schedule-out`)
+//! compare against a committed golden file.
+
+use crate::mix::{Mix, OpKind};
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One fully-specified request in a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledRequest {
+    /// Position in the schedule (0-based).
+    pub index: usize,
+    /// Intended send time as nanoseconds after the run's start (open-loop
+    /// pacing target; closed-loop runs ignore it).
+    pub offset_ns: u64,
+    /// HTTP method.
+    pub method: &'static str,
+    /// Request target path.
+    pub path: String,
+    /// Request body (empty for GETs).
+    pub body: String,
+    /// Reporting identity (see [`OpKind::endpoint`]).
+    pub endpoint: &'static str,
+    /// The operation kind this request realizes.
+    pub kind: OpKind,
+}
+
+/// Flow-submission body for one of the cycling seeds. Seed 1 doubles as the
+/// dedup-repeat body, so repeats always collide with a prior real submission.
+fn flow_body(seed: u64) -> String {
+    format!(
+        "{{\"type\":\"flow\",\"benchmark\":\"n100\",\"setup\":\"tsc\",\"seed\":{seed},\
+         \"stages\":4,\"moves\":8,\"grid_bins\":10,\"verification_bins\":10,\
+         \"activity_samples\":6,\"tsv_budget\":2}}"
+    )
+}
+
+/// Minimal sca-submission body (noise-free, single key byte, tiny budget).
+fn sca_body(seed: u64) -> String {
+    format!(
+        "{{\"type\":\"sca\",\"benchmark\":\"n100\",\"seed\":{seed},\"key_seed\":7,\
+         \"traces\":16,\"noise\":0,\"key_bytes\":1,\"attack_grid_bins\":8,\
+         \"dwell_ms\":2,\"stages\":4,\"moves\":8,\"grid_bins\":10,\
+         \"verification_bins\":10}}"
+    )
+}
+
+/// Number of distinct flow seeds that cycle through `SubmitFlow` ops.
+const FLOW_SEED_SPAN: u64 = 3;
+/// Job-id window status polls draw from (ids are allocated from 1 upward).
+const POLL_ID_SPAN: u64 = 8;
+
+/// Generates the schedule for `(seed, mix, count, mean_interval_ns)`.
+///
+/// Arrival offsets accumulate an integer jitter of `mean/2 + U[0, mean]`
+/// nanoseconds per request — mean `mean_interval_ns`, bounded burstiness, and
+/// bit-stable across platforms (no floating point touches the schedule).
+pub fn generate(
+    seed: u64,
+    mix: &Mix,
+    count: usize,
+    mean_interval_ns: u64,
+) -> Vec<ScheduledRequest> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let total_weight = mix.total_weight().max(1);
+    let mut offset_ns = 0u64;
+    let mut flow_submissions = 0u64;
+    let mut out = Vec::with_capacity(count);
+    for index in 0..count {
+        let jitter = if mean_interval_ns == 0 {
+            0
+        } else {
+            mean_interval_ns / 2 + rng.next_u64() % (mean_interval_ns + 1)
+        };
+        offset_ns = offset_ns.saturating_add(jitter);
+        let kind = mix.pick(rng.next_u64() % total_weight);
+        let (method, path, body) = match kind {
+            OpKind::SubmitFlow => {
+                let body = flow_body(1 + flow_submissions % FLOW_SEED_SPAN);
+                flow_submissions += 1;
+                ("POST", "/v1/jobs".to_string(), body)
+            }
+            OpKind::SubmitSca => ("POST", "/v1/jobs".to_string(), sca_body(1)),
+            OpKind::SubmitRepeat => ("POST", "/v1/jobs".to_string(), flow_body(1)),
+            OpKind::PollStatus => {
+                let id = 1 + rng.next_u64() % POLL_ID_SPAN;
+                ("GET", format!("/v1/jobs/{id}"), String::new())
+            }
+            OpKind::Stats => ("GET", "/v1/stats".to_string(), String::new()),
+            OpKind::Metrics => ("GET", "/metrics".to_string(), String::new()),
+            OpKind::Watch => ("GET", "/v1/events".to_string(), String::new()),
+        };
+        out.push(ScheduledRequest {
+            index,
+            offset_ns,
+            method,
+            path,
+            body,
+            endpoint: kind.endpoint(),
+            kind,
+        });
+    }
+    out
+}
+
+/// Renders a schedule in a stable tab-separated text form:
+/// `index<TAB>offset_ns<TAB>method<TAB>path<TAB>endpoint<TAB>body`, one line
+/// per request, trailing newline. Byte-for-byte equality of two dumps means
+/// the schedules are identical.
+pub fn schedule_dump(schedule: &[ScheduledRequest]) -> String {
+    let mut out = String::new();
+    for request in schedule {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\n",
+            request.index,
+            request.offset_ns,
+            request.method,
+            request.path,
+            request.endpoint,
+            request.body
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_means_identical_schedule() {
+        let mix = Mix::preset("mixed").unwrap();
+        let a = generate(42, &mix, 200, 1_000_000);
+        let b = generate(42, &mix, 200, 1_000_000);
+        assert_eq!(a, b);
+        assert_eq!(schedule_dump(&a), schedule_dump(&b));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mix = Mix::preset("mixed").unwrap();
+        let a = generate(1, &mix, 100, 1_000_000);
+        let b = generate(2, &mix, 100, 1_000_000);
+        assert_ne!(schedule_dump(&a), schedule_dump(&b));
+    }
+
+    #[test]
+    fn offsets_are_monotonic_and_near_mean() {
+        let mean = 1_000_000u64;
+        let mix = Mix::preset("reads").unwrap();
+        let schedule = generate(7, &mix, 1_000, mean);
+        let mut prev = 0;
+        for request in &schedule {
+            assert!(request.offset_ns >= prev, "offsets never go backwards");
+            let step = request.offset_ns - prev;
+            assert!((mean / 2..=mean / 2 + mean).contains(&step));
+            prev = request.offset_ns;
+        }
+        // Mean arrival spacing lands near the requested interval (±25%).
+        let avg = prev / schedule.len() as u64;
+        assert!(
+            (mean * 3 / 4..=mean * 5 / 4).contains(&avg),
+            "avg step {avg}"
+        );
+    }
+
+    #[test]
+    fn zero_interval_packs_all_requests_at_time_zero() {
+        let mix = Mix::preset("reads").unwrap();
+        let schedule = generate(7, &mix, 50, 0);
+        assert!(schedule.iter().all(|r| r.offset_ns == 0));
+    }
+
+    #[test]
+    fn repeat_bodies_always_match_the_first_flow_seed() {
+        let mix = Mix::preset("submits").unwrap();
+        let schedule = generate(9, &mix, 400, 0);
+        let repeat = schedule
+            .iter()
+            .find(|r| r.kind == OpKind::SubmitRepeat)
+            .expect("submits mix draws repeats");
+        assert_eq!(repeat.body, flow_body(1));
+        let first_flow = schedule
+            .iter()
+            .find(|r| r.kind == OpKind::SubmitFlow)
+            .expect("submits mix draws flows");
+        assert_eq!(first_flow.body, flow_body(1), "seed cycle starts at 1");
+    }
+}

@@ -1,0 +1,94 @@
+//! Schedule determinism: the generator's core reproducibility contract.
+//!
+//! The committed golden dump (`golden_schedule.tsv`) pins the exact byte-level
+//! schedule for `(seed 7, mix mixed, 64 requests, 1ms mean interval)`. Any
+//! change to the RNG draw order, the jitter arithmetic, the mix weights, or
+//! the request bodies breaks these tests — which is the point: such a change
+//! invalidates every BENCH_serve.json comparison across it and must be a
+//! conscious decision (re-bless the golden file and start a new trajectory).
+
+use std::process::Command;
+use tsc3d_loadgen::{generate, schedule_dump, Mix};
+
+const GOLDEN: &str = include_str!("golden_schedule.tsv");
+
+fn golden_params() -> (u64, Mix, usize, u64) {
+    (
+        7,
+        Mix::preset("mixed").expect("mixed preset"),
+        64,
+        1_000_000,
+    )
+}
+
+#[test]
+fn schedule_matches_the_committed_golden_dump() {
+    let (seed, mix, count, interval) = golden_params();
+    let dump = schedule_dump(&generate(seed, &mix, count, interval));
+    assert_eq!(
+        dump, GOLDEN,
+        "seeded schedule diverged from tests/golden_schedule.tsv — if this \
+         is intentional, re-bless the golden file (and expect the bench \
+         trajectory to restart)"
+    );
+}
+
+#[test]
+fn repeated_generation_is_byte_identical() {
+    let (seed, mix, count, interval) = golden_params();
+    let first = schedule_dump(&generate(seed, &mix, count, interval));
+    for _ in 0..3 {
+        assert_eq!(first, schedule_dump(&generate(seed, &mix, count, interval)));
+    }
+}
+
+/// Runs the CLI in plan-only mode and returns the dumped schedule bytes.
+fn cli_dump(workers: u32, out: &std::path::Path) -> String {
+    let status = Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args([
+            "--seed",
+            "7",
+            "--mix",
+            "mixed",
+            "--requests",
+            "64",
+            "--mean-interval-us",
+            "1000",
+            "--workers",
+            &workers.to_string(),
+            "--schedule-out",
+        ])
+        .arg(out)
+        .status()
+        .expect("loadgen binary runs");
+    assert!(status.success(), "plan-only dump exits 0");
+    std::fs::read_to_string(out).expect("dump written")
+}
+
+#[test]
+fn cli_dump_is_identical_across_worker_counts_and_matches_golden() {
+    let dir = std::env::temp_dir().join(format!("tsc3d-loadgen-det-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let one = cli_dump(1, &dir.join("w1.tsv"));
+    let three = cli_dump(3, &dir.join("w3.tsv"));
+    let eight = cli_dump(8, &dir.join("w8.tsv"));
+    assert_eq!(one, three, "worker count must not perturb the schedule");
+    assert_eq!(one, eight, "worker count must not perturb the schedule");
+    assert_eq!(one, GOLDEN, "CLI dump equals the library golden dump");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn golden_dump_is_well_formed() {
+    assert_eq!(GOLDEN.lines().count(), 64, "one line per request");
+    for (i, line) in GOLDEN.lines().enumerate() {
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(
+            fields.len(),
+            6,
+            "index, offset, method, path, endpoint, body"
+        );
+        assert_eq!(fields[0].parse::<usize>().unwrap(), i);
+        fields[1].parse::<u64>().expect("numeric offset");
+    }
+}

@@ -1,16 +1,27 @@
-//! Bench-trajectory analytics: parse `BENCH_flow.json` and render
-//! label-over-label throughput deltas with regression flagging.
+//! Bench-trajectory analytics: parse `BENCH_flow.json` / `BENCH_serve.json`
+//! and render label-over-label metric deltas with regression flagging.
 //!
-//! The workspace records its benchmark history in a single JSON file (schema
-//! `tsc3d-bench-flow/v1`): an `entries` array with one object per PR label,
-//! each holding sections (`sa`, `packs`, `solver`, `transient`, `traces`, …)
+//! The workspace records its benchmark history in schema-versioned JSON files
+//! (`tsc3d-bench-flow/v1`, `tsc3d-bench-serve/v1`): an `entries` array with
+//! one object per PR label, each holding sections (`sa`, `traces`, `http`, …)
 //! of measurement rows. This module is deliberately *schema-light*: any entry
-//! field whose value is an array of objects is a section, any row field ending
-//! in `_per_sec` is a rate, and every other primitive row field becomes part
-//! of the row's identity key (`benchmark=N100 seed=3`). New sections and new
-//! rate columns therefore show up in diffs without code changes — and because
-//! seeded costs are identity fields, a bit-identity break surfaces as a
-//! removed+added row instead of being silently averaged over.
+//! field whose value is an array of objects is a section, any numeric row
+//! field whose name declares a polarity is a metric, and every other primitive
+//! row field becomes part of the row's identity key (`benchmark=N100 seed=3`).
+//! Metric polarity is by naming convention:
+//!
+//! * `*_per_sec` — a throughput, higher is better; *drops* beyond the
+//!   threshold flag `REGRESSION`.
+//! * `*_ms` and `errors` — latencies and error counts, lower is better;
+//!   *rises* beyond the threshold flag `REGRESSION` (so `--gate` catches p99
+//!   latency regressions in the serve rows the same way it catches
+//!   traces/sec drops in the flow rows). An errors count going 0 → N is an
+//!   infinite rise and always flags.
+//!
+//! New sections and new metric columns therefore show up in diffs without
+//! code changes — and because seeded costs are identity fields, a
+//! bit-identity break surfaces as a removed+added row instead of being
+//! silently averaged over.
 //!
 //! Two renderings back `obs bench-diff`:
 //!
@@ -230,14 +241,34 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
 
 // --- Bench model -------------------------------------------------------------------
 
-/// One measurement row: an identity key and its rate columns.
+/// Which direction of change is an improvement for a metric column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Polarity {
+    /// Throughputs (`*_per_sec`): a drop beyond the threshold regresses.
+    HigherIsBetter,
+    /// Latencies (`*_ms`) and `errors`: a rise beyond the threshold regresses.
+    LowerIsBetter,
+}
+
+/// The polarity a metric field name declares, or `None` for identity fields.
+pub fn metric_polarity(name: &str) -> Option<Polarity> {
+    if name.ends_with("_per_sec") {
+        Some(Polarity::HigherIsBetter)
+    } else if name.ends_with("_ms") || name == "errors" || name.ends_with("_errors") {
+        Some(Polarity::LowerIsBetter)
+    } else {
+        None
+    }
+}
+
+/// One measurement row: an identity key and its metric columns.
 #[derive(Debug, Clone)]
 pub struct BenchRow {
-    /// Identity, built from the row's non-rate primitive fields in file order
-    /// (e.g. `"benchmark=N100 seed=3"`).
+    /// Identity, built from the row's non-metric primitive fields in file
+    /// order (e.g. `"benchmark=N100 seed=3"`).
     pub key: String,
-    /// `(_per_sec field name, value)` pairs, file order.
-    pub rates: Vec<(String, f64)>,
+    /// `(metric field name, value, polarity)` triples, file order.
+    pub rates: Vec<(String, f64, Polarity)>,
 }
 
 /// One labeled bench entry (typically one PR).
@@ -266,8 +297,9 @@ impl BenchFile {
 }
 
 /// Parses a bench file. Any entry field holding an array of objects is treated
-/// as a section; within a row, `*_per_sec` numbers are rates and every other
-/// primitive field joins the identity key.
+/// as a section; within a row, numbers whose names declare a polarity (see
+/// [`metric_polarity`]) are metrics and every other primitive field joins the
+/// identity key.
 ///
 /// # Errors
 ///
@@ -319,10 +351,11 @@ fn parse_row(item: &JsonValue) -> BenchRow {
     let mut rates = Vec::new();
     for (name, value) in members {
         match value {
-            JsonValue::Num(n) if name.ends_with("_per_sec") => {
-                rates.push((name.clone(), *n));
-            }
             JsonValue::Num(n) => {
+                if let Some(polarity) = metric_polarity(name) {
+                    rates.push((name.clone(), *n, polarity));
+                    continue;
+                }
                 let _ = write!(key, "{}{name}={n}", if key.is_empty() { "" } else { " " });
             }
             JsonValue::Str(s) => {
@@ -350,7 +383,8 @@ pub struct DiffReport {
 }
 
 /// Renders the OLD→NEW delta table between two labeled entries. `threshold`
-/// is the drop (in percent, positive) beyond which a rate is flagged
+/// is the adverse move (in percent, positive — a drop for higher-is-better
+/// metrics, a rise for lower-is-better ones) beyond which a metric is flagged
 /// `REGRESSION`.
 ///
 /// # Errors
@@ -388,12 +422,12 @@ pub fn render_diff(
             .map(|(_, rows)| rows.as_slice());
         for row in new_rows {
             let old_row = old_rows.and_then(|rows| rows.iter().find(|r| r.key == row.key));
-            for (metric, value) in &row.rates {
+            for (metric, value, polarity) in &row.rates {
                 let old_value = old_row.and_then(|r| {
                     r.rates
                         .iter()
-                        .find(|(name, _)| name == metric)
-                        .map(|(_, v)| *v)
+                        .find(|(name, _, _)| name == metric)
+                        .map(|(_, v, _)| *v)
                 });
                 match old_value {
                     None => {
@@ -410,7 +444,10 @@ pub fn render_diff(
                     }
                     Some(old_value) => {
                         let delta = percent_delta(old_value, *value);
-                        let flagged = delta < -threshold;
+                        let flagged = match polarity {
+                            Polarity::HigherIsBetter => delta < -threshold,
+                            Polarity::LowerIsBetter => delta > threshold,
+                        };
                         regressed |= flagged;
                         let _ = writeln!(
                             text,
@@ -475,7 +512,9 @@ pub fn render_trajectory(file: &BenchFile, threshold: f64) -> DiffReport {
 
 fn percent_delta(old: f64, new: f64) -> f64 {
     if old == 0.0 {
-        return 0.0;
+        // 0 -> 0 is flat; 0 -> N is an infinite rise (an errors column going
+        // from clean to non-zero must flag under lower-is-better polarity).
+        return if new == 0.0 { 0.0 } else { f64::INFINITY };
     }
     (new - old) / old * 100.0
 }
@@ -508,7 +547,51 @@ mod tests {
         let sa = &file.entries[0].sections[0];
         assert_eq!(sa.0, "sa");
         assert_eq!(sa.1[0].key, "benchmark=N100 seed=3 cost=8.5");
-        assert_eq!(sa.1[0].rates, vec![("evals_per_sec".to_string(), 1000.0)]);
+        assert_eq!(
+            sa.1[0].rates,
+            vec![(
+                "evals_per_sec".to_string(),
+                1000.0,
+                Polarity::HigherIsBetter
+            )]
+        );
+    }
+
+    const SERVE_SAMPLE: &str = r#"{"schema":"tsc3d-bench-serve/v1","entries":[
+      {"label":"a","http":[{"endpoint":"/healthz","mode":"closed","p99_ms":1.0,"requests_per_sec":900.0,"errors":0}]},
+      {"label":"b","http":[{"endpoint":"/healthz","mode":"closed","p99_ms":2.0,"requests_per_sec":910.0,"errors":3}]}
+    ]}"#;
+
+    #[test]
+    fn latency_and_error_columns_diff_lower_is_better() {
+        let file = parse_bench(SERVE_SAMPLE).unwrap();
+        assert_eq!(
+            file.entries[0].sections[0].1[0].key,
+            "endpoint=/healthz mode=closed"
+        );
+        // p99 doubled (+100%) and errors went 0 -> 3 (+inf): both flag; the
+        // small throughput gain does not.
+        let report = render_diff(&file, "a", "b", 25.0).unwrap();
+        assert!(report.regressed);
+        let p99_line = report.text.lines().find(|l| l.contains("p99_ms")).unwrap();
+        assert!(p99_line.contains("REGRESSION"), "{p99_line}");
+        let err_line = report.text.lines().find(|l| l.contains("errors")).unwrap();
+        assert!(err_line.contains("REGRESSION"), "{err_line}");
+        let rps_line = report
+            .text
+            .lines()
+            .find(|l| l.contains("requests_per_sec"))
+            .unwrap();
+        assert!(!rps_line.contains("REGRESSION"), "{rps_line}");
+    }
+
+    #[test]
+    fn latency_drop_is_an_improvement_not_a_regression() {
+        let sample = SERVE_SAMPLE.replace("\"p99_ms\":2.0", "\"p99_ms\":0.2");
+        let file = parse_bench(&sample).unwrap();
+        let report = render_diff(&file, "a", "b", 25.0).unwrap();
+        let p99_line = report.text.lines().find(|l| l.contains("p99_ms")).unwrap();
+        assert!(!p99_line.contains("REGRESSION"), "{p99_line}");
     }
 
     #[test]

@@ -3,39 +3,56 @@
 //! ```text
 //! obs report PATH        # aggregate a --trace-out JSONL span export into a
 //!                        # self/total-time tree + per-span latency quantiles
-//! obs bench-diff PATH    # label-over-label throughput deltas of a
-//!                        # BENCH_flow.json history, regressions flagged
+//! obs flamegraph PATH    # collapse the same export into folded-stack lines
+//!                        # (flamegraph.pl / inferno / speedscope input)
+//! obs bench-diff PATH    # label-over-label metric deltas of a
+//!                        # BENCH_flow.json / BENCH_serve.json history
 //! ```
 //!
-//! `report` reads the JSONL file written by `campaign ... --trace-out PATH`,
-//! `serve --trace-out PATH`, or a saved `GET /v1/trace` response. `bench-diff`
-//! reads the repo's benchmark history (schema `tsc3d-bench-flow/v1`).
+//! `report` and `flamegraph` read the JSONL file written by `campaign ...
+//! --trace-out PATH`, `serve --trace-out PATH`, or a saved `GET /v1/trace`
+//! response. `bench-diff` reads the repo's benchmark histories (schemas
+//! `tsc3d-bench-flow/v1` and `tsc3d-bench-serve/v1`).
 
 use std::process::ExitCode;
 
 use tsc3d_obs as obs;
 
 const USAGE: &str = "usage:
-  obs report PATH
+  obs report PATH [--top N]
       Render the span tree of a --trace-out JSONL export (campaign/serve
       binaries) or a saved GET /v1/trace response: total time, self time,
-      span count, then per-span-name P50/P95/P99 latency quantiles.
+      span count, then per-span-name P50/P95/P99 latency quantiles. With
+      --top N, also print the flat top-N span names by self time.
+  obs flamegraph PATH
+      Collapse the same JSONL export into folded-stack lines on stdout
+      ('root;child;leaf self_ns'), ready for flamegraph.pl, inferno, or
+      speedscope.
   obs bench-diff PATH [--from LABEL --to LABEL] [--threshold PCT]
                       [--trajectory] [--gate]
-      Compare labeled entries of a BENCH_flow.json history. Defaults to the
-      last two entries; --trajectory walks every consecutive pair. Rates
-      dropping more than PCT percent (default 25) are flagged REGRESSION;
-      with --gate such a drop also sets a failing exit code.";
+      Compare labeled entries of a BENCH_flow.json or BENCH_serve.json
+      history. Defaults to the last two entries; --trajectory walks every
+      consecutive pair. Adverse moves beyond PCT percent (default 25) are
+      flagged REGRESSION — drops for *_per_sec throughputs, rises for *_ms
+      latencies and errors counts; with --gate a flag also sets a failing
+      exit code.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("report") => {
-            let Some(path) = args.get(1) else {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
                 eprintln!("{USAGE}");
                 return ExitCode::from(2);
             };
-            report(path)
+            report(path, &args[2..])
+        }
+        Some("flamegraph") => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            flamegraph(path)
         }
         Some("bench-diff") => {
             let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
@@ -55,20 +72,37 @@ fn main() -> ExitCode {
     }
 }
 
-fn report(path: &str) -> ExitCode {
+fn read_spans(path: &str) -> Result<Vec<obs::SpanRecord>, ExitCode> {
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) => {
             eprintln!("obs: cannot read {path}: {e}");
-            return ExitCode::from(2);
+            return Err(ExitCode::from(2));
         }
     };
-    let spans = match obs::parse_jsonl(&text) {
-        Ok(spans) => spans,
+    match obs::parse_jsonl(&text) {
+        Ok(spans) => Ok(spans),
         Err(e) => {
             eprintln!("obs: {path}: {e}");
-            return ExitCode::from(2);
+            Err(ExitCode::from(2))
         }
+    }
+}
+
+fn report(path: &str, args: &[String]) -> ExitCode {
+    let top: Option<usize> = match arg_value(args, "--top") {
+        None => None,
+        Some(raw) => match raw.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("obs: --top expects a count, got '{raw}'");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let spans = match read_spans(path) {
+        Ok(spans) => spans,
+        Err(code) => return code,
     };
     if spans.is_empty() {
         println!("{path}: no spans (was tracing enabled?)");
@@ -76,7 +110,24 @@ fn report(path: &str) -> ExitCode {
     }
     print!("{}", obs::render_tree(&obs::aggregate(&spans)));
     println!();
+    if let Some(n) = top {
+        print!("{}", obs::render_top(&spans, n));
+        println!();
+    }
     print!("{}", obs::render_quantiles(&spans));
+    ExitCode::SUCCESS
+}
+
+fn flamegraph(path: &str) -> ExitCode {
+    let spans = match read_spans(path) {
+        Ok(spans) => spans,
+        Err(code) => return code,
+    };
+    if spans.is_empty() {
+        eprintln!("obs: {path}: no spans (was tracing enabled?)");
+        return ExitCode::from(2);
+    }
+    print!("{}", obs::render_folded(&spans));
     ExitCode::SUCCESS
 }
 

@@ -12,7 +12,9 @@
 //!   load. Enable with [`set_tracing`]`(true)` (the campaign and serve binaries
 //!   do this for `--trace-out PATH`), export with [`drain_spans`] +
 //!   [`spans_to_jsonl`], and render the aggregated self/total-time tree with
-//!   `obs report PATH` (or [`aggregate`] + [`render_tree`] in code).
+//!   `obs report PATH` (or [`aggregate`] + [`render_tree`] in code); `obs
+//!   flamegraph PATH` ([`render_folded`]) collapses the same export into
+//!   folded-stack lines any flamegraph renderer accepts.
 //! * **Events** ([`event`]): a bounded flight-recorder event bus for *live*
 //!   progress — typed job/stage/progress/checkpoint records with dense
 //!   sequence numbers in a lock-sharded ring, read by cursor-based
@@ -20,7 +22,10 @@
 //!   discipline; enable with [`set_events`]`(true)` (serve does this at
 //!   startup for its SSE endpoints, campaign for `--progress`/`--events-out`).
 //! * **Metrics** ([`metrics`]): counters, gauges, fixed-bucket histograms and
-//!   labeled families in a [`Registry`] with a Prometheus-text encoder.
+//!   labeled families in a [`Registry`] with a Prometheus-text encoder, plus a
+//!   log-bucketed HDR histogram ([`LogHistogram`]) for nanosecond latencies
+//!   spanning microseconds to minutes (serve's per-endpoint timings, loadgen's
+//!   per-outcome latency records).
 //!   Library crates record into the process-wide [`metrics::global`] registry;
 //!   the serve daemon renders it on `GET /metrics` alongside its own
 //!   service-local registry.
@@ -55,6 +60,8 @@
 
 pub mod bench;
 pub mod event;
+pub mod flame;
+pub mod hdr;
 pub mod log;
 pub mod metrics;
 pub mod report;
@@ -64,6 +71,8 @@ pub use event::{
     dropped_events, emit, emit_for_job, events_enabled, set_events, stage_scope, subscribe,
     subscribe_from, Event, EventKind, EventPoll, JobScope, JobState, StageScope, Subscriber,
 };
+pub use flame::{render_folded, render_top};
+pub use hdr::LogHistogram;
 pub use log::{log_enabled, set_log_filter, Level};
 pub use metrics::{global, Counter, Gauge, Histogram, Registry};
 pub use report::{

@@ -8,15 +8,32 @@
 //! and `tsc3d_campaign_*` families the library crates record into. Pool
 //! internals ([`PoolStats`]) are sampled into `tsc3d_pool_*` gauges at render
 //! time.
+//!
+//! Two layers of latency truth live here. The job-level histograms
+//! (`tsc3d_serve_latency_seconds`, `tsc3d_serve_stage_seconds`) time
+//! evaluations; the HTTP layer ([`Metrics::record_http`]) times every
+//! *response* — accept to last byte, cache hits and 4xx/5xx included — into
+//! the RED counter family plus per-route HDR histograms that back the live
+//! quantiles of `GET /v1/stats`.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use tsc3d::exec::PoolStats;
 use tsc3d::StageTimings;
-use tsc3d_obs::{Counter, Gauge, Histogram, Registry};
+use tsc3d_obs::{Counter, Gauge, Histogram, LogHistogram, Registry};
 
 /// Histogram bucket upper bounds, in seconds (an `+Inf` bucket is implicit).
-const BOUNDS_S: [f64; 10] = [0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0];
+///
+/// Log-spaced at roughly 1–2.5–5 per decade from 100µs up to the 120s
+/// worst-case job, so `Histogram::quantile` resolves cache hits and status
+/// polls (sub-millisecond) as well as multi-second evaluations. The old grading
+/// started at 1ms, which collapsed every fast-path latency into one bucket.
+pub const LATENCY_BUCKETS: [f64; 18] = [
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0, 30.0, 120.0,
+];
 
 /// All counters of the serve daemon, backed by a per-instance [`Registry`].
 #[derive(Debug)]
@@ -29,8 +46,10 @@ pub struct Metrics {
     /// excluded). Divides `trace_sims_total` into the traces/sec gauge; not exported
     /// on its own.
     trace_attack_micros: AtomicU64,
-    /// HTTP requests handled (any endpoint, any status).
-    pub http_requests: Counter,
+    /// Per-route HDR latency histograms (accept to last byte, nanoseconds),
+    /// backing the live quantiles of `GET /v1/stats`. Keyed by the normalized
+    /// route label, so cardinality is bounded by the route table.
+    http_latency: Mutex<BTreeMap<&'static str, LogHistogram>>,
     /// Jobs accepted by `POST /v1/jobs` (including dedups and cache hits).
     pub jobs_submitted: Counter,
     /// Jobs that actually executed a flow or campaign.
@@ -84,7 +103,7 @@ impl Default for Metrics {
             registry.histogram_with(
                 "tsc3d_serve_stage_seconds",
                 "Flow-stage latencies of completed flow jobs",
-                &BOUNDS_S,
+                &LATENCY_BUCKETS,
                 &[("stage", name)],
             )
         };
@@ -92,14 +111,14 @@ impl Default for Metrics {
             registry.histogram_with(
                 "tsc3d_serve_latency_seconds",
                 "Job latencies by phase",
-                &BOUNDS_S,
+                &LATENCY_BUCKETS,
                 &[("phase", phase)],
             )
         };
         Self {
             started: Instant::now(),
             trace_attack_micros: AtomicU64::new(0),
-            http_requests: registry.counter("tsc3d_serve_http_requests_total", "HTTP requests handled"),
+            http_latency: Mutex::new(BTreeMap::new()),
             jobs_submitted: registry.counter(
                 "tsc3d_serve_jobs_submitted_total",
                 "Job submissions accepted",
@@ -191,6 +210,29 @@ impl Default for Metrics {
     }
 }
 
+/// The `status` label value of a response code — the static table keeps
+/// [`Metrics::record_http`] allocation-free and the label set closed.
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        202 => "202",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        408 => "408",
+        409 => "409",
+        413 => "413",
+        429 => "429",
+        431 => "431",
+        500 => "500",
+        503 => "503",
+        s if (500..600).contains(&s) => "5xx",
+        s if (400..500).contains(&s) => "4xx",
+        s if (200..300).contains(&s) => "2xx",
+        _ => "other",
+    }
+}
+
 impl Metrics {
     /// Evaluations per second averaged over the daemon's whole uptime (0 before the first
     /// evaluation).
@@ -224,6 +266,62 @@ impl Metrics {
         self.trace_sims_total.add(traces);
         self.trace_attack_micros
             .fetch_add((seconds.max(0.0) * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    /// Records one handled HTTP exchange at the connection layer: `route` is
+    /// the normalized path label (`/v1/jobs/{id}`, not the literal path, so
+    /// label cardinality stays bounded), `latency` runs from socket accept to
+    /// the last response byte. Feeds three sinks:
+    ///
+    /// * `tsc3d_serve_http_requests_total{path,method,status}` — the RED
+    ///   request/error counter family,
+    /// * `tsc3d_serve_http_latency_seconds{path}` — the exported per-endpoint
+    ///   latency histogram over [`LATENCY_BUCKETS`],
+    /// * a per-route [`LogHistogram`] serving the live nanosecond quantiles of
+    ///   `GET /v1/stats`.
+    ///
+    /// Unlike the job-level histograms, this sees every response — cache hits,
+    /// 4xx refusals, and 5xx failures included.
+    pub fn record_http(&self, route: &'static str, method: &str, status: u16, latency: Duration) {
+        let status = status_label(status);
+        self.registry
+            .counter_with(
+                "tsc3d_serve_http_requests_total",
+                "HTTP requests handled, by normalized path, method, and status",
+                &[("path", route), ("method", method), ("status", status)],
+            )
+            .inc();
+        self.registry
+            .histogram_with(
+                "tsc3d_serve_http_latency_seconds",
+                "HTTP request latency from accept to last byte, by normalized path",
+                &LATENCY_BUCKETS,
+                &[("path", route)],
+            )
+            .observe(latency.as_secs_f64());
+        self.http_latency
+            .lock()
+            .expect("http latency map")
+            .entry(route)
+            .or_default()
+            .observe(latency.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Snapshot of the per-route HDR latency histograms (handles share cells
+    /// with the live recorders — cheap, and consistent enough for a stats
+    /// endpoint). Routes in label order.
+    pub fn http_snapshot(&self) -> Vec<(&'static str, LogHistogram)> {
+        self.http_latency
+            .lock()
+            .expect("http latency map")
+            .iter()
+            .map(|(route, h)| (*route, h.clone()))
+            .collect()
+    }
+
+    /// Seconds since the daemon's metrics came up.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
     }
 
     /// Bumps the `tsc3d_serve_rejected_total{reason}` family: one series per refusal
@@ -329,6 +427,41 @@ mod tests {
         // 0.003 and 0.07 are both <= 0.1: the cumulative bucket holds 2.
         assert!(text.contains("phase=\"job_total\",le=\"0.1\"} 2"));
         assert!(text.contains("tsc3d_serve_latency_seconds_count{phase=\"job_total\"} 3"));
+    }
+
+    #[test]
+    fn http_layer_red_metrics_record_all_outcomes() {
+        let metrics = Metrics::default();
+        metrics.record_http("/healthz", "GET", 200, Duration::from_micros(150));
+        metrics.record_http("/healthz", "GET", 200, Duration::from_micros(250));
+        metrics.record_http("/v1/jobs", "POST", 429, Duration::from_millis(1));
+        let text = metrics.render(&idle_pool(), 0, 0);
+        assert!(text.contains("tsc3d_serve_http_requests_total"), "{text}");
+        assert!(text.contains("status=\"429\"} 1"), "{text}");
+        assert!(text.contains("status=\"200\"} 2"), "{text}");
+        assert!(
+            text.contains("tsc3d_serve_http_latency_seconds_bucket"),
+            "{text}"
+        );
+        // The re-graded buckets resolve sub-millisecond latencies: both healthz
+        // hits land under the 250µs bound instead of the old 1ms floor.
+        assert!(text.contains("le=\"0.00025\""), "{text}");
+
+        let snapshot = metrics.http_snapshot();
+        assert_eq!(snapshot.len(), 2, "one HDR histogram per route");
+        let healthz = &snapshot.iter().find(|(r, _)| *r == "/healthz").unwrap().1;
+        assert_eq!(healthz.count(), 2);
+        let p50 = healthz.quantile(0.5);
+        assert!((100_000.0..300_000.0).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn status_labels_are_closed_set() {
+        assert_eq!(status_label(200), "200");
+        assert_eq!(status_label(502), "5xx");
+        assert_eq!(status_label(418), "4xx");
+        assert_eq!(status_label(204), "2xx");
+        assert_eq!(status_label(301), "other");
     }
 
     #[test]

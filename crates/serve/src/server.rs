@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tsc3d::exec::Pool;
 use tsc3d_campaign::json::Json;
 
@@ -168,7 +168,9 @@ impl Server {
         });
 
         // Connection hand-off: the accept loop stays dumb, handlers pull from a channel.
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        // The accept timestamp rides along so HTTP latency covers channel queueing —
+        // measured from accept, not from when a handler thread got around to the read.
+        let (tx, rx) = mpsc::channel::<(Instant, TcpStream)>();
         let rx = Arc::new(Mutex::new(rx));
         let http_threads = (0..config.http_threads.max(1))
             .map(|_| {
@@ -177,7 +179,7 @@ impl Server {
                 std::thread::spawn(move || loop {
                     let next = rx.lock().expect("connection channel").recv();
                     match next {
-                        Ok(stream) => handle_connection(&shared, stream),
+                        Ok((accepted, stream)) => handle_connection(&shared, accepted, stream),
                         Err(_) => return, // sender dropped: shutdown
                     }
                 })
@@ -193,7 +195,7 @@ impl Server {
                     }
                     match stream {
                         Ok(stream) => {
-                            if tx.send(stream).is_err() {
+                            if tx.send((Instant::now(), stream)).is_err() {
                                 return;
                             }
                         }
@@ -275,15 +277,41 @@ impl Server {
     }
 }
 
+/// The bounded-cardinality route label of a request — literal ids collapse to
+/// `{id}` placeholders and unknown paths to `other`, so the `path` label of
+/// the HTTP metric families stays a closed set no client can grow.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/metrics" => "/metrics",
+        "/v1/stats" => "/v1/stats",
+        "/v1/trace" => "/v1/trace",
+        "/v1/jobs" => "/v1/jobs",
+        "/v1/shutdown" => "/v1/shutdown",
+        "/v1/events" => "/v1/events",
+        _ if path.starts_with("/v1/jobs/") => {
+            if path.ends_with("/result") {
+                "/v1/jobs/{id}/result"
+            } else if path.ends_with("/events") {
+                "/v1/jobs/{id}/events"
+            } else {
+                "/v1/jobs/{id}"
+            }
+        }
+        _ => "other",
+    }
+}
+
 /// Handles one connection: one request, one response, close — except the SSE
 /// routes, which take the stream over on a dedicated thread (a long-lived
-/// watcher must not pin one of the few handler threads).
-fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+/// watcher must not pin one of the few handler threads). `accepted` is when
+/// the listener accepted the socket; every response is recorded against it via
+/// [`Metrics::record_http`], including refusals the router never sees.
+fn handle_connection(shared: &Arc<Shared>, accepted: Instant, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-    let response = match read_request(&mut stream, shared.max_body_bytes) {
+    let (route_name, method, response) = match read_request(&mut stream, shared.max_body_bytes) {
         Ok(request) => {
-            shared.metrics.http_requests.inc();
             if let Some(target) = crate::sse::sse_target(&request) {
                 let shared = Arc::clone(shared);
                 std::thread::spawn(move || {
@@ -309,11 +337,19 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                             },
                         }
                     };
+                    let label = route_label(&request.path);
                     crate::sse::stream_events(stream, &request, target, shutting_down, job_phase);
+                    // An SSE stream has no meaningful last byte until it ends;
+                    // record the whole watch as one long 200.
+                    shared
+                        .metrics
+                        .record_http(label, "GET", 200, accepted.elapsed());
                 });
                 return;
             }
-            route(shared, &request)
+            let label = route_label(&request.path);
+            let response = route(shared, &request);
+            (label, request.method, response)
         }
         // A read that tripped the per-read socket timeout is a stalled client, not a dead
         // socket: answer with the documented 408 (the write usually still succeeds — the
@@ -326,6 +362,9 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         {
             let response = Response::error(408, &RequestError::Timeout.to_string());
             let _ = write_response(&mut stream, &response);
+            shared
+                .metrics
+                .record_http("(bad-request)", "-", 408, accepted.elapsed());
             return;
         }
         Err(RequestError::Io(_)) => return, // nothing to answer on a dead socket
@@ -337,12 +376,19 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             if write_response(&mut stream, &response).is_ok() {
                 discard_excess_input(&mut stream);
             }
+            shared
+                .metrics
+                .record_http("(bad-request)", "-", e.status(), accepted.elapsed());
             return;
         }
     };
+    let status = response.status;
     if let Err(e) = write_response(&mut stream, &response) {
         tsc3d_obs::log_warn!("serve", "write error: {e}");
     }
+    shared
+        .metrics
+        .record_http(route_name, &method, status, accepted.elapsed());
 }
 
 /// Reads and discards whatever the client is still sending, bounded in bytes *and* wall
@@ -367,6 +413,7 @@ fn route(shared: &Shared, request: &Request) -> Response {
     let path = request.path.as_str();
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => healthz(shared),
+        ("GET", "/v1/stats") => stats(shared),
         ("GET", "/metrics") => Response::text(
             200,
             shared.metrics.render(
@@ -384,9 +431,11 @@ fn route(shared: &Shared, request: &Request) -> Response {
         ("POST", "/v1/shutdown") => request_shutdown(shared),
         ("GET", _) if path.starts_with("/v1/jobs/") => job_route(shared, path),
         ("DELETE", _) if path.starts_with("/v1/jobs/") => cancel_route(shared, path),
-        (_, "/healthz" | "/metrics" | "/v1/jobs" | "/v1/shutdown" | "/v1/trace" | "/v1/events") => {
-            Response::error(405, &format!("method {} not allowed here", request.method))
-        }
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/stats" | "/v1/jobs" | "/v1/shutdown" | "/v1/trace"
+            | "/v1/events",
+        ) => Response::error(405, &format!("method {} not allowed here", request.method)),
         (_, _) if path.starts_with("/v1/jobs/") => {
             Response::error(405, &format!("method {} not allowed here", request.method))
         }
@@ -419,6 +468,85 @@ fn healthz(shared: &Shared) -> Response {
                 "pool_threads".into(),
                 Json::UInt(shared.jobs.pool().threads() as u64),
             ),
+        ]),
+    )
+}
+
+/// `GET /v1/stats`: a JSON operations snapshot — queue/cache/pool state plus
+/// live per-route HTTP latency quantiles from the HDR histograms. The same
+/// truth as `/metrics`, but shaped for dashboards and scripts that want one
+/// structured read instead of parsing exposition text.
+fn stats(shared: &Shared) -> Response {
+    let pool = shared.jobs.pool().stats();
+    let metrics = &shared.metrics;
+    let ms = |ns: f64| {
+        if ns.is_nan() {
+            Json::Null
+        } else {
+            Json::Num(ns / 1e6)
+        }
+    };
+    let http: Vec<Json> = metrics
+        .http_snapshot()
+        .into_iter()
+        .map(|(route, h)| {
+            Json::Obj(vec![
+                ("path".into(), Json::Str(route.into())),
+                ("requests".into(), Json::UInt(h.count())),
+                ("p50_ms".into(), ms(h.quantile(0.50))),
+                ("p95_ms".into(), ms(h.quantile(0.95))),
+                ("p99_ms".into(), ms(h.quantile(0.99))),
+                ("max_ms".into(), Json::Num(h.max_ns() as f64 / 1e6)),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &Json::Obj(vec![
+            ("uptime_seconds".into(), Json::Num(metrics.uptime_seconds())),
+            (
+                "draining".into(),
+                Json::Bool(shared.draining.load(Ordering::SeqCst)),
+            ),
+            (
+                "jobs".into(),
+                Json::Obj(vec![
+                    ("submitted".into(), Json::UInt(metrics.jobs_submitted.get())),
+                    ("executed".into(), Json::UInt(metrics.jobs_executed.get())),
+                    ("failed".into(), Json::UInt(metrics.jobs_failed.get())),
+                    (
+                        "in_flight".into(),
+                        Json::UInt(shared.jobs.in_flight() as u64),
+                    ),
+                    ("dedup_hits".into(), Json::UInt(metrics.dedup_hits.get())),
+                    ("cache_hits".into(), Json::UInt(metrics.cache_hits.get())),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    (
+                        "entries".into(),
+                        Json::UInt(shared.jobs.cache().len() as u64),
+                    ),
+                    ("hit_rate".into(), Json::Num(metrics.cache_hit_rate())),
+                ]),
+            ),
+            (
+                "pool".into(),
+                Json::Obj(vec![
+                    ("threads".into(), Json::UInt(pool.threads as u64)),
+                    ("queued".into(), Json::UInt(pool.queued as u64)),
+                    ("active".into(), Json::UInt(pool.active as u64)),
+                    ("steals".into(), Json::UInt(pool.steals)),
+                    ("executed".into(), Json::UInt(pool.executed)),
+                    (
+                        "busy_seconds".into(),
+                        Json::Num(pool.busy_ns_total() as f64 / 1e9),
+                    ),
+                ]),
+            ),
+            ("http".into(), Json::Arr(http)),
         ]),
     )
 }

@@ -260,6 +260,66 @@ fn metrics_are_valid_prometheus_and_trace_endpoint_serves_spans() {
 }
 
 #[test]
+fn stats_endpoint_reports_http_red_metrics_and_quantiles() {
+    let server = Server::start(test_config(None)).expect("server boots");
+    let addr = server.local_addr();
+
+    for _ in 0..3 {
+        let (status, _) = request(addr, "GET", "/healthz", "");
+        assert_eq!(status, 200);
+    }
+    // A 404 poll: the HTTP layer must see error outcomes too.
+    let (status, _) = request(addr, "GET", "/v1/jobs/424242", "");
+    assert_eq!(status, 404);
+
+    let (status, payload) = request(addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200, "{payload}");
+    let stats = Json::parse(&payload).expect("stats is JSON");
+    assert!(stats.get("uptime_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+    let pool = stats.get("pool").expect("pool section");
+    assert_eq!(pool.get("threads").and_then(Json::as_u64), Some(2));
+    assert!(stats.get("cache").and_then(|c| c.get("hit_rate")).is_some());
+    assert!(stats.get("jobs").and_then(|j| j.get("in_flight")).is_some());
+
+    let Some(Json::Arr(http)) = stats.get("http") else {
+        panic!("stats has no http array: {payload}");
+    };
+    let healthz = http
+        .iter()
+        .find(|row| row.get("path").and_then(Json::as_str) == Some("/healthz"))
+        .expect("per-route row for /healthz");
+    assert_eq!(healthz.get("requests").and_then(Json::as_u64), Some(3));
+    let p50 = healthz.get("p50_ms").and_then(Json::as_f64).unwrap();
+    let p99 = healthz.get("p99_ms").and_then(Json::as_f64).unwrap();
+    assert!(p50 > 0.0 && p99 >= p50, "p50={p50} p99={p99}");
+    // The 404 landed on the normalized {id} route, not a per-id label.
+    assert!(
+        http.iter()
+            .any(|row| row.get("path").and_then(Json::as_str) == Some("/v1/jobs/{id}")),
+        "{payload}"
+    );
+
+    // The exposition side carries the same truth: labeled RED counters and the
+    // per-path latency histogram family, still valid exposition format.
+    let (status, text) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    validate_prometheus(&text);
+    assert!(
+        text.contains("tsc3d_serve_http_requests_total{"),
+        "labeled RED family missing:\n{text}"
+    );
+    assert!(text.contains("path=\"/healthz\""), "{text}");
+    assert!(text.contains("status=\"404\""), "{text}");
+    assert!(
+        text.contains("tsc3d_serve_http_latency_seconds_bucket"),
+        "{text}"
+    );
+    // Sub-millisecond buckets exist after the re-grade.
+    assert!(text.contains("le=\"0.00025\""), "{text}");
+    server.shutdown();
+}
+
+#[test]
 fn identical_submissions_execute_once_and_restart_serves_from_disk() {
     let state_dir = temp_state_dir("dedup");
     let server = Server::start(test_config(Some(state_dir.clone()))).expect("server boots");

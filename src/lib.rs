@@ -5,6 +5,7 @@ pub use tsc3d_campaign as campaign;
 pub use tsc3d_floorplan as floorplan;
 pub use tsc3d_geometry as geometry;
 pub use tsc3d_leakage as leakage;
+pub use tsc3d_loadgen as loadgen;
 pub use tsc3d_netlist as netlist;
 pub use tsc3d_obs as obs;
 pub use tsc3d_power as power;
